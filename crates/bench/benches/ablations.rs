@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Model family** — the paper's FFN rank models vs the PGM-style
+//!    ε-bounded piecewise-linear extension (`elsi_ml::PwlModel`): build
+//!    cost, prediction latency (`M(1)`), and resulting error span.
+//! 2. **KS similarity algorithm** — the paper's `O(n_S log n)`
+//!    binary-search scan (§III) vs the naive `O(n_S + n)` merge over both
+//!    sets: the paper argues the former wins because `n_S ≪ n`.
+//! 3. **Drift-sketch resolution** — the update processor's bounded CDF
+//!    sketch at varying bin counts vs the exact KS distance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elsi_data::{cdf, Dataset};
+use elsi_indices::{BuildInput, ModelBuilder, OgBuilder, PwlBuilder};
+use elsi_spatial::{MappedData, MortonMapper};
+
+fn bench_model_families(c: &mut Criterion) {
+    let data = MappedData::build(Dataset::Osm1.generate(20_000, 42), &MortonMapper);
+    let input = BuildInput {
+        points: data.points(),
+        keys: data.keys(),
+        mapper: &MortonMapper,
+        seed: 3,
+    };
+
+    let mut group = c.benchmark_group("model_family_build_20k");
+    group.sample_size(10);
+    group.bench_function("ffn_og_50_epochs", |b| {
+        let builder = OgBuilder::with_epochs(50);
+        b.iter(|| black_box(builder.build_model(&input).stats.err_span))
+    });
+    group.bench_function("pwl_eps32", |b| {
+        let builder = PwlBuilder { epsilon: 32 };
+        b.iter(|| black_box(builder.build_model(&input).stats.err_span))
+    });
+    group.finish();
+
+    // Report the quality side of the trade-off once, as bench output.
+    let ffn = OgBuilder::with_epochs(50).build_model(&input);
+    let pwl = PwlBuilder { epsilon: 32 }.build_model(&input);
+    eprintln!(
+        "[ablation] err span on 20k OSM1 keys: FFN(OG) = {}, PWL(eps=32) = {}",
+        ffn.stats.err_span, pwl.stats.err_span
+    );
+
+    let mut group = c.benchmark_group("model_family_predict");
+    group.bench_function("ffn", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % data.len();
+            black_box(ffn.model.predict(data.keys()[i]))
+        })
+    });
+    group.bench_function("pwl", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % data.len();
+            black_box(pwl.model.predict(data.keys()[i]))
+        })
+    });
+    group.finish();
+}
+
+/// The naive `O(n_S + n)` two-pointer KS distance the paper rejects.
+fn ks_distance_merge(sample: &[f64], full: &[f64]) -> f64 {
+    if sample.is_empty() || full.is_empty() {
+        return 1.0;
+    }
+    let (ns, n) = (sample.len() as f64, full.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut worst = 0.0f64;
+    while i < sample.len() || j < full.len() {
+        let take_sample = match (sample.get(i), full.get(j)) {
+            (Some(&a), Some(&b)) => a <= b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_sample {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        worst = worst.max((i as f64 / ns - j as f64 / n).abs());
+    }
+    worst
+}
+
+fn bench_ks_algorithms(c: &mut Criterion) {
+    let full: Vec<f64> = (0..1_000_000).map(|i| (i as f64 / 999_999.0).powi(2)).collect();
+    let sample: Vec<f64> = full.iter().copied().step_by(1000).collect();
+
+    // Correctness cross-check before timing.
+    let a = cdf::ks_distance(&sample, &full);
+    let b = ks_distance_merge(&sample, &full);
+    assert!((a - b).abs() < 0.01, "scan {a} vs merge {b}");
+
+    let mut group = c.benchmark_group("ks_1k_sample_vs_1M_full");
+    group.bench_function("binary_search_scan_OnSlogN", |bch| {
+        bch.iter(|| black_box(cdf::ks_distance(&sample, &full)))
+    });
+    group.sample_size(20);
+    group.bench_function("merge_scan_OnSplusN", |bch| {
+        bch.iter(|| black_box(ks_distance_merge(&sample, &full)))
+    });
+    group.finish();
+}
+
+fn bench_sketch_resolution(c: &mut Criterion) {
+    let before: Vec<f64> = (0..200_000).map(|i| (i as f64 / 199_999.0).powi(2)).collect();
+    let after: Vec<f64> = (0..200_000).map(|i| (i as f64 / 199_999.0).powi(3)).collect();
+    let exact = cdf::ks_distance(&after, &before);
+
+    let mut group = c.benchmark_group("drift_sketch");
+    for bins in [256usize, 1024, 4096] {
+        let sa = cdf::CdfSketch::build(before.iter().copied(), bins);
+        let sb = cdf::CdfSketch::build(after.iter().copied(), bins);
+        eprintln!(
+            "[ablation] sketch bins={bins}: dist {:.4} vs exact {:.4}",
+            sa.dist(&sb),
+            exact
+        );
+        group.bench_function(format!("dist_bins_{bins}"), |b| {
+            b.iter(|| black_box(sa.dist(&sb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_families, bench_ks_algorithms, bench_sketch_resolution);
+criterion_main!(benches);

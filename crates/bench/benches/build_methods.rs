@@ -1,0 +1,36 @@
+//! Criterion benches of the training-set reduction methods (§V): the
+//! construction cost of `D_S` per method, isolated from model training.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elsi::{methods, ElsiConfig, Method, MrPool};
+use elsi_data::Dataset;
+use elsi_spatial::{MappedData, MortonMapper};
+
+fn bench_reductions(c: &mut Criterion) {
+    let n = 20_000;
+    let data = MappedData::build(Dataset::Osm1.generate(n, 42), &MortonMapper);
+    let mut cfg = ElsiConfig::scaled_for(n);
+    cfg.rl_steps = 200;
+    cfg.rl_patience = 100;
+    let pool = MrPool::generate(&cfg, 1);
+
+    let mut group = c.benchmark_group("reduce_20k");
+    group.sample_size(10);
+    for m in [Method::Sp, Method::Rsp, Method::Cl, Method::Mr, Method::Rs, Method::Rl] {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let input = elsi_indices::BuildInput {
+                    points: data.points(),
+                    keys: data.keys(),
+                    mapper: &MortonMapper,
+                    seed: 7,
+                };
+                black_box(methods::reduce(m, &input, &cfg, &pool).training_size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenches of the hot primitives: space-filling curves, the
+//! KS-distance scan of Definition 2, k-means, and FFN inference/training.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elsi_data::{cdf, gen};
+use elsi_ml::{kmeans, train_regression, Ffn, TrainConfig};
+use elsi_spatial::curve::{hilbert, morton};
+
+fn bench_curves(c: &mut Criterion) {
+    c.bench_function("morton_encode", |b| {
+        b.iter(|| morton::morton_encode(black_box(123_456_789), black_box(987_654_321)))
+    });
+    c.bench_function("morton_decode", |b| {
+        b.iter(|| morton::morton_decode(black_box(0x5A5A_5A5A_5A5A_5A5A)))
+    });
+    c.bench_function("hilbert_encode_order16", |b| {
+        b.iter(|| hilbert::hilbert_encode(16, black_box(12_345), black_box(54_321)))
+    });
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let full: Vec<f64> = (0..100_000).map(|i| (i as f64 / 99_999.0).powi(2)).collect();
+    let sample: Vec<f64> = full.iter().copied().step_by(100).collect();
+    c.bench_function("ks_distance_1k_vs_100k", |b| {
+        b.iter(|| cdf::ks_distance(black_box(&sample), black_box(&full)))
+    });
+    c.bench_function("dist_from_uniform_100k", |b| {
+        b.iter(|| cdf::dist_from_uniform(black_box(&full)))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = gen::nyc_like(2_000, 1).iter().map(|p| (p.x, p.y)).collect();
+    c.bench_function("kmeans_2k_k16_i10", |b| {
+        b.iter(|| kmeans(black_box(&pts), 16, 10, 3))
+    });
+}
+
+fn bench_ffn(c: &mut Criterion) {
+    let ffn = Ffn::new(&[1, 16, 1], 1);
+    c.bench_function("ffn_predict1", |b| b.iter(|| ffn.predict1(black_box(0.42))));
+
+    let keys: Vec<f64> = (0..1_000).map(|i| i as f64 / 999.0).collect();
+    let ys = keys.clone();
+    c.bench_function("ffn_train_1k_keys_10_epochs", |b| {
+        b.iter(|| {
+            let mut f = Ffn::new(&[1, 16, 1], 2);
+            let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+            train_regression(&mut f, black_box(&keys), black_box(&ys), &cfg)
+        })
+    });
+}
+
+criterion_group!(benches, bench_curves, bench_ks, bench_kmeans, bench_ffn);
+criterion_main!(benches);

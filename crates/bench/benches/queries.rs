@@ -1,0 +1,65 @@
+//! Criterion benches of query latency per index over a shared 10k-point
+//! OSM-like data set: point, window (0.01%), and kNN (k = 25).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elsi_bench::{BenchCtx, BuilderKind, IndexKind};
+use elsi_data::{gen, Dataset};
+use elsi_spatial::Rect;
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 10_000;
+    let pts = Dataset::Osm1.generate(n, 42);
+    let windows = gen::window_queries(&pts, 64, 1e-4, 7);
+    let knn_qs = gen::knn_queries(&pts, 64, 8);
+    let ctx = BenchCtx::new(n);
+
+    let variants: Vec<(IndexKind, BuilderKind)> = vec![
+        (IndexKind::Grid, BuilderKind::Og),
+        (IndexKind::Kdb, BuilderKind::Og),
+        (IndexKind::Hrr, BuilderKind::Og),
+        (IndexKind::Rstar, BuilderKind::Og),
+        (IndexKind::Zm, BuilderKind::Fixed(elsi::Method::Rs)),
+        (IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs)),
+        (IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs)),
+        (IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Sp)),
+    ];
+
+    for (kind, b) in variants {
+        let (idx, _) = ctx.build(kind, &b, pts.clone());
+        let label = b.label(kind);
+
+        c.bench_function(&format!("point_query/{label}"), |bch| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                i = (i + 997) % pts.len();
+                black_box(idx.point_query(pts[i]))
+            })
+        });
+
+        let mut group = c.benchmark_group("window_query");
+        group.sample_size(20);
+        group.bench_function(&label, |bch| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                i = (i + 1) % windows.len();
+                black_box(idx.window_query(&windows[i]).len())
+            })
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("knn_query_k25");
+        group.sample_size(20);
+        group.bench_function(&label, |bch| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                i = (i + 1) % knn_qs.len();
+                black_box(idx.knn_query(knn_qs[i], 25).len())
+            })
+        });
+        group.finish();
+    }
+    let _ = Rect::unit();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

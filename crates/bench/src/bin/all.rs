@@ -1,0 +1,32 @@
+//! Runs the complete evaluation suite (every table and figure) in the
+//! paper's order. Each experiment also has its own binary for isolated
+//! runs; this orchestrator shares the built index matrix across Figs. 8,
+//! 10, 12 and 14 to avoid rebuilding it four times.
+
+use elsi_bench::matrix::{run, MatrixOpts};
+use std::process::Command;
+
+fn run_bin(name: &str) {
+    println!("\n################ {name} ################");
+    let status = Command::new(std::env::current_exe().expect("self path").with_file_name(name))
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("[all] {name} exited with {s}"),
+        Err(e) => eprintln!("[all] failed to launch {name}: {e}"),
+    }
+}
+
+fn main() {
+    run_bin("fig06_selector");
+    run_bin("fig07_pareto");
+    run_bin("table1_cost");
+    run_bin("table2_ablation");
+    println!("\n################ figs 8 / 10 / 12 / 14 (shared matrix) ################");
+    run(MatrixOpts::all());
+    run_bin("fig09_build_lambda");
+    run_bin("fig11_point_lambda");
+    run_bin("fig13_window_sweep");
+    run_bin("fig15_updates");
+    run_bin("fig16_window_updates");
+}

@@ -1,0 +1,107 @@
+//! Fig. 6: accuracy of the method selector.
+//!
+//! (a) Accuracy vs the preparation cardinality exponent `u` (the paper
+//!     varies `u` from 4 to 8, i.e. the largest generated training data
+//!     set; here the five cardinality levels stand in for `u = 4..8`,
+//!     scaled to bench size — see DESIGN.md §3).
+//! (b) The FFN scorer vs RFR/RFC/DTR/DTC selector baselines across λ.
+//!
+//! Ground truth per (data set, λ): the method minimising the measured
+//! combined cost of Eq. 2. Accuracy = fraction of test cases where a
+//! selector picks the ground-truth-best method.
+
+use elsi::scorer::{
+    ground_truth_best, measure_method_costs, samples_from_costs, AltSelector, MethodScorer,
+    SKEW_GRID,
+};
+use elsi::{Method, MethodCosts, MrPool};
+use elsi_bench::{base_n, bench_config, print_table};
+
+const LAMBDAS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+fn accuracy_of(
+    select: impl Fn(usize, f64, f64) -> Method,
+    costs: &[MethodCosts],
+    lambdas: &[f64],
+) -> f64 {
+    let mut cases = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for c in costs {
+        if seen.insert((c.n, c.dist_u.to_bits())) {
+            cases.push((c.n, c.dist_u));
+        }
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &(n, d) in &cases {
+        for &l in lambdas {
+            let truth = ground_truth_best(costs, n, d, l, 1.0, &Method::pool());
+            if select(n, d, l) == truth {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let n = base_n();
+    let cfg = bench_config(n);
+    let pool = MrPool::generate(&cfg, 1);
+
+    // Five cardinality levels standing in for u = 4..8.
+    let sizes = [n / 100, n / 30, n / 10, n / 3, n].map(|s| s.max(200));
+    eprintln!("[fig06] measuring method costs on {} x {} data sets…", sizes.len(), SKEW_GRID.len());
+    let costs = measure_method_costs(&sizes, &SKEW_GRID, &Method::pool(), &cfg, &pool, 7);
+    eprintln!("[fig06] {} (dataset, method) cost rows measured", costs.len());
+    // Held-out test set: same grid, different generator seed, so selectors
+    // are scored on data sets they never saw.
+    eprintln!("[fig06] measuring held-out test costs…");
+    let test_costs = measure_method_costs(&sizes, &SKEW_GRID, &Method::pool(), &cfg, &pool, 1042);
+
+    // (a) accuracy vs u: train on the sizes up to level u, test on all.
+    let mut rows_a = Vec::new();
+    for (u_level, label) in (0..sizes.len()).map(|i| (i, format!("u={}", 4 + i))) {
+        let train_sizes = &sizes[..=u_level];
+        let train_costs: Vec<MethodCosts> =
+            costs.iter().filter(|c| train_sizes.contains(&c.n)).copied().collect();
+        let scorer = MethodScorer::train(&samples_from_costs(&train_costs), 3);
+        let acc = accuracy_of(
+            |n, d, l| scorer.select(n, d, l, 1.0, &Method::pool()),
+            &test_costs,
+            &LAMBDAS,
+        );
+        rows_a.push(vec![label, format!("{acc:.3}")]);
+    }
+    print_table("Fig. 6(a) — Selector accuracy vs preparation scale u", &["u", "accuracy"], &rows_a);
+
+    // (b) FFN vs RFR / RFC / DTR / DTC per λ.
+    let samples = samples_from_costs(&costs);
+    let ffn = MethodScorer::train(&samples, 3);
+    let rfr = AltSelector::train_regression_variant(&samples, true, 5);
+    let dtr = AltSelector::train_regression_variant(&samples, false, 5);
+    let rfc =
+        AltSelector::train_classification_variant(&costs, &LAMBDAS, 1.0, &Method::pool(), true, 5);
+    let dtc =
+        AltSelector::train_classification_variant(&costs, &LAMBDAS, 1.0, &Method::pool(), false, 5);
+
+    let mut rows_b = Vec::new();
+    for &l in &LAMBDAS {
+        let one = [l];
+        let acc_ffn =
+            accuracy_of(|n, d, l| ffn.select(n, d, l, 1.0, &Method::pool()), &test_costs, &one);
+        let mut row = vec![format!("{l:.1}"), format!("{acc_ffn:.3}")];
+        for sel in [&rfr, &rfc, &dtr, &dtc] {
+            let acc =
+                accuracy_of(|n, d, l| sel.select(n, d, l, 1.0, &Method::pool()), &test_costs, &one);
+            row.push(format!("{acc:.3}"));
+        }
+        rows_b.push(row);
+    }
+    print_table(
+        "Fig. 6(b) — Selector accuracy vs lambda: FFN vs forest/tree baselines",
+        &["lambda", "FFN", "RFR", "RFC", "DTR", "DTC"],
+        &rows_b,
+    );
+}

@@ -1,0 +1,73 @@
+//! Fig. 7: Pareto study of the index building methods on OSM1, for all
+//! four base indices (ZM, RSMI, ML, LISA).
+//!
+//! For each method a method-specific parameter is swept exactly as in the
+//! paper: ρ up for SP/RSP, C up for CL, ε down for MR, β down for RS, η up
+//! for RL — the build time increases while the point query time decreases.
+//! OG is the single full-training reference point.
+
+use elsi::Method;
+use elsi_bench::*;
+use elsi_data::Dataset;
+
+fn main() {
+    let n = base_n();
+    let pts = Dataset::Osm1.generate(n, 42);
+
+    // Parameter sweeps, scaled from the paper's ranges (ρ: 1e-4..1e-2 of
+    // 1e8 points; here the reduced-set *sizes* keep the same proportions).
+    let rho_grid = [0.001, 0.004, 0.016];
+    let c_grid = [100usize, 400, 1600];
+    let eps_grid = [0.5, 0.25, 0.1];
+    let beta_grid = [(n / 16).max(4), (n / 64).max(4), (n / 256).max(4)];
+    let eta_grid = [8usize, 16, 32];
+
+    for kind in IndexKind::learned_all() {
+        let mut rows = Vec::new();
+        let mut run = |label: String, builder: BuilderKind, cfg_mut: &dyn Fn(&mut elsi::ElsiConfig)| {
+            // CL and RL are inapplicable to LISA (paper §VII-A).
+            if kind == IndexKind::Lisa {
+                if let BuilderKind::Fixed(m) = &builder {
+                    if m.synthesises_points() {
+                        return;
+                    }
+                }
+            }
+            let mut cfg = bench_config(n);
+            cfg_mut(&mut cfg);
+            let ctx = BenchCtx { elsi: elsi::Elsi::new(cfg), n };
+            let (idx, secs) = ctx.build(kind, &builder, pts.clone());
+            let micros = point_query_micros(idx.as_ref(), &pts, 2000);
+            rows.push(vec![label, fmt_secs(secs), format!("{micros:.2}")]);
+        };
+
+        for rho in rho_grid {
+            run(format!("SP rho={rho}"), BuilderKind::Fixed(Method::Sp), &|c| c.rho = rho);
+        }
+        for rho in rho_grid {
+            run(format!("RSP rho={rho}"), BuilderKind::Fixed(Method::Rsp), &|c| c.rho = rho);
+        }
+        for c_k in c_grid {
+            run(format!("CL C={c_k}"), BuilderKind::Fixed(Method::Cl), &|c| c.clusters = c_k);
+        }
+        for eps in eps_grid {
+            run(format!("MR eps={eps}"), BuilderKind::Fixed(Method::Mr), &|c| c.epsilon = eps);
+        }
+        for beta in beta_grid {
+            run(format!("RS beta={beta}"), BuilderKind::Fixed(Method::Rs), &|c| c.beta = beta);
+        }
+        for eta in eta_grid {
+            run(format!("RL eta={eta}"), BuilderKind::Fixed(Method::Rl), &|c| {
+                c.eta = eta;
+                c.rl_steps = 400;
+            });
+        }
+        run("OG".to_string(), BuilderKind::Og, &|_| {});
+
+        print_table(
+            &format!("Fig. 7 — Build vs point-query trade-off on OSM1, base index {}", kind.name()),
+            &["method/param", "build (s)", "query (µs)"],
+            &rows,
+        );
+    }
+}

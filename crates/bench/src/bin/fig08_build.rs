@@ -1,0 +1,4 @@
+//! Fig. 8: index build time vs data distribution, all ten variants.
+fn main() {
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(true, false, false, false));
+}

@@ -1,0 +1,37 @@
+//! Fig. 9: build time of the ELSI-based indices vs λ, on Skewed and OSM1,
+//! with RR* and RSMI (no ELSI) as fixed references.
+
+use elsi_bench::*;
+use elsi_data::Dataset;
+
+const LAMBDAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+fn main() {
+    let n = base_n();
+    let ctx = BenchCtx::with_scorer(n);
+
+    for ds in [Dataset::Skewed, Dataset::Osm1] {
+        let pts = ds.generate_scaled(n, 42);
+        // λ-independent references.
+        let (_, rstar_secs) = ctx.build(IndexKind::Rstar, &BuilderKind::Og, pts.clone());
+        let (_, rsmi_og_secs) = ctx.build(IndexKind::Rsmi, &BuilderKind::Og, pts.clone());
+
+        let mut rows = Vec::new();
+        for &l in &LAMBDAS {
+            let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+            let mut row = vec![format!("{l:.1}")];
+            for kind in IndexKind::learned() {
+                let (_, secs) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
+                row.push(fmt_secs(secs));
+            }
+            row.push(fmt_secs(rstar_secs));
+            row.push(fmt_secs(rsmi_og_secs));
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 9 — Build time (s) vs lambda on {ds}"),
+            &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+            &rows,
+        );
+    }
+}

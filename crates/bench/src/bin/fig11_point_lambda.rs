@@ -1,0 +1,38 @@
+//! Fig. 11: point query time of the ELSI-based indices vs λ, on OSM1 and
+//! TPC-H, with RR* and RSMI (no ELSI) as fixed references.
+
+use elsi_bench::*;
+use elsi_data::Dataset;
+
+const LAMBDAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+fn main() {
+    let n = base_n();
+    let ctx = BenchCtx::with_scorer(n);
+
+    for ds in [Dataset::Osm1, Dataset::TpcH] {
+        let pts = ds.generate_scaled(n, 42);
+        let (rstar, _) = ctx.build(IndexKind::Rstar, &BuilderKind::Og, pts.clone());
+        let rstar_micros = point_query_micros(rstar.as_ref(), &pts, 2000);
+        let (rsmi_og, _) = ctx.build(IndexKind::Rsmi, &BuilderKind::Og, pts.clone());
+        let rsmi_og_micros = point_query_micros(rsmi_og.as_ref(), &pts, 2000);
+
+        let mut rows = Vec::new();
+        for &l in &LAMBDAS {
+            let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+            let mut row = vec![format!("{l:.1}")];
+            for kind in IndexKind::learned() {
+                let (idx, _) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
+                row.push(format!("{:.2}", point_query_micros(idx.as_ref(), &pts, 2000)));
+            }
+            row.push(format!("{rstar_micros:.2}"));
+            row.push(format!("{rsmi_og_micros:.2}"));
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 11 — Point query time (µs) vs lambda on {ds}"),
+            &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Fig. 12: window query time and recall vs data distribution.
+fn main() {
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(false, false, true, false));
+}

@@ -1,0 +1,66 @@
+//! Fig. 13: window query time (a) vs λ on OSM1 and (b) vs window size
+//! (0.0006%..0.16% of the data space), with RR* and RSMI references.
+
+use elsi_bench::*;
+use elsi_data::{gen, Dataset};
+
+const LAMBDAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+const WINDOW_AREAS: [f64; 5] = [6e-6, 2.5e-5, 1e-4, 4e-4, 1.6e-3];
+
+fn main() {
+    let n = base_n();
+    let ctx = BenchCtx::with_scorer(n);
+    let pts = Dataset::Osm1.generate_scaled(n, 42);
+
+    // (a) vs lambda at 0.01% windows.
+    let windows = gen::window_queries(&pts, 200, 1e-4, 7);
+    let (rstar, _) = ctx.build(IndexKind::Rstar, &BuilderKind::Og, pts.clone());
+    let (rstar_micros, _) = window_query_stats(rstar.as_ref(), &pts, &windows);
+    let (rsmi_og, _) = ctx.build(IndexKind::Rsmi, &BuilderKind::Og, pts.clone());
+    let (rsmi_og_micros, _) = window_query_stats(rsmi_og.as_ref(), &pts, &windows);
+
+    let mut rows = Vec::new();
+    for &l in &LAMBDAS {
+        let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+        let mut row = vec![format!("{l:.1}")];
+        for kind in IndexKind::learned() {
+            let (idx, _) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
+            let (micros, _) = window_query_stats(idx.as_ref(), &pts, &windows);
+            row.push(format!("{micros:.0}"));
+        }
+        row.push(format!("{rstar_micros:.0}"));
+        row.push(format!("{rsmi_og_micros:.0}"));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 13(a) — Window query time (µs) vs lambda on OSM1 (0.01% windows)",
+        &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+        &rows,
+    );
+
+    // (b) vs window size at the default lambda: build each -F index once.
+    let mut built = Vec::new();
+    for kind in IndexKind::learned() {
+        let (idx, _) = ctx.build(kind, &BuilderKind::Selector, pts.clone());
+        built.push((format!("{}-F", kind.name()), idx));
+    }
+    let mut rows = Vec::new();
+    for area in WINDOW_AREAS {
+        let windows = gen::window_queries(&pts, 100, area, 9);
+        let mut row = vec![format!("{:.4}%", area * 100.0)];
+        for (_, idx) in &built {
+            let (micros, _) = window_query_stats(idx.as_ref(), &pts, &windows);
+            row.push(format!("{micros:.0}"));
+        }
+        let (micros, _) = window_query_stats(rstar.as_ref(), &pts, &windows);
+        row.push(format!("{micros:.0}"));
+        let (micros, _) = window_query_stats(rsmi_og.as_ref(), &pts, &windows);
+        row.push(format!("{micros:.0}"));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 13(b) — Window query time (µs) vs window size on OSM1",
+        &["window", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Fig. 15: skewed data insertion — (a) average insertion time and
+//! (b) point query time, vs the cumulative insertion ratio (1%..512%).
+//!
+//! Setup follows §VII-H: the initial set is 10% of OSM1, insertions come
+//! from Skewed. `-F` variants never rebuild; `-R` variants rebuild when the
+//! learned rebuild predictor fires; RR* is the traditional reference.
+
+use elsi::RebuildPolicy;
+use elsi_bench::updates::{run_insertions, train_rebuild_predictor, INSERT_RATIOS};
+use elsi_bench::*;
+use elsi_data::{gen, Dataset};
+
+fn main() {
+    let n = base_n();
+    let initial = Dataset::Osm1.generate(n / 10, 42);
+    let windows = gen::window_queries(&initial, 60, 1e-4, 7);
+    let ctx = BenchCtx::new(n / 10);
+
+    eprintln!("[fig15] training the rebuild predictor on simulated streams…");
+    let predictor = || RebuildPolicy::Learned(train_rebuild_predictor(&ctx, (n / 20).max(500)));
+
+    let runs: Vec<(String, Vec<_>)> = vec![
+        (
+            "ML-F".into(),
+            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "ML-R".into(),
+            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "RSMI-F".into(),
+            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "RSMI-R".into(),
+            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "LISA-F".into(),
+            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "LISA-R".into(),
+            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "RR*".into(),
+            run_insertions(&ctx, IndexKind::Rstar, BuilderKind::Og,
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+    ];
+
+    let mut header = vec!["inserted".to_string()];
+    header.extend(runs.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let table_of = |metric: &dyn Fn(&elsi_bench::updates::UpdateStep) -> String| {
+        INSERT_RATIOS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut row = vec![format!("{:.0}%", r * 100.0)];
+                row.extend(runs.iter().map(|(_, steps)| metric(&steps[i])));
+                row
+            })
+            .collect::<Vec<_>>()
+    };
+
+    print_table(
+        "Fig. 15(a) — Average insertion time (µs) vs insertion ratio",
+        &header_refs,
+        &table_of(&|s| format!("{:.1}", s.insert_micros)),
+    );
+    print_table(
+        "Fig. 15(b) — Point query time (µs) vs insertion ratio",
+        &header_refs,
+        &table_of(&|s| format!("{:.2}", s.point_micros)),
+    );
+    print_table(
+        "Fig. 15 (aux) — Full rebuilds triggered by the rebuild predictor",
+        &header_refs,
+        &table_of(&|s| format!("{}", s.rebuilds)),
+    );
+}

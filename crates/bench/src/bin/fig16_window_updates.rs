@@ -1,0 +1,82 @@
+//! Fig. 16: window queries under skewed insertion — (a) query time and
+//! (b) recall, vs the cumulative insertion ratio. Same stream as Fig. 15.
+
+use elsi::RebuildPolicy;
+use elsi_bench::updates::{run_insertions, train_rebuild_predictor, INSERT_RATIOS};
+use elsi_bench::*;
+use elsi_data::{gen, Dataset};
+
+fn main() {
+    let n = base_n();
+    let initial = Dataset::Osm1.generate(n / 10, 42);
+    let windows = gen::window_queries(&initial, 60, 1e-4, 7);
+    let ctx = BenchCtx::new(n / 10);
+
+    eprintln!("[fig16] training the rebuild predictor on simulated streams…");
+    let predictor = || RebuildPolicy::Learned(train_rebuild_predictor(&ctx, (n / 20).max(500)));
+
+    let runs: Vec<(String, Vec<_>)> = vec![
+        (
+            "ML-F".into(),
+            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "ML-R".into(),
+            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "RSMI-F".into(),
+            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "RSMI-R".into(),
+            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "LISA-F".into(),
+            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+        (
+            "LISA-R".into(),
+            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
+                           predictor(), initial.clone(), &windows),
+        ),
+        (
+            "RR*".into(),
+            run_insertions(&ctx, IndexKind::Rstar, BuilderKind::Og,
+                           RebuildPolicy::Never, initial.clone(), &windows),
+        ),
+    ];
+
+    let mut header = vec!["inserted".to_string()];
+    header.extend(runs.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let table_of = |metric: &dyn Fn(&elsi_bench::updates::UpdateStep) -> String| {
+        INSERT_RATIOS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut row = vec![format!("{:.0}%", r * 100.0)];
+                row.extend(runs.iter().map(|(_, steps)| metric(&steps[i])));
+                row
+            })
+            .collect::<Vec<_>>()
+    };
+
+    print_table(
+        "Fig. 16(a) — Window query time (µs) vs insertion ratio",
+        &header_refs,
+        &table_of(&|s| format!("{:.0}", s.window_micros)),
+    );
+    print_table(
+        "Fig. 16(b) — Window query recall vs insertion ratio",
+        &header_refs,
+        &table_of(&|s| format!("{:.3}", s.window_recall)),
+    );
+}

@@ -1,0 +1,51 @@
+//! Table I: build-cost decomposition on OSM1 with ZM.
+//!
+//! Columns mirror the paper: training cost `T(|D_S|) + M(n)`, extra
+//! method-specific costs (`cost_ex`), and the resulting total error span
+//! `|Error| = Σ(err_l + err_u)`. The shared map-and-sort data preparation
+//! is reported once above the table, as in the paper's prose.
+
+use elsi::{CostDecomposition, Method};
+use elsi_bench::*;
+use elsi_data::Dataset;
+use elsi_indices::{ZmConfig, ZmIndex};
+use elsi_spatial::{MappedData, MortonMapper};
+
+fn main() {
+    let n = base_n();
+    let pts = Dataset::Osm1.generate(n, 42);
+
+    // Shared data preparation cost (map + sort), measured once.
+    let (_, prep_secs) = timed(|| MappedData::build(pts.clone(), &MortonMapper));
+    println!("Data preparation (map + sort) on OSM1 ({n} points): {:.3} s — shared by all methods", prep_secs);
+
+    let ctx = BenchCtx::new(n);
+    let zm_cfg = ZmConfig { fanout: (n / 12_500).clamp(4, 16) };
+
+    let mut rows = Vec::new();
+    for m in [Method::Sp, Method::Cl, Method::Mr, Method::Rs, Method::Rl, Method::Og] {
+        let builder = ctx.elsi.fixed_builder(m);
+        let (idx, _) = timed(|| ZmIndex::build(pts.clone(), &zm_cfg, &builder));
+        let agg = CostDecomposition::aggregate(
+            m.name(),
+            std::time::Duration::from_secs_f64(prep_secs),
+            idx.build_stats(),
+        );
+        let micros = point_query_micros(&idx, &pts, 2000);
+        rows.push(vec![
+            m.name().to_string(),
+            format!("{}", agg.training_set_size),
+            fmt_secs(agg.train.as_secs_f64()),
+            fmt_secs(agg.reduce.as_secs_f64()),
+            fmt_secs(agg.bound.as_secs_f64()),
+            fmt_secs(agg.total().as_secs_f64()),
+            format!("{}", agg.err_span),
+            format!("{micros:.2}"),
+        ]);
+    }
+    print_table(
+        "Table I — Cost decomposition on OSM1 (ZM)",
+        &["method", "|D_S|", "train T(|D_S|)", "extra cost_ex", "bounds M(n)", "total", "|Error|", "query µs"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Table II: ELSI (learned selector) vs a random selector ("Rand") vs every
+//! fixed building method, on OSM1 at λ = 0.8, for all four base indices.
+//!
+//! Reports build time (s) and point query time (µs) per variant; "NA"
+//! marks CL/RL on LISA (inapplicable, paper §VII-A).
+
+use elsi::Method;
+use elsi_bench::*;
+use elsi_data::Dataset;
+
+fn main() {
+    let n = base_n();
+    let pts = Dataset::Osm1.generate(n, 42);
+    let ctx = BenchCtx::with_scorer(n);
+
+    let variants: Vec<(String, BuilderKind)> = vec![
+        ("ELSI".into(), BuilderKind::Selector),
+        ("Rand".into(), BuilderKind::Random(9)),
+        ("SP".into(), BuilderKind::Fixed(Method::Sp)),
+        ("CL".into(), BuilderKind::Fixed(Method::Cl)),
+        ("MR".into(), BuilderKind::Fixed(Method::Mr)),
+        ("RS".into(), BuilderKind::Fixed(Method::Rs)),
+        ("RL".into(), BuilderKind::Fixed(Method::Rl)),
+        ("OG".into(), BuilderKind::Og),
+    ];
+
+    let mut build_rows = Vec::new();
+    let mut query_rows = Vec::new();
+    for kind in IndexKind::learned_all() {
+        let mut b_row = vec![kind.name().to_string()];
+        let mut q_row = b_row.clone();
+        for (label, builder) in &variants {
+            let inapplicable = kind == IndexKind::Lisa
+                && matches!(builder, BuilderKind::Fixed(m) if m.synthesises_points());
+            if inapplicable {
+                b_row.push("NA".into());
+                q_row.push("NA".into());
+                continue;
+            }
+            let _ = label;
+            let (idx, secs) = ctx.build(kind, builder, pts.clone());
+            b_row.push(fmt_secs(secs));
+            q_row.push(format!("{:.2}", point_query_micros(idx.as_ref(), &pts, 2000)));
+        }
+        build_rows.push(b_row);
+        query_rows.push(q_row);
+    }
+
+    let header = ["index", "ELSI", "Rand", "SP", "CL", "MR", "RS", "RL", "OG"];
+    print_table("Table II (top) — Build time (s) on OSM1, lambda = 0.8", &header, &build_rows);
+    print_table("Table II (bottom) — Point query time (µs) on OSM1", &header, &query_rows);
+}

@@ -1,0 +1,331 @@
+//! Shared experiment machinery: the index zoo, scale knobs, timing and
+//! table printing.
+
+use elsi::{Elsi, ElsiConfig, ElsiBuilder, Method};
+use elsi_data::{gen, Dataset};
+use elsi_indices::*;
+use elsi_spatial::{Point, Rect};
+use std::time::Instant;
+
+/// Base cardinality standing in for the paper's 100M-point OSM1.
+pub fn base_n() -> usize {
+    std::env::var("ELSI_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000)
+}
+
+/// Training epochs used for every model (paper: 500 on GPU).
+pub fn bench_epochs() -> usize {
+    std::env::var("ELSI_BENCH_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(50)
+}
+
+/// The ELSI configuration used across the experiments, scaled to `n`.
+pub fn bench_config(n: usize) -> ElsiConfig {
+    let mut cfg = ElsiConfig::scaled_for(n);
+    cfg.train.epochs = bench_epochs();
+    cfg
+}
+
+/// Times a closure, returning its output and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// The index zoo of the evaluation (§VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Grid file.
+    Grid,
+    /// KDB-tree.
+    Kdb,
+    /// Hilbert-packed R-tree.
+    Hrr,
+    /// Revised R*-tree.
+    Rstar,
+    /// Z-order model index.
+    Zm,
+    /// ML-Index.
+    Ml,
+    /// RSMI.
+    Rsmi,
+    /// LISA.
+    Lisa,
+}
+
+impl IndexKind {
+    /// The traditional competitors.
+    pub fn traditional() -> [IndexKind; 4] {
+        [IndexKind::Grid, IndexKind::Kdb, IndexKind::Hrr, IndexKind::Rstar]
+    }
+
+    /// The learned indices reported in the main experiments
+    /// (ZM only appears in §VII-D, matching the paper).
+    pub fn learned() -> [IndexKind; 3] {
+        [IndexKind::Ml, IndexKind::Rsmi, IndexKind::Lisa]
+    }
+
+    /// All learned indices including ZM.
+    pub fn learned_all() -> [IndexKind; 4] {
+        [IndexKind::Zm, IndexKind::Ml, IndexKind::Rsmi, IndexKind::Lisa]
+    }
+
+    /// Whether this is a learned (ELSI-compatible) index.
+    pub fn is_learned(&self) -> bool {
+        matches!(self, IndexKind::Zm | IndexKind::Ml | IndexKind::Rsmi | IndexKind::Lisa)
+    }
+
+    /// Base display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Grid => "Grid",
+            IndexKind::Kdb => "KDB",
+            IndexKind::Hrr => "HRR",
+            IndexKind::Rstar => "RR*",
+            IndexKind::Zm => "ZM",
+            IndexKind::Ml => "ML",
+            IndexKind::Rsmi => "RSMI",
+            IndexKind::Lisa => "LISA",
+        }
+    }
+}
+
+/// How a learned index's models are built.
+#[derive(Clone)]
+pub enum BuilderKind {
+    /// Original: full-data training (plain "ML"/"RSMI"/"LISA" rows).
+    Og,
+    /// A fixed ELSI method.
+    Fixed(Method),
+    /// The learned method selector (the `-F` rows; requires a prepared
+    /// [`Elsi`] with a trained scorer).
+    Selector,
+    /// The random-selector ablation of Table II.
+    Random(u64),
+}
+
+impl BuilderKind {
+    /// Row label suffix: `-F` for ELSI-driven builds.
+    pub fn label(&self, kind: IndexKind) -> String {
+        match self {
+            BuilderKind::Og => kind.name().to_string(),
+            BuilderKind::Fixed(m) => format!("{}({})", kind.name(), m.name()),
+            BuilderKind::Selector => format!("{}-F", kind.name()),
+            BuilderKind::Random(_) => format!("{}(Rand)", kind.name()),
+        }
+    }
+}
+
+/// Shared experiment context: the ELSI system (MR pool + optional scorer)
+/// and the scaled configuration.
+pub struct BenchCtx {
+    /// The ELSI system.
+    pub elsi: Elsi,
+    /// Data-set cardinality this context is scaled for.
+    pub n: usize,
+}
+
+impl BenchCtx {
+    /// Context without a trained scorer (fixed-method experiments).
+    pub fn new(n: usize) -> Self {
+        Self { elsi: Elsi::new(bench_config(n)), n }
+    }
+
+    /// Context with the scorer prepared on a small measurement pass.
+    pub fn with_scorer(n: usize) -> Self {
+        let mut elsi = Elsi::new(bench_config(n));
+        let sizes = [n / 20, n / 5, n].map(|s| s.max(200));
+        eprintln!("[prep] training method scorer on {sizes:?} x 5 skews…");
+        elsi.prepare_scorer(&sizes, &[1, 3, 6, 12, 26], 11);
+        Self { elsi, n }
+    }
+
+    /// Materialises a model builder.
+    pub fn builder(&self, kind: IndexKind, b: &BuilderKind) -> ElsiBuilder {
+        let builder = match b {
+            BuilderKind::Og => self.elsi.fixed_builder(Method::Og),
+            BuilderKind::Fixed(m) => self.elsi.fixed_builder(*m),
+            BuilderKind::Selector => self.elsi.builder(),
+            BuilderKind::Random(seed) => self.elsi.random_builder(*seed),
+        };
+        if kind == IndexKind::Lisa {
+            builder.for_lisa()
+        } else {
+            builder
+        }
+    }
+
+    /// Builds an index over `pts`; returns it and the build seconds.
+    pub fn build(
+        &self,
+        kind: IndexKind,
+        b: &BuilderKind,
+        pts: Vec<Point>,
+    ) -> (Box<dyn SpatialIndex>, f64) {
+        let n = pts.len().max(1);
+        match kind {
+            IndexKind::Grid => {
+                let (idx, t) = timed(|| GridIndex::build(pts, &GridConfig::default()));
+                (Box::new(idx), t)
+            }
+            IndexKind::Kdb => {
+                let (idx, t) = timed(|| KdbIndex::build(pts, &KdbConfig::default()));
+                (Box::new(idx), t)
+            }
+            IndexKind::Hrr => {
+                let (idx, t) = timed(|| HrrIndex::build(pts, &HrrConfig::default()));
+                (Box::new(idx), t)
+            }
+            IndexKind::Rstar => {
+                let (idx, t) = timed(|| RStarIndex::build(pts, &RStarConfig::default()));
+                (Box::new(idx), t)
+            }
+            IndexKind::Zm => {
+                let builder = self.builder(kind, b);
+                let cfg = ZmConfig { fanout: (n / 12_500).clamp(4, 16) };
+                let (idx, t) = timed(|| ZmIndex::build(pts, &cfg, &builder));
+                (Box::new(idx), t)
+            }
+            IndexKind::Ml => {
+                let builder = self.builder(kind, b);
+                let cfg = MlConfig { pivots: 8, ..MlConfig::default() };
+                let (idx, t) = timed(|| MlIndex::build(pts, &cfg, &builder));
+                (Box::new(idx), t)
+            }
+            IndexKind::Rsmi => {
+                let builder = self.builder(kind, b);
+                let cfg = RsmiConfig {
+                    leaf_capacity: (n / 32).clamp(1024, 8192),
+                    fanout: 8,
+                    ..RsmiConfig::default()
+                };
+                let (idx, t) = timed(|| RsmiIndex::build(pts, &cfg, &builder));
+                (Box::new(idx), t)
+            }
+            IndexKind::Lisa => {
+                let builder = self.builder(kind, b);
+                let cfg = LisaConfig {
+                    grid: 16,
+                    shard_size: (n / 200).clamp(100, 1000),
+                    block_size: 100,
+                };
+                let (idx, t) = timed(|| LisaIndex::build(pts, &cfg, &builder));
+                (Box::new(idx), t)
+            }
+        }
+    }
+}
+
+/// Average point-query latency in µs: queries every stored point, sampled
+/// down to at most `max_queries` (the paper queries every indexed point).
+pub fn point_query_micros(idx: &dyn SpatialIndex, pts: &[Point], max_queries: usize) -> f64 {
+    let step = (pts.len() / max_queries.max(1)).max(1);
+    let mut found = 0usize;
+    let t0 = Instant::now();
+    for p in pts.iter().step_by(step) {
+        if idx.point_query(*p).is_some() {
+            found += 1;
+        }
+    }
+    let q = pts.len().div_ceil(step);
+    std::hint::black_box(found);
+    t0.elapsed().as_secs_f64() * 1e6 / q as f64
+}
+
+/// Window-query stats: average latency (µs) and recall over the workload.
+pub fn window_query_stats(idx: &dyn SpatialIndex, pts: &[Point], windows: &[Rect]) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut results = Vec::with_capacity(windows.len());
+    for w in windows {
+        results.push(idx.window_query(w).len());
+    }
+    let micros = t0.elapsed().as_secs_f64() * 1e6 / windows.len() as f64;
+
+    let mut got = 0usize;
+    let mut want = 0usize;
+    for (w, &r) in windows.iter().zip(&results) {
+        let truth = pts.iter().filter(|p| w.contains(p)).count();
+        want += truth;
+        got += r.min(truth);
+    }
+    (micros, if want == 0 { 1.0 } else { got as f64 / want as f64 })
+}
+
+/// kNN stats: average latency (µs) and recall at `k` over the workload.
+pub fn knn_query_stats(
+    idx: &dyn SpatialIndex,
+    pts: &[Point],
+    queries: &[Point],
+    k: usize,
+) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        answers.push(idx.knn_query(*q, k));
+    }
+    let micros = t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (q, ans) in queries.iter().zip(&answers) {
+        let mut d: Vec<f64> = pts.iter().map(|p| q.dist2(p)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let radius = d[(k - 1).min(d.len() - 1)].sqrt() + 1e-12;
+        total += k.min(pts.len());
+        hit += ans.iter().filter(|p| q.dist(p) <= radius).count().min(k);
+    }
+    (micros, if total == 0 { 1.0 } else { hit as f64 / total as f64 })
+}
+
+/// Generates the standard workloads for one data set.
+pub struct Workload {
+    /// The data points.
+    pub pts: Vec<Point>,
+    /// Window queries (paper: 1,000 windows following the data).
+    pub windows: Vec<Rect>,
+    /// kNN query points (paper: 1,000, k = 25).
+    pub knn: Vec<Point>,
+}
+
+impl Workload {
+    /// Builds the workload for a data set at the harness scale.
+    pub fn new(ds: Dataset, base: usize, window_area: f64) -> Self {
+        let pts = ds.generate_scaled(base, 42);
+        let windows = gen::window_queries(&pts, 200, window_area, 7);
+        let knn = gen::knn_queries(&pts, 100, 8);
+        Self { pts, windows, knn }
+    }
+}
+
+/// Prints a header row followed by aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}

@@ -1,0 +1,22 @@
+//! # elsi-bench
+//!
+//! The experiment harness reproducing every table and figure of the ELSI
+//! paper's evaluation (§VII). Each table/figure has a dedicated binary in
+//! `src/bin/` that prints the same rows/series the paper reports;
+//! `src/bin/all.rs` runs the whole suite. Criterion microbenches live in
+//! `benches/`.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `ELSI_BENCH_N` — base cardinality standing in for the paper's 100M
+//!   OSM1 (other data sets keep the paper's relative sizes). Default 30,000.
+//! * `ELSI_BENCH_EPOCHS` — training epochs for *all* models (OG and
+//!   reduced alike, as in the paper). Default 50.
+
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod matrix;
+pub mod updates;
+
+pub use harness::*;

@@ -1,0 +1,115 @@
+//! The main query-performance matrix shared by Figs. 8, 10, 12 and 14:
+//! every index variant built over every data set, with build, point,
+//! window and kNN measurements selectable per figure.
+
+use crate::harness::*;
+use elsi_data::Dataset;
+
+/// Which measurements a figure needs.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixOpts {
+    /// Report build times (Fig. 8).
+    pub build: bool,
+    /// Report point-query times (Fig. 10).
+    pub point: bool,
+    /// Report window-query times and recall (Fig. 12).
+    pub window: bool,
+    /// Report kNN times and recall (Fig. 14).
+    pub knn: bool,
+    /// Window area as a fraction of the data space (paper: 0.01% = 1e-4).
+    pub window_area: f64,
+    /// kNN k (paper: 25).
+    pub k: usize,
+}
+
+impl MatrixOpts {
+    /// Options computing everything.
+    pub fn all() -> Self {
+        Self { build: true, point: true, window: true, knn: true, window_area: 1e-4, k: 25 }
+    }
+
+    /// Options computing only what `which` asks for.
+    pub fn only(build: bool, point: bool, window: bool, knn: bool) -> Self {
+        Self { build, point, window, knn, ..Self::all() }
+    }
+}
+
+/// The index variants of the main experiments: 4 traditional, 3 learned
+/// without ELSI, 3 learned with ELSI (`-F`). ZM is excluded here, matching
+/// the paper (§VII-A: ZM only appears in the §VII-D method study).
+pub fn main_variants() -> Vec<(IndexKind, BuilderKind)> {
+    let mut v: Vec<(IndexKind, BuilderKind)> =
+        IndexKind::traditional().into_iter().map(|k| (k, BuilderKind::Og)).collect();
+    for k in IndexKind::learned() {
+        v.push((k, BuilderKind::Og));
+    }
+    for k in IndexKind::learned() {
+        v.push((k, BuilderKind::Selector));
+    }
+    v
+}
+
+/// Runs the matrix and prints one table per requested measurement.
+pub fn run(opts: MatrixOpts) {
+    let base = base_n();
+    let ctx = BenchCtx::with_scorer(base);
+    let variants = main_variants();
+
+    let mut build_rows = Vec::new();
+    let mut point_rows = Vec::new();
+    let mut window_rows = Vec::new();
+    let mut knn_rows = Vec::new();
+
+    for ds in Dataset::all() {
+        eprintln!("[matrix] {ds} …");
+        let wl = Workload::new(ds, base, opts.window_area);
+        let mut build_row = vec![ds.name().to_string()];
+        let mut point_row = build_row.clone();
+        let mut window_row = build_row.clone();
+        let mut knn_row = build_row.clone();
+
+        for (kind, b) in &variants {
+            let (idx, secs) = ctx.build(*kind, b, wl.pts.clone());
+            if opts.build {
+                build_row.push(fmt_secs(secs));
+            }
+            if opts.point {
+                let micros = point_query_micros(idx.as_ref(), &wl.pts, 2000);
+                point_row.push(format!("{micros:.2}"));
+            }
+            if opts.window {
+                let (micros, recall) = window_query_stats(idx.as_ref(), &wl.pts, &wl.windows);
+                window_row.push(format!("{micros:.0}/{:.2}", recall));
+            }
+            if opts.knn {
+                let (micros, recall) = knn_query_stats(idx.as_ref(), &wl.pts, &wl.knn, opts.k);
+                knn_row.push(format!("{micros:.0}/{:.2}", recall));
+            }
+        }
+        build_rows.push(build_row);
+        point_rows.push(point_row);
+        window_rows.push(window_row);
+        knn_rows.push(knn_row);
+    }
+
+    let mut header = vec!["dataset"];
+    let labels: Vec<String> = variants.iter().map(|(k, b)| b.label(*k)).collect();
+    header.extend(labels.iter().map(String::as_str));
+
+    if opts.build {
+        print_table("Fig. 8 — Build time (s) vs data distribution", &header, &build_rows);
+    }
+    if opts.point {
+        print_table("Fig. 10 — Point query time (µs) vs data distribution", &header, &point_rows);
+    }
+    if opts.window {
+        print_table(
+            "Fig. 12 — Window query: µs/recall vs data distribution (0.01% windows)",
+            &header,
+            &window_rows,
+        );
+    }
+    if opts.knn {
+        print_table("Fig. 14 — kNN query (k=25): µs/recall vs data distribution", &header, &knn_rows);
+    }
+}

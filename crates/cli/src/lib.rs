@@ -1,0 +1,530 @@
+//! # elsi-cli
+//!
+//! A small command-line front end over the ELSI stack, the artifact a
+//! downstream user would actually run:
+//!
+//! ```text
+//! elsi generate <dataset> <n> <out.csv> [--seed S]
+//! elsi inspect <in.csv>
+//! elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method rs|sp|cl|mr|rl|og|pwl|elsi]
+//! elsi query <in.csv> --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K
+//! ```
+//!
+//! Command logic lives here so it is unit-testable; `main.rs` only parses
+//! `std::env::args` and prints.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use elsi::{Elsi, ElsiConfig, Method};
+use elsi_data::{dist_from_uniform, io, Dataset};
+use elsi_indices::{
+    FloodConfig, FloodIndex, LisaConfig, LisaIndex, MlConfig, MlIndex, ModelBuilder, PwlBuilder,
+    RsmiConfig, RsmiIndex, SpatialIndex, ZmConfig, ZmIndex,
+};
+use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a named data set to CSV.
+    Generate {
+        /// Which catalog data set.
+        dataset: Dataset,
+        /// Number of points.
+        n: usize,
+        /// Output path.
+        out: String,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Print statistics of a CSV point set.
+    Inspect {
+        /// Input path.
+        input: String,
+    },
+    /// Build an index and report build/query costs.
+    Build {
+        /// Input path.
+        input: String,
+        /// Base index kind.
+        index: IndexChoice,
+        /// Building method.
+        method: MethodChoice,
+    },
+    /// Answer one query over a CSV point set.
+    Query {
+        /// Input path.
+        input: String,
+        /// Base index kind.
+        index: IndexChoice,
+        /// The query.
+        query: QuerySpec,
+    },
+}
+
+/// Base index selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IndexChoice {
+    Zm,
+    Ml,
+    Rsmi,
+    Lisa,
+    Flood,
+}
+
+impl IndexChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "zm" => Ok(Self::Zm),
+            "ml" => Ok(Self::Ml),
+            "rsmi" => Ok(Self::Rsmi),
+            "lisa" => Ok(Self::Lisa),
+            "flood" => Ok(Self::Flood),
+            other => Err(format!("unknown index {other:?} (expected zm|ml|rsmi|lisa|flood)")),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Zm => "ZM",
+            Self::Ml => "ML",
+            Self::Rsmi => "RSMI",
+            Self::Lisa => "LISA",
+            Self::Flood => "Flood",
+        }
+    }
+}
+
+/// Building-method selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// A fixed ELSI pool method (or OG / RSP).
+    Fixed(Method),
+    /// The ε-bounded piecewise-linear family.
+    Pwl,
+    /// The learned selector (requires a quick preparation pass).
+    Selector,
+}
+
+impl MethodChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "sp" => Ok(Self::Fixed(Method::Sp)),
+            "rsp" => Ok(Self::Fixed(Method::Rsp)),
+            "cl" => Ok(Self::Fixed(Method::Cl)),
+            "mr" => Ok(Self::Fixed(Method::Mr)),
+            "rs" => Ok(Self::Fixed(Method::Rs)),
+            "rl" => Ok(Self::Fixed(Method::Rl)),
+            "og" => Ok(Self::Fixed(Method::Og)),
+            "pwl" => Ok(Self::Pwl),
+            "elsi" => Ok(Self::Selector),
+            other => Err(format!(
+                "unknown method {other:?} (expected sp|rsp|cl|mr|rs|rl|og|pwl|elsi)"
+            )),
+        }
+    }
+}
+
+/// A single query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// Exact point lookup.
+    Point(Point),
+    /// Window query.
+    Window(Rect),
+    /// k-nearest-neighbour query.
+    Knn(Point, usize),
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    Dataset::all()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Dataset::all().iter().map(|d| d.name()).collect();
+            format!("unknown dataset {s:?} (expected one of {names:?})")
+        })
+}
+
+fn parse_floats(s: &str, want: usize) -> Result<Vec<f64>, String> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(|v| v.trim().parse::<f64>()).collect();
+    let vals = vals.map_err(|e| format!("bad number in {s:?}: {e}"))?;
+    if vals.len() != want {
+        return Err(format!("expected {want} comma-separated numbers, got {}", vals.len()));
+    }
+    Ok(vals)
+}
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "generate" => {
+            let dataset = parse_dataset(it.next().ok_or("generate: missing dataset")?)?;
+            let n: usize = it
+                .next()
+                .ok_or("generate: missing n")?
+                .parse()
+                .map_err(|e| format!("bad n: {e}"))?;
+            let out = it.next().ok_or("generate: missing output path")?.clone();
+            let mut seed = 42u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    other => return Err(format!("generate: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Generate { dataset, n, out, seed })
+        }
+        "inspect" => {
+            let input = it.next().ok_or("inspect: missing input path")?.clone();
+            Ok(Command::Inspect { input })
+        }
+        "build" => {
+            let input = it.next().ok_or("build: missing input path")?.clone();
+            let mut index = IndexChoice::Zm;
+            let mut method = MethodChoice::Fixed(Method::Rs);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--index" => index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?,
+                    "--method" => {
+                        method = MethodChoice::parse(it.next().ok_or("--method needs a value")?)?
+                    }
+                    other => return Err(format!("build: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Build { input, index, method })
+        }
+        "query" => {
+            let input = it.next().ok_or("query: missing input path")?.clone();
+            let mut index = IndexChoice::Zm;
+            let mut query = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--index" => index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?,
+                    "--point" => {
+                        let v = parse_floats(it.next().ok_or("--point needs X,Y")?, 2)?;
+                        query = Some(QuerySpec::Point(Point::at(v[0], v[1])));
+                    }
+                    "--window" => {
+                        let v = parse_floats(it.next().ok_or("--window needs LOX,LOY,HIX,HIY")?, 4)?;
+                        query = Some(QuerySpec::Window(Rect::new(v[0], v[1], v[2], v[3])));
+                    }
+                    "--knn" => {
+                        let v = parse_floats(it.next().ok_or("--knn needs X,Y,K")?, 3)?;
+                        if v[2] < 1.0 || v[2].fract() != 0.0 {
+                            return Err("--knn: K must be a positive integer".into());
+                        }
+                        query = Some(QuerySpec::Knn(Point::at(v[0], v[1]), v[2] as usize));
+                    }
+                    other => return Err(format!("query: unknown flag {other:?}")),
+                }
+            }
+            let query = query.ok_or("query: one of --point/--window/--knn is required")?;
+            Ok(Command::Query { input, index, query })
+        }
+        "help" | "--help" | "-h" => Err(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     elsi generate <dataset> <n> <out.csv> [--seed S]\n  \
+     elsi inspect <in.csv>\n  \
+     elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method sp|rsp|cl|mr|rs|rl|og|pwl|elsi]\n  \
+     elsi query <in.csv> [--index ...] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
+        .to_string()
+}
+
+fn load_points(path: &str) -> Result<Vec<Point>, String> {
+    let pts = io::read_points_csv(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if pts.is_empty() {
+        return Err(format!("{path}: no points"));
+    }
+    // Normalise if the data is outside the unit square (e.g. lon/lat).
+    let bbox = Rect::mbr_of(&pts);
+    if bbox.lo_x < 0.0 || bbox.lo_y < 0.0 || bbox.hi_x > 1.0 || bbox.hi_y > 1.0 {
+        let (norm, from) = io::normalize_to_unit(&pts);
+        eprintln!("note: normalised {path} from {from:?} into the unit square");
+        Ok(norm)
+    } else {
+        Ok(pts)
+    }
+}
+
+fn build_index(
+    pts: Vec<Point>,
+    index: IndexChoice,
+    method: MethodChoice,
+) -> Result<Box<dyn SpatialIndex>, String> {
+    let n = pts.len();
+    let cfg = ElsiConfig::scaled_for(n);
+    let builder: Box<dyn ModelBuilder> = match method {
+        MethodChoice::Pwl => Box::new(PwlBuilder::default()),
+        MethodChoice::Fixed(m) => {
+            if index == IndexChoice::Lisa && m.synthesises_points() {
+                return Err(format!("method {m} is inapplicable to LISA (synthesises points)"));
+            }
+            let elsi = Elsi::new(cfg.clone());
+            Box::new(elsi.fixed_builder(m))
+        }
+        MethodChoice::Selector => {
+            let mut elsi = Elsi::new(cfg.clone());
+            eprintln!("preparing the method scorer (one-off)…");
+            elsi.prepare_scorer(&[(n / 20).max(200), n], &[1, 4, 12], 7);
+            let b = if index == IndexChoice::Lisa {
+                elsi.builder().for_lisa()
+            } else {
+                elsi.builder()
+            };
+            return Ok(build_kind(pts, index, &b));
+        }
+    };
+    Ok(build_kind(pts, index, builder.as_ref()))
+}
+
+fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Box<dyn SpatialIndex> {
+    let n = pts.len().max(1);
+    match index {
+        IndexChoice::Zm => {
+            Box::new(ZmIndex::build(pts, &ZmConfig { fanout: (n / 12_500).clamp(4, 16) }, b))
+        }
+        IndexChoice::Ml => Box::new(MlIndex::build(pts, &MlConfig::default(), b)),
+        IndexChoice::Rsmi => Box::new(RsmiIndex::build(pts, &RsmiConfig::default(), b)),
+        IndexChoice::Lisa => Box::new(LisaIndex::build(
+            pts,
+            &LisaConfig { shard_size: (n / 200).clamp(100, 1000), ..LisaConfig::default() },
+            b,
+        )),
+        IndexChoice::Flood => Box::new(FloodIndex::build(
+            pts,
+            &FloodConfig { columns: (n / 2_000).clamp(4, 64) },
+            b,
+        )),
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Generate { dataset, n, out: path, seed } => {
+            let pts = dataset.generate(n, seed);
+            io::write_points_csv(Path::new(&path), &pts).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "wrote {n} {dataset} points to {path}");
+        }
+        Command::Inspect { input } => {
+            let pts = load_points(&input)?;
+            let bbox = Rect::mbr_of(&pts);
+            let mut keys = MortonMapper.keys(&pts);
+            keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+            let dist_u = dist_from_uniform(&keys);
+            let _ = writeln!(out, "points:              {}", pts.len());
+            let _ = writeln!(
+                out,
+                "bounding box:        [{:.6}, {:.6}] x [{:.6}, {:.6}]",
+                bbox.lo_x, bbox.hi_x, bbox.lo_y, bbox.hi_y
+            );
+            let _ = writeln!(out, "dist(D_U, D):        {dist_u:.4} (Z-order keys vs uniform)");
+            let _ = writeln!(
+                out,
+                "suggested method:    {}",
+                if dist_u < 0.1 { "SP (near-uniform)" } else { "RS (skewed)" }
+            );
+        }
+        Command::Build { input, index, method } => {
+            let pts = load_points(&input)?;
+            let n = pts.len();
+            let probes: Vec<Point> = pts.iter().step_by((n / 1000).max(1)).copied().collect();
+            let t0 = Instant::now();
+            let idx = build_index(pts, index, method)?;
+            let build = t0.elapsed();
+            let t1 = Instant::now();
+            let mut found = 0usize;
+            for p in &probes {
+                if idx.point_query(*p).is_some() {
+                    found += 1;
+                }
+            }
+            let per = t1.elapsed().as_secs_f64() * 1e6 / probes.len() as f64;
+            let _ = writeln!(out, "index:               {}", index.name());
+            let _ = writeln!(out, "points:              {n}");
+            let _ = writeln!(out, "build time:          {build:?}");
+            let _ = writeln!(out, "point query:         {per:.2} µs/query");
+            let _ = writeln!(out, "probes found:        {found}/{}", probes.len());
+            let _ = writeln!(out, "structure depth:     {}", idx.depth());
+        }
+        Command::Query { input, index, query } => {
+            let pts = load_points(&input)?;
+            let idx = build_index(pts, index, MethodChoice::Fixed(Method::Rs))?;
+            match query {
+                QuerySpec::Point(p) => match idx.point_query(p) {
+                    Some(found) => {
+                        let _ = writeln!(out, "found: {found}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "not found");
+                    }
+                },
+                QuerySpec::Window(w) => {
+                    let hits = idx.window_query(&w);
+                    let _ = writeln!(out, "{} points in window", hits.len());
+                    for p in hits.iter().take(20) {
+                        let _ = writeln!(out, "  {p}");
+                    }
+                    if hits.len() > 20 {
+                        let _ = writeln!(out, "  … and {} more", hits.len() - 20);
+                    }
+                }
+                QuerySpec::Knn(q, k) => {
+                    let hits = idx.knn_query(q, k);
+                    let _ = writeln!(out, "{} nearest neighbours of ({}, {}):", hits.len(), q.x, q.y);
+                    for p in &hits {
+                        let _ = writeln!(out, "  {p}  dist {:.6}", q.dist(p));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience for tests: a `MappedData` over CSV input.
+pub fn mapped_data_of(path: &str) -> Result<MappedData, String> {
+    Ok(MappedData::build(load_points(path)?, &MortonMapper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = parse_args(&args("generate NYC 5000 /tmp/nyc.csv --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { dataset: Dataset::Nyc, n: 5000, out: "/tmp/nyc.csv".into(), seed: 7 }
+        );
+        // Default seed.
+        let cmd = parse_args(&args("generate uniform 10 out.csv")).unwrap();
+        assert!(matches!(cmd, Command::Generate { seed: 42, .. }));
+    }
+
+    #[test]
+    fn parse_build_flags() {
+        let cmd = parse_args(&args("build in.csv --index lisa --method sp")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                input: "in.csv".into(),
+                index: IndexChoice::Lisa,
+                method: MethodChoice::Fixed(Method::Sp)
+            }
+        );
+        let cmd = parse_args(&args("build in.csv --method pwl")).unwrap();
+        assert!(matches!(cmd, Command::Build { method: MethodChoice::Pwl, .. }));
+    }
+
+    #[test]
+    fn parse_queries() {
+        let cmd = parse_args(&args("query in.csv --point 0.5,0.25")).unwrap();
+        assert!(matches!(cmd, Command::Query { query: QuerySpec::Point(_), .. }));
+        let cmd = parse_args(&args("query in.csv --window 0.1,0.1,0.2,0.2")).unwrap();
+        assert!(matches!(cmd, Command::Query { query: QuerySpec::Window(_), .. }));
+        let cmd = parse_args(&args("query in.csv --knn 0.5,0.5,25 --index rsmi")).unwrap();
+        assert!(
+            matches!(cmd, Command::Query { query: QuerySpec::Knn(_, 25), index: IndexChoice::Rsmi, .. })
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("generate mars 10 out.csv")).is_err());
+        assert!(parse_args(&args("build in.csv --index btree")).is_err());
+        assert!(parse_args(&args("query in.csv")).is_err());
+        assert!(parse_args(&args("query in.csv --knn 0.5,0.5,0")).is_err());
+        assert!(parse_args(&args("query in.csv --point 0.5")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    fn temp_csv(name: &str, ds: Dataset, n: usize) -> String {
+        let path = std::env::temp_dir()
+            .join(format!("elsi_cli_test_{}_{name}.csv", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        run(Command::Generate { dataset: ds, n, out: path.clone(), seed: 1 }).unwrap();
+        path
+    }
+
+    #[test]
+    fn generate_inspect_roundtrip() {
+        let path = temp_csv("inspect", Dataset::Skewed, 2000);
+        let report = run(Command::Inspect { input: path.clone() }).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(report.contains("points:              2000"), "{report}");
+        assert!(report.contains("dist(D_U, D)"), "{report}");
+        assert!(report.contains("RS (skewed)"), "{report}");
+    }
+
+    #[test]
+    fn build_reports_exact_probes() {
+        let path = temp_csv("build", Dataset::Uniform, 1500);
+        for method in ["rs", "pwl"] {
+            let cmd = parse_args(&args(&format!("build {path} --index zm --method {method}")))
+                .unwrap();
+            let report = run(cmd).unwrap();
+            let want = "probes found:        1500/1500";
+            assert!(report.contains(want), "method {method}: {report}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flood_builds_and_probes() {
+        let path = temp_csv("flood", Dataset::Uniform, 1000);
+        let cmd = parse_args(&args(&format!("build {path} --index flood --method pwl"))).unwrap();
+        let report = run(cmd).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(report.contains("probes found:        1000/1000"), "{report}");
+    }
+
+    #[test]
+    fn lisa_rejects_synthesising_methods() {
+        let path = temp_csv("lisa", Dataset::Uniform, 500);
+        let cmd = parse_args(&args(&format!("build {path} --index lisa --method cl"))).unwrap();
+        let err = run(cmd).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("inapplicable"), "{err}");
+    }
+
+    #[test]
+    fn query_window_and_knn() {
+        let path = temp_csv("query", Dataset::Uniform, 1200);
+        let cmd =
+            parse_args(&args(&format!("query {path} --window 0.2,0.2,0.4,0.4"))).unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("points in window"), "{report}");
+
+        let cmd = parse_args(&args(&format!("query {path} --knn 0.5,0.5,5"))).unwrap();
+        let report = run(cmd).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(report.contains("5 nearest neighbours"), "{report}");
+    }
+}

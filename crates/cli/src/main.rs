@@ -1,0 +1,12 @@
+//! The `elsi` command-line binary; see [`elsi_cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match elsi_cli::parse_args(&args).and_then(elsi_cli::run) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The ELSI build processor (§IV-B1): Algorithm 1 as a [`ModelBuilder`].
+//!
+//! [`ElsiBuilder`] is the integration point with the base indices: each
+//! time a base index would train a model on a partition `D`, the builder
+//! (1) asks the method selector for the best building method given
+//! `|D|` and `dist(D_U, D)` (lines 3), (2) computes the reduced training
+//! set `D_S` (line 4), (3) trains the model on `D_S` (line 5), and
+//! (4) derives the empirical error bounds over the full `D` (line 6).
+//!
+//! Handing an `ElsiBuilder` to `ZmIndex::build` (etc.) instead of the
+//! default `OgBuilder` produces the paper's `-F` index variants.
+
+use crate::config::ElsiConfig;
+use crate::methods::{reduce, Method, MrPool, Reduction};
+use crate::scorer::{MethodScorer, RandomSelector};
+use elsi_data::dist_from_uniform;
+use elsi_indices::{build_on_training_set, BuildInput, BuildStats, BuiltModel, ModelBuilder, RankModel};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// How the builder picks a method for each model build.
+pub enum MethodChoice {
+    /// A fixed method for every model (the per-method rows of Table II and
+    /// the Fig. 7 Pareto sweeps).
+    Fixed(Method),
+    /// The learned FFN method selector (the ELSI row).
+    Learned(Rc<MethodScorer>),
+    /// Uniformly random choice (the "Rand" ablation of Table II).
+    Random(RefCell<RandomSelector>),
+}
+
+/// The ELSI build processor.
+pub struct ElsiBuilder {
+    cfg: ElsiConfig,
+    choice: MethodChoice,
+    mr_pool: Rc<MrPool>,
+    /// Methods this builder may use (LISA masks out CL and RL).
+    allowed: Vec<Method>,
+    /// Record of the methods chosen, in build order (diagnostics).
+    chosen: RefCell<Vec<Method>>,
+}
+
+impl ElsiBuilder {
+    /// A builder that always uses `method` (including the RSP baseline,
+    /// which is outside the selector's pool).
+    pub fn fixed(method: Method, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+        Self {
+            cfg,
+            choice: MethodChoice::Fixed(method),
+            mr_pool,
+            allowed: Method::all().to_vec(),
+            chosen: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A builder driven by a trained method scorer (the full ELSI system).
+    pub fn learned(scorer: Rc<MethodScorer>, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+        Self {
+            cfg,
+            choice: MethodChoice::Learned(scorer),
+            mr_pool,
+            allowed: Method::pool().to_vec(),
+            chosen: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A builder that picks methods uniformly at random (Table II's Rand).
+    pub fn random(seed: u64, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+        Self {
+            cfg,
+            choice: MethodChoice::Random(RefCell::new(RandomSelector::new(seed))),
+            mr_pool,
+            allowed: Method::pool().to_vec(),
+            chosen: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Restricts the allowed methods (the paper's API "to configure the
+    /// index building methods used"; LISA requires masking CL and RL).
+    pub fn with_allowed(mut self, allowed: Vec<Method>) -> Self {
+        assert!(!allowed.is_empty(), "at least one method must stay allowed");
+        self.allowed = allowed;
+        self
+    }
+
+    /// Masks out the methods that synthesise points not in `D`
+    /// (for LISA-style base indices).
+    pub fn for_lisa(self) -> Self {
+        let allowed: Vec<Method> =
+            Method::pool().into_iter().filter(|m| !m.synthesises_points()).collect();
+        self.with_allowed(allowed)
+    }
+
+    /// The methods chosen so far, one per model build.
+    pub fn chosen_methods(&self) -> Vec<Method> {
+        self.chosen.borrow().clone()
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &ElsiConfig {
+        &self.cfg
+    }
+
+    fn pick_method(&self, n: usize, dist_u: f64) -> Method {
+        match &self.choice {
+            MethodChoice::Fixed(m) => {
+                if self.allowed.contains(m) {
+                    *m
+                } else {
+                    Method::Og
+                }
+            }
+            MethodChoice::Learned(scorer) => {
+                scorer.select(n, dist_u, self.cfg.lambda, self.cfg.w_q, &self.allowed)
+            }
+            MethodChoice::Random(sel) => sel.borrow_mut().select(&self.allowed),
+        }
+    }
+}
+
+impl ModelBuilder for ElsiBuilder {
+    fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
+        // Line 3: select the method. The scorer invocation costs
+        // M(1) + O(n) — the O(n) is dist(D_U, D) over the sorted keys.
+        let select_t0 = Instant::now();
+        let dist_u = dist_from_uniform(input.keys);
+        let method = self.pick_method(input.keys.len(), dist_u);
+        let select_time = select_t0.elapsed();
+        self.chosen.borrow_mut().push(method);
+
+        // Line 4: compute D_S.
+        let reduce_t0 = Instant::now();
+        let reduction = reduce(method, input, &self.cfg, &self.mr_pool);
+        let reduce_time = select_time + reduce_t0.elapsed();
+
+        // Lines 5–6: train on D_S, bound over D.
+        match reduction {
+            Reduction::TrainingSet(keys) => build_on_training_set(
+                &keys,
+                input.keys,
+                self.cfg.hidden,
+                &self.cfg.train,
+                self.cfg.seed ^ input.seed,
+                method.name(),
+                reduce_time,
+            ),
+            Reduction::Pretrained(ffn) => {
+                let bound_t0 = Instant::now();
+                let model = if input.keys.is_empty() {
+                    RankModel::empty(input.seed)
+                } else {
+                    RankModel::from_ffn(ffn, input.keys)
+                };
+                let err_span = model.err_span();
+                BuiltModel {
+                    model,
+                    stats: BuildStats {
+                        method: method.name(),
+                        training_set_size: 0,
+                        reduce_time,
+                        train_time: Duration::ZERO,
+                        bound_time: bound_t0.elapsed(),
+                        err_span,
+                    },
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match &self.choice {
+            MethodChoice::Fixed(m) => m.name(),
+            MethodChoice::Learned(_) => "ELSI",
+            MethodChoice::Random(_) => "Rand",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_data::gen::skewed;
+    use elsi_spatial::{MappedData, MortonMapper};
+
+    fn setup() -> (MappedData, ElsiConfig, Rc<MrPool>) {
+        let cfg = ElsiConfig::fast_test();
+        let pool = Rc::new(MrPool::generate(&cfg, 1));
+        let data = MappedData::build(skewed(3000, 4, 5), &MortonMapper);
+        (data, cfg, pool)
+    }
+
+    fn input_of(data: &MappedData) -> BuildInput<'_> {
+        BuildInput {
+            points: data.points(),
+            keys: data.keys(),
+            mapper: &MortonMapper,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn every_fixed_method_yields_correct_point_lookup() {
+        let (data, cfg, pool) = setup();
+        for m in Method::pool() {
+            let builder = ElsiBuilder::fixed(m, cfg.clone(), Rc::clone(&pool));
+            let built = builder.build_model(&input_of(&data));
+            assert_eq!(built.stats.method, m.name());
+            // Algorithm 1's error bounds guarantee point-query correctness
+            // regardless of the reduction method.
+            for (i, &k) in data.keys().iter().enumerate().step_by(97) {
+                let (lo, hi) = built.model.search_range(k);
+                assert!(lo <= i && i < hi, "{m}: rank {i} outside [{lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_methods_train_on_fewer_points() {
+        let (data, cfg, pool) = setup();
+        for m in [Method::Sp, Method::Cl, Method::Rs, Method::Rl] {
+            let builder = ElsiBuilder::fixed(m, cfg.clone(), Rc::clone(&pool));
+            let built = builder.build_model(&input_of(&data));
+            assert!(
+                built.stats.training_set_size < data.len(),
+                "{m}: trained on {} of {}",
+                built.stats.training_set_size,
+                data.len()
+            );
+        }
+        // MR reuses a model: no online training at all.
+        let builder = ElsiBuilder::fixed(Method::Mr, cfg.clone(), Rc::clone(&pool));
+        let built = builder.build_model(&input_of(&data));
+        assert_eq!(built.stats.training_set_size, 0);
+        assert_eq!(built.stats.train_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn lisa_mask_removes_synthesising_methods() {
+        let (data, cfg, pool) = setup();
+        let builder =
+            ElsiBuilder::fixed(Method::Cl, cfg.clone(), Rc::clone(&pool)).for_lisa();
+        let built = builder.build_model(&input_of(&data));
+        // CL is not allowed for LISA; the builder falls back to OG.
+        assert_eq!(built.stats.method, "OG");
+        assert_eq!(builder.chosen_methods(), vec![Method::Og]);
+    }
+
+    #[test]
+    fn random_builder_records_choices() {
+        let (data, cfg, pool) = setup();
+        let builder = ElsiBuilder::random(5, cfg, pool);
+        for _ in 0..4 {
+            builder.build_model(&input_of(&data));
+        }
+        let chosen = builder.chosen_methods();
+        assert_eq!(chosen.len(), 4);
+        assert!(chosen.iter().all(|m| Method::pool().contains(m)));
+    }
+
+    #[test]
+    fn builder_names() {
+        let (_, cfg, pool) = setup();
+        assert_eq!(ElsiBuilder::fixed(Method::Rs, cfg.clone(), Rc::clone(&pool)).name(), "RS");
+        assert_eq!(ElsiBuilder::random(1, cfg, pool).name(), "Rand");
+    }
+}

@@ -1,0 +1,174 @@
+//! # ELSI — Efficiently Learning Spatial Indices
+//!
+//! A from-scratch Rust reproduction of *“Efficiently Learning Spatial
+//! Indices”* (Liu, Qi, Jensen, Bailey, Kulik — ICDE 2023).
+//!
+//! ELSI accelerates the building and rebuilding of learned spatial indices
+//! that follow the **map-and-sort** index paradigm and the
+//! **predict-and-scan** query paradigm. Instead of training an index model
+//! on the full data set `D`, ELSI engineers a much smaller,
+//! distribution-preserving training set `D_S`, trains on it, and derives
+//! empirical error bounds over `D` — cutting build times by one to two
+//! orders of magnitude at essentially unchanged query efficiency.
+//!
+//! ```no_run
+//! use elsi::{Elsi, ElsiConfig};
+//! use elsi_indices::{SpatialIndex, ZmConfig, ZmIndex};
+//!
+//! let points = elsi_data::gen::osm1_like(100_000, 42);
+//! let elsi = Elsi::new(ElsiConfig::default());
+//! // ZM-F: the ZM index built through the ELSI build processor.
+//! let index = ZmIndex::build(points, &ZmConfig::default(), &elsi.builder());
+//! assert!(index.len() > 0);
+//! ```
+//!
+//! The crate mirrors the paper's architecture (Fig. 3):
+//! [`build::ElsiBuilder`] is the build processor (Algorithm 1),
+//! [`methods`] the index building method pool (§V), [`scorer`] the method
+//! scorer and selector (§IV-B1, Fig. 4), [`update`] the update processor
+//! and [`rebuild`] the rebuild predictor (§IV-B2), and [`cost`] the cost
+//! decomposition of §VI.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod build;
+pub mod config;
+pub mod cost;
+pub mod methods;
+pub mod rebuild;
+pub mod scorer;
+pub mod update;
+
+pub use build::{ElsiBuilder, MethodChoice};
+pub use config::ElsiConfig;
+pub use cost::CostDecomposition;
+pub use methods::{Method, MrPool, Reduction};
+pub use rebuild::{RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample};
+pub use scorer::{AltSelector, MethodCosts, MethodScorer, RandomSelector, ScorerSample};
+pub use update::{DeltaOverlay, DriftTracker, UpdateOutcome, UpdateProcessor};
+
+use std::rc::Rc;
+
+/// The ELSI system facade: owns the (offline-prepared) MR model pool and
+/// the trained method scorer, and hands out build processors.
+pub struct Elsi {
+    cfg: ElsiConfig,
+    mr_pool: Rc<MrPool>,
+    scorer: Option<Rc<MethodScorer>>,
+}
+
+impl Elsi {
+    /// Creates the system, running the MR pre-training (part of "ELSI
+    /// preparation", an offline one-off task — §VII-B2).
+    pub fn new(cfg: ElsiConfig) -> Self {
+        let mr_pool = Rc::new(MrPool::generate(&cfg, cfg.seed));
+        Self { cfg, mr_pool, scorer: None }
+    }
+
+    /// Creates the system around an already generated MR pool — cheap, for
+    /// rebuild paths that must not re-run the offline preparation.
+    pub fn with_pool(cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+        Self { cfg, mr_pool, scorer: None }
+    }
+
+    /// A copy of this system with a different cost-balance λ, sharing the
+    /// prepared MR pool and scorer (λ only affects method selection).
+    pub fn with_lambda(&self, lambda: f64) -> Elsi {
+        let mut cfg = self.cfg.clone();
+        cfg.lambda = lambda;
+        Elsi { cfg, mr_pool: Rc::clone(&self.mr_pool), scorer: self.scorer.clone() }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &ElsiConfig {
+        &self.cfg
+    }
+
+    /// The MR pre-trained model pool.
+    pub fn mr_pool(&self) -> Rc<MrPool> {
+        Rc::clone(&self.mr_pool)
+    }
+
+    /// Runs the remaining ELSI preparation: measures per-method costs over
+    /// generated data sets (`sizes` × the skew grid) and trains the method
+    /// scorer on them.
+    pub fn prepare_scorer(&mut self, sizes: &[usize], skews: &[i32], seed: u64) -> Vec<MethodCosts> {
+        let costs = scorer::measure_method_costs(
+            sizes,
+            skews,
+            &Method::pool(),
+            &self.cfg,
+            &self.mr_pool,
+            seed,
+        );
+        let samples = scorer::samples_from_costs(&costs);
+        self.scorer = Some(Rc::new(MethodScorer::train(&samples, seed)));
+        costs
+    }
+
+    /// Installs an externally trained scorer.
+    pub fn set_scorer(&mut self, scorer: MethodScorer) {
+        self.scorer = Some(Rc::new(scorer));
+    }
+
+    /// The trained scorer, if preparation has run.
+    pub fn scorer(&self) -> Option<Rc<MethodScorer>> {
+        self.scorer.clone()
+    }
+
+    /// The build processor: learned selection when the scorer is prepared,
+    /// otherwise the RS method (the paper's strongest fixed default).
+    pub fn builder(&self) -> ElsiBuilder {
+        match &self.scorer {
+            Some(s) => ElsiBuilder::learned(Rc::clone(s), self.cfg.clone(), self.mr_pool()),
+            None => ElsiBuilder::fixed(Method::Rs, self.cfg.clone(), self.mr_pool()),
+        }
+    }
+
+    /// A build processor pinned to one method (Fig. 7 / Table II rows).
+    pub fn fixed_builder(&self, method: Method) -> ElsiBuilder {
+        ElsiBuilder::fixed(method, self.cfg.clone(), self.mr_pool())
+    }
+
+    /// The random-selector ablation (Table II's "Rand").
+    pub fn random_builder(&self, seed: u64) -> ElsiBuilder {
+        ElsiBuilder::random(seed, self.cfg.clone(), self.mr_pool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_indices::{ModelBuilder, SpatialIndex, ZmConfig, ZmIndex};
+
+    #[test]
+    fn facade_builds_a_working_index() {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        let pts = elsi_data::gen::uniform(2000, 1);
+        let idx = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &elsi.builder());
+        assert_eq!(idx.len(), 2000);
+        for p in pts.iter().step_by(41) {
+            assert!(idx.point_query(*p).is_some());
+        }
+    }
+
+    #[test]
+    fn prepare_scorer_enables_learned_selection() {
+        let mut cfg = ElsiConfig::fast_test();
+        cfg.train.epochs = 20;
+        let mut elsi = Elsi::new(cfg);
+        assert!(elsi.scorer().is_none());
+        let costs = elsi.prepare_scorer(&[400], &[1, 8], 3);
+        assert!(!costs.is_empty());
+        assert!(elsi.scorer().is_some());
+        assert_eq!(elsi.builder().name(), "ELSI");
+    }
+
+    #[test]
+    fn fixed_and_random_builders() {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        assert_eq!(elsi.fixed_builder(Method::Sp).name(), "SP");
+        assert_eq!(elsi.random_builder(1).name(), "Rand");
+    }
+}

@@ -1,0 +1,36 @@
+//! SP and RSP: sampling-based training-set reduction (§V-A1).
+
+use elsi_data::sample::{gather, random_indices, systematic_indices};
+
+/// Systematic sample of sorted keys at rate `rho`: one key after every
+/// `⌊1/ρ⌋ − 1` keys, which bounds every point's rank gap to its nearest
+/// sampled neighbour by `⌊1/ρ⌋ − 1` — optimal by the pigeonhole principle.
+pub fn systematic(keys: &[f64], rho: f64) -> Vec<f64> {
+    gather(keys, &systematic_indices(keys.len(), rho))
+}
+
+/// Uniform random sample (without replacement) of sorted keys at rate
+/// `rho`; the RSP baseline of Fig. 7, with no rank-gap guarantee.
+pub fn random(keys: &[f64], rho: f64, seed: u64) -> Vec<f64> {
+    gather(keys, &random_indices(keys.len(), rho, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systematic_preserves_order_and_rate() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let s = systematic(&keys, 0.01);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let keys: Vec<f64> = (0..500).map(|i| i as f64 / 499.0).collect();
+        assert_eq!(random(&keys, 0.1, 1), random(&keys, 0.1, 1));
+        assert_ne!(random(&keys, 0.1, 1), random(&keys, 0.1, 2));
+    }
+}

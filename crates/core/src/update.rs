@@ -1,0 +1,522 @@
+//! The ELSI update processor (§IV-B2).
+//!
+//! Two pieces:
+//!
+//! * [`DeltaOverlay`] — the default update procedure for base indices
+//!   without built-in updates: inserted and deleted points live in a
+//!   separate ordered map keyed by point id (the paper's "binary tree on
+//!   the IDs of the updated points") and are merged into query results.
+//! * [`UpdateProcessor`] — the full lifecycle manager: routes updates to
+//!   the base index, tracks the CDF drift `sim(D', D)` with bounded-size
+//!   sketches, runs the rebuild predictor every `f_u` updates, and triggers
+//!   full rebuilds through the build processor.
+
+use crate::rebuild::{RebuildFeatures, RebuildPolicy};
+use elsi_data::cdf::DEFAULT_SKETCH_BINS;
+use elsi_indices::SpatialIndex;
+use elsi_spatial::curve::morton_of;
+use elsi_spatial::{KeyMapper, MortonMapper, Point, Rect};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Default update procedures: a delta layer over a static base index.
+///
+/// Inserted points are held in two ordered maps: by id (the paper's
+/// "binary tree on the IDs of the updated points", used by deletes) and by
+/// Morton code (so point and window queries locate delta points in
+/// `O(log n_u + answer)` instead of scanning the whole delta).
+/// ```
+/// use elsi::DeltaOverlay;
+/// use elsi_indices::{GridConfig, GridIndex, SpatialIndex};
+/// use elsi_spatial::Point;
+///
+/// let base = GridIndex::build(elsi_data::gen::uniform(100, 1), &GridConfig::default());
+/// let mut overlay = DeltaOverlay::new(base);
+/// let p = Point::new(999, 0.25, 0.75);
+/// overlay.insert(p);
+/// assert_eq!(overlay.point_query(p).unwrap().id, 999);
+/// assert!(overlay.delete(p));
+/// assert!(overlay.point_query(p).is_none());
+/// ```
+pub struct DeltaOverlay<I: SpatialIndex> {
+    base: I,
+    inserted: BTreeMap<u64, Point>,
+    /// Secondary order: (Morton code, id) → point.
+    inserted_by_key: BTreeMap<(u64, u64), Point>,
+    deleted: BTreeSet<u64>,
+}
+
+impl<I: SpatialIndex> DeltaOverlay<I> {
+    /// Wraps a freshly built base index.
+    pub fn new(base: I) -> Self {
+        Self {
+            base,
+            inserted: BTreeMap::new(),
+            inserted_by_key: BTreeMap::new(),
+            deleted: BTreeSet::new(),
+        }
+    }
+
+    /// The wrapped base index.
+    pub fn base(&self) -> &I {
+        &self.base
+    }
+
+    /// Number of buffered updates (inserts + deletes).
+    pub fn delta_len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
+    fn len(&self) -> usize {
+        self.base.len() + self.inserted.len() - self.deleted.len()
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        // Exact-coordinate delta lookup via the Morton-ordered map.
+        let code = morton_of(q.x, q.y);
+        if let Some(p) = self
+            .inserted_by_key
+            .range((code, 0)..=(code, u64::MAX))
+            .map(|(_, p)| p)
+            .find(|p| p.x == q.x && p.y == q.y && !self.deleted.contains(&p.id))
+        {
+            return Some(*p);
+        }
+        self.base.point_query(q).filter(|p| !self.deleted.contains(&p.id))
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out: Vec<Point> = self
+            .base
+            .window_query(w)
+            .into_iter()
+            .filter(|p| !self.deleted.contains(&p.id))
+            .collect();
+        // Delta points in the window all have Morton codes between the
+        // window corners' codes (Z-order dominance).
+        let lo = (morton_of(w.lo_x, w.lo_y), 0u64);
+        let hi = (morton_of(w.hi_x, w.hi_y), u64::MAX);
+        out.extend(
+            self.inserted_by_key
+                .range(lo..=hi)
+                .map(|(_, p)| p)
+                .filter(|p| w.contains(p) && !self.deleted.contains(&p.id))
+                .copied(),
+        );
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        // Merge base kNN with the delta, growing the over-fetch until k
+        // live base candidates are found (tombstones may blanket the
+        // nearest neighbourhood) or the base index is exhausted.
+        let mut overfetch = k + self.deleted.len().min(k);
+        let mut base_live: Vec<Point>;
+        loop {
+            base_live = self
+                .base
+                .knn_query(q, overfetch)
+                .into_iter()
+                .filter(|p| !self.deleted.contains(&p.id))
+                .collect();
+            if base_live.len() >= k || overfetch >= self.base.len() {
+                break;
+            }
+            overfetch = (overfetch * 2).max(k + 1);
+        }
+        let mut cands = base_live;
+        cands.extend(
+            self.inserted.values().filter(|p| !self.deleted.contains(&p.id)).copied(),
+        );
+        cands.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).expect("finite distances"));
+        cands.dedup_by_key(|p| p.id);
+        cands.truncate(k);
+        cands
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.deleted.remove(&p.id);
+        if let Some(old) = self.inserted.insert(p.id, p) {
+            self.inserted_by_key.remove(&(morton_of(old.x, old.y), old.id));
+        }
+        self.inserted_by_key.insert((morton_of(p.x, p.y), p.id), p);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        if let Some(old) = self.inserted.remove(&p.id) {
+            self.inserted_by_key.remove(&(morton_of(old.x, old.y), old.id));
+            return true;
+        }
+        if self.base.point_query(p).is_some() && !self.deleted.contains(&p.id) {
+            self.deleted.insert(p.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.base.name()
+    }
+
+    fn depth(&self) -> usize {
+        self.base.depth() + 1
+    }
+}
+
+/// Bounded-size CDF drift tracker: counts per key bin at the last build vs
+/// now; `dist()` is the sup-distance between the two cumulative histograms.
+#[derive(Debug, Clone)]
+pub struct DriftTracker {
+    base: Vec<f64>,
+    current: Vec<f64>,
+    base_total: f64,
+    current_total: f64,
+}
+
+impl DriftTracker {
+    /// Starts tracking from the mapped keys of the data at build time.
+    pub fn new(keys: impl IntoIterator<Item = f64>, bins: usize) -> Self {
+        let bins = bins.max(1);
+        let mut base = vec![0.0; bins];
+        let mut total = 0.0;
+        for k in keys {
+            base[Self::bin_of(k, bins)] += 1.0;
+            total += 1.0;
+        }
+        Self { current: base.clone(), base, base_total: total, current_total: total }
+    }
+
+    #[inline]
+    fn bin_of(k: f64, bins: usize) -> usize {
+        ((k.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// Records an insertion.
+    pub fn add(&mut self, key: f64) {
+        let b = Self::bin_of(key, self.current.len());
+        self.current[b] += 1.0;
+        self.current_total += 1.0;
+    }
+
+    /// Records a deletion.
+    pub fn remove(&mut self, key: f64) {
+        let b = Self::bin_of(key, self.current.len());
+        if self.current[b] > 0.0 {
+            self.current[b] -= 1.0;
+            self.current_total -= 1.0;
+        }
+    }
+
+    /// `dist(D', D)`: sup-distance between the current and at-build CDFs.
+    pub fn dist(&self) -> f64 {
+        if self.base_total == 0.0 || self.current_total == 0.0 {
+            return if self.base_total == self.current_total { 0.0 } else { 1.0 };
+        }
+        let mut acc_b = 0.0;
+        let mut acc_c = 0.0;
+        let mut worst = 0.0f64;
+        for (b, c) in self.base.iter().zip(&self.current) {
+            acc_b += b / self.base_total;
+            acc_c += c / self.current_total;
+            worst = worst.max((acc_b - acc_c).abs());
+        }
+        worst
+    }
+
+    /// `dist(D_U, D')`: sup-distance of the current CDF from uniform.
+    pub fn dist_from_uniform(&self) -> f64 {
+        if self.current_total == 0.0 {
+            return 1.0;
+        }
+        let bins = self.current.len() as f64;
+        let mut acc = 0.0;
+        let mut worst = 0.0f64;
+        for (i, c) in self.current.iter().enumerate() {
+            acc += c / self.current_total;
+            worst = worst.max((acc - (i as f64 + 1.0) / bins).abs());
+        }
+        worst
+    }
+
+    /// Re-baselines the tracker after a rebuild.
+    pub fn rebaseline(&mut self) {
+        self.base = self.current.clone();
+        self.base_total = self.current_total;
+    }
+}
+
+/// Outcome of one update routed through the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The update was applied to the base index.
+    Applied,
+    /// The update triggered a full rebuild.
+    Rebuilt,
+}
+
+/// The full ELSI update lifecycle around a base index.
+///
+/// The processor owns the live point set (so it can hand it to the build
+/// processor on rebuild), tracks drift, and consults a [`RebuildPolicy`]
+/// every `f_u` updates.
+pub struct UpdateProcessor<I: SpatialIndex> {
+    index: I,
+    rebuild_fn: Box<dyn Fn(Vec<Point>) -> I>,
+    policy: RebuildPolicy,
+    points: HashMap<u64, Point>,
+    drift: DriftTracker,
+    n_at_build: usize,
+    updates_since_check: usize,
+    f_u: usize,
+    rebuilds: usize,
+}
+
+impl<I: SpatialIndex> UpdateProcessor<I> {
+    /// Wraps an index built over `initial` points; `rebuild_fn` rebuilds it
+    /// from scratch (typically closing over an `ElsiBuilder`).
+    pub fn new(
+        initial: Vec<Point>,
+        rebuild_fn: Box<dyn Fn(Vec<Point>) -> I>,
+        policy: RebuildPolicy,
+        f_u: usize,
+    ) -> Self {
+        let index = rebuild_fn(initial.clone());
+        let drift = DriftTracker::new(
+            initial.iter().map(|p| MortonMapper.key(*p)),
+            DEFAULT_SKETCH_BINS.min(1024),
+        );
+        let n_at_build = initial.len();
+        let points = initial.into_iter().map(|p| (p.id, p)).collect();
+        Self {
+            index,
+            rebuild_fn,
+            policy,
+            points,
+            drift,
+            n_at_build,
+            updates_since_check: 0,
+            f_u: f_u.max(1),
+            rebuilds: 0,
+        }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Number of full rebuilds performed so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Current rebuild-decision features.
+    pub fn features(&self) -> RebuildFeatures {
+        RebuildFeatures {
+            n: self.points.len(),
+            dist_u: self.drift.dist_from_uniform(),
+            depth: self.index.depth(),
+            update_ratio: if self.n_at_build == 0 {
+                0.0
+            } else {
+                self.points.len() as f64 / self.n_at_build as f64 - 1.0
+            },
+            drift_sim: 1.0 - self.drift.dist(),
+        }
+    }
+
+    /// Inserts a point, possibly triggering a rebuild.
+    pub fn insert(&mut self, p: Point) -> UpdateOutcome {
+        self.index.insert(p);
+        self.points.insert(p.id, p);
+        self.drift.add(MortonMapper.key(p));
+        self.after_update()
+    }
+
+    /// Deletes a point, possibly triggering a rebuild.
+    pub fn delete(&mut self, p: Point) -> UpdateOutcome {
+        if self.index.delete(p) {
+            self.points.remove(&p.id);
+            self.drift.remove(MortonMapper.key(p));
+        }
+        self.after_update()
+    }
+
+    fn after_update(&mut self) -> UpdateOutcome {
+        self.updates_since_check += 1;
+        if self.updates_since_check < self.f_u {
+            return UpdateOutcome::Applied;
+        }
+        self.updates_since_check = 0;
+        if self.policy.should_rebuild(&self.features()) {
+            self.rebuild();
+            UpdateOutcome::Rebuilt
+        } else {
+            UpdateOutcome::Applied
+        }
+    }
+
+    /// Forces a full rebuild through the build processor.
+    pub fn rebuild(&mut self) {
+        let pts: Vec<Point> = self.points.values().copied().collect();
+        self.n_at_build = pts.len();
+        self.index = (self.rebuild_fn)(pts);
+        self.drift.rebaseline();
+        self.rebuilds += 1;
+    }
+}
+
+impl<I: SpatialIndex> SpatialIndex for UpdateProcessor<I> {
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        self.index.point_query(q)
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        self.index.window_query(w)
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        self.index.knn_query(q, k)
+    }
+
+    fn insert(&mut self, p: Point) {
+        UpdateProcessor::insert(self, p);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        let had = self.points.contains_key(&p.id);
+        UpdateProcessor::delete(self, p);
+        had
+    }
+
+    fn name(&self) -> &'static str {
+        self.index.name()
+    }
+
+    fn depth(&self) -> usize {
+        self.index.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_data::gen::uniform;
+    use elsi_indices::{GridConfig, GridIndex};
+
+    fn grid_rebuild() -> Box<dyn Fn(Vec<Point>) -> GridIndex> {
+        Box::new(|pts| GridIndex::build(pts, &GridConfig { block_size: 20 }))
+    }
+
+    #[test]
+    fn delta_overlay_merges_queries() {
+        let base = GridIndex::build(uniform(200, 1), &GridConfig::default());
+        let mut overlay = DeltaOverlay::new(base);
+        let p = Point::new(9001, 0.111, 0.888);
+        overlay.insert(p);
+        assert_eq!(overlay.len(), 201);
+        assert_eq!(overlay.point_query(p).unwrap().id, 9001);
+        let w = Rect::new(0.1, 0.88, 0.12, 0.89);
+        assert!(overlay.window_query(&w).iter().any(|q| q.id == 9001));
+        // kNN sees the inserted point.
+        let knn = overlay.knn_query(Point::at(0.111, 0.888), 1);
+        assert_eq!(knn[0].id, 9001);
+    }
+
+    #[test]
+    fn delta_overlay_deletes_base_points() {
+        let pts = uniform(100, 2);
+        let base = GridIndex::build(pts.clone(), &GridConfig::default());
+        let mut overlay = DeltaOverlay::new(base);
+        assert!(overlay.delete(pts[5]));
+        assert!(overlay.point_query(pts[5]).is_none());
+        assert_eq!(overlay.len(), 99);
+        assert!(!overlay.window_query(&Rect::unit()).iter().any(|p| p.id == 5));
+        assert_eq!(overlay.delta_len(), 1);
+    }
+
+    #[test]
+    fn drift_tracker_detects_skewed_inserts() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let mut t = DriftTracker::new(keys.iter().copied(), 256);
+        assert!(t.dist() < 1e-9, "no drift initially");
+        // Insert a mass of keys at 0.05: the CDF shifts left.
+        for _ in 0..500 {
+            t.add(0.05);
+        }
+        assert!(t.dist() > 0.2, "drift {}", t.dist());
+        t.rebaseline();
+        assert!(t.dist() < 1e-9, "rebaselined");
+    }
+
+    #[test]
+    fn drift_tracker_uniform_distance() {
+        let uniform_keys: Vec<f64> = (0..4096).map(|i| (i as f64 + 0.5) / 4096.0).collect();
+        let t = DriftTracker::new(uniform_keys.iter().copied(), 512);
+        assert!(t.dist_from_uniform() < 0.01);
+        let point_mass = DriftTracker::new(std::iter::repeat(0.3).take(100), 512);
+        assert!(point_mass.dist_from_uniform() > 0.5);
+    }
+
+    #[test]
+    fn processor_never_policy_applies_updates() {
+        let mut proc =
+            UpdateProcessor::new(uniform(300, 3), grid_rebuild(), RebuildPolicy::Never, 8);
+        for i in 0..100u64 {
+            let out = proc.insert(Point::new(10_000 + i, 0.01, 0.01));
+            assert_eq!(out, UpdateOutcome::Applied);
+        }
+        assert_eq!(proc.rebuilds(), 0);
+        assert_eq!(proc.len(), 400);
+    }
+
+    #[test]
+    fn processor_threshold_policy_triggers_rebuild() {
+        let policy = RebuildPolicy::Threshold { max_drift: 0.1, max_ratio: 10.0 };
+        let mut proc = UpdateProcessor::new(uniform(300, 4), grid_rebuild(), policy, 16);
+        let mut rebuilt = false;
+        // Heavy skewed insertions drift the CDF and must trigger a rebuild.
+        for i in 0..400u64 {
+            if proc.insert(Point::new(20_000 + i, 0.001, 0.001)) == UpdateOutcome::Rebuilt {
+                rebuilt = true;
+                break;
+            }
+        }
+        assert!(rebuilt, "threshold policy never fired");
+        assert_eq!(proc.rebuilds(), 1);
+        // Rebuild preserves all live points.
+        assert!(proc.len() > 300);
+        assert!(proc.point_query(Point::new(20_000, 0.001, 0.001)).is_some());
+    }
+
+    #[test]
+    fn processor_features_track_ratio() {
+        let mut proc =
+            UpdateProcessor::new(uniform(100, 5), grid_rebuild(), RebuildPolicy::Never, 1000);
+        for i in 0..50u64 {
+            proc.insert(Point::new(30_000 + i, 0.5, 0.5));
+        }
+        let f = proc.features();
+        assert_eq!(f.n, 150);
+        assert!((f.update_ratio - 0.5).abs() < 1e-9);
+        assert!(f.drift_sim < 1.0);
+    }
+
+    #[test]
+    fn processor_delete_updates_live_set() {
+        let pts = uniform(100, 6);
+        let mut proc =
+            UpdateProcessor::new(pts.clone(), grid_rebuild(), RebuildPolicy::Never, 1000);
+        proc.delete(pts[10]);
+        assert_eq!(proc.len(), 99);
+        proc.rebuild();
+        assert_eq!(proc.len(), 99);
+        assert!(proc.point_query(pts[10]).is_none());
+    }
+}

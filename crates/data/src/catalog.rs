@@ -1,0 +1,100 @@
+//! The named data-set catalog of the paper's evaluation (§VII-A).
+
+use crate::gen;
+use elsi_spatial::Point;
+
+/// The six evaluation data sets. The paper's relative cardinalities are
+/// preserved by [`Dataset::relative_size`] (OSM1 = 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 128M uniform points in the unit square (synthetic).
+    Uniform,
+    /// Uniform with `y ← y^4` (synthetic, following HRR).
+    Skewed,
+    /// ~100M OpenStreetMap points, North America (simulated shape).
+    Osm1,
+    /// ~180M OpenStreetMap points, South America (simulated shape).
+    Osm2,
+    /// 120M TPC-H `lineitem (quantity, shipdate)` records (simulated shape).
+    TpcH,
+    /// 143M NYC yellow-taxi pickup points (simulated shape).
+    Nyc,
+}
+
+impl Dataset {
+    /// All data sets, in the paper's presentation order.
+    pub fn all() -> [Dataset; 6] {
+        [Dataset::Uniform, Dataset::Skewed, Dataset::Osm1, Dataset::Osm2, Dataset::TpcH, Dataset::Nyc]
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Uniform => "Uniform",
+            Dataset::Skewed => "Skewed",
+            Dataset::Osm1 => "OSM1",
+            Dataset::Osm2 => "OSM2",
+            Dataset::TpcH => "TPC-H",
+            Dataset::Nyc => "NYC",
+        }
+    }
+
+    /// Cardinality of this set relative to OSM1 in the paper
+    /// (100M / 128M / 180M / 120M / 143M points).
+    pub fn relative_size(&self) -> f64 {
+        match self {
+            Dataset::Uniform | Dataset::Skewed => 1.28,
+            Dataset::Osm1 => 1.0,
+            Dataset::Osm2 => 1.8,
+            Dataset::TpcH => 1.2,
+            Dataset::Nyc => 1.43,
+        }
+    }
+
+    /// Generates `base_n · relative_size` points with the given seed.
+    pub fn generate_scaled(&self, base_n: usize, seed: u64) -> Vec<Point> {
+        self.generate((base_n as f64 * self.relative_size()) as usize, seed)
+    }
+
+    /// Generates exactly `n` points with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        match self {
+            Dataset::Uniform => gen::uniform(n, seed),
+            Dataset::Skewed => gen::skewed(n, 4, seed),
+            Dataset::Osm1 => gen::osm1_like(n, seed),
+            Dataset::Osm2 => gen::osm2_like(n, seed),
+            Dataset::TpcH => gen::tpch_like(n, seed),
+            Dataset::Nyc => gen::nyc_like(n, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_named() {
+        let names: Vec<&str> = Dataset::all().iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["Uniform", "Skewed", "OSM1", "OSM2", "TPC-H", "NYC"]);
+    }
+
+    #[test]
+    fn generate_sizes() {
+        for d in Dataset::all() {
+            assert_eq!(d.generate(100, 1).len(), 100);
+        }
+        assert_eq!(Dataset::Osm2.generate_scaled(1000, 1).len(), 1800);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Dataset::TpcH.to_string(), "TPC-H");
+    }
+}

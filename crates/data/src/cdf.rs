@@ -1,0 +1,309 @@
+//! Empirical CDFs and the Kolmogorov-Smirnov similarity of Definition 2.
+//!
+//! ELSI quantifies how well a reduced set `D_S` approximates `D` by
+//! `sim(D_S, D) = 1 − sup_x |cdf_{K(D_S)}(x) − cdf_{K(D)}(x)|` over the
+//! mapped keys (paper §III). The paper computes the distance with a scan
+//! over `D_S` only, binary-searching each value's rank in `D` — an
+//! `O(n_S log n)` algorithm that this module implements verbatim, plus the
+//! `dist(D_U, D)` distance-from-uniform feature used by the method scorer
+//! and a bounded-size CDF sketch for the update processor's drift tracking.
+
+/// KS distance between a reduced key set and the full key set, both sorted
+/// ascending, using the paper's `O(n_S log n)` one-sided scan: for the
+/// `i`-th value of `sample`, binary search its rank `j` in `full` and report
+/// the maximum gap `|i/n_S − j/n|`.
+///
+/// Both step sides of the sample's empirical CDF are checked (ranks `i` and
+/// `i + 1`), which tightens the estimate at no asymptotic cost.
+///
+/// ```
+/// use elsi_data::ks_distance;
+/// let full: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+/// let every_tenth: Vec<f64> = full.iter().copied().step_by(10).collect();
+/// assert!(ks_distance(&every_tenth, &full) < 0.02);
+/// ```
+///
+/// # Panics
+/// Panics (debug builds) if either slice is unsorted.
+pub fn ks_distance(sample: &[f64], full: &[f64]) -> f64 {
+    debug_assert!(sample.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted");
+    debug_assert!(full.windows(2).all(|w| w[0] <= w[1]), "full must be sorted");
+    if sample.is_empty() || full.is_empty() {
+        return 1.0;
+    }
+    let ns = sample.len() as f64;
+    let n = full.len() as f64;
+    let mut worst = 0.0f64;
+    for (i, &v) in sample.iter().enumerate() {
+        // Compare the two empirical CDFs on matching step sides of v:
+        // just below v (ranks of elements < v) and at v (elements ≤ v).
+        let j_lo = full.partition_point(|&x| x < v) as f64;
+        let j_hi = full.partition_point(|&x| x <= v) as f64;
+        let below = i as f64 / ns; // F_S just below v
+        let at = (i + 1) as f64 / ns; // F_S at v
+        worst = worst.max((below - j_lo / n).abs()).max((at - j_hi / n).abs());
+    }
+    worst.min(1.0)
+}
+
+/// Similarity of Definition 2: `1 − ks_distance`.
+pub fn similarity(sample: &[f64], full: &[f64]) -> f64 {
+    1.0 - ks_distance(sample, full)
+}
+
+/// KS distance between sorted keys in `[0,1]` and the uniform distribution
+/// on `[0,1]` — the `dist(D_U, D)` feature of the method scorer and rebuild
+/// predictor (computed exactly, no uniform sample needed).
+pub fn dist_from_uniform(sorted_keys: &[f64]) -> f64 {
+    debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    if sorted_keys.is_empty() {
+        return 1.0;
+    }
+    let n = sorted_keys.len() as f64;
+    let mut worst = 0.0f64;
+    for (i, &k) in sorted_keys.iter().enumerate() {
+        let k = k.clamp(0.0, 1.0);
+        worst = worst.max((i as f64 / n - k).abs()).max(((i + 1) as f64 / n - k).abs());
+    }
+    worst.min(1.0)
+}
+
+/// One-dimensional earth mover's distance between two sorted key sets.
+///
+/// The paper (§III) mentions EMD as an alternative similarity measure and
+/// rejects it for ELSI because general EMD costs `O(n³ log n)` (and even
+/// approximations `O(dn)`). In one dimension, however, EMD has a closed
+/// form — the L1 distance between the CDFs — computed here in
+/// `O(n_S + n)` over the merged support, so the repo can quantify what the
+/// KS choice trades away. Not used on any hot path.
+pub fn emd_1d(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "b must be sorted");
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() { 0.0 } else { 1.0 };
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut ia = 0usize;
+    let mut ib = 0usize;
+    let mut emd = 0.0;
+    let mut prev = a[0].min(b[0]);
+    while ia < a.len() || ib < b.len() {
+        let next = match (a.get(ia), b.get(ib)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        emd += (ia as f64 / na - ib as f64 / nb).abs() * (next - prev);
+        prev = next;
+        while ia < a.len() && a[ia] <= next {
+            ia += 1;
+        }
+        while ib < b.len() && b[ib] <= next {
+            ib += 1;
+        }
+    }
+    emd
+}
+
+/// A fixed-resolution empirical CDF over keys in `[0,1]`.
+///
+/// When an index is (re)built, ELSI stores the CDF of `D` and tracks the
+/// drift `dist(D', D)` as updates arrive (paper §IV-B2). Storing the full
+/// `O(n)` CDF vector is wasteful at scale; a bounded sketch with a few
+/// thousand bins measures the same sup-distance to within `1/bins`.
+#[derive(Debug, Clone)]
+pub struct CdfSketch {
+    /// Cumulative counts per bin (last entry = total).
+    cum: Vec<u64>,
+}
+
+/// Default sketch resolution: sup-distance error ≤ 1/4096.
+pub const DEFAULT_SKETCH_BINS: usize = 4096;
+
+impl CdfSketch {
+    /// Builds a sketch with `bins` cells from (not necessarily sorted) keys.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn build(keys: impl IntoIterator<Item = f64>, bins: usize) -> Self {
+        assert!(bins > 0, "sketch needs at least one bin");
+        let mut counts = vec![0u64; bins];
+        for k in keys {
+            let b = ((k.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        let mut cum = counts;
+        for i in 1..cum.len() {
+            cum[i] += cum[i - 1];
+        }
+        Self { cum }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Total number of keys sketched.
+    pub fn total(&self) -> u64 {
+        *self.cum.last().expect("non-empty sketch")
+    }
+
+    /// CDF value at the right edge of bin `b`.
+    pub fn cdf_at_bin(&self, b: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.cum[b.min(self.cum.len() - 1)] as f64 / t as f64
+        }
+    }
+
+    /// Sup-distance between two sketches of equal resolution.
+    ///
+    /// # Panics
+    /// Panics if the resolutions differ.
+    pub fn dist(&self, other: &CdfSketch) -> f64 {
+        assert_eq!(self.bins(), other.bins(), "sketch resolutions differ");
+        let (ta, tb) = (self.total(), other.total());
+        if ta == 0 || tb == 0 {
+            return 1.0;
+        }
+        let mut worst = 0.0f64;
+        for (a, b) in self.cum.iter().zip(&other.cum) {
+            let d = (*a as f64 / ta as f64 - *b as f64 / tb as f64).abs();
+            worst = worst.max(d);
+        }
+        worst
+    }
+
+    /// Similarity (`1 − dist`) between two sketches.
+    pub fn sim(&self, other: &CdfSketch) -> f64 {
+        1.0 - self.dist(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        assert!(ks_distance(&keys, &keys) < 1e-9);
+        assert!((similarity(&keys, &keys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_systematic_sample_has_small_distance() {
+        let full: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let sample: Vec<f64> = full.iter().copied().step_by(10).collect();
+        let d = ks_distance(&sample, &full);
+        assert!(d < 0.02, "distance {d}");
+    }
+
+    #[test]
+    fn disjoint_halves_have_large_distance() {
+        // Sample concentrated in [0, 0.1], full spread over [0, 1]:
+        // around x = 0.1 the sample CDF is 1.0 but the full CDF ≈ 0.1.
+        let sample: Vec<f64> = (0..100).map(|i| i as f64 / 1000.0).collect();
+        let full: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let d = ks_distance(&sample, &full);
+        assert!(d > 0.85, "distance {d}");
+    }
+
+    #[test]
+    fn distance_in_unit_interval() {
+        let a = vec![0.5];
+        let b: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+        let d = ks_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(ks_distance(&[], &b), 1.0);
+        assert_eq!(ks_distance(&a, &[]), 1.0);
+    }
+
+    #[test]
+    fn dist_from_uniform_of_uniform_keys_is_small() {
+        let keys: Vec<f64> = (0..10_000).map(|i| (i as f64 + 0.5) / 10_000.0).collect();
+        assert!(dist_from_uniform(&keys) < 0.001);
+    }
+
+    #[test]
+    fn dist_from_uniform_of_point_mass_is_large() {
+        let keys = vec![0.5; 100];
+        let d = dist_from_uniform(&keys);
+        assert!(d >= 0.5 - 1e-9, "distance {d}");
+    }
+
+    #[test]
+    fn dist_from_uniform_of_skewed_keys_matches_analytic() {
+        // keys = u^4: CDF F(x) = x^(1/4); sup |x^(1/4) − x| at x where
+        // derivative 1/4 x^(-3/4) = 1 → x = (1/4)^(4/3) ≈ 0.1575;
+        // sup ≈ 0.4724.
+        let n = 100_000;
+        let keys: Vec<f64> = (0..n).map(|i| ((i as f64 + 0.5) / n as f64).powi(4)).collect();
+        let d = dist_from_uniform(&keys);
+        assert!((d - 0.4724).abs() < 0.01, "distance {d}");
+    }
+
+    #[test]
+    fn emd_identical_sets_zero() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        assert!(emd_1d(&keys, &keys) < 1e-12);
+    }
+
+    #[test]
+    fn emd_shifted_point_masses() {
+        // Point mass at 0.2 vs at 0.7: EMD = 0.5 exactly.
+        let a = vec![0.2; 50];
+        let b = vec![0.7; 50];
+        assert!((emd_1d(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_bounded_by_ks_times_range() {
+        // EMD = ∫|F_a − F_b| ≤ sup|F_a − F_b| · range.
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 / 499.0).powi(3)).collect();
+        let b: Vec<f64> = (0..400).map(|i| i as f64 / 399.0).collect();
+        let emd = emd_1d(&a, &b);
+        let ks = ks_distance(&a, &b);
+        assert!(emd <= ks + 1e-9, "emd {emd} vs ks {ks}");
+        assert!(emd > 0.0);
+    }
+
+    #[test]
+    fn sketch_matches_exact_distance() {
+        let a: Vec<f64> = (0..5000).map(|i| (i as f64 / 4999.0).powi(2)).collect();
+        let b: Vec<f64> = (0..5000).map(|i| i as f64 / 4999.0).collect();
+        let exact = ks_distance(&a, &b);
+        let sa = CdfSketch::build(a.iter().copied(), 4096);
+        let sb = CdfSketch::build(b.iter().copied(), 4096);
+        assert!((sa.dist(&sb) - exact).abs() < 0.01, "sketch {} exact {exact}", sa.dist(&sb));
+    }
+
+    #[test]
+    fn sketch_self_distance_zero() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let s = CdfSketch::build(keys.iter().copied(), 64);
+        assert_eq!(s.dist(&s), 0.0);
+        assert_eq!(s.sim(&s), 1.0);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_sketch_max_distance() {
+        let s0 = CdfSketch::build(std::iter::empty(), 16);
+        let s1 = CdfSketch::build([0.5], 16);
+        assert_eq!(s0.dist(&s1), 1.0);
+        assert_eq!(s0.cdf_at_bin(15), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch resolutions differ")]
+    fn mismatched_sketches_panic() {
+        let a = CdfSketch::build([0.5], 16);
+        let b = CdfSketch::build([0.5], 32);
+        a.dist(&b);
+    }
+}

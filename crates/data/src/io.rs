@@ -1,0 +1,164 @@
+//! Point-set I/O: a minimal CSV format so real data sets (e.g. actual
+//! OpenStreetMap extracts or taxi traces) can be fed to the same pipeline
+//! the synthetic generators drive.
+//!
+//! Format: one `id,x,y` record per line; an optional header line is
+//! skipped; blank lines and `#` comments are ignored. Coordinates outside
+//! the unit square can be normalised with [`normalize_to_unit`] (learned
+//! indices here assume unit-square data, as do the curves).
+
+use elsi_spatial::{Point, Rect};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes points as `id,x,y` CSV (with a header line).
+pub fn write_points_csv(path: &Path, points: &[Point]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "id,x,y")?;
+    for p in points {
+        writeln!(w, "{},{},{}", p.id, p.x, p.y)?;
+    }
+    w.flush()
+}
+
+/// Reads points from `id,x,y` CSV. Lines that fail to parse produce an
+/// error naming the line number; headers, blanks and `#` comments are
+/// skipped.
+pub fn read_points_csv(path: &Path) -> io::Result<Vec<Point>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split(',').map(str::trim);
+        let (a, b, c) = (fields.next(), fields.next(), fields.next());
+        let (Some(a), Some(b), Some(c)) = (a, b, c) else {
+            return Err(bad_line(lineno, t, "expected 3 comma-separated fields"));
+        };
+        // Skip a header row.
+        if lineno == 0 && a.parse::<u64>().is_err() {
+            continue;
+        }
+        let id = a.parse::<u64>().map_err(|_| bad_line(lineno, t, "bad id"))?;
+        let x = b.parse::<f64>().map_err(|_| bad_line(lineno, t, "bad x"))?;
+        let y = c.parse::<f64>().map_err(|_| bad_line(lineno, t, "bad y"))?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(bad_line(lineno, t, "non-finite coordinate"));
+        }
+        out.push(Point::new(id, x, y));
+    }
+    Ok(out)
+}
+
+fn bad_line(lineno: usize, line: &str, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {why}: {line:?}", lineno + 1),
+    )
+}
+
+/// Affinely maps arbitrary-range points (e.g. lon/lat) into the unit
+/// square, returning the normalised points and the original bounding box
+/// (for mapping query coordinates the same way). Degenerate axes map to
+/// 0.5.
+pub fn normalize_to_unit(points: &[Point]) -> (Vec<Point>, Rect) {
+    let bbox = Rect::mbr_of(points);
+    let w = bbox.hi_x - bbox.lo_x;
+    let h = bbox.hi_y - bbox.lo_y;
+    let norm = points
+        .iter()
+        .map(|p| {
+            Point::new(
+                p.id,
+                if w > 0.0 { (p.x - bbox.lo_x) / w } else { 0.5 },
+                if h > 0.0 { (p.y - bbox.lo_y) / h } else { 0.5 },
+            )
+        })
+        .collect();
+    (norm, bbox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("elsi_io_test_{}_{name}.csv", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts = crate::gen::uniform(100, 3);
+        let path = temp_path("roundtrip");
+        write_points_csv(&path, &pts).unwrap();
+        let back = read_points_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(pts.len(), back.len());
+        for (a, b) in pts.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+        }
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let path = temp_path("skips");
+        std::fs::write(&path, "id,x,y\n# comment\n\n1,0.5,0.25\n 2 , 0.1 , 0.9 \n").unwrap();
+        let pts = read_points_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], Point::new(1, 0.5, 0.25));
+        assert_eq!(pts[1], Point::new(2, 0.1, 0.9));
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "1,0.5,0.25\n2,oops,0.5\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("bad x"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let path = temp_path("nan");
+        std::fs::write(&path, "1,NaN,0.5\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn normalize_maps_into_unit_square() {
+        let pts = vec![
+            Point::new(0, -74.0, 40.5),
+            Point::new(1, -73.5, 41.0),
+            Point::new(2, -73.75, 40.75),
+        ];
+        let (norm, bbox) = normalize_to_unit(&pts);
+        assert_eq!(bbox, Rect::new(-74.0, 40.5, -73.5, 41.0));
+        assert_eq!(norm[0], Point::new(0, 0.0, 0.0));
+        assert_eq!(norm[1], Point::new(1, 1.0, 1.0));
+        assert!((norm[2].x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_degenerate_axis() {
+        let pts = vec![Point::new(0, 3.0, 1.0), Point::new(1, 3.0, 2.0)];
+        let (norm, _) = normalize_to_unit(&pts);
+        assert_eq!(norm[0].x, 0.5);
+        assert_eq!(norm[1].x, 0.5);
+        assert_eq!(norm[0].y, 0.0);
+        assert_eq!(norm[1].y, 1.0);
+    }
+}

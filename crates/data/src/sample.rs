@@ -1,0 +1,117 @@
+//! Sampling over sorted (mapped) data: the SP and RSP building methods'
+//! substrate.
+//!
+//! Systematic sampling (paper §V-A1) selects every `⌊1/ρ⌋`-th element of the
+//! sorted order, which bounds the rank gap between any point and its nearest
+//! sampled neighbour by `⌊1/ρ⌋ − 1` — optimal by the pigeonhole principle.
+//! Random sampling (RSP, Fig. 7's extra baseline) has no such bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Indices selected by systematic sampling at rate `rho` from `n` sorted
+/// elements: elements `step − 1, 2·step − 1, …` with `step = ⌊1/ρ⌋`
+/// (i.e., one point after every `⌊1/ρ⌋ − 1` skipped points). Always returns
+/// at least one index for non-empty input.
+pub fn systematic_indices(n: usize, rho: f64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let rho = rho.clamp(1e-12, 1.0);
+    let step = ((1.0 / rho).floor() as usize).max(1);
+    let mut out: Vec<usize> = (step - 1..n).step_by(step).collect();
+    if out.is_empty() {
+        out.push(n - 1);
+    }
+    out
+}
+
+/// Indices selected by uniform random sampling (without replacement) at
+/// rate `rho`, returned sorted. Always returns at least one index for
+/// non-empty input.
+pub fn random_indices(n: usize, rho: f64, seed: u64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let rho = rho.clamp(0.0, 1.0);
+    let k = ((n as f64 * rho).round() as usize).clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Floyd's algorithm for a sorted sample without replacement.
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Gathers `values[i]` for each sampled index.
+pub fn gather<T: Copy>(values: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| values[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systematic_rate_quarter() {
+        // The paper's example: 16 points, ρ = 0.25 selects p4, p8, p12, p16
+        // (1-based), i.e. indices 3, 7, 11, 15.
+        assert_eq!(systematic_indices(16, 0.25), vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn systematic_gap_bound() {
+        // Pigeonhole bound from §V-A1: every rank is within ⌊1/ρ⌋ − 1 of a
+        // sampled rank.
+        let n = 1000;
+        let rho = 0.01;
+        let idx = systematic_indices(n, rho);
+        let bound = (1.0 / rho).floor() as usize - 1;
+        for i in 0..n {
+            let nearest = idx.iter().map(|&j| j.abs_diff(i)).min().unwrap();
+            assert!(nearest <= bound, "rank {i} is {nearest} from nearest sample");
+        }
+    }
+
+    #[test]
+    fn systematic_never_empty() {
+        assert_eq!(systematic_indices(5, 0.0001), vec![4]);
+        assert_eq!(systematic_indices(1, 0.5), vec![0]);
+        assert!(systematic_indices(0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn systematic_full_rate_takes_everything() {
+        assert_eq!(systematic_indices(4, 1.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_sample_size_and_sortedness() {
+        let idx = random_indices(1000, 0.1, 7);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn random_sample_deterministic() {
+        assert_eq!(random_indices(500, 0.05, 3), random_indices(500, 0.05, 3));
+        assert_ne!(random_indices(500, 0.05, 3), random_indices(500, 0.05, 4));
+    }
+
+    #[test]
+    fn random_sample_never_empty() {
+        assert_eq!(random_indices(10, 0.0, 0).len(), 1);
+        assert!(random_indices(0, 0.5, 0).is_empty());
+    }
+
+    #[test]
+    fn gather_picks_values() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(gather(&v, &[1, 3]), vec![20, 40]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Update-stream workloads (§VII-H-style): seeded generators for insertion
+//! and mixed insert/delete streams against an existing point set.
+//!
+//! The paper's update experiment inserts Skewed-drawn points into an index
+//! built on 10% of OSM1; real deployments also see moving hotspots and
+//! churn. These generators produce all three patterns deterministically.
+
+use crate::gen;
+use elsi_spatial::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One update operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Insert a new point.
+    Insert(Point),
+    /// Delete an existing point (drawn from the base set).
+    Delete(Point),
+}
+
+/// Id offset applied to generated insertions so they never collide with
+/// base-set ids.
+pub const INSERT_ID_BASE: u64 = 0x4000_0000;
+
+/// The paper's stream: `total` points drawn from **Skewed**, re-labelled
+/// with fresh ids (§VII-H uses this against an OSM1 base).
+pub fn skewed_insertions(total: usize, seed: u64) -> Vec<Update> {
+    gen::skewed(total, 4, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut p)| {
+            p.id = INSERT_ID_BASE + i as u64;
+            Update::Insert(p)
+        })
+        .collect()
+}
+
+/// A hotspot that drifts across the map: insertions concentrate in a small
+/// square whose centre moves linearly from `(0.1, 0.1)` to `(0.9, 0.9)`
+/// over the stream — the "check-ins from a small region" scenario of
+/// Fig. 1, with the region itself moving.
+pub fn moving_hotspot_insertions(total: usize, radius: f64, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..total)
+        .map(|i| {
+            let t = i as f64 / total.max(1) as f64;
+            let cx = 0.1 + 0.8 * t;
+            let cy = 0.1 + 0.8 * t;
+            let p = Point::new(
+                INSERT_ID_BASE + i as u64,
+                (cx + (rng.gen::<f64>() - 0.5) * radius).clamp(0.0, 1.0),
+                (cy + (rng.gen::<f64>() - 0.5) * radius).clamp(0.0, 1.0),
+            );
+            Update::Insert(p)
+        })
+        .collect()
+}
+
+/// Churn: a mixed stream where each step inserts a fresh skewed point with
+/// probability `insert_fraction`, and otherwise deletes a (not yet
+/// deleted) point of the base set. Deletions sweep the base set in a
+/// seeded random order; once it is exhausted the stream falls back to
+/// insertions.
+pub fn churn(
+    base: &[Point],
+    total: usize,
+    insert_fraction: f64,
+    seed: u64,
+) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inserts = gen::skewed(total, 4, seed ^ 0xC0FFEE);
+    let mut delete_order: Vec<usize> = (0..base.len()).collect();
+    // Fisher-Yates with the seeded rng.
+    for i in (1..delete_order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        delete_order.swap(i, j);
+    }
+    let mut next_delete = 0usize;
+    let mut out = Vec::with_capacity(total);
+    for (i, mut p) in inserts.into_iter().enumerate() {
+        let do_insert = rng.gen::<f64>() < insert_fraction || next_delete >= delete_order.len();
+        if do_insert {
+            p.id = INSERT_ID_BASE + i as u64;
+            out.push(Update::Insert(p));
+        } else {
+            out.push(Update::Delete(base[delete_order[next_delete]]));
+            next_delete += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+
+    #[test]
+    fn skewed_stream_has_fresh_ids() {
+        let s = skewed_insertions(100, 1);
+        assert_eq!(s.len(), 100);
+        for (i, u) in s.iter().enumerate() {
+            match u {
+                Update::Insert(p) => assert_eq!(p.id, INSERT_ID_BASE + i as u64),
+                Update::Delete(_) => panic!("insert-only stream"),
+            }
+        }
+    }
+
+    #[test]
+    fn moving_hotspot_moves() {
+        let s = moving_hotspot_insertions(1000, 0.05, 2);
+        let first = match s[10] {
+            Update::Insert(p) => p,
+            _ => unreachable!(),
+        };
+        let last = match s[990] {
+            Update::Insert(p) => p,
+            _ => unreachable!(),
+        };
+        assert!(first.x < 0.3, "early inserts near (0.1, 0.1): {first}");
+        assert!(last.x > 0.7, "late inserts near (0.9, 0.9): {last}");
+    }
+
+    #[test]
+    fn churn_deletes_only_base_points_and_never_twice() {
+        let base = uniform(200, 3);
+        let s = churn(&base, 500, 0.5, 4);
+        assert_eq!(s.len(), 500);
+        let mut deleted = std::collections::HashSet::new();
+        for u in &s {
+            if let Update::Delete(p) = u {
+                assert!(base.iter().any(|b| b.id == p.id), "deleted non-base point");
+                assert!(deleted.insert(p.id), "point {p} deleted twice");
+            }
+        }
+        assert!(!deleted.is_empty());
+    }
+
+    #[test]
+    fn churn_falls_back_to_inserts_when_base_exhausted() {
+        let base = uniform(5, 1);
+        let s = churn(&base, 100, 0.0, 9);
+        let deletes = s.iter().filter(|u| matches!(u, Update::Delete(_))).count();
+        assert_eq!(deletes, 5, "exactly the base set can be deleted");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let base = uniform(50, 7);
+        assert_eq!(churn(&base, 100, 0.5, 11), churn(&base, 100, 0.5, 11));
+        assert_eq!(skewed_insertions(50, 3), skewed_insertions(50, 3));
+        assert_eq!(
+            moving_hotspot_insertions(50, 0.1, 3),
+            moving_hotspot_insertions(50, 0.1, 3)
+        );
+    }
+}

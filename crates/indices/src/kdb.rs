@@ -1,0 +1,365 @@
+//! KDB: a kd-tree with block-storage leaves (Robinson, SIGMOD 1981) — the
+//! disk-oriented kd-tree the paper uses as a traditional competitor.
+//!
+//! Internal nodes split alternately on x and y at the median; leaves hold up
+//! to a block of points. Every node keeps the MBR of its live points so
+//! window queries prune and kNN runs best-first over MINDISTs.
+
+use crate::traits::SpatialIndex;
+use elsi_spatial::{Point, Rect, DEFAULT_BLOCK_SIZE};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// KDB configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KdbConfig {
+    /// Points per leaf block (paper: 100).
+    pub leaf_capacity: usize,
+}
+
+impl Default for KdbConfig {
+    fn default() -> Self {
+        Self { leaf_capacity: DEFAULT_BLOCK_SIZE }
+    }
+}
+
+enum KdNode {
+    Internal { mbr: Rect, axis: u8, split: f64, left: Box<KdNode>, right: Box<KdNode> },
+    Leaf { mbr: Rect, points: Vec<Point> },
+}
+
+impl KdNode {
+    fn mbr(&self) -> Rect {
+        match self {
+            KdNode::Internal { mbr, .. } | KdNode::Leaf { mbr, .. } => *mbr,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            KdNode::Leaf { points, .. } => points.len(),
+            KdNode::Internal { left, right, .. } => left.len() + right.len(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            KdNode::Leaf { .. } => 1,
+            KdNode::Internal { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn build(mut points: Vec<Point>, axis: u8, capacity: usize) -> KdNode {
+        let mbr = Rect::mbr_of(&points);
+        if points.len() <= capacity {
+            return KdNode::Leaf { mbr, points };
+        }
+        let mid = points.len() / 2;
+        points.select_nth_unstable_by(mid, |a, b| {
+            coord(a, axis).partial_cmp(&coord(b, axis)).expect("finite coordinates")
+        });
+        let split = coord(&points[mid], axis);
+        let right_pts = points.split_off(mid);
+        let next = 1 - axis;
+        KdNode::Internal {
+            mbr,
+            axis,
+            split,
+            left: Box::new(KdNode::build(points, next, capacity)),
+            right: Box::new(KdNode::build(right_pts, next, capacity)),
+        }
+    }
+
+    fn find(&self, q: Point) -> Option<Point> {
+        match self {
+            KdNode::Leaf { mbr, points } => {
+                if !mbr.contains(&q) {
+                    return None;
+                }
+                points.iter().find(|p| p.x == q.x && p.y == q.y).copied()
+            }
+            KdNode::Internal { axis, split, left, right, .. } => {
+                // The median point went to the right half; boundary values
+                // must search both sides.
+                let c = coord(&q, *axis);
+                if c < *split {
+                    left.find(q)
+                } else if c > *split {
+                    right.find(q)
+                } else {
+                    right.find(q).or_else(|| left.find(q))
+                }
+            }
+        }
+    }
+
+    fn window_into(&self, w: &Rect, out: &mut Vec<Point>) {
+        match self {
+            KdNode::Leaf { mbr, points } => {
+                if !w.intersects(mbr) {
+                    return;
+                }
+                if w.contains_rect(mbr) {
+                    out.extend_from_slice(points);
+                } else {
+                    out.extend(points.iter().filter(|p| w.contains(p)).copied());
+                }
+            }
+            KdNode::Internal { mbr, left, right, .. } => {
+                if !w.intersects(mbr) {
+                    return;
+                }
+                left.window_into(w, out);
+                right.window_into(w, out);
+            }
+        }
+    }
+
+    fn insert(&mut self, p: Point, capacity: usize) {
+        match self {
+            KdNode::Leaf { mbr, points } => {
+                mbr.expand(&p);
+                points.push(p);
+                if points.len() > 2 * capacity {
+                    // Split the leaf at the median of its longer MBR axis.
+                    let axis = if mbr.hi_x - mbr.lo_x >= mbr.hi_y - mbr.lo_y { 0 } else { 1 };
+                    *self = KdNode::build(std::mem::take(points), axis, capacity);
+                }
+            }
+            KdNode::Internal { mbr, axis, split, left, right } => {
+                mbr.expand(&p);
+                if coord(&p, *axis) < *split {
+                    left.insert(p, capacity);
+                } else {
+                    right.insert(p, capacity);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, p: Point) -> bool {
+        match self {
+            KdNode::Leaf { mbr, points } => {
+                if !mbr.contains(&p) {
+                    return false;
+                }
+                if let Some(pos) =
+                    points.iter().position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
+                {
+                    points.swap_remove(pos);
+                    *mbr = Rect::mbr_of(points);
+                    true
+                } else {
+                    false
+                }
+            }
+            KdNode::Internal { mbr, axis, split, left, right } => {
+                let c = coord(&p, *axis);
+                let removed = if c < *split {
+                    left.remove(p)
+                } else if c > *split {
+                    right.remove(p)
+                } else {
+                    right.remove(p) || left.remove(p)
+                };
+                if removed {
+                    *mbr = left.mbr().union(&right.mbr());
+                }
+                removed
+            }
+        }
+    }
+}
+
+#[inline]
+fn coord(p: &Point, axis: u8) -> f64 {
+    if axis == 0 {
+        p.x
+    } else {
+        p.y
+    }
+}
+
+/// The KDB-tree index.
+pub struct KdbIndex {
+    root: KdNode,
+    cfg: KdbConfig,
+    n: usize,
+}
+
+impl KdbIndex {
+    /// Builds a KDB-tree by recursive median splitting.
+    pub fn build(points: Vec<Point>, cfg: &KdbConfig) -> Self {
+        assert!(cfg.leaf_capacity >= 1);
+        let n = points.len();
+        Self { root: KdNode::build(points, 0, cfg.leaf_capacity), cfg: *cfg, n }
+    }
+}
+
+struct Entry<'a> {
+    dist2: f64,
+    item: Result<&'a KdNode, Point>,
+}
+impl PartialEq for Entry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for Entry<'_> {}
+impl PartialOrd for Entry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist2.partial_cmp(&self.dist2).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl SpatialIndex for KdbIndex {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        self.root.find(q)
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.root.window_into(w, &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.n == 0 {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry { dist2: self.root.mbr().min_dist2(&q), item: Ok(&self.root) });
+        while let Some(e) = heap.pop() {
+            match e.item {
+                Err(p) => {
+                    out.push(p);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Ok(KdNode::Leaf { points, .. }) => {
+                    for p in points {
+                        heap.push(Entry { dist2: q.dist2(p), item: Err(*p) });
+                    }
+                }
+                Ok(KdNode::Internal { left, right, .. }) => {
+                    for c in [left.as_ref(), right.as_ref()] {
+                        if c.len() > 0 {
+                            heap.push(Entry { dist2: c.mbr().min_dist2(&q), item: Ok(c) });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.root.insert(p, self.cfg.leaf_capacity);
+        self.n += 1;
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        if self.root.remove(p) {
+            self.n -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "KDB"
+    }
+
+    fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_data::gen::{skewed, uniform};
+
+    #[test]
+    fn build_and_exact_queries() {
+        let pts = uniform(1200, 19);
+        let idx = KdbIndex::build(pts.clone(), &KdbConfig { leaf_capacity: 30 });
+        assert_eq!(idx.len(), 1200);
+        assert!(idx.depth() >= 3);
+        for p in pts.iter().step_by(17) {
+            assert_eq!(idx.point_query(*p).unwrap().id, p.id);
+        }
+        let w = Rect::new(0.0, 0.4, 0.6, 0.9);
+        let got = idx.window_query(&w);
+        let want = pts.iter().filter(|p| w.contains(p)).count();
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_findable() {
+        let mut pts = Vec::new();
+        for i in 0..200u64 {
+            pts.push(Point::new(i, 0.5, 0.5));
+        }
+        let idx = KdbIndex::build(pts, &KdbConfig { leaf_capacity: 10 });
+        assert!(idx.point_query(Point::at(0.5, 0.5)).is_some());
+    }
+
+    #[test]
+    fn knn_exact_on_skewed() {
+        let pts = skewed(900, 4, 4);
+        let idx = KdbIndex::build(pts.clone(), &KdbConfig::default());
+        let q = Point::at(0.4, 0.05);
+        let got = idx.knn_query(q, 15);
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        assert_eq!(got.len(), 15);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn insert_splits_leaves() {
+        let mut idx = KdbIndex::build(uniform(50, 2), &KdbConfig { leaf_capacity: 10 });
+        for i in 0..300u64 {
+            let p = Point::new(1000 + i, (i as f64 * 0.00173) % 1.0, (i as f64 * 0.00041) % 1.0);
+            idx.insert(p);
+            assert!(idx.point_query(p).is_some(), "lost insert {i}");
+        }
+        assert_eq!(idx.len(), 350);
+        assert!(idx.depth() >= 2);
+    }
+
+    #[test]
+    fn delete_fixes_mbrs() {
+        let pts = uniform(400, 6);
+        let mut idx = KdbIndex::build(pts.clone(), &KdbConfig { leaf_capacity: 20 });
+        for p in pts.iter().step_by(3) {
+            assert!(idx.delete(*p));
+        }
+        for (i, p) in pts.iter().enumerate() {
+            let found = idx.point_query(*p).is_some();
+            assert_eq!(found, i % 3 != 0, "point {i}");
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let idx = KdbIndex::build(Vec::new(), &KdbConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.knn_query(Point::at(0.5, 0.5), 5).is_empty());
+    }
+}

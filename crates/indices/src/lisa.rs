@@ -1,0 +1,390 @@
+//! LISA: a learned index structure for spatial data (Li et al., SIGMOD 2020).
+//!
+//! LISA partitions the data space with a grid derived from the data, maps
+//! each point to a one-dimensional value (cell number + in-cell offset — a
+//! weighted aggregation of the coordinates), and learns a *shard prediction
+//! function* from mapped values to shard ids. Points are stored shard-wise
+//! in data pages; insertions append to the predicted shard's pages, creating
+//! new pages as needed (paper §II).
+//!
+//! Following the paper's experimental setup (§VII-B1), the shard prediction
+//! function is an FFN rather than LISA's original piecewise-linear function;
+//! this "breaks the monotonicity of its shard prediction functions, which
+//! impacts the accuracy of window queries" — window queries are therefore
+//! approximate, while point queries stay exact via shard-level error bounds.
+//!
+//! Because the grid is built from `D` itself, building methods that
+//! synthesise points not in `D` (CL, RL) are inapplicable (paper §VII-A);
+//! the `elsi` crate masks them out for LISA.
+
+use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
+use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use elsi_spatial::{BlockStore, KeyMapper, LisaMapper, MappedData, Point, Rect};
+use std::collections::{BTreeSet, HashSet};
+
+/// LISA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LisaConfig {
+    /// Grid resolution `g` (the mapper fits a `g × g` data-dependent grid).
+    pub grid: usize,
+    /// Target points per shard.
+    pub shard_size: usize,
+    /// Points per data page (paper: `B = 100`).
+    pub block_size: usize,
+}
+
+impl Default for LisaConfig {
+    fn default() -> Self {
+        Self { grid: 16, shard_size: 400, block_size: 100 }
+    }
+}
+
+/// The LISA index.
+pub struct LisaIndex {
+    mapper: LisaMapper,
+    model: RankModel,
+    /// Shard-level error bounds (actual − predicted shard id).
+    shard_lo: i64,
+    shard_hi: i64,
+    shards: Vec<BlockStore>,
+    shard_size: usize,
+    deleted: HashSet<u64>,
+    n_live: usize,
+    stats: Vec<BuildStats>,
+}
+
+impl LisaIndex {
+    /// Builds a LISA index over `points` using the given model builder.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty (LISA's grid needs data) unless you want
+    /// an empty index — use [`LisaIndex::empty`] for that.
+    pub fn build(points: Vec<Point>, cfg: &LisaConfig, builder: &dyn ModelBuilder) -> Self {
+        if points.is_empty() {
+            return Self::empty(cfg);
+        }
+        assert!(cfg.grid > 0 && cfg.shard_size > 0 && cfg.block_size > 0);
+        let mapper = LisaMapper::fit(&points, cfg.grid);
+        let data = MappedData::build(points, &mapper);
+        let n = data.len();
+        let num_shards = n.div_ceil(cfg.shard_size).max(1);
+
+        let built = builder.build_model(&BuildInput {
+            points: data.points(),
+            keys: data.keys(),
+            mapper: &mapper,
+            seed: 0x115A,
+        });
+        let stats = vec![built.stats];
+        let model = built.model;
+
+        // Shard-level error bounds: predicted vs actual shard of every point.
+        let mut shard_lo = 0i64;
+        let mut shard_hi = 0i64;
+        for (i, &k) in data.keys().iter().enumerate() {
+            let pred = shard_of_prediction(&model, k, cfg.shard_size, num_shards);
+            let actual = (i / cfg.shard_size) as i64;
+            shard_lo = shard_lo.min(actual - pred);
+            shard_hi = shard_hi.max(actual - pred);
+        }
+
+        // Bulk-load shard pages.
+        let shards: Vec<BlockStore> = data
+            .points()
+            .chunks(cfg.shard_size)
+            .map(|chunk| BlockStore::bulk_load(chunk, cfg.block_size))
+            .collect();
+
+        Self {
+            mapper,
+            model,
+            shard_lo,
+            shard_hi,
+            shards,
+            shard_size: cfg.shard_size,
+            deleted: HashSet::new(),
+            n_live: n,
+            stats,
+        }
+    }
+
+    /// An empty LISA index (uniform fallback grid).
+    pub fn empty(cfg: &LisaConfig) -> Self {
+        let dummy = vec![Point::at(0.5, 0.5)];
+        let mapper = LisaMapper::fit(&dummy, cfg.grid.max(1));
+        Self {
+            mapper,
+            model: RankModel::empty(0),
+            shard_lo: 0,
+            shard_hi: 0,
+            shards: vec![BlockStore::new(cfg.block_size.max(1))],
+            shard_size: cfg.shard_size.max(1),
+            deleted: HashSet::new(),
+            n_live: 0,
+            stats: Vec::new(),
+        }
+    }
+
+    /// The fitted grid mapper.
+    pub fn mapper(&self) -> &LisaMapper {
+        &self.mapper
+    }
+
+    /// Build statistics of the shard prediction model.
+    pub fn build_stats(&self) -> &[BuildStats] {
+        &self.stats
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn predicted_shard(&self, key: f64) -> i64 {
+        shard_of_prediction(&self.model, key, self.shard_size, self.shards.len())
+    }
+
+    /// Shard range guaranteed to contain a bulk-loaded point with this key.
+    #[inline]
+    fn shard_range(&self, key: f64) -> (usize, usize) {
+        let pred = self.predicted_shard(key);
+        let max = self.shards.len() as i64 - 1;
+        let lo = (pred + self.shard_lo).clamp(0, max) as usize;
+        let hi = (pred + self.shard_hi).clamp(0, max) as usize;
+        (lo, hi)
+    }
+
+    fn live(&self, p: &Point) -> bool {
+        !self.deleted.contains(&p.id)
+    }
+}
+
+#[inline]
+fn shard_of_prediction(model: &RankModel, key: f64, shard_size: usize, num_shards: usize) -> i64 {
+    if model.is_empty() {
+        return 0;
+    }
+    let rank = model.predict(key).max(0);
+    (rank / shard_size as i64).min(num_shards as i64 - 1)
+}
+
+impl SpatialIndex for LisaIndex {
+    fn len(&self) -> usize {
+        self.n_live
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        if self.n_live == 0 {
+            return None;
+        }
+        let key = self.mapper.key(q);
+        let (lo, hi) = self.shard_range(key);
+        for shard in &self.shards[lo..=hi] {
+            for block in shard.blocks() {
+                if !block.mbr().contains(&q) {
+                    continue;
+                }
+                for p in block.points() {
+                    if p.x == q.x && p.y == q.y && self.live(p) {
+                        return Some(*p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        if self.n_live == 0 {
+            return out;
+        }
+        // Candidate shards: per overlapping grid cell, the mapped-key range
+        // of the window's y-extent inside that cell (keys are monotone in y
+        // within a cell), widened by the shard error bounds.
+        let mut candidates: BTreeSet<usize> = BTreeSet::new();
+        for c in self.mapper.columns_overlapping(w.lo_x, w.hi_x) {
+            for r in self.mapper.rows_overlapping(c, w.lo_y, w.hi_y) {
+                let (cell_lo, cell_hi) = self.mapper.cell_key_range(c, r);
+                // Key endpoints of the window's slice of this cell: clamp
+                // the window's y-extremes into the cell's key range using
+                // representative corner points.
+                let x_mid = (w.lo_x + w.hi_x) / 2.0;
+                let k_lo = self.mapper.key(Point::at(x_mid, w.lo_y)).max(cell_lo);
+                let k_hi = self.mapper.key(Point::at(x_mid, w.hi_y)).min(cell_hi);
+                let (lo1, hi1) = self.shard_range(k_lo.min(k_hi));
+                let (lo2, hi2) = self.shard_range(k_lo.max(k_hi).min(cell_hi));
+                // Also probe the cell key-range endpoints for robustness.
+                let (lo3, hi3) = self.shard_range(cell_lo);
+                let (lo4, hi4) = self.shard_range(cell_hi - 1e-12);
+                let lo = lo1.min(lo2).min(lo3).min(lo4);
+                let hi = hi1.max(hi2).max(hi3).max(hi4);
+                candidates.extend(lo..=hi);
+            }
+        }
+        for s in candidates {
+            let mut hits = Vec::new();
+            self.shards[s].window_scan(w, &mut hits);
+            out.extend(hits.into_iter().filter(|p| self.live(p)));
+        }
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.deleted.remove(&p.id);
+        let key = self.mapper.key(p);
+        let s = self.predicted_shard(key).clamp(0, self.shards.len() as i64 - 1) as usize;
+        // Append into the shard's last page; the store splits full pages
+        // ("new pages are created as needed").
+        let mapper = self.mapper.clone();
+        let last = self.shards[s].num_blocks().saturating_sub(1);
+        self.shards[s].insert_into(last, p, move |q| mapper.key(*q));
+        self.n_live += 1;
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        if self.n_live == 0 {
+            return false;
+        }
+        let key = self.mapper.key(p);
+        let (lo, hi) = self.shard_range(key);
+        // Inserted points live exactly at the predicted shard, bulk points
+        // within the error-bounded range; search both.
+        let pred = self.predicted_shard(key).clamp(0, self.shards.len() as i64 - 1) as usize;
+        let mut order: Vec<usize> = (lo..=hi).collect();
+        if !order.contains(&pred) {
+            order.push(pred);
+        }
+        for s in order {
+            let blocks = self.shards[s].num_blocks();
+            for b in 0..blocks {
+                if self.shards[s].remove_point_near(b, &p, 0) {
+                    self.n_live -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "LISA"
+    }
+
+    fn depth(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OgBuilder;
+    use elsi_data::gen::{nyc_like, uniform};
+
+    fn build_small(n: usize) -> (Vec<Point>, LisaIndex) {
+        let pts = uniform(n, 23);
+        let cfg = LisaConfig { grid: 8, shard_size: 100, block_size: 25 };
+        let idx = LisaIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
+        (pts, idx)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, idx) = build_small(800);
+        assert!(idx.num_shards() >= 8);
+        for p in &pts {
+            assert_eq!(idx.point_query(*p).expect("found").id, p.id);
+        }
+    }
+
+    #[test]
+    fn window_query_recall_and_precision() {
+        let (pts, idx) = build_small(1500);
+        let mut want_total = 0;
+        let mut got_total = 0;
+        for i in 0..25 {
+            let c = pts[(i * 53) % pts.len()];
+            let w = Rect::window_around(c, 0.01);
+            let got = idx.window_query(&w);
+            assert!(got.iter().all(|p| w.contains(p)), "no false positives");
+            let want = pts.iter().filter(|p| w.contains(p)).count();
+            want_total += want;
+            got_total += got.len().min(want);
+        }
+        let recall = got_total as f64 / want_total.max(1) as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn skewed_data_still_exact_point_queries() {
+        let pts = nyc_like(1000, 5);
+        let cfg = LisaConfig { grid: 8, shard_size: 100, block_size: 25 };
+        let idx = LisaIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
+        for p in pts.iter().step_by(7) {
+            assert!(idx.point_query(*p).is_some(), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn insert_creates_pages_and_stays_findable() {
+        let (_, mut idx) = build_small(300);
+        let before_pages: usize = (0..idx.num_shards()).map(|_| 0).sum::<usize>();
+        let _ = before_pages;
+        for i in 0..200u64 {
+            let p = Point::new(50_000 + i, (i as f64 * 0.004_9) % 1.0, 0.5);
+            idx.insert(p);
+            assert!(idx.point_query(p).is_some(), "inserted point {i} lost");
+        }
+        assert_eq!(idx.len(), 500);
+    }
+
+    #[test]
+    fn delete_removes_points() {
+        let (pts, mut idx) = build_small(300);
+        assert!(idx.delete(pts[123]));
+        assert!(idx.point_query(pts[123]).is_none());
+        assert_eq!(idx.len(), 299);
+        assert!(!idx.delete(pts[123]));
+        // Delete an inserted point too.
+        let p = Point::new(7777, 0.42, 0.42);
+        idx.insert(p);
+        assert!(idx.delete(p));
+        assert_eq!(idx.len(), 299);
+    }
+
+    #[test]
+    fn knn_returns_reasonable_neighbours() {
+        let (pts, idx) = build_small(1000);
+        let q = Point::at(0.6, 0.4);
+        let got = idx.knn_query(q, 5);
+        assert_eq!(got.len(), 5);
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        let exact_r = q.dist(&want[4]);
+        assert!(got.iter().all(|p| q.dist(p) <= exact_r * 3.0 + 1e-9));
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = LisaIndex::build(Vec::new(), &LisaConfig::default(), &OgBuilder::with_epochs(5));
+        assert!(idx.is_empty());
+        assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
+        assert!(idx.window_query(&Rect::unit()).is_empty());
+        assert!(idx.knn_query(Point::at(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn insert_into_empty_then_query() {
+        let mut idx = LisaIndex::empty(&LisaConfig::default());
+        let p = Point::new(1, 0.3, 0.3);
+        idx.insert(p);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.point_query(p).unwrap().id, 1);
+    }
+}

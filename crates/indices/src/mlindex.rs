@@ -1,0 +1,301 @@
+//! ML-Index (Davitkova et al., EDBT 2020).
+//!
+//! The ML-Index maps points to one-dimensional keys with the iDistance
+//! technique — each point's key is `pivot_id · c + dist(p, pivot)` for its
+//! nearest pivot — and learns the rank function of the sorted keys, one
+//! model per pivot partition. Every model is built through the pluggable
+//! [`ModelBuilder`] (the ELSI seam).
+//!
+//! Window queries are **exact** (paper §VII-G2, "by design, ML offers
+//! accurate results"): every point inside a window `w` that is assigned to
+//! pivot `c_i` has `dist(p, c_i)` between the window's minimum and maximum
+//! distance to `c_i`, so scanning each pivot's distance annulus and
+//! filtering by containment cannot miss.
+//!
+//! Inserts go to per-pivot overflow pages (paper §VII-H: "ML uses extra
+//! data pages to store points inserted into each index model").
+
+use crate::model::{locate_lower, BuildInput, BuildStats, ModelBuilder, RankModel};
+use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use elsi_ml::kmeans;
+use elsi_spatial::{IDistanceMapper, MappedData, Point, Rect};
+use std::collections::HashSet;
+
+/// ML-Index configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MlConfig {
+    /// Number of iDistance pivots (and hence rank models).
+    pub pivots: usize,
+    /// k-means iterations for pivot selection.
+    pub kmeans_iters: usize,
+    /// At most this many points participate in pivot selection (a uniform
+    /// prefix sample keeps pivot selection `O(1)` in `n`).
+    pub kmeans_sample: usize,
+    /// Seed for pivot selection.
+    pub seed: u64,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        Self { pivots: 8, kmeans_iters: 10, kmeans_sample: 10_000, seed: 0 }
+    }
+}
+
+struct Partition {
+    model: RankModel,
+    offset: usize,
+    len: usize,
+}
+
+/// The ML-Index.
+pub struct MlIndex {
+    mapper: IDistanceMapper,
+    data: MappedData,
+    partitions: Vec<Partition>,
+    /// Per-pivot overflow pages for inserts.
+    overflow: Vec<Vec<Point>>,
+    deleted: HashSet<u64>,
+    stats: Vec<BuildStats>,
+}
+
+impl MlIndex {
+    /// Builds an ML-Index over `points` using the given model builder.
+    pub fn build(points: Vec<Point>, cfg: &MlConfig, builder: &dyn ModelBuilder) -> Self {
+        assert!(cfg.pivots >= 1, "need at least one pivot");
+        let mapper = Self::fit_pivots(&points, cfg);
+        let k = mapper.pivots().len();
+        let data = MappedData::build(points, &mapper);
+        let n = data.len();
+
+        let mut partitions = Vec::with_capacity(k);
+        let mut stats = Vec::new();
+        for i in 0..k {
+            // Pivot i's keys live in [i/k, (i+1)/k) by the iDistance layout.
+            let lo = data.lower_bound(i as f64 / k as f64);
+            let hi = if i + 1 == k { n } else { data.lower_bound((i + 1) as f64 / k as f64) };
+            let built = builder.build_model(&BuildInput {
+                points: &data.points()[lo..hi],
+                keys: &data.keys()[lo..hi],
+                mapper: &mapper,
+                seed: 0x31 + i as u64,
+            });
+            stats.push(built.stats);
+            partitions.push(Partition { model: built.model, offset: lo, len: hi - lo });
+        }
+
+        Self {
+            mapper,
+            data,
+            partitions,
+            overflow: vec![Vec::new(); k],
+            deleted: HashSet::new(),
+            stats,
+        }
+    }
+
+    fn fit_pivots(points: &[Point], cfg: &MlConfig) -> IDistanceMapper {
+        if points.is_empty() {
+            return IDistanceMapper::new(vec![Point::at(0.5, 0.5)]);
+        }
+        let stride = (points.len() / cfg.kmeans_sample.max(1)).max(1);
+        let sample: Vec<(f64, f64)> =
+            points.iter().step_by(stride).map(|p| (p.x, p.y)).collect();
+        let result = kmeans(&sample, cfg.pivots, cfg.kmeans_iters, cfg.seed);
+        let pivots = result.centroids.iter().map(|&(x, y)| Point::at(x, y)).collect();
+        IDistanceMapper::new(pivots)
+    }
+
+    /// The fitted iDistance mapper.
+    pub fn mapper(&self) -> &IDistanceMapper {
+        &self.mapper
+    }
+
+    /// Per-model build statistics.
+    pub fn build_stats(&self) -> &[BuildStats] {
+        &self.stats
+    }
+
+    fn live(&self, p: &Point) -> bool {
+        !self.deleted.contains(&p.id)
+    }
+
+    /// Scans the key range `[key_lo, key_hi]` of partition `i` into `out`,
+    /// filtering by `w` and liveness.
+    fn scan_partition_range(
+        &self,
+        i: usize,
+        key_lo: f64,
+        key_hi: f64,
+        w: &Rect,
+        out: &mut Vec<Point>,
+    ) {
+        let part = &self.partitions[i];
+        if part.len == 0 {
+            return;
+        }
+        let keys = &self.data.keys()[part.offset..part.offset + part.len];
+        let pts = &self.data.points()[part.offset..part.offset + part.len];
+        let lo = locate_lower(keys, part.model.search_range(key_lo), key_lo);
+        let hi = locate_lower(keys, part.model.search_range(key_hi), key_hi.next_up());
+        out.extend(pts[lo..hi].iter().filter(|p| w.contains(p) && self.live(p)).copied());
+    }
+}
+
+impl SpatialIndex for MlIndex {
+    fn len(&self) -> usize {
+        self.data.len() + self.overflow.iter().map(Vec::len).sum::<usize>() - self.deleted.len()
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        let (i, d) = self.mapper.nearest_pivot(q);
+        let key = self.mapper.key_of(i, d);
+        let part = &self.partitions[i];
+        if part.len > 0 {
+            let (lo, hi) = part.model.search_range(key);
+            let pts = &self.data.points()[part.offset..part.offset + part.len];
+            for p in &pts[lo.min(part.len)..hi.min(part.len)] {
+                if p.x == q.x && p.y == q.y && self.live(p) {
+                    return Some(*p);
+                }
+            }
+        }
+        self.overflow[i].iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let corners = [
+            Point::at(w.lo_x, w.lo_y),
+            Point::at(w.lo_x, w.hi_y),
+            Point::at(w.hi_x, w.lo_y),
+            Point::at(w.hi_x, w.hi_y),
+        ];
+        for (i, pivot) in self.mapper.pivots().iter().enumerate() {
+            let d_min = w.min_dist2(pivot).sqrt();
+            let d_max = corners
+                .iter()
+                .map(|c| pivot.dist(c))
+                .fold(0.0f64, f64::max);
+            let key_lo = self.mapper.key_of(i, d_min);
+            let key_hi = self.mapper.key_of(i, d_max);
+            self.scan_partition_range(i, key_lo, key_hi, w, &mut out);
+            out.extend(self.overflow[i].iter().filter(|p| w.contains(p) && self.live(p)).copied());
+        }
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.deleted.remove(&p.id);
+        let (i, _) = self.mapper.nearest_pivot(p);
+        self.overflow[i].push(p);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        let (i, _) = self.mapper.nearest_pivot(p);
+        if let Some(pos) =
+            self.overflow[i].iter().position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+        {
+            self.overflow[i].swap_remove(pos);
+            return true;
+        }
+        if self.point_query(p).is_some() {
+            self.deleted.insert(p.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ML"
+    }
+
+    fn depth(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OgBuilder;
+    use elsi_data::gen::uniform;
+
+    fn build_small(n: usize) -> (Vec<Point>, MlIndex) {
+        let pts = uniform(n, 42);
+        let cfg = MlConfig { pivots: 4, ..MlConfig::default() };
+        let idx = MlIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
+        (pts, idx)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, idx) = build_small(500);
+        for p in &pts {
+            assert_eq!(idx.point_query(*p).expect("found").id, p.id);
+        }
+    }
+
+    #[test]
+    fn window_query_is_exact() {
+        let (pts, idx) = build_small(800);
+        for w in [
+            Rect::new(0.1, 0.1, 0.3, 0.3),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.45, 0.05, 0.55, 0.95),
+        ] {
+            let mut got: Vec<u64> = idx.window_query(&w).iter().map(|p| p.id).collect();
+            let mut want: Vec<u64> = pts.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+            got.sort_unstable();
+            got.dedup();
+            want.sort_unstable();
+            assert_eq!(got, want, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let (pts, idx) = build_small(600);
+        let q = Point::at(0.3, 0.7);
+        let got = idx.knn_query(q, 10);
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        assert_eq!(got.len(), 10);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let (pts, mut idx) = build_small(200);
+        let p = Point::new(5555, 0.314159, 0.271828);
+        idx.insert(p);
+        assert_eq!(idx.len(), 201);
+        assert_eq!(idx.point_query(p).unwrap().id, 5555);
+        assert!(idx.delete(p));
+        assert!(idx.point_query(p).is_none());
+        assert_eq!(idx.len(), 200);
+        // Delete an original point too.
+        assert!(idx.delete(pts[10]));
+        assert!(idx.point_query(pts[10]).is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = MlIndex::build(Vec::new(), &MlConfig::default(), &OgBuilder::with_epochs(10));
+        assert!(idx.is_empty());
+        assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
+        assert!(idx.window_query(&Rect::unit()).is_empty());
+    }
+
+    #[test]
+    fn stats_one_per_pivot() {
+        let (_, idx) = build_small(300);
+        assert_eq!(idx.build_stats().len(), idx.mapper().pivots().len());
+    }
+}

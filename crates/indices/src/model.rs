@@ -1,0 +1,510 @@
+//! The model-building contract between base indices and ELSI.
+//!
+//! Every learned index in this crate trains its internal rank models through
+//! a [`ModelBuilder`]. The default [`OgBuilder`] trains on the full
+//! partition ("OG" in the paper); the `elsi` crate supplies an `ElsiBuilder`
+//! that runs Algorithm 1 — select a building method, shrink the training
+//! set, train on the reduced set, and derive empirical error bounds over the
+//! *full* partition. Swapping the builder turns `ZM` into `ZM-F`, `RSMI`
+//! into `RSMI-F`, and so on, without touching index code.
+
+use elsi_ml::{train_regression, Ffn, PwlModel, TrainConfig};
+use elsi_spatial::{KeyMapper, Point};
+use std::time::{Duration, Instant};
+
+/// Input to a model build: one partition of the data, already mapped and
+/// sorted (Algorithm 1, lines 1–2 happen in the base index).
+#[derive(Clone, Copy)]
+pub struct BuildInput<'a> {
+    /// The partition's points, sorted by mapped key.
+    pub points: &'a [Point],
+    /// The mapped keys, sorted ascending; `keys[i]` belongs to `points[i]`.
+    pub keys: &'a [f64],
+    /// The base index's mapping function (needed by building methods such
+    /// as CL that synthesise new points and must map them).
+    pub mapper: &'a dyn KeyMapper,
+    /// Seed for model initialisation and any stochastic building method.
+    pub seed: u64,
+}
+
+/// A trained rank model with empirical error bounds: the predict-and-scan
+/// unit of every learned index here.
+///
+/// The model predicts the normalised rank of a key; [`RankModel::search_range`]
+/// widens the prediction by the empirical error bounds `err_lo ≤ 0 ≤ err_hi`
+/// recorded over the full partition at build time, which guarantees that a
+/// point query finds its point inside the returned range.
+#[derive(Debug, Clone)]
+pub struct RankModel {
+    f: RankFn,
+    n: usize,
+    err_lo: i64,
+    err_hi: i64,
+}
+
+/// The model family behind a [`RankModel`].
+///
+/// The paper uses FFNs for every prediction model (§VII-B1); the
+/// piecewise-linear family realises its §IV-A future-work pointer — models
+/// with *provable* per-key error bounds in the PGM-index style.
+#[derive(Debug, Clone)]
+pub enum RankFn {
+    /// A feed-forward network (the paper's model family).
+    Ffn(Ffn),
+    /// An ε-bounded piecewise-linear model (PGM-style extension).
+    Pwl(PwlModel),
+}
+
+impl RankFn {
+    #[inline]
+    fn predict_fraction_or_rank(&self, key: f64, n: usize) -> i64 {
+        match self {
+            RankFn::Ffn(f) => {
+                if n == 0 {
+                    return 0;
+                }
+                let pos = f.predict1(key) * (n - 1) as f64;
+                pos.round().clamp(-(n as f64), 2.0 * n as f64) as i64
+            }
+            RankFn::Pwl(m) => {
+                // The PWL model predicts ranks over its own training set;
+                // rescale to the full partition when it was fit on a
+                // reduced set.
+                let fitted = m.len().max(1) as f64;
+                let raw = m.predict(key) as f64 / (fitted - 1.0).max(1.0);
+                (raw * (n.saturating_sub(1)) as f64).round() as i64
+            }
+        }
+    }
+}
+
+impl RankModel {
+    /// Wraps a trained FFN, computing error bounds by predicting every key
+    /// of the full partition (Algorithm 1, line 6).
+    pub fn from_ffn(ffn: Ffn, full_keys: &[f64]) -> Self {
+        Self::from_fn(RankFn::Ffn(ffn), full_keys)
+    }
+
+    /// Wraps a fitted piecewise-linear model, computing empirical error
+    /// bounds over the full partition the same way. (When the PWL model
+    /// was fitted on the full partition itself, the empirical bounds are
+    /// additionally *guaranteed* to lie within ±ε.)
+    pub fn from_pwl(pwl: PwlModel, full_keys: &[f64]) -> Self {
+        Self::from_fn(RankFn::Pwl(pwl), full_keys)
+    }
+
+    fn from_fn(f: RankFn, full_keys: &[f64]) -> Self {
+        let n = full_keys.len();
+        let mut err_lo = 0i64;
+        let mut err_hi = 0i64;
+        for (i, &k) in full_keys.iter().enumerate() {
+            let pred = f.predict_fraction_or_rank(k, n);
+            let err = i as i64 - pred;
+            err_lo = err_lo.min(err);
+            err_hi = err_hi.max(err);
+        }
+        Self { f, n, err_lo, err_hi }
+    }
+
+    /// Number of points in the partition this model indexes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the indexed partition is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Lower error bound (`actual − predicted`, minimum over the partition).
+    #[inline]
+    pub fn err_lo(&self) -> i64 {
+        self.err_lo
+    }
+
+    /// Upper error bound (`actual − predicted`, maximum over the partition).
+    #[inline]
+    pub fn err_hi(&self) -> i64 {
+        self.err_hi
+    }
+
+    /// Total error span `err_l + err_u` in the paper's notation.
+    #[inline]
+    pub fn err_span(&self) -> u64 {
+        (self.err_hi - self.err_lo) as u64
+    }
+
+    /// Predicted position (rank) of `key`, clamped to `[0, n)`.
+    #[inline]
+    pub fn predict(&self, key: f64) -> i64 {
+        self.f.predict_fraction_or_rank(key, self.n)
+    }
+
+    /// The rank range `[lo, hi)` guaranteed to contain any stored point
+    /// with this key.
+    #[inline]
+    pub fn search_range(&self, key: f64) -> (usize, usize) {
+        let pred = self.predict(key);
+        let lo = (pred + self.err_lo).clamp(0, self.n as i64) as usize;
+        let hi = (pred + self.err_hi + 1).clamp(0, self.n as i64) as usize;
+        (lo, hi)
+    }
+
+    /// The underlying model family (model invocation `M(1)`).
+    #[inline]
+    pub fn rank_fn(&self) -> &RankFn {
+        &self.f
+    }
+
+    /// A trivial model for an empty partition.
+    pub fn empty(seed: u64) -> Self {
+        Self { f: RankFn::Ffn(Ffn::new(&[1, 2, 1], seed)), n: 0, err_lo: 0, err_hi: 0 }
+    }
+}
+
+/// Exact lower-bound rank of `key` in `keys`, using a predicted range
+/// `hint = (lo, hi)` as the fast path and a full binary search as the
+/// correctness fallback.
+///
+/// FFN predictions are not monotone, so a model's error-bounded range only
+/// provably brackets *stored* keys; for arbitrary keys (window-query
+/// endpoints) the candidate must be validated: the element before it must
+/// be `< key` and the element at it `≥ key`.
+pub fn locate_lower(keys: &[f64], hint: (usize, usize), key: f64) -> usize {
+    let n = keys.len();
+    let (lo, hi) = (hint.0.min(n), hint.1.min(n));
+    if lo < hi {
+        let cand = lo + keys[lo..hi].partition_point(|&k| k < key);
+        let ok_left = cand == 0 || keys[cand - 1] < key;
+        let ok_right = cand == n || keys[cand] >= key;
+        if ok_left && ok_right {
+            return cand;
+        }
+    }
+    keys.partition_point(|&k| k < key)
+}
+
+/// Build-cost decomposition of one model build (Table I's columns).
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Name of the building method used ("OG", "SP", "RS", …).
+    pub method: &'static str,
+    /// Size of the (possibly reduced) training set.
+    pub training_set_size: usize,
+    /// Extra time spent constructing the reduced training set
+    /// (`cost_ex` in §VI-B; zero for OG).
+    pub reduce_time: Duration,
+    /// Time spent in `train(·)` (`T(|D_S|)`).
+    pub train_time: Duration,
+    /// Time spent deriving error bounds over the full partition (`M(n)`).
+    pub bound_time: Duration,
+    /// Resulting error span `err_l + err_u`.
+    pub err_span: u64,
+}
+
+/// Result of one model build.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The trained model with its error bounds.
+    pub model: RankModel,
+    /// Cost decomposition for reporting.
+    pub stats: BuildStats,
+}
+
+/// Pluggable model construction (the seam where ELSI integrates).
+pub trait ModelBuilder {
+    /// Builds a rank model for one sorted partition.
+    fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel;
+
+    /// Short display name of this builder.
+    fn name(&self) -> &'static str;
+}
+
+/// The original building method: train on the full partition (the paper's
+/// "OG" baseline and the default of every base index).
+#[derive(Debug, Clone)]
+pub struct OgBuilder {
+    /// Hidden width of the rank FFNs.
+    pub hidden: usize,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl Default for OgBuilder {
+    fn default() -> Self {
+        Self { hidden: 16, train: TrainConfig::default() }
+    }
+}
+
+impl OgBuilder {
+    /// A builder with the given epoch budget (other parameters default).
+    pub fn with_epochs(epochs: usize) -> Self {
+        Self { train: TrainConfig { epochs, ..TrainConfig::default() }, ..Self::default() }
+    }
+}
+
+impl ModelBuilder for OgBuilder {
+    fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
+        build_on_training_set(input.keys, input.keys, self.hidden, &self.train, input.seed, "OG", Duration::ZERO)
+    }
+
+    fn name(&self) -> &'static str {
+        "OG"
+    }
+}
+
+/// A [`ModelBuilder`] using ε-bounded piecewise-linear models instead of
+/// FFNs — the §IV-A future-work extension, usable with every base index.
+///
+/// PWL fitting is a single `O(n)` pass, so unlike FFN training it does not
+/// need ELSI's training-set reduction to be fast; handing this builder to a
+/// base index gives near-instant builds *and* provable per-key bounds. The
+/// `model_families` criterion bench quantifies the trade-off against the
+/// paper's FFN family.
+#[derive(Debug, Clone)]
+pub struct PwlBuilder {
+    /// The per-key error bound ε (≥ 1).
+    pub epsilon: usize,
+}
+
+impl Default for PwlBuilder {
+    fn default() -> Self {
+        Self { epsilon: 32 }
+    }
+}
+
+impl ModelBuilder for PwlBuilder {
+    fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
+        let t0 = Instant::now();
+        let pwl = PwlModel::fit(input.keys, self.epsilon);
+        let train_time = t0.elapsed();
+        let t1 = Instant::now();
+        let model = if input.keys.is_empty() {
+            RankModel::empty(input.seed)
+        } else {
+            RankModel::from_pwl(pwl, input.keys)
+        };
+        let bound_time = t1.elapsed();
+        let err_span = model.err_span();
+        BuiltModel {
+            model,
+            stats: BuildStats {
+                method: "PWL",
+                training_set_size: input.keys.len(),
+                reduce_time: Duration::ZERO,
+                train_time,
+                bound_time,
+                err_span,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PWL"
+    }
+}
+
+/// Shared tail of every building method: train an FFN on `training_keys`
+/// (sorted) and derive error bounds over `full_keys` (sorted).
+///
+/// This is lines 5–6 of Algorithm 1, factored out so ELSI's methods and OG
+/// measure their costs identically.
+pub fn build_on_training_set(
+    training_keys: &[f64],
+    full_keys: &[f64],
+    hidden: usize,
+    train: &TrainConfig,
+    seed: u64,
+    method: &'static str,
+    reduce_time: Duration,
+) -> BuiltModel {
+    let t0 = Instant::now();
+    let mut ffn = Ffn::new(&[1, hidden, 1], seed);
+    if !training_keys.is_empty() {
+        let denom = (training_keys.len() - 1).max(1) as f64;
+        let ys: Vec<f64> = (0..training_keys.len()).map(|i| i as f64 / denom).collect();
+        train_regression(&mut ffn, training_keys, &ys, train);
+    }
+    let train_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let model = if full_keys.is_empty() {
+        RankModel::empty(seed)
+    } else {
+        RankModel::from_ffn(ffn, full_keys)
+    };
+    let bound_time = t1.elapsed();
+
+    let err_span = model.err_span();
+    BuiltModel {
+        model,
+        stats: BuildStats {
+            method,
+            training_set_size: training_keys.len(),
+            reduce_time,
+            train_time,
+            bound_time,
+            err_span,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_spatial::MortonMapper;
+
+    fn sorted_keys(n: usize, skew: i32) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 / (n - 1) as f64).powi(skew)).collect()
+    }
+
+    fn points_for(keys: &[f64]) -> Vec<Point> {
+        keys.iter().enumerate().map(|(i, &k)| Point::new(i as u64, k, k)).collect()
+    }
+
+    #[test]
+    fn og_builder_point_query_correctness() {
+        let keys = sorted_keys(500, 2);
+        let pts = points_for(&keys);
+        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 1 };
+        let built = OgBuilder::with_epochs(150).build_model(&input);
+        // Every key must fall inside its own search range.
+        for (i, &k) in keys.iter().enumerate() {
+            let (lo, hi) = built.model.search_range(k);
+            assert!(lo <= i && i < hi, "rank {i} outside [{lo},{hi})");
+        }
+        assert_eq!(built.stats.method, "OG");
+        assert_eq!(built.stats.training_set_size, 500);
+    }
+
+    #[test]
+    fn error_bounds_bracket_zero() {
+        let keys = sorted_keys(200, 1);
+        let built = build_on_training_set(
+            &keys,
+            &keys,
+            8,
+            &TrainConfig { epochs: 100, ..TrainConfig::default() },
+            0,
+            "OG",
+            Duration::ZERO,
+        );
+        assert!(built.model.err_lo() <= 0);
+        assert!(built.model.err_hi() >= 0);
+        assert_eq!(built.model.err_span(), (built.model.err_hi() - built.model.err_lo()) as u64);
+    }
+
+    #[test]
+    fn reduced_training_set_still_correct() {
+        // Train on every 10th key, bounds over all keys: still exact.
+        let keys = sorted_keys(1000, 3);
+        let sample: Vec<f64> = keys.iter().copied().step_by(10).collect();
+        let built = build_on_training_set(
+            &sample,
+            &keys,
+            16,
+            &TrainConfig { epochs: 150, ..TrainConfig::default() },
+            2,
+            "SP",
+            Duration::ZERO,
+        );
+        for (i, &k) in keys.iter().enumerate() {
+            let (lo, hi) = built.model.search_range(k);
+            assert!(lo <= i && i < hi, "rank {i} outside [{lo},{hi})");
+        }
+        assert_eq!(built.stats.training_set_size, 100);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let input = BuildInput { points: &[], keys: &[], mapper: &MortonMapper, seed: 0 };
+        let built = OgBuilder::default().build_model(&input);
+        assert!(built.model.is_empty());
+        assert_eq!(built.model.search_range(0.5), (0, 0));
+    }
+
+    #[test]
+    fn single_point_partition() {
+        let keys = vec![0.5];
+        let pts = points_for(&keys);
+        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 0 };
+        let built = OgBuilder::with_epochs(50).build_model(&input);
+        let (lo, hi) = built.model.search_range(0.5);
+        assert!(lo == 0 && hi >= 1);
+    }
+
+    #[test]
+    fn pwl_builder_point_query_correctness_and_tight_bounds() {
+        let keys = sorted_keys(2000, 3);
+        let pts = points_for(&keys);
+        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 1 };
+        let built = PwlBuilder { epsilon: 16 }.build_model(&input);
+        assert_eq!(built.stats.method, "PWL");
+        // Fitted on the full partition: the empirical span must respect the
+        // provable ±ε guarantee.
+        assert!(built.stats.err_span <= 32, "span {}", built.stats.err_span);
+        for (i, &k) in keys.iter().enumerate().step_by(37) {
+            let (lo, hi) = built.model.search_range(k);
+            assert!(lo <= i && i < hi, "rank {i} outside [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn pwl_rank_model_rescales_from_reduced_set() {
+        // Fit PWL on every 10th key, bound over all: still exact via the
+        // empirical bounds, like any other reduced training set.
+        let keys = sorted_keys(1000, 2);
+        let sample: Vec<f64> = keys.iter().copied().step_by(10).collect();
+        let pwl = elsi_ml::PwlModel::fit(&sample, 4);
+        let model = RankModel::from_pwl(pwl, &keys);
+        for (i, &k) in keys.iter().enumerate().step_by(23) {
+            let (lo, hi) = model.search_range(k);
+            assert!(lo <= i && i < hi, "rank {i} outside [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn locate_lower_with_adversarial_hints() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        // Correct hint.
+        assert_eq!(locate_lower(&keys, (40, 60), 0.5), 50);
+        // Hint entirely left of the answer.
+        assert_eq!(locate_lower(&keys, (0, 10), 0.5), 50);
+        // Hint entirely right of the answer.
+        assert_eq!(locate_lower(&keys, (90, 100), 0.5), 50);
+        // Empty hint.
+        assert_eq!(locate_lower(&keys, (50, 50), 0.5), 50);
+        // Out-of-bounds hint is clamped.
+        assert_eq!(locate_lower(&keys, (90, 10_000), 0.999), 99);
+        // Keys below/above every element.
+        assert_eq!(locate_lower(&keys, (0, 100), -1.0), 0);
+        assert_eq!(locate_lower(&keys, (0, 100), 2.0), 100);
+    }
+
+    #[test]
+    fn locate_lower_with_duplicates() {
+        let keys = vec![0.1, 0.5, 0.5, 0.5, 0.9];
+        assert_eq!(locate_lower(&keys, (0, 5), 0.5), 1);
+        assert_eq!(locate_lower(&keys, (2, 4), 0.5), 1, "must escape a bad hint");
+    }
+
+    #[test]
+    fn search_range_clamped_for_outlier_keys() {
+        let keys = sorted_keys(100, 1);
+        let built = build_on_training_set(
+            &keys,
+            &keys,
+            8,
+            &TrainConfig { epochs: 50, ..TrainConfig::default() },
+            0,
+            "OG",
+            Duration::ZERO,
+        );
+        let (lo, hi) = built.model.search_range(-5.0);
+        assert!(lo <= hi && hi <= 100);
+        let (lo, hi) = built.model.search_range(7.0);
+        assert!(lo <= hi && hi <= 100);
+    }
+}

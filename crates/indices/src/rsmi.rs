@@ -1,0 +1,490 @@
+//! RSMI: the recursive spatial model index (Qi et al., PVLDB 2020).
+//!
+//! RSMI creates a hierarchy of space partitions using space-filling curves:
+//! each node normalises its points into its own bounding rectangle ("rank
+//! space"), orders them by local Hilbert value and learns that order. An
+//! internal node's model routes a key to one of `fanout` contiguous child
+//! partitions (probing neighbours within empirically recorded routing error
+//! bounds); a leaf's model predicts the rank within the leaf. All models go
+//! through the pluggable [`ModelBuilder`] — the ELSI seam.
+//!
+//! Window and kNN queries are approximate *by original design* (paper
+//! §VII-G2): a leaf scans the rank range spanned by probe points of the
+//! query window, which can miss points whose Hilbert values fall outside
+//! that range. Point queries are exact.
+//!
+//! Insertions use RSMI's built-in local procedure (paper §VII-H and Fig. 1):
+//! a new point is routed to its leaf and buffered; an overflowing leaf is
+//! locally rebuilt — growing into a deeper subtree when it has outgrown its
+//! capacity, which is exactly the unbalanced deepening of Figure 1.
+
+use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
+use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use elsi_spatial::{HilbertMapper, KeyMapper, Point, Rect};
+use std::collections::HashSet;
+
+/// RSMI configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RsmiConfig {
+    /// Maximum points per leaf before splitting into a subtree.
+    pub leaf_capacity: usize,
+    /// Children per internal node.
+    pub fanout: usize,
+    /// A leaf whose overflow buffer exceeds this fraction of its size is
+    /// locally rebuilt.
+    pub overflow_fraction: f64,
+}
+
+impl Default for RsmiConfig {
+    fn default() -> Self {
+        Self { leaf_capacity: 2048, fanout: 8, overflow_fraction: 0.5 }
+    }
+}
+
+/// Local (rank-space) Hilbert key of `p` within `bounds`.
+fn local_key(p: Point, bounds: &Rect) -> f64 {
+    let w = (bounds.hi_x - bounds.lo_x).max(1e-12);
+    let h = (bounds.hi_y - bounds.lo_y).max(1e-12);
+    let u = ((p.x - bounds.lo_x) / w).clamp(0.0, 1.0);
+    let v = ((p.y - bounds.lo_y) / h).clamp(0.0, 1.0);
+    HilbertMapper.key(Point::at(u, v))
+}
+
+enum Node {
+    Internal {
+        model: RankModel,
+        bounds: Rect,
+        mbr: Rect,
+        n: usize,
+        /// Routing denominator: the node size when its model was trained.
+        /// Must stay fixed so inserts and queries route identically.
+        n_route: usize,
+        children: Vec<Node>,
+        /// Routing error bounds: actual child − predicted child.
+        route_lo: i64,
+        route_hi: i64,
+    },
+    Leaf {
+        model: RankModel,
+        bounds: Rect,
+        mbr: Rect,
+        points: Vec<Point>,
+        keys: Vec<f64>,
+        overflow: Vec<Point>,
+    },
+}
+
+impl Node {
+    fn n(&self) -> usize {
+        match self {
+            Node::Internal { n, .. } => *n,
+            Node::Leaf { points, overflow, .. } => points.len() + overflow.len(),
+        }
+    }
+
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Internal { mbr, .. } | Node::Leaf { mbr, .. } => *mbr,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn count_models(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::count_models).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// The RSMI index.
+pub struct RsmiIndex {
+    root: Node,
+    cfg: RsmiConfig,
+    deleted: HashSet<u64>,
+    stats: Vec<BuildStats>,
+    n_total: usize,
+}
+
+impl RsmiIndex {
+    /// Builds an RSMI over `points` using the given model builder.
+    pub fn build(points: Vec<Point>, cfg: &RsmiConfig, builder: &dyn ModelBuilder) -> Self {
+        assert!(cfg.fanout >= 2, "fanout must be at least 2");
+        assert!(cfg.leaf_capacity >= 1, "leaf capacity must be positive");
+        let n_total = points.len();
+        let bounds = if points.is_empty() { Rect::unit() } else { Rect::mbr_of(&points) };
+        let mut stats = Vec::new();
+        let root = build_node(points, bounds, cfg, builder, &mut stats, 0);
+        Self { root, cfg: *cfg, deleted: HashSet::new(), stats, n_total }
+    }
+
+    /// Per-model build statistics (pre-order).
+    pub fn build_stats(&self) -> &[BuildStats] {
+        &self.stats
+    }
+
+    /// Number of models in the hierarchy.
+    pub fn num_models(&self) -> usize {
+        self.root.count_models()
+    }
+
+    fn live(&self, p: &Point) -> bool {
+        !self.deleted.contains(&p.id)
+    }
+}
+
+fn build_node(
+    mut points: Vec<Point>,
+    bounds: Rect,
+    cfg: &RsmiConfig,
+    builder: &dyn ModelBuilder,
+    stats: &mut Vec<BuildStats>,
+    seed: u64,
+) -> Node {
+    let mbr = if points.is_empty() { Rect::empty() } else { Rect::mbr_of(&points) };
+    // Map and sort in the node's local rank space.
+    let mut keyed: Vec<(f64, Point)> =
+        points.drain(..).map(|p| (local_key(p, &bounds), p)).collect();
+    keyed.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    let keys: Vec<f64> = keyed.iter().map(|(k, _)| *k).collect();
+    let pts: Vec<Point> = keyed.into_iter().map(|(_, p)| p).collect();
+    let n = pts.len();
+
+    let mapper = LocalHilbert { bounds };
+    let built = builder.build_model(&BuildInput {
+        points: &pts,
+        keys: &keys,
+        mapper: &mapper,
+        seed: 0x3517 ^ seed,
+    });
+    stats.push(built.stats);
+    let model = built.model;
+
+    if n <= cfg.leaf_capacity {
+        return Node::Leaf { model, bounds, mbr, points: pts, keys, overflow: Vec::new() };
+    }
+
+    // Partition into `fanout` contiguous rank slices and recurse.
+    let f = cfg.fanout;
+    let mut children = Vec::with_capacity(f);
+    for c in 0..f {
+        let lo = c * n / f;
+        let hi = (c + 1) * n / f;
+        let slice: Vec<Point> = pts[lo..hi].to_vec();
+        let child_bounds = if slice.is_empty() { bounds } else { Rect::mbr_of(&slice) };
+        children.push(build_node(slice, child_bounds, cfg, builder, stats, seed * 31 + c as u64 + 1));
+    }
+
+    // Routing error bounds over this node's own points.
+    let mut route_lo = 0i64;
+    let mut route_hi = 0i64;
+    for (i, &k) in keys.iter().enumerate() {
+        let predicted = route_child(&model, k, n, f) as i64;
+        let actual = ((i * f) / n).min(f - 1) as i64;
+        route_lo = route_lo.min(actual - predicted);
+        route_hi = route_hi.max(actual - predicted);
+    }
+
+    Node::Internal { model, bounds, mbr, n, n_route: n, children, route_lo, route_hi }
+}
+
+/// A [`KeyMapper`] for one node's rank space, handed to building methods
+/// that need to map synthesised points (e.g. CL centroids).
+struct LocalHilbert {
+    bounds: Rect,
+}
+
+impl KeyMapper for LocalHilbert {
+    fn key(&self, p: Point) -> f64 {
+        local_key(p, &self.bounds)
+    }
+}
+
+#[inline]
+fn route_child(model: &RankModel, key: f64, n: usize, fanout: usize) -> usize {
+    let pred = model.predict(key).clamp(0, n as i64 - 1) as usize;
+    ((pred * fanout) / n).min(fanout - 1)
+}
+
+impl RsmiIndex {
+    fn point_query_node<'a>(&'a self, node: &'a Node, q: Point) -> Option<Point> {
+        match node {
+            Node::Leaf { model, bounds, points, keys, overflow, .. } => {
+                let key = local_key(q, bounds);
+                let (lo, hi) = model.search_range(key);
+                for (p, _) in points[lo..hi.min(points.len())]
+                    .iter()
+                    .zip(&keys[lo..hi.min(keys.len())])
+                {
+                    if p.x == q.x && p.y == q.y && self.live(p) {
+                        return Some(*p);
+                    }
+                }
+                overflow.iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+            }
+            Node::Internal { model, bounds, n_route, children, route_lo, route_hi, .. } => {
+                let key = local_key(q, bounds);
+                let c = route_child(model, key, *n_route, children.len()) as i64;
+                let lo = (c + route_lo).clamp(0, children.len() as i64 - 1) as usize;
+                let hi = (c + route_hi).clamp(0, children.len() as i64 - 1) as usize;
+                for child in &children[lo..=hi] {
+                    if let Some(found) = self.point_query_node(child, q) {
+                        return Some(found);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn window_query_node(&self, node: &Node, w: &Rect, out: &mut Vec<Point>) {
+        match node {
+            Node::Leaf { model, bounds, mbr, points, keys, overflow } => {
+                if points.is_empty() && overflow.is_empty() {
+                    return;
+                }
+                let clipped = Rect::new(
+                    w.lo_x.max(mbr.lo_x),
+                    w.lo_y.max(mbr.lo_y),
+                    w.hi_x.min(mbr.hi_x),
+                    w.hi_y.min(mbr.hi_y),
+                );
+                // Large overlap: scan the whole leaf (cheap and exact).
+                let coverage = if mbr.area() > 0.0 {
+                    clipped.area() / mbr.area()
+                } else {
+                    1.0
+                };
+                let (lo, hi) = if coverage >= 0.3 {
+                    (0, points.len())
+                } else {
+                    // Probe the window's corners, edge midpoints and centre
+                    // in the leaf's rank space; scan the spanned rank range.
+                    // This is the approximate part of RSMI's window query.
+                    let cx = (clipped.lo_x + clipped.hi_x) / 2.0;
+                    let cy = (clipped.lo_y + clipped.hi_y) / 2.0;
+                    let probes = [
+                        Point::at(clipped.lo_x, clipped.lo_y),
+                        Point::at(clipped.lo_x, clipped.hi_y),
+                        Point::at(clipped.hi_x, clipped.lo_y),
+                        Point::at(clipped.hi_x, clipped.hi_y),
+                        Point::at(cx, clipped.lo_y),
+                        Point::at(cx, clipped.hi_y),
+                        Point::at(clipped.lo_x, cy),
+                        Point::at(clipped.hi_x, cy),
+                        Point::at(cx, cy),
+                    ];
+                    let mut lo = usize::MAX;
+                    let mut hi = 0usize;
+                    for p in probes {
+                        let (l, h) = model.search_range(local_key(p, bounds));
+                        lo = lo.min(l);
+                        hi = hi.max(h);
+                    }
+                    (lo.min(points.len()), hi.min(points.len()))
+                };
+                let _ = keys;
+                out.extend(
+                    points[lo..hi].iter().filter(|p| w.contains(p) && self.live(p)).copied(),
+                );
+                out.extend(overflow.iter().filter(|p| w.contains(p) && self.live(p)).copied());
+            }
+            Node::Internal { children, .. } => {
+                for child in children {
+                    if child.n() > 0 && w.intersects(&child.mbr()) {
+                        self.window_query_node(child, w, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert_into(node: &mut Node, p: Point, cfg: &RsmiConfig, builder: &dyn ModelBuilder) {
+        match node {
+            Node::Leaf { mbr, overflow, points, .. } => {
+                mbr.expand(&p);
+                overflow.push(p);
+                let trigger = ((points.len() as f64 * cfg.overflow_fraction) as usize).max(8);
+                if overflow.len() > trigger {
+                    // Local rebuild (Fig. 1): merge buffered points and
+                    // relearn; an oversized leaf deepens into a subtree.
+                    let mut all = std::mem::take(points);
+                    all.append(overflow);
+                    let bounds = Rect::mbr_of(&all);
+                    let mut local_stats = Vec::new();
+                    *node = build_node(all, bounds, cfg, builder, &mut local_stats, 0xF00D);
+                }
+            }
+            Node::Internal { model, bounds, mbr, n, n_route, children, .. } => {
+                mbr.expand(&p);
+                *n += 1;
+                let key = local_key(p, bounds);
+                let c = route_child(model, key, *n_route, children.len());
+                Self::insert_into(&mut children[c], p, cfg, builder);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for RsmiIndex {
+    fn len(&self) -> usize {
+        self.n_total - self.deleted.len()
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        self.point_query_node(&self.root, q)
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.window_query_node(&self.root, w, &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.deleted.remove(&p.id);
+        self.n_total += 1;
+        // Local rebuilds retrain with a fast OG pass over the (small) leaf,
+        // matching RSMI's built-in insertion procedure.
+        let local_builder = crate::model::OgBuilder::with_epochs(30);
+        RsmiIndex::insert_into(&mut self.root, p, &self.cfg, &local_builder);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        if self.point_query(p).is_some() {
+            self.deleted.insert(p.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RSMI"
+    }
+
+    fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OgBuilder;
+    use elsi_data::gen::{skewed, uniform};
+
+    fn build_small(n: usize) -> (Vec<Point>, RsmiIndex) {
+        let pts = uniform(n, 17);
+        let cfg = RsmiConfig { leaf_capacity: 128, fanout: 4, ..RsmiConfig::default() };
+        let idx = RsmiIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
+        (pts, idx)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, idx) = build_small(600);
+        assert!(idx.depth() >= 2, "600 points with capacity 128 must split");
+        for p in &pts {
+            assert_eq!(idx.point_query(*p).expect("found").id, p.id);
+        }
+    }
+
+    #[test]
+    fn window_query_recall_is_high() {
+        let (pts, idx) = build_small(1000);
+        let mut total_want = 0usize;
+        let mut total_got = 0usize;
+        for i in 0..20 {
+            let c = pts[i * 37 % pts.len()];
+            let w = Rect::window_around(c, 0.01);
+            let got = idx.window_query(&w);
+            let want: Vec<&Point> = pts.iter().filter(|p| w.contains(p)).collect();
+            // No false positives.
+            assert!(got.iter().all(|p| w.contains(p)));
+            total_want += want.len();
+            total_got += got.len();
+        }
+        assert!(total_want > 0);
+        let recall = total_got as f64 / total_want as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn knn_returns_k_nearby_points() {
+        let (pts, idx) = build_small(800);
+        let q = Point::at(0.5, 0.5);
+        let got = idx.knn_query(q, 10);
+        assert_eq!(got.len(), 10);
+        // Approximate: allow slack vs brute force, but results must be close.
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        let exact_r = q.dist(&want[9]);
+        assert!(got.iter().all(|p| q.dist(p) <= exact_r * 3.0 + 1e-9));
+    }
+
+    #[test]
+    fn insert_then_find_and_local_rebuild() {
+        let (_, mut idx) = build_small(400);
+        // Skewed insertions into one corner trigger local rebuilds (Fig. 1).
+        let inserts = skewed(300, 6, 99);
+        for (i, mut p) in inserts.into_iter().enumerate() {
+            p.id = 10_000 + i as u64;
+            p.x *= 0.1;
+            p.y *= 0.1;
+            idx.insert(p);
+        }
+        assert_eq!(idx.len(), 700);
+        // All inserted points must be findable.
+        let probe = Point::new(10_005, 0.0, 0.0);
+        let _ = probe;
+        for i in 0..300u64 {
+            // Re-generate the same stream to probe.
+            let mut p = skewed(300, 6, 99)[i as usize];
+            p.id = 10_000 + i;
+            p.x *= 0.1;
+            p.y *= 0.1;
+            assert!(idx.point_query(p).is_some(), "inserted point {i} lost");
+        }
+    }
+
+    #[test]
+    fn delete_hides_point() {
+        let (pts, mut idx) = build_small(300);
+        assert!(idx.delete(pts[7]));
+        assert!(idx.point_query(pts[7]).is_none());
+        assert_eq!(idx.len(), 299);
+    }
+
+    #[test]
+    fn empty_and_tiny_indices() {
+        let idx = RsmiIndex::build(Vec::new(), &RsmiConfig::default(), &OgBuilder::with_epochs(5));
+        assert!(idx.is_empty());
+        assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
+
+        let one = vec![Point::new(0, 0.5, 0.5)];
+        let idx = RsmiIndex::build(one.clone(), &RsmiConfig::default(), &OgBuilder::with_epochs(5));
+        assert_eq!(idx.point_query(one[0]).unwrap().id, 0);
+    }
+
+    #[test]
+    fn hierarchy_stats_and_models() {
+        let (_, idx) = build_small(600);
+        assert_eq!(idx.build_stats().len(), idx.num_models());
+        assert!(idx.num_models() >= 5, "root + children expected");
+    }
+}

@@ -1,0 +1,269 @@
+//! Shared R-tree machinery for the HRR and RR* baselines.
+//!
+//! Both traditional competitors are R-trees that differ only in how the
+//! tree is constructed: HRR bulk-loads by Hilbert order (Qi et al., PVLDB
+//! 2018), RR* inserts dynamically with the revised R*-tree heuristics
+//! (Beckmann & Seeger, SIGMOD 2009). Queries — window recursion and
+//! best-first kNN over MBRs — are identical and live here.
+
+use elsi_spatial::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An R-tree node. Leaves hold points; internal nodes hold children.
+#[derive(Debug, Clone)]
+pub(crate) enum RNode {
+    /// A leaf page.
+    Leaf {
+        /// MBR of the stored points.
+        mbr: Rect,
+        /// The stored points.
+        points: Vec<Point>,
+    },
+    /// An internal node.
+    Internal {
+        /// MBR of all children.
+        mbr: Rect,
+        /// Child nodes.
+        children: Vec<RNode>,
+    },
+}
+
+impl RNode {
+    pub(crate) fn new_leaf(points: Vec<Point>) -> Self {
+        let mbr = Rect::mbr_of(&points);
+        RNode::Leaf { mbr, points }
+    }
+
+    pub(crate) fn new_internal(children: Vec<RNode>) -> Self {
+        let mut mbr = Rect::empty();
+        for c in &children {
+            mbr.expand_rect(&c.mbr());
+        }
+        RNode::Internal { mbr, children }
+    }
+
+    #[inline]
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            RNode::Leaf { mbr, .. } | RNode::Internal { mbr, .. } => *mbr,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            RNode::Leaf { points, .. } => points.len(),
+            RNode::Internal { children, .. } => children.iter().map(RNode::len).sum(),
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        match self {
+            RNode::Leaf { .. } => 1,
+            RNode::Internal { children, .. } => {
+                1 + children.iter().map(RNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Collects all points in `w` (exact).
+    pub(crate) fn window_into(&self, w: &Rect, out: &mut Vec<Point>) {
+        match self {
+            RNode::Leaf { mbr, points } => {
+                if !w.intersects(mbr) {
+                    return;
+                }
+                if w.contains_rect(mbr) {
+                    out.extend_from_slice(points);
+                } else {
+                    out.extend(points.iter().filter(|p| w.contains(p)).copied());
+                }
+            }
+            RNode::Internal { mbr, children } => {
+                if !w.intersects(mbr) {
+                    return;
+                }
+                for c in children {
+                    c.window_into(w, out);
+                }
+            }
+        }
+    }
+
+    /// Finds a stored point with the coordinates of `q`.
+    pub(crate) fn find(&self, q: Point) -> Option<Point> {
+        match self {
+            RNode::Leaf { mbr, points } => {
+                if !mbr.contains(&q) {
+                    return None;
+                }
+                points.iter().find(|p| p.x == q.x && p.y == q.y).copied()
+            }
+            RNode::Internal { mbr, children } => {
+                if !mbr.contains(&q) {
+                    return None;
+                }
+                children.iter().find_map(|c| c.find(q))
+            }
+        }
+    }
+
+    /// Removes the point with the id and coordinates of `p`, fixing MBRs
+    /// along the path. Returns whether it was removed.
+    pub(crate) fn remove(&mut self, p: Point) -> bool {
+        match self {
+            RNode::Leaf { mbr, points } => {
+                if !mbr.contains(&p) {
+                    return false;
+                }
+                if let Some(pos) =
+                    points.iter().position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
+                {
+                    points.swap_remove(pos);
+                    *mbr = Rect::mbr_of(points);
+                    true
+                } else {
+                    false
+                }
+            }
+            RNode::Internal { mbr, children } => {
+                if !mbr.contains(&p) {
+                    return false;
+                }
+                for c in children.iter_mut() {
+                    if c.remove(p) {
+                        children.retain(|c| c.len() > 0);
+                        let mut new_mbr = Rect::empty();
+                        for c in children.iter() {
+                            new_mbr.expand_rect(&c.mbr());
+                        }
+                        *mbr = new_mbr;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A heap entry ordered by *ascending* distance (min-heap via reversed Ord).
+struct HeapEntry<'a> {
+    dist2: f64,
+    item: HeapItem<'a>,
+}
+
+enum HeapItem<'a> {
+    Node(&'a RNode),
+    Point(Point),
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller distance = greater priority.
+        other.dist2.partial_cmp(&self.dist2).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Exact best-first kNN search (Hjaltason & Samet) over node MINDISTs.
+pub(crate) fn knn_best_first(root: &RNode, q: Point, k: usize) -> Vec<Point> {
+    let mut out = Vec::with_capacity(k);
+    if k == 0 || root.len() == 0 {
+        return out;
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist2: root.mbr().min_dist2(&q), item: HeapItem::Node(root) });
+    while let Some(entry) = heap.pop() {
+        match entry.item {
+            HeapItem::Point(p) => {
+                out.push(p);
+                if out.len() == k {
+                    return out;
+                }
+            }
+            HeapItem::Node(RNode::Leaf { points, .. }) => {
+                for p in points {
+                    heap.push(HeapEntry { dist2: q.dist2(p), item: HeapItem::Point(*p) });
+                }
+            }
+            HeapItem::Node(RNode::Internal { children, .. }) => {
+                for c in children {
+                    if c.len() > 0 {
+                        heap.push(HeapEntry {
+                            dist2: c.mbr().min_dist2(&q),
+                            item: HeapItem::Node(c),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree(side: usize, leaf: usize) -> (Vec<Point>, RNode) {
+        let pts: Vec<Point> = (0..side * side)
+            .map(|i| Point::new(i as u64, (i % side) as f64 / side as f64, (i / side) as f64 / side as f64))
+            .collect();
+        // Pack leaves row-major, one internal level.
+        let leaves: Vec<RNode> =
+            pts.chunks(leaf).map(|c| RNode::new_leaf(c.to_vec())).collect();
+        (pts.clone(), RNode::new_internal(leaves))
+    }
+
+    #[test]
+    fn window_into_is_exact() {
+        let (pts, root) = grid_tree(16, 10);
+        let w = Rect::new(0.2, 0.2, 0.55, 0.7);
+        let mut got = Vec::new();
+        root.window_into(&w, &mut got);
+        let want = pts.iter().filter(|p| w.contains(p)).count();
+        assert_eq!(got.len(), want);
+        assert!(got.iter().all(|p| w.contains(p)));
+    }
+
+    #[test]
+    fn find_and_remove() {
+        let (pts, mut root) = grid_tree(8, 7);
+        assert_eq!(root.find(pts[20]).unwrap().id, 20);
+        assert!(root.remove(pts[20]));
+        assert!(root.find(pts[20]).is_none());
+        assert_eq!(root.len(), 63);
+        assert!(!root.remove(pts[20]));
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, root) = grid_tree(12, 9);
+        let q = Point::at(0.37, 0.61);
+        let got = knn_best_first(&root, q, 8);
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        assert_eq!(got.len(), 8);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_k_zero_and_oversized() {
+        let (_, root) = grid_tree(4, 4);
+        assert!(knn_best_first(&root, Point::at(0.5, 0.5), 0).is_empty());
+        assert_eq!(knn_best_first(&root, Point::at(0.5, 0.5), 100).len(), 16);
+    }
+}

@@ -1,0 +1,169 @@
+//! The common query interface of all eight spatial indices.
+
+use elsi_spatial::{Point, Rect};
+
+/// Point, window and kNN queries plus updates: the operations the paper
+/// evaluates (§VII-G, §VII-H). All indices — learned and traditional —
+/// implement this trait so the harness can sweep them uniformly.
+pub trait SpatialIndex {
+    /// Number of indexed points (including buffered inserts, excluding
+    /// deleted points).
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds a stored point with exactly the coordinates of `q` and returns
+    /// it. Paper point queries look up indexed points by location.
+    fn point_query(&self, q: Point) -> Option<Point>;
+
+    /// All stored points inside `w`. Learned indices may return approximate
+    /// results (RSMI by design, LISA under FFN shard prediction); the
+    /// traditional indices and ML-Index are exact.
+    fn window_query(&self, w: &Rect) -> Vec<Point>;
+
+    /// The `k` nearest stored points to `q`, sorted by distance. May be
+    /// approximate for the indices whose window queries are approximate.
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point>;
+
+    /// Inserts a point.
+    ///
+    /// Point ids are expected to be unique across the index's lifetime.
+    /// Re-inserting an id that was previously deleted additionally
+    /// un-tombstones the old stored point in the learned indices (both
+    /// copies become visible and count toward [`SpatialIndex::len`]).
+    fn insert(&mut self, p: Point);
+
+    /// Deletes the stored point with the coordinates and id of `p`;
+    /// returns whether it was found.
+    fn delete(&mut self, p: Point) -> bool;
+
+    /// Display name ("ZM", "RSMI", "Grid", …).
+    fn name(&self) -> &'static str;
+
+    /// Structural depth (model layers for learned indices, tree height for
+    /// traditional ones); an input feature of the rebuild predictor.
+    fn depth(&self) -> usize {
+        1
+    }
+}
+
+impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn point_query(&self, q: Point) -> Option<Point> {
+        (**self).point_query(q)
+    }
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        (**self).window_query(w)
+    }
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        (**self).knn_query(q, k)
+    }
+    fn insert(&mut self, p: Point) {
+        (**self).insert(p)
+    }
+    fn delete(&mut self, p: Point) -> bool {
+        (**self).delete(p)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn depth(&self) -> usize {
+        (**self).depth()
+    }
+}
+
+/// Shared kNN fallback: expanding window search over any window-query
+/// implementation.
+///
+/// Starts from a window sized to expect ~`k` points and doubles the side
+/// until `k` results lie within `side / 2` of `q` — at that point no closer
+/// point can be outside the window, so the result is exact *if* the window
+/// query is exact (and inherits its recall otherwise, matching the paper's
+/// observation that learned indices use window queries as the kNN basis).
+pub fn knn_by_expanding_window<F>(q: Point, k: usize, n: usize, mut window_fn: F) -> Vec<Point>
+where
+    F: FnMut(&Rect) -> Vec<Point>,
+{
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    // Expected-density start: a window that would hold ~4k uniform points.
+    let mut side = ((4 * k) as f64 / n as f64).sqrt().clamp(1e-4, 2.0);
+    loop {
+        let w = Rect::new(q.x - side / 2.0, q.y - side / 2.0, q.x + side / 2.0, q.y + side / 2.0);
+        let mut cands = window_fn(&w);
+        cands.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).expect("finite distances"));
+        cands.truncate(k);
+        let safe_radius = side / 2.0;
+        if cands.len() == k && q.dist(&cands[k - 1]) <= safe_radius {
+            return cands;
+        }
+        if side >= 2.0 {
+            // Window covers the whole unit square: return what exists.
+            return cands;
+        }
+        side = (side * 2.0).min(2.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_knn(data: &[Point], q: Point, k: usize) -> Vec<Point> {
+        let mut pts = data.to_vec();
+        pts.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        pts.truncate(k);
+        pts
+    }
+
+    #[test]
+    fn expanding_window_matches_brute_force() {
+        let data: Vec<Point> = (0..400)
+            .map(|i| Point::new(i, (i % 20) as f64 / 20.0 + 0.01, (i / 20) as f64 / 20.0 + 0.01))
+            .collect();
+        let q = Point::at(0.52, 0.48);
+        let exact_window =
+            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let got = knn_by_expanding_window(q, 10, data.len(), exact_window);
+        let want = brute_knn(&data, q, 10);
+        assert_eq!(got.len(), 10);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((q.dist(g) - q.dist(w)).abs() < 1e-12, "distance mismatch");
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n() {
+        let data = vec![Point::new(0, 0.5, 0.5), Point::new(1, 0.6, 0.6)];
+        let exact_window =
+            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let got = knn_by_expanding_window(Point::at(0.1, 0.1), 5, data.len(), exact_window);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let got = knn_by_expanding_window(Point::at(0.5, 0.5), 0, 100, |_| vec![]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn knn_near_corner() {
+        let data: Vec<Point> = (0..100)
+            .map(|i| Point::new(i, (i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0))
+            .collect();
+        let q = Point::at(0.0, 0.0);
+        let exact_window =
+            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let got = knn_by_expanding_window(q, 3, data.len(), exact_window);
+        let want = brute_knn(&data, q, 3);
+        assert_eq!(got.len(), 3);
+        assert!((q.dist(&got[2]) - q.dist(&want[2])).abs() < 1e-12);
+    }
+}

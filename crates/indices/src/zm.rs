@@ -1,0 +1,362 @@
+//! ZM: the Z-order model index (Wang et al., MDM 2019).
+//!
+//! ZM maps points to Z-curve values, sorts them, and learns the rank
+//! function with a small RMI: a root model routes a key to one of `S`
+//! second-stage models, each predicting the global rank. Every model —
+//! root and leaves — is built through the pluggable [`ModelBuilder`], which
+//! is the ELSI integration seam.
+//!
+//! Point queries are exact: the per-leaf error bounds are computed over the
+//! points that *route* to each leaf (including root misroutings), so the
+//! predict-and-scan window always contains the queried point. Window
+//! queries are exact too, via the Z-range property (all points in a window
+//! have Z-values between the window corners' Z-values).
+
+use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
+use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
+use std::collections::HashSet;
+
+/// ZM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ZmConfig {
+    /// Number of second-stage models.
+    pub fanout: usize,
+}
+
+impl Default for ZmConfig {
+    fn default() -> Self {
+        Self { fanout: 8 }
+    }
+}
+
+struct Leaf {
+    model: RankModel,
+    /// Global rank of the leaf's first point.
+    offset: usize,
+    /// Composed error bounds (actual − predicted) over routed points.
+    err_lo: i64,
+    err_hi: i64,
+}
+
+/// The ZM index.
+///
+/// ```
+/// use elsi_indices::{OgBuilder, SpatialIndex, ZmConfig, ZmIndex};
+/// let pts = elsi_data::gen::uniform(500, 1);
+/// let idx = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &OgBuilder::with_epochs(40));
+/// assert!(idx.point_query(pts[42]).is_some()); // exact under predict-and-scan
+/// ```
+pub struct ZmIndex {
+    data: MappedData,
+    root: RankModel,
+    leaves: Vec<Leaf>,
+    /// Buffered inserts, scanned at query time.
+    buffer: Vec<Point>,
+    /// Tombstoned point ids.
+    deleted: HashSet<u64>,
+    stats: Vec<BuildStats>,
+}
+
+impl ZmIndex {
+    /// Builds a ZM index over `points` using the given model builder.
+    pub fn build(points: Vec<Point>, cfg: &ZmConfig, builder: &dyn ModelBuilder) -> Self {
+        assert!(cfg.fanout >= 1, "fanout must be positive");
+        let data = MappedData::build(points, &MortonMapper);
+        let n = data.len();
+        let mut stats = Vec::new();
+
+        if n == 0 {
+            return Self {
+                data,
+                root: RankModel::empty(0),
+                leaves: Vec::new(),
+                buffer: Vec::new(),
+                deleted: HashSet::new(),
+                stats,
+            };
+        }
+
+        // Root model over the full key CDF.
+        let root_built = builder.build_model(&BuildInput {
+            points: data.points(),
+            keys: data.keys(),
+            mapper: &MortonMapper,
+            seed: 0xD00,
+        });
+        stats.push(root_built.stats);
+        let root = root_built.model;
+
+        // Second-stage models over contiguous rank slices.
+        let s = cfg.fanout.min(n).max(1);
+        let mut leaves = Vec::with_capacity(s);
+        for j in 0..s {
+            let lo = j * n / s;
+            let hi = (j + 1) * n / s;
+            let built = builder.build_model(&BuildInput {
+                points: &data.points()[lo..hi],
+                keys: &data.keys()[lo..hi],
+                mapper: &MortonMapper,
+                seed: 0xD01 + j as u64,
+            });
+            stats.push(built.stats);
+            leaves.push(Leaf { model: built.model, offset: lo, err_lo: 0, err_hi: 0 });
+        }
+
+        let mut zm = Self { data, root, leaves, buffer: Vec::new(), deleted: HashSet::new(), stats };
+        zm.compute_composed_bounds();
+        zm
+    }
+
+    /// Algorithm 1, line 6, composed over the two stages: predict every
+    /// point through its *routed* leaf and record per-leaf error bounds.
+    fn compute_composed_bounds(&mut self) {
+        let n = self.data.len();
+        for i in 0..n {
+            let key = self.data.keys()[i];
+            let j = self.route(key);
+            let pred = self.predict_global(j, key);
+            let err = i as i64 - pred;
+            let leaf = &mut self.leaves[j];
+            leaf.err_lo = leaf.err_lo.min(err);
+            leaf.err_hi = leaf.err_hi.max(err);
+        }
+    }
+
+    /// Leaf index that `key` routes to.
+    #[inline]
+    fn route(&self, key: f64) -> usize {
+        let n = self.data.len();
+        let s = self.leaves.len();
+        let pred = self.root.predict(key).clamp(0, n as i64 - 1) as usize;
+        (pred * s / n).min(s - 1)
+    }
+
+    /// Global rank predicted by leaf `j` for `key`.
+    #[inline]
+    fn predict_global(&self, j: usize, key: f64) -> i64 {
+        let leaf = &self.leaves[j];
+        leaf.model.predict(key) + leaf.offset as i64
+    }
+
+    /// Guaranteed search range for a stored point with this key.
+    fn search_range(&self, key: f64) -> (usize, usize) {
+        if self.data.is_empty() {
+            return (0, 0);
+        }
+        let j = self.route(key);
+        let leaf = &self.leaves[j];
+        let pred = self.predict_global(j, key);
+        let n = self.data.len() as i64;
+        let lo = (pred + leaf.err_lo).clamp(0, n) as usize;
+        let hi = (pred + leaf.err_hi + 1).clamp(0, n) as usize;
+        (lo, hi)
+    }
+
+    /// Exact lower-bound rank of an arbitrary key: model-predicted range
+    /// first, global binary search as the correctness fallback (FFNs are
+    /// not monotone, so the predicted range only provably brackets *stored*
+    /// keys).
+    fn locate_lower(&self, key: f64) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        crate::model::locate_lower(self.data.keys(), self.search_range(key), key)
+    }
+
+    /// Per-model build statistics (root first, then the leaves).
+    pub fn build_stats(&self) -> &[BuildStats] {
+        &self.stats
+    }
+
+    /// Sum of all models' error spans, `Σ (err_l + err_u)`.
+    pub fn total_err_span(&self) -> u64 {
+        self.leaves.iter().map(|l| (l.err_hi - l.err_lo) as u64).sum()
+    }
+
+    fn live(&self, p: &Point) -> bool {
+        !self.deleted.contains(&p.id)
+    }
+}
+
+impl SpatialIndex for ZmIndex {
+    fn len(&self) -> usize {
+        self.data.len() + self.buffer.len() - self.deleted.len()
+    }
+
+    fn point_query(&self, q: Point) -> Option<Point> {
+        let key = MortonMapper.key(q);
+        let (lo, hi) = self.search_range(key);
+        for p in &self.data.points()[lo..hi] {
+            if p.x == q.x && p.y == q.y && self.live(p) {
+                return Some(*p);
+            }
+        }
+        self.buffer.iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+    }
+
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        if !self.data.is_empty() {
+            let z_lo = MortonMapper.key(Point::at(w.lo_x, w.lo_y));
+            let z_hi = MortonMapper.key(Point::at(w.hi_x, w.hi_y));
+            let lo = self.locate_lower(z_lo);
+            let hi = self.locate_lower(z_hi.next_up());
+            out.extend(
+                self.data.points()[lo..hi]
+                    .iter()
+                    .filter(|p| w.contains(p) && self.live(p))
+                    .copied(),
+            );
+        }
+        out.extend(self.buffer.iter().filter(|p| w.contains(p) && self.live(p)).copied());
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.deleted.remove(&p.id);
+        self.buffer.push(p);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        if let Some(pos) =
+            self.buffer.iter().position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+        {
+            self.buffer.swap_remove(pos);
+            return true;
+        }
+        if self.point_query(p).is_some() {
+            self.deleted.insert(p.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ZM"
+    }
+
+    fn depth(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OgBuilder;
+
+    fn build_small(n: usize) -> (Vec<Point>, ZmIndex) {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let x = (i % 31) as f64 / 31.0 + 0.003;
+                let y = (i / 31) as f64 / ((n / 31 + 1) as f64) + 0.007;
+                Point::new(i as u64, x, y)
+            })
+            .collect();
+        let idx =
+            ZmIndex::build(pts.clone(), &ZmConfig { fanout: 4 }, &OgBuilder::with_epochs(60));
+        (pts, idx)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, idx) = build_small(500);
+        assert_eq!(idx.len(), 500);
+        for p in &pts {
+            let got = idx.point_query(*p).expect("point must be found");
+            assert_eq!(got.id, p.id);
+        }
+    }
+
+    #[test]
+    fn point_query_misses_absent_point() {
+        let (_, idx) = build_small(200);
+        assert!(idx.point_query(Point::at(0.9999, 0.00001)).is_none());
+    }
+
+    #[test]
+    fn window_query_is_exact() {
+        let (pts, idx) = build_small(500);
+        let w = Rect::new(0.2, 0.2, 0.6, 0.7);
+        let mut got: Vec<u64> = idx.window_query(&w).iter().map(|p| p.id).collect();
+        let mut want: Vec<u64> = pts.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, idx) = build_small(400);
+        let q = Point::at(0.41, 0.39);
+        let got = idx.knn_query(q, 7);
+        let mut want = pts.clone();
+        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        assert_eq!(got.len(), 7);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn insert_then_query() {
+        let (_, mut idx) = build_small(100);
+        let p = Point::new(9999, 0.123456, 0.654321);
+        assert!(idx.point_query(p).is_none());
+        idx.insert(p);
+        assert_eq!(idx.point_query(p).unwrap().id, 9999);
+        assert_eq!(idx.len(), 101);
+        // Window over the inserted point sees it too.
+        let w = Rect::new(0.12, 0.65, 0.13, 0.66);
+        assert!(idx.window_query(&w).iter().any(|q| q.id == 9999));
+    }
+
+    #[test]
+    fn delete_hides_point() {
+        let (pts, mut idx) = build_small(100);
+        assert!(idx.delete(pts[42]));
+        assert!(idx.point_query(pts[42]).is_none());
+        assert_eq!(idx.len(), 99);
+        assert!(!idx.delete(pts[42]), "double delete must fail");
+        let w = Rect::unit();
+        assert!(!idx.window_query(&w).iter().any(|p| p.id == 42));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ZmIndex::build(Vec::new(), &ZmConfig::default(), &OgBuilder::with_epochs(10));
+        assert!(idx.is_empty());
+        assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
+        assert!(idx.window_query(&Rect::unit()).is_empty());
+        assert!(idx.knn_query(Point::at(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_found() {
+        // TPC-H-style data: massive key duplication must not break the
+        // predict-and-scan guarantee.
+        let mut pts: Vec<Point> = (0..300)
+            .map(|i| Point::new(i, ((i % 5) as f64 + 0.5) / 5.0, ((i % 7) as f64 + 0.5) / 7.0))
+            .collect();
+        pts.push(Point::new(999, 0.31, 0.41));
+        let idx = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &OgBuilder::with_epochs(40));
+        for p in pts.iter().step_by(17) {
+            assert!(idx.point_query(*p).is_some(), "lost {p}");
+        }
+        assert_eq!(idx.point_query(Point::at(0.31, 0.41)).unwrap().id, 999);
+    }
+
+    #[test]
+    fn build_stats_cover_all_models() {
+        let (_, idx) = build_small(300);
+        // Root + 4 leaves.
+        assert_eq!(idx.build_stats().len(), 5);
+        assert!(idx.build_stats().iter().all(|s| s.method == "OG"));
+    }
+}

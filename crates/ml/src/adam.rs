@@ -1,0 +1,94 @@
+//! Adam optimiser (Kingma & Ba, 2015).
+//!
+//! The paper trains every FFN with Adam at learning rate 0.01 (§VII-B1).
+
+/// Adam state over a flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimiser for `n` parameters with the given learning rate
+    /// and the standard moment decay rates (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(n: usize, lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Computes the parameter step for `grads` and writes it into `step`
+    /// (`step[i]` is *added* to parameter `i`).
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree with the optimiser size.
+    pub fn step_into(&mut self, grads: &[f64], step: &mut [f64]) {
+        assert_eq!(grads.len(), self.m.len());
+        assert_eq!(step.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..grads.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            step[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_moves_against_gradient_at_lr() {
+        let mut opt = Adam::new(2, 0.01);
+        let mut step = vec![0.0; 2];
+        opt.step_into(&[1.0, -2.0], &mut step);
+        // On the first step, m_hat/v_hat.sqrt() = sign(g), so |step| ≈ lr.
+        assert!((step[0] + 0.01).abs() < 1e-6);
+        assert!((step[1] - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_gradient_gives_zero_step() {
+        let mut opt = Adam::new(3, 0.01);
+        let mut step = vec![1.0; 3];
+        opt.step_into(&[0.0; 3], &mut step);
+        assert!(step.iter().all(|&s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise f(p) = (p - 3)^2 from p = 0.
+        let mut p = 0.0;
+        let mut opt = Adam::new(1, 0.1);
+        let mut step = vec![0.0];
+        for _ in 0..2000 {
+            let g = 2.0 * (p - 3.0);
+            opt.step_into(&[g], &mut step);
+            p += step[0];
+        }
+        assert!((p - 3.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Adam::new(2, 0.01);
+        let mut step = vec![0.0; 2];
+        opt.step_into(&[1.0], &mut step);
+    }
+}

@@ -1,0 +1,414 @@
+//! Feed-forward networks (FFNs) with ReLU hidden layers and linear output.
+//!
+//! The paper uses FFNs for *all* prediction models (§VII-B1): the per-index
+//! rank models, the method scorer's build/query cost estimators, the rebuild
+//! predictor, and the DQN of the RL building method. This module replaces
+//! the paper's PyTorch substrate with a compact, deterministic, CPU-only
+//! implementation whose training cost is linear in the training-set size —
+//! exactly the `T(|D_S|)` vs `T(n)` asymmetry that ELSI exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense (fully connected) layer: `y = W·x + b`.
+///
+/// Weights are stored row-major (`w[o * fan_in + i]`), which keeps the
+/// forward pass a sequence of contiguous dot products.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    fan_in: usize,
+    fan_out: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Dense {
+    fn new(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        // He initialisation, appropriate for ReLU activations.
+        let scale = (2.0 / fan_in as f64).sqrt();
+        let w = (0..fan_in * fan_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        let b = vec![0.0; fan_out];
+        Self { fan_in, fan_out, w, b }
+    }
+
+    #[inline]
+    fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.fan_in);
+        debug_assert_eq!(out.len(), self.fan_out);
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.w[o * self.fan_in..(o + 1) * self.fan_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *out_v = acc;
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A multi-layer perceptron. Hidden layers use ReLU; the output is linear.
+#[derive(Debug, Clone)]
+pub struct Ffn {
+    layers: Vec<Dense>,
+    sizes: Vec<usize>,
+}
+
+/// Per-training-step gradient buffer, laid out layer by layer
+/// (weights then biases for each layer).
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Flat gradient vector matching [`Ffn::params_flat`] order.
+    pub flat: Vec<f64>,
+}
+
+/// Forward-pass activation cache used by backpropagation.
+///
+/// `act[l]` is the input to layer `l` (so `act[0]` is the network input) and
+/// `pre[l]` is layer `l`'s pre-activation output. Buffers are lazily shaped
+/// on first use and reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    pre: Vec<Vec<f64>>,
+    act: Vec<Vec<f64>>,
+}
+
+impl Cache {
+    fn ensure_shape(&mut self, sizes: &[usize]) {
+        let n_layers = sizes.len() - 1;
+        let shaped = self.act.len() == n_layers
+            && self.pre.len() == n_layers
+            && self.act.iter().zip(sizes).all(|(a, &s)| a.len() == s)
+            && self.pre.iter().zip(&sizes[1..]).all(|(p, &s)| p.len() == s);
+        if !shaped {
+            self.act = sizes[..n_layers].iter().map(|&s| vec![0.0; s]).collect();
+            self.pre = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
+        }
+    }
+}
+
+impl Ffn {
+    /// Creates an FFN with the given layer sizes, e.g. `[1, 16, 1]` for the
+    /// rank models. Weights are seeded for reproducibility.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "an FFN needs at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], &mut rng)).collect();
+        Self { layers, sizes: sizes.to_vec() }
+    }
+
+    /// Layer sizes this network was built with.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output dimensionality.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().expect("non-empty sizes")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Runs the network on `x`, writing the output into `out`.
+    pub fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut next = vec![0.0; layer.fan_out];
+            layer.forward_into(&cur, &mut next);
+            if l != last {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            cur = next;
+        }
+        *out = cur;
+    }
+
+    /// Runs the network on `x` and returns the output vector.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Scalar convenience for `1 → … → 1` rank models: the hot path of
+    /// predict-and-scan (cost `M(1)` in the paper's analysis).
+    #[inline]
+    pub fn predict1(&self, x: f64) -> f64 {
+        debug_assert_eq!(self.input_dim(), 1);
+        debug_assert_eq!(self.output_dim(), 1);
+        // Unrolled two-layer fast path ([1, H, 1]) avoids allocation.
+        if self.layers.len() == 2 {
+            let h = &self.layers[0];
+            let o = &self.layers[1];
+            let mut acc = o.b[0];
+            for j in 0..h.fan_out {
+                let a = (h.w[j] * x + h.b[j]).max(0.0);
+                acc += o.w[j] * a;
+            }
+            return acc;
+        }
+        self.forward(&[x])[0]
+    }
+
+    /// Forward pass that records activations for backpropagation. Scalar
+    /// convenience over [`Ffn::forward_cached_vec`].
+    pub fn forward_cached(&self, x: &[f64], cache: &mut Cache) -> f64 {
+        self.forward_cached_vec(x, cache)[0]
+    }
+
+    /// Forward pass recording activations, returning the full output vector
+    /// (used by the DQN whose output dimension is the action count).
+    ///
+    /// `cache` buffers are reused across calls, so a training loop that
+    /// keeps one `Cache` performs no per-sample allocation.
+    pub fn forward_cached_vec<'c>(&self, x: &[f64], cache: &'c mut Cache) -> &'c [f64] {
+        cache.ensure_shape(&self.sizes);
+        let last = self.layers.len() - 1;
+        cache.act[0].copy_from_slice(x);
+        for (l, layer) in self.layers.iter().enumerate() {
+            // `act` and `pre` are disjoint fields, so the borrows are fine.
+            layer.forward_into(&cache.act[l], &mut cache.pre[l]);
+            if l != last {
+                for (a, &p) in cache.act[l + 1].iter_mut().zip(&cache.pre[l]) {
+                    *a = p.max(0.0);
+                }
+            }
+        }
+        &cache.pre[last]
+    }
+
+    /// Backpropagates the output-layer error `d_out` (∂loss/∂output) through
+    /// the cached activations, accumulating parameter gradients into `grads`.
+    pub fn backward(&self, cache: &Cache, d_out: &[f64], grads: &mut Gradients) {
+        debug_assert_eq!(d_out.len(), self.output_dim());
+        let mut delta = d_out.to_vec();
+        // Gradient layout is layer-major; precompute each layer's slice start.
+        let layer_offsets: Vec<usize> = {
+            let mut offs = Vec::with_capacity(self.layers.len());
+            let mut o = 0;
+            for l in &self.layers {
+                offs.push(o);
+                o += l.num_params();
+            }
+            debug_assert_eq!(o, grads.flat.len());
+            offs
+        };
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let base = layer_offsets[l];
+            let x = &cache.act[l];
+            // dW[o][i] += delta[o] * x[i]; db[o] += delta[o]
+            for o in 0..layer.fan_out {
+                let d = delta[o];
+                if d != 0.0 {
+                    let row = &mut grads.flat[base + o * layer.fan_in..base + (o + 1) * layer.fan_in];
+                    for (g, xi) in row.iter_mut().zip(x) {
+                        *g += d * xi;
+                    }
+                }
+                grads.flat[base + layer.fan_in * layer.fan_out + o] += d;
+            }
+            if l == 0 {
+                break;
+            }
+            // delta for previous layer: (W^T · delta) ⊙ relu'(pre[l-1])
+            let mut prev = vec![0.0; layer.fan_in];
+            for o in 0..layer.fan_out {
+                let d = delta[o];
+                if d != 0.0 {
+                    let row = &layer.w[o * layer.fan_in..(o + 1) * layer.fan_in];
+                    for (p, wi) in prev.iter_mut().zip(row) {
+                        *p += d * wi;
+                    }
+                }
+            }
+            for (p, pre) in prev.iter_mut().zip(&cache.pre[l - 1]) {
+                if *pre <= 0.0 {
+                    *p = 0.0;
+                }
+            }
+            delta = prev;
+        }
+    }
+
+    /// Returns a fresh zeroed gradient buffer for this network.
+    pub fn zero_grads(&self) -> Gradients {
+        Gradients { flat: vec![0.0; self.num_params()] }
+    }
+
+    /// Copies all parameters into a flat vector (layer-major, weights then
+    /// biases per layer).
+    pub fn params_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector (inverse of
+    /// [`Ffn::params_flat`]).
+    ///
+    /// # Panics
+    /// Panics if `flat` has the wrong length.
+    pub fn set_params_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.num_params());
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wl = l.w.len();
+            l.w.copy_from_slice(&flat[off..off + wl]);
+            off += wl;
+            let bl = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + bl]);
+            off += bl;
+        }
+    }
+
+    /// Applies a parameter update `p ← p + step` from a flat step vector.
+    pub fn apply_step(&mut self, step: &[f64]) {
+        assert_eq!(step.len(), self.num_params());
+        let mut off = 0;
+        for l in &mut self.layers {
+            for w in &mut l.w {
+                *w += step[off];
+                off += 1;
+            }
+            for b in &mut l.b {
+                *b += step[off];
+                off += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dims() {
+        let f = Ffn::new(&[1, 16, 1], 7);
+        assert_eq!(f.input_dim(), 1);
+        assert_eq!(f.output_dim(), 1);
+        assert_eq!(f.num_params(), 16 + 16 + 16 + 1);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Ffn::new(&[2, 8, 3], 42);
+        let b = Ffn::new(&[2, 8, 3], 42);
+        assert_eq!(a.params_flat(), b.params_flat());
+        let c = Ffn::new(&[2, 8, 3], 43);
+        assert_ne!(a.params_flat(), c.params_flat());
+    }
+
+    #[test]
+    fn predict1_matches_forward() {
+        let f = Ffn::new(&[1, 16, 1], 3);
+        for &x in &[-1.0, 0.0, 0.25, 0.5, 1.0] {
+            let fast = f.predict1(x);
+            let slow = f.forward(&[x])[0];
+            assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut f = Ffn::new(&[3, 5, 2], 1);
+        let p = f.params_flat();
+        let mut f2 = Ffn::new(&[3, 5, 2], 99);
+        f2.set_params_flat(&p);
+        assert_eq!(f2.params_flat(), p);
+        f.apply_step(&vec![0.0; p.len()]);
+        assert_eq!(f.params_flat(), p);
+    }
+
+    /// Numerical gradient check: backprop must agree with central finite
+    /// differences of the MSE loss on every parameter.
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut f = Ffn::new(&[2, 4, 1], 11);
+        let x = [0.3, -0.7];
+        let target = 0.42;
+
+        let mut cache = Cache::default();
+        let y = f.forward_cached(&x, &mut cache);
+        let mut grads = f.zero_grads();
+        // loss = (y - t)^2, d_out = 2 (y - t)
+        f.backward(&cache, &[2.0 * (y - target)], &mut grads);
+
+        let params = f.params_flat();
+        let eps = 1e-6;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            f.set_params_flat(&plus);
+            let lp = (f.forward(&x)[0] - target).powi(2);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            f.set_params_flat(&minus);
+            let lm = (f.forward(&x)[0] - target).powi(2);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.flat[i];
+            assert!(
+                (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_multi_output() {
+        let mut f = Ffn::new(&[3, 6, 4], 5);
+        let x = [0.1, 0.2, -0.3];
+        let t = [0.5, -0.25, 0.0, 1.0];
+
+        let mut cache = Cache::default();
+        let y = f.forward_cached_vec(&x, &mut cache);
+        let d: Vec<f64> = y.iter().zip(&t).map(|(yi, ti)| 2.0 * (yi - ti)).collect();
+        let mut grads = f.zero_grads();
+        f.backward(&cache, &d, &mut grads);
+
+        let loss = |f: &Ffn| -> f64 {
+            f.forward(&x).iter().zip(&t).map(|(yi, ti)| (yi - ti).powi(2)).sum()
+        };
+        let params = f.params_flat();
+        let eps = 1e-6;
+        for i in (0..params.len()).step_by(3) {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            f.set_params_flat(&plus);
+            let lp = loss(&f);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            f.set_params_flat(&minus);
+            let lm = loss(&f);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.flat[i]).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {i}: numeric {numeric} vs analytic {}",
+                grads.flat[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Random forests (bagged CART trees with random subspaces).
+//!
+//! Provides the RFR (regression) and RFC (classification) method-selector
+//! baselines of Figure 6(b).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters; `max_features` defaults to √dim when
+    /// unset here.
+    pub tree: TreeConfig,
+    /// Seed controlling bootstrap sampling and per-tree feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 25, tree: TreeConfig::default(), seed: 0 }
+    }
+}
+
+/// A bagged ensemble of CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: Option<usize>,
+}
+
+impl RandomForest {
+    /// Fits a regression forest (mean aggregation).
+    pub fn fit_regression(xs: &[f64], dim: usize, ys: &[f64], cfg: &ForestConfig) -> Self {
+        Self::fit(xs, dim, Targets::Regression(ys), cfg)
+    }
+
+    /// Fits a classification forest (majority vote).
+    pub fn fit_classification(
+        xs: &[f64],
+        dim: usize,
+        labels: &[usize],
+        n_classes: usize,
+        cfg: &ForestConfig,
+    ) -> Self {
+        Self::fit(xs, dim, Targets::Classification { labels, n_classes }, cfg)
+    }
+
+    fn fit(xs: &[f64], dim: usize, targets: Targets<'_>, cfg: &ForestConfig) -> Self {
+        assert!(cfg.n_trees > 0, "forest needs at least one tree");
+        let n = xs.len() / dim;
+        assert!(n > 0, "empty training set");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let max_features =
+            cfg.tree.max_features.unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize);
+
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for t in 0..cfg.n_trees {
+            // Bootstrap sample of the rows.
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let mut bx = Vec::with_capacity(rows.len() * dim);
+            for &r in &rows {
+                bx.extend_from_slice(&xs[r * dim..(r + 1) * dim]);
+            }
+            let tree_cfg = TreeConfig {
+                max_features: Some(max_features.min(dim)),
+                seed: cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9),
+                ..cfg.tree
+            };
+            let tree = match &targets {
+                Targets::Regression(ys) => {
+                    let by: Vec<f64> = rows.iter().map(|&r| ys[r]).collect();
+                    DecisionTree::fit_regression(&bx, dim, &by, &tree_cfg)
+                }
+                Targets::Classification { labels, n_classes } => {
+                    let bl: Vec<usize> = rows.iter().map(|&r| labels[r]).collect();
+                    DecisionTree::fit_classification(&bx, dim, &bl, *n_classes, &tree_cfg)
+                }
+            };
+            trees.push(tree);
+        }
+        let n_classes = match targets {
+            Targets::Regression(_) => None,
+            Targets::Classification { n_classes, .. } => Some(n_classes),
+        };
+        Self { trees, n_classes }
+    }
+
+    /// Mean prediction over all trees (regression forests).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Majority-vote class prediction (classification forests).
+    ///
+    /// # Panics
+    /// Panics if the forest was fit for regression.
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        let n_classes = self.n_classes.expect("classification forest required");
+        let mut votes = vec![0usize; n_classes];
+        for t in &self.trees {
+            let c = t.predict_class(x).min(n_classes - 1);
+            votes[c] += 1;
+        }
+        let mut best = 0;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+enum Targets<'a> {
+    Regression(&'a [f64]),
+    Classification { labels: &'a [usize], n_classes: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_forest_fits_linear() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
+        let f = RandomForest::fit_regression(&xs, 1, &ys, &ForestConfig::default());
+        for &probe in &[0.1, 0.5, 0.9] {
+            assert!((f.predict(&[probe]) - 3.0 * probe).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn classification_forest_separates_blobs() {
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let off = i as f64 * 1e-3;
+            xs.extend([0.1 + off, 0.1 - off]);
+            labels.push(0usize);
+            xs.extend([0.9 - off, 0.9 + off]);
+            labels.push(1usize);
+        }
+        let f = RandomForest::fit_classification(&xs, 2, &labels, 2, &ForestConfig::default());
+        assert_eq!(f.predict_class(&[0.12, 0.08]), 0);
+        assert_eq!(f.predict_class(&[0.88, 0.92]), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+        let cfg = ForestConfig { n_trees: 5, seed: 11, ..ForestConfig::default() };
+        let a = RandomForest::fit_regression(&xs, 1, &ys, &cfg);
+        let b = RandomForest::fit_regression(&xs, 1, &ys, &cfg);
+        assert_eq!(a.predict(&[20.0]), b.predict(&[20.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "classification forest required")]
+    fn predict_class_on_regression_forest_panics() {
+        let f = RandomForest::fit_regression(&[0.0, 1.0], 1, &[0.0, 1.0], &ForestConfig::default());
+        f.predict_class(&[0.5]);
+    }
+
+    #[test]
+    fn forest_len() {
+        let cfg = ForestConfig { n_trees: 7, ..ForestConfig::default() };
+        let f = RandomForest::fit_regression(&[0.0, 1.0], 1, &[0.0, 1.0], &cfg);
+        assert_eq!(f.len(), 7);
+        assert!(!f.is_empty());
+    }
+}

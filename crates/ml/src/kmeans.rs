@@ -1,0 +1,192 @@
+//! k-means clustering (Lloyd's algorithm).
+//!
+//! Used by the CL building method (paper §V-A2, cluster centroids as the
+//! reduced training set) and by the ML-Index to pick its iDistance pivots.
+//! The paper notes the straightforward `O(C · n · d · i)` cost is exactly
+//! why CL is the slowest building method — we keep the straightforward
+//! implementation so that cost shows up honestly in the benchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// Result of a k-means run over 2-D points.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids as `(x, y)` pairs.
+    pub centroids: Vec<(f64, f64)>,
+    /// Cluster assignment of each input point.
+    pub assignment: Vec<usize>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Runs k-means over `(x, y)` pairs.
+///
+/// Initial centroids are a seeded uniform sample of the input (the paper
+/// uses plain k-means "due to its simplicity"). Runs at most `max_iter`
+/// iterations, stopping early when assignments no longer change. Empty
+/// clusters are re-seeded to the point farthest from its current centroid.
+///
+/// ```
+/// use elsi_ml::kmeans;
+/// let pts = vec![(0.1, 0.1), (0.12, 0.11), (0.9, 0.9), (0.88, 0.91)];
+/// let r = kmeans(&pts, 2, 20, 7);
+/// assert_eq!(r.centroids.len(), 2);
+/// assert_eq!(r.assignment[0], r.assignment[1]); // same blob, same cluster
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0` or the input is empty.
+pub fn kmeans(points: &[(f64, f64)], k: usize, max_iter: usize, seed: u64) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "k-means needs data");
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids: Vec<(f64, f64)> =
+        index_sample(&mut rng, points.len(), k).into_iter().map(|i| points[i]).collect();
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let c = nearest(&centroids, *p).0;
+            if assignment[i] != c {
+                assignment[i] = c;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![(0.0, 0.0, 0usize); k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            sums[a].0 += p.0;
+            sums[a].1 += p.1;
+            sums[a].2 += 1;
+        }
+        for (c, s) in centroids.iter_mut().zip(&sums) {
+            if s.2 > 0 {
+                *c = (s.0 / s.2 as f64, s.1 / s.2 as f64);
+            }
+        }
+        // Re-seed empty clusters with the worst-served point.
+        for ci in 0..k {
+            if sums[ci].2 == 0 {
+                if let Some((wi, _)) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, dist2(*p, centroids[assignment[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                {
+                    centroids[ci] = points[wi];
+                    changed = true;
+                }
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia =
+        points.iter().zip(&assignment).map(|(p, &a)| dist2(*p, centroids[a])).sum();
+    KMeansResult { centroids, assignment, iterations, inertia }
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[inline]
+fn nearest(centroids: &[(f64, f64)], p: (f64, f64)) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(p, *c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 50.0 * 0.05;
+            pts.push((0.1 + t, 0.1 + t));
+            pts.push((0.9 - t, 0.9 - t));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 50, 1);
+        assert_eq!(r.centroids.len(), 2);
+        // One centroid near (0.125, 0.125), the other near (0.875, 0.875).
+        let mut cs = r.centroids.clone();
+        cs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((cs[0].0 - 0.125).abs() < 0.05, "{:?}", cs);
+        assert!((cs[1].0 - 0.875).abs() < 0.05, "{:?}", cs);
+        // All points in a blob share an assignment.
+        let a0 = r.assignment[0];
+        for i in (0..100).step_by(2) {
+            assert_eq!(r.assignment[i], a0);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![(0.5, 0.5), (0.6, 0.6)];
+        let r = kmeans(&pts, 10, 10, 0);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 4, 30, 9);
+        let b = kmeans(&pts, 4, 30, 9);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let r1 = kmeans(&pts, 1, 30, 0);
+        let r4 = kmeans(&pts, 4, 30, 0);
+        assert!(r4.inertia <= r1.inertia);
+    }
+
+    #[test]
+    fn single_point() {
+        let r = kmeans(&[(0.3, 0.7)], 1, 10, 0);
+        assert_eq!(r.centroids, vec![(0.3, 0.7)]);
+        assert_eq!(r.assignment, vec![0]);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_loop() {
+        let pts = vec![(0.5, 0.5); 20];
+        let r = kmeans(&pts, 3, 100, 2);
+        assert!(r.iterations <= 100);
+        assert!(r.inertia < 1e-12);
+    }
+}

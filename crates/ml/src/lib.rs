@@ -1,0 +1,33 @@
+//! # elsi-ml
+//!
+//! The machine-learning substrate of the ELSI reproduction. The paper runs
+//! all of its models — per-index rank predictors, the method scorer, the
+//! rebuild predictor and the RL method's DQN — as small FFNs on PyTorch;
+//! this crate replaces that stack with a deterministic, CPU-only
+//! implementation (see `DESIGN.md` §3 for the substitution argument), and
+//! adds the CART/random-forest baselines of Figure 6(b) plus the k-means
+//! used by the CL building method.
+//!
+//! Everything is seeded: identical inputs and seeds produce identical
+//! models, which the test suite relies on.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adam;
+pub mod dqn;
+pub mod ffn;
+pub mod forest;
+pub mod kmeans;
+pub mod pwl;
+pub mod train;
+pub mod tree;
+
+pub use adam::Adam;
+pub use dqn::{Dqn, DqnConfig, ReplayBuffer, Transition};
+pub use ffn::{Cache, Ffn, Gradients};
+pub use forest::{ForestConfig, RandomForest};
+pub use kmeans::{kmeans, KMeansResult};
+pub use pwl::PwlModel;
+pub use train::{train_rank_model, train_regression, TrainConfig, TrainReport};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,270 @@
+//! Piecewise-linear rank models with provable error bounds.
+//!
+//! The paper notes (§IV-A) that learned spatial indices only offer
+//! *empirical* query error bounds, and that extending the PGM-index's
+//! piecewise-linear approximation — which yields a *theoretical* bound on
+//! the query error — to learned spatial indices "is interesting but beyond
+//! the scope" of the paper. This module implements that extension's core
+//! ingredient: an ε-bounded piecewise-linear approximation of a sorted key
+//! array's rank function, built with the classic shrinking-cone (one-pass)
+//! segmentation of Ferragina & Vinciguerra's PGM-index.
+//!
+//! Guarantee: for every *distinct* training key `k`,
+//! `|predict(k) − lower_bound_rank(k)| ≤ ε` — by construction, not by
+//! measurement. (Duplicate runs are fitted as one point at their first
+//! occurrence, exactly as the PGM-index treats repeated keys; a
+//! predict-and-scan consumer keeps scanning while keys stay equal.)
+
+/// One linear segment `rank ≈ slope · (key − start_key) + intercept`.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start_key: f64,
+    slope: f64,
+    intercept: f64,
+}
+
+/// An ε-bounded piecewise-linear model of a sorted key array's rank
+/// function.
+///
+/// ```
+/// use elsi_ml::PwlModel;
+/// let keys: Vec<f64> = (0..1000).map(|i| (i as f64 / 999.0).powi(3)).collect();
+/// let model = PwlModel::fit(&keys, 8);
+/// // Provable bound: every fitted key's lower-bound rank is within ±8.
+/// let (lo, hi) = model.search_range(keys[500]);
+/// assert!(lo <= 500 && 500 < hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PwlModel {
+    segments: Vec<Segment>,
+    /// First key of each segment, for binary-search routing.
+    boundaries: Vec<f64>,
+    epsilon: usize,
+    n: usize,
+}
+
+impl PwlModel {
+    /// Fits the model over sorted `keys` with error bound `epsilon ≥ 1`.
+    ///
+    /// Uses the shrinking-cone algorithm: a segment is extended while some
+    /// line through its origin point keeps every covered point within
+    /// ±ε of its rank; when the feasible slope cone empties, a new segment
+    /// starts. One pass, `O(n)` time.
+    ///
+    /// # Panics
+    /// Panics if `epsilon == 0` or `keys` is unsorted (debug builds).
+    pub fn fit(keys: &[f64], epsilon: usize) -> Self {
+        assert!(epsilon >= 1, "epsilon must be at least 1");
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        let n = keys.len();
+        let mut segments = Vec::new();
+        if n == 0 {
+            return Self { segments, boundaries: Vec::new(), epsilon, n };
+        }
+        let eps = epsilon as f64;
+
+        // Distinct keys with their first-occurrence (lower-bound) rank:
+        // duplicate runs collapse to one fitted point, as in the PGM-index.
+        let mut distinct: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for (i, &k) in keys.iter().enumerate() {
+            if distinct.last().map_or(true, |&(last, _)| k > last) {
+                distinct.push((k, i));
+            }
+        }
+
+        let mut start = 0usize; // index into `distinct`
+        let mut slope_lo = f64::NEG_INFINITY;
+        let mut slope_hi = f64::INFINITY;
+        let mut i = 1usize;
+        while i <= distinct.len() {
+            if i == distinct.len() {
+                segments.push(close_segment(&distinct, start, slope_lo, slope_hi));
+                break;
+            }
+            let dx = distinct[i].0 - distinct[start].0;
+            let dy = distinct[i].1 as f64 - distinct[start].1 as f64;
+            debug_assert!(dx > 0.0, "distinct keys are strictly increasing");
+            let lo_cand = (dy - eps) / dx;
+            let hi_cand = (dy + eps) / dx;
+            let new_lo = slope_lo.max(lo_cand);
+            let new_hi = slope_hi.min(hi_cand);
+            if new_lo > new_hi {
+                // Cone emptied: close the current segment at i - 1 and
+                // start a new one at i.
+                segments.push(close_segment(&distinct, start, slope_lo, slope_hi));
+                start = i;
+                slope_lo = f64::NEG_INFINITY;
+                slope_hi = f64::INFINITY;
+            } else {
+                slope_lo = new_lo;
+                slope_hi = new_hi;
+            }
+            i += 1;
+        }
+
+        let boundaries = segments.iter().map(|s| s.start_key).collect();
+        Self { segments, boundaries, epsilon, n }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The provable error bound ε.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// Number of keys the model was fitted on.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the model covers no keys.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Predicted rank of `key`, clamped to `[0, n)`.
+    pub fn predict(&self, key: f64) -> i64 {
+        if self.segments.is_empty() {
+            return 0;
+        }
+        // Route to the segment whose start_key is the last ≤ key.
+        let idx = self.boundaries.partition_point(|&b| b <= key).saturating_sub(1);
+        let s = &self.segments[idx];
+        let raw = s.slope * (key - s.start_key) + s.intercept;
+        (raw.round() as i64).clamp(0, self.n as i64 - 1)
+    }
+
+    /// The rank range `[lo, hi)` guaranteed (for fitted keys) to contain
+    /// the true rank: `predict ± ε`.
+    pub fn search_range(&self, key: f64) -> (usize, usize) {
+        let pred = self.predict(key);
+        let eps = self.epsilon as i64;
+        let lo = (pred - eps).clamp(0, self.n as i64) as usize;
+        let hi = (pred + eps + 1).clamp(0, self.n as i64) as usize;
+        (lo, hi)
+    }
+}
+
+/// Closes a segment starting at distinct-key index `start` using the
+/// midpoint of the final feasible slope cone (any slope in the cone
+/// satisfies the ε bound).
+fn close_segment(distinct: &[(f64, usize)], start: usize, slope_lo: f64, slope_hi: f64) -> Segment {
+    let slope = if slope_lo.is_finite() && slope_hi.is_finite() {
+        (slope_lo + slope_hi) / 2.0
+    } else if slope_hi.is_finite() {
+        slope_hi
+    } else if slope_lo.is_finite() {
+        slope_lo
+    } else {
+        // Single-point segment.
+        0.0
+    };
+    let (key, rank) = distinct[start];
+    Segment { start_key: key, slope, intercept: rank as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_guarantee(keys: &[f64], eps: usize) -> usize {
+        let m = PwlModel::fit(keys, eps);
+        for (i, &k) in keys.iter().enumerate() {
+            let lb = keys.partition_point(|&x| x < k) as i64;
+            let err = (m.predict(k) - lb).unsigned_abs() as usize;
+            assert!(err <= eps, "key rank {i}: lower-bound error {err} > eps {eps}");
+            let (lo, hi) = m.search_range(k);
+            assert!(
+                lo as i64 <= lb && (lb as usize) < hi,
+                "lower bound {lb} outside [{lo},{hi})"
+            );
+        }
+        m.num_segments()
+    }
+
+    #[test]
+    fn linear_keys_need_one_segment() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let m = PwlModel::fit(&keys, 4);
+        assert_eq!(m.num_segments(), 1);
+        check_guarantee(&keys, 4);
+    }
+
+    #[test]
+    fn guarantee_holds_on_skewed_keys() {
+        let keys: Vec<f64> = (0..2000).map(|i| (i as f64 / 1999.0).powi(4)).collect();
+        for eps in [1, 4, 16, 64] {
+            check_guarantee(&keys, eps);
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_fewer_segments() {
+        let keys: Vec<f64> = (0..3000)
+            .map(|i| {
+                let x = i as f64 / 2999.0;
+                x.powi(3) * 0.7 + (x * 37.0).sin().abs() * 0.3 / 37.0 + x * 1e-6
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tight = PwlModel::fit(&sorted, 2).num_segments();
+        let loose = PwlModel::fit(&sorted, 32).num_segments();
+        assert!(loose <= tight, "loose {loose} vs tight {tight}");
+        check_guarantee(&sorted, 2);
+        check_guarantee(&sorted, 32);
+    }
+
+    #[test]
+    fn duplicates_within_epsilon() {
+        let mut keys = vec![0.25; 5];
+        keys.extend(vec![0.5; 5]);
+        keys.extend(vec![0.75; 5]);
+        check_guarantee(&keys, 3);
+    }
+
+    #[test]
+    fn heavy_duplicates_collapse_to_one_fitted_point() {
+        // 100 duplicates fit as one (key, first-rank) point: one segment,
+        // prediction exactly at the lower bound.
+        let keys = vec![0.5; 100];
+        let m = PwlModel::fit(&keys, 3);
+        assert_eq!(m.num_segments(), 1);
+        assert_eq!(m.predict(0.5), 0);
+        let (lo, hi) = m.search_range(0.5);
+        assert!(lo == 0 && hi >= 1 && hi <= 100);
+    }
+
+    #[test]
+    fn tpch_style_duplicates_keep_guarantee() {
+        // 50 distinct keys, 40 copies each — the TPC-H structure.
+        let mut keys = Vec::new();
+        for q in 0..50 {
+            keys.extend(std::iter::repeat((q as f64 + 0.5) / 50.0).take(40));
+        }
+        check_guarantee(&keys, 2);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let m = PwlModel::fit(&[], 4);
+        assert!(m.is_empty());
+        assert_eq!(m.predict(0.5), 0);
+
+        let m = PwlModel::fit(&[0.3], 1);
+        assert_eq!(m.predict(0.3), 0);
+        assert_eq!(m.search_range(0.3), (0, 1));
+    }
+
+    #[test]
+    fn out_of_range_keys_clamp() {
+        let keys: Vec<f64> = (0..100).map(|i| 0.2 + i as f64 / 500.0).collect();
+        let m = PwlModel::fit(&keys, 4);
+        assert_eq!(m.predict(-1.0), 0);
+        assert_eq!(m.predict(10.0), 99);
+    }
+}

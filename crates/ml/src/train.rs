@@ -1,0 +1,199 @@
+//! Mini-batch FFN training with Adam and L2 loss.
+//!
+//! This is the `train(·)` primitive of Algorithm 1, supplied once here and
+//! reused by every base index and by the ELSI scorer/predictor models. Its
+//! wall-clock cost is `Θ(epochs · n)`, the `T(n)` of the paper's cost
+//! analysis — which is what makes shrinking `n` to `|D_S|` pay off.
+
+use crate::adam::Adam;
+use crate::ffn::{Cache, Ffn};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Adam learning rate (paper: 0.01).
+    pub lr: f64,
+    /// Number of passes over the training set (paper: 500).
+    pub epochs: usize,
+    /// Mini-batch size; `0` means full batch.
+    pub batch_size: usize,
+    /// Seed for shuffling (and nothing else).
+    pub seed: u64,
+    /// Stop early when the epoch MSE falls below this threshold.
+    pub tol: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { lr: 0.01, epochs: 200, batch_size: 64, seed: 0, tol: 0.0 }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    /// Mean squared error over the last epoch.
+    pub final_mse: f64,
+    /// Epochs actually run (may be fewer than configured if `tol` was hit).
+    pub epochs_run: usize,
+    /// Number of training samples.
+    pub samples: usize,
+}
+
+/// Trains `ffn` to regress `ys` from `xs` under mean-squared-error loss.
+///
+/// `xs` is row-major with `ffn.input_dim()` features per sample; `ys` is
+/// row-major with `ffn.output_dim()` targets per sample.
+///
+/// # Panics
+/// Panics if the slice lengths are inconsistent with the network dims or if
+/// the training set is empty.
+pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig) -> TrainReport {
+    let in_dim = ffn.input_dim();
+    let out_dim = ffn.output_dim();
+    assert!(xs.len() % in_dim == 0, "xs length not a multiple of input dim");
+    let n = xs.len() / in_dim;
+    assert!(n > 0, "empty training set");
+    assert_eq!(ys.len(), n * out_dim, "ys length mismatch");
+
+    let batch = if cfg.batch_size == 0 { n } else { cfg.batch_size.min(n) };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut opt = Adam::new(ffn.num_params(), cfg.lr);
+    let mut step = vec![0.0; ffn.num_params()];
+    let mut cache = Cache::default();
+    let mut d_out = vec![0.0; out_dim];
+
+    let mut final_mse = f64::INFINITY;
+    let mut epochs_run = 0;
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_se = 0.0;
+        for chunk in order.chunks(batch) {
+            let mut grads = ffn.zero_grads();
+            for &i in chunk {
+                let x = &xs[i * in_dim..(i + 1) * in_dim];
+                let y = &ys[i * out_dim..(i + 1) * out_dim];
+                let pred = ffn.forward_cached_vec(x, &mut cache);
+                let mut se = 0.0;
+                for ((d, &p), &t) in d_out.iter_mut().zip(pred).zip(y) {
+                    let diff = p - t;
+                    se += diff * diff;
+                    // d(MSE)/d(pred): normalised by batch size so the
+                    // learning rate is batch-size independent.
+                    *d = 2.0 * diff / chunk.len() as f64;
+                }
+                epoch_se += se;
+                ffn.backward(&cache, &d_out, &mut grads);
+            }
+            opt.step_into(&grads.flat, &mut step);
+            ffn.apply_step(&step);
+        }
+        epochs_run += 1;
+        final_mse = epoch_se / (n as f64 * out_dim as f64);
+        if final_mse <= cfg.tol {
+            break;
+        }
+    }
+    TrainReport { final_mse, epochs_run, samples: n }
+}
+
+/// Trains a fresh `[1, hidden, 1]` rank model on a sorted key array: the
+/// workhorse call of every learned spatial index in this repo. Targets are
+/// the normalised ranks `i / (n - 1)`.
+pub fn train_rank_model(keys: &[f64], hidden: usize, cfg: &TrainConfig, seed: u64) -> Ffn {
+    let mut ffn = Ffn::new(&[1, hidden, 1], seed);
+    if keys.is_empty() {
+        return ffn;
+    }
+    let denom = (keys.len() - 1).max(1) as f64;
+    let ys: Vec<f64> = (0..keys.len()).map(|i| i as f64 / denom).collect();
+    train_regression(&mut ffn, keys, &ys, cfg);
+    ffn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_identity_on_uniform_keys() {
+        // The CDF of uniform keys is the identity; a tiny FFN must fit it.
+        let keys: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
+        let cfg = TrainConfig { epochs: 300, ..TrainConfig::default() };
+        let ffn = train_rank_model(&keys, 8, &cfg, 7);
+        let mut worst: f64 = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let pred = ffn.predict1(k);
+            let truth = i as f64 / 199.0;
+            worst = worst.max((pred - truth).abs());
+        }
+        assert!(worst < 0.05, "worst rank error {worst}");
+    }
+
+    #[test]
+    fn learns_skewed_cdf() {
+        // keys = (i/n)^3 — a skewed CDF; the model must still track it.
+        let keys: Vec<f64> = (0..300).map(|i| (i as f64 / 299.0).powi(3)).collect();
+        let cfg = TrainConfig { epochs: 600, ..TrainConfig::default() };
+        let ffn = train_rank_model(&keys, 16, &cfg, 3);
+        let mut worst: f64 = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            worst = worst.max((ffn.predict1(k) - i as f64 / 299.0).abs());
+        }
+        assert!(worst < 0.15, "worst rank error {worst}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let keys: Vec<f64> = (0..100).map(|i| (i as f64 / 99.0).sqrt()).collect();
+        let cfg = TrainConfig { epochs: 50, ..TrainConfig::default() };
+        let a = train_rank_model(&keys, 8, &cfg, 5);
+        let b = train_rank_model(&keys, 8, &cfg, 5);
+        assert_eq!(a.params_flat(), b.params_flat());
+    }
+
+    #[test]
+    fn early_stop_on_tol() {
+        let keys: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let ys: Vec<f64> = keys.clone();
+        let mut ffn = Ffn::new(&[1, 8, 1], 1);
+        let cfg = TrainConfig { epochs: 10_000, tol: 1e-3, ..TrainConfig::default() };
+        let report = train_regression(&mut ffn, &keys, &ys, &cfg);
+        assert!(report.epochs_run < 10_000, "tol must trigger early stop");
+        assert!(report.final_mse <= 1e-3);
+    }
+
+    #[test]
+    fn multi_output_regression() {
+        // Learn y = (x, 1 - x) jointly.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let ys: Vec<f64> = xs.iter().flat_map(|&x| [x, 1.0 - x]).collect();
+        let mut ffn = Ffn::new(&[1, 12, 2], 2);
+        let cfg = TrainConfig { epochs: 500, ..TrainConfig::default() };
+        let report = train_regression(&mut ffn, &xs, &ys, &cfg);
+        assert!(report.final_mse < 0.01, "mse {}", report.final_mse);
+        let out = ffn.forward(&[0.5]);
+        assert!((out[0] - 0.5).abs() < 0.15);
+        assert!((out[1] - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let mut ffn = Ffn::new(&[1, 4, 1], 0);
+        train_regression(&mut ffn, &[], &[], &TrainConfig::default());
+    }
+
+    #[test]
+    fn single_sample_trains() {
+        let mut ffn = Ffn::new(&[1, 4, 1], 0);
+        let cfg = TrainConfig { epochs: 200, ..TrainConfig::default() };
+        let report = train_regression(&mut ffn, &[0.5], &[0.25], &cfg);
+        assert!(report.final_mse < 1e-3);
+        assert!((ffn.predict1(0.5) - 0.25).abs() < 0.05);
+    }
+}

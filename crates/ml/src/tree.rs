@@ -1,0 +1,356 @@
+//! CART decision trees (regression and classification).
+//!
+//! Figure 6(b) of the paper compares the FFN-based method selector against
+//! selectors built on decision trees and random forests, each in a
+//! regression (DTR/RFR) and a classification (DTC/RFC) variant. This module
+//! provides the tree substrate; [`crate::forest`] builds the ensembles.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_leaf: usize,
+    /// If set, the number of features randomly considered per split
+    /// (random-subspace mode, used by random forests).
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_leaf: 2, max_features: None, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf { value: f64 },
+}
+
+/// A binary CART tree over row-major `f64` features.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+/// Internal target abstraction: squared error for regression, Gini impurity
+/// for classification.
+enum Target<'a> {
+    Regression(&'a [f64]),
+    Classification { labels: &'a [usize], n_classes: usize },
+}
+
+impl Target<'_> {
+    /// Leaf value: mean target (regression) or majority class (classification).
+    fn leaf_value(&self, idx: &[usize]) -> f64 {
+        match self {
+            Target::Regression(ys) => {
+                let sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+                sum / idx.len() as f64
+            }
+            Target::Classification { labels, n_classes } => {
+                let mut counts = vec![0usize; *n_classes];
+                for &i in idx {
+                    counts[labels[i]] += 1;
+                }
+                let mut best = 0;
+                for (c, &n) in counts.iter().enumerate() {
+                    if n > counts[best] {
+                        best = c;
+                    }
+                }
+                best as f64
+            }
+        }
+    }
+
+    /// Impurity of the node times its size (so splits compare additively):
+    /// SSE for regression, weighted Gini for classification.
+    fn weighted_impurity(&self, idx: &[usize]) -> f64 {
+        match self {
+            Target::Regression(ys) => {
+                let n = idx.len() as f64;
+                let sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+                let sum2: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
+                sum2 - sum * sum / n
+            }
+            Target::Classification { labels, n_classes } => {
+                let mut counts = vec![0usize; *n_classes];
+                for &i in idx {
+                    counts[labels[i]] += 1;
+                }
+                let n = idx.len() as f64;
+                let gini = 1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>();
+                gini * n
+            }
+        }
+    }
+
+    fn is_pure(&self, idx: &[usize]) -> bool {
+        match self {
+            Target::Regression(ys) => {
+                let first = ys[idx[0]];
+                idx.iter().all(|&i| (ys[i] - first).abs() < 1e-12)
+            }
+            Target::Classification { labels, .. } => {
+                let first = labels[idx[0]];
+                idx.iter().all(|&i| labels[i] == first)
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fits a regression tree minimising squared error.
+    ///
+    /// # Panics
+    /// Panics on empty input or inconsistent lengths.
+    pub fn fit_regression(xs: &[f64], dim: usize, ys: &[f64], cfg: &TreeConfig) -> Self {
+        Self::fit(xs, dim, Target::Regression(ys), cfg)
+    }
+
+    /// Fits a classification tree minimising Gini impurity.
+    ///
+    /// # Panics
+    /// Panics on empty input, inconsistent lengths, or out-of-range labels.
+    pub fn fit_classification(
+        xs: &[f64],
+        dim: usize,
+        labels: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+    ) -> Self {
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Self::fit(xs, dim, Target::Classification { labels, n_classes }, cfg)
+    }
+
+    fn fit(xs: &[f64], dim: usize, target: Target<'_>, cfg: &TreeConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(xs.len() % dim == 0, "xs length not a multiple of dim");
+        let n = xs.len() / dim;
+        assert!(n > 0, "empty training set");
+        match &target {
+            Target::Regression(ys) => assert_eq!(ys.len(), n),
+            Target::Classification { labels, .. } => assert_eq!(labels.len(), n),
+        }
+        let mut tree = Self { nodes: Vec::new(), dim };
+        let idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        tree.grow(xs, &target, idx, 0, cfg, &mut rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        xs: &[f64],
+        target: &Target<'_>,
+        idx: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let make_leaf = idx.len() <= cfg.min_leaf.max(1)
+            || depth >= cfg.max_depth
+            || target.is_pure(&idx);
+        if make_leaf {
+            let node = Node::Leaf { value: target.leaf_value(&idx) };
+            self.nodes.push(node);
+            return self.nodes.len() - 1;
+        }
+
+        let features: Vec<usize> = match cfg.max_features {
+            Some(k) if k < self.dim => {
+                index_sample(rng, self.dim, k).into_iter().collect()
+            }
+            _ => (0..self.dim).collect(),
+        };
+
+        let parent_impurity = target.weighted_impurity(&idx);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut sorted = idx.clone();
+        for &f in &features {
+            sorted.sort_unstable_by(|&a, &b| {
+                xs[a * self.dim + f].partial_cmp(&xs[b * self.dim + f]).expect("finite features")
+            });
+            // Scan split positions between distinct feature values.
+            for cut in cfg.min_leaf.max(1)..=(sorted.len() - cfg.min_leaf.max(1)) {
+                if cut == sorted.len() {
+                    break;
+                }
+                let lo = xs[sorted[cut - 1] * self.dim + f];
+                let hi = xs[sorted[cut] * self.dim + f];
+                if hi <= lo {
+                    continue;
+                }
+                let (l, r) = sorted.split_at(cut);
+                let gain = parent_impurity
+                    - target.weighted_impurity(l)
+                    - target.weighted_impurity(r);
+                if best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, f, (lo + hi) / 2.0));
+                }
+            }
+        }
+
+        // Zero-gain splits are kept (as in scikit-learn with
+        // min_impurity_decrease = 0): XOR-like targets have no positive-gain
+        // first split, yet become separable one level down. Termination is
+        // guaranteed because a valid split strictly shrinks both sides.
+        let Some((_gain, feature, threshold)) = best else {
+            let node = Node::Leaf { value: target.leaf_value(&idx) };
+            self.nodes.push(node);
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| xs[i * self.dim + feature] <= threshold);
+
+        // Reserve our slot before growing children so indices are stable.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 });
+        let left = self.grow(xs, target, left_idx, depth + 1, cfg, rng);
+        let right = self.grow(xs, target, right_idx, depth + 1, cfg, rng);
+        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        me
+    }
+
+    /// Predicts the regression value (or class id as `f64`) for `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim);
+        // The root is node 0 when the tree is a single leaf; otherwise the
+        // root slot was reserved first, so it is also node 0.
+        let mut cur = 0;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts a class id for `x` (classification trees).
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        self.predict(x).round().max(0.0) as usize
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (longest root-to-leaf path, root = 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_fits_step_function() {
+        // y = 0 for x < 0.5, y = 1 otherwise.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| if x < 0.5 { 0.0 } else { 1.0 }).collect();
+        let t = DecisionTree::fit_regression(&xs, 1, &ys, &TreeConfig::default());
+        assert!((t.predict(&[0.2]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[0.8]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_xor() {
+        // XOR over two binary features — needs depth ≥ 2.
+        let xs = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0];
+        let labels = vec![0usize, 1, 1, 0];
+        let cfg = TreeConfig { min_leaf: 1, ..TreeConfig::default() };
+        let t = DecisionTree::fit_classification(&xs, 2, &labels, 2, &cfg);
+        assert_eq!(t.predict_class(&[0.0, 0.0]), 0);
+        assert_eq!(t.predict_class(&[0.0, 1.0]), 1);
+        assert_eq!(t.predict_class(&[1.0, 0.0]), 1);
+        assert_eq!(t.predict_class(&[1.0, 1.0]), 0);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![0.1, 0.2, 0.3, 0.4];
+        let ys = vec![7.0, 7.0, 7.0, 7.0];
+        let t = DecisionTree::fit_regression(&xs, 1, &ys, &TreeConfig::default());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[0.25]), 7.0);
+    }
+
+    #[test]
+    fn max_depth_respected() {
+        let xs: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+        let cfg = TreeConfig { max_depth: 3, min_leaf: 1, ..TreeConfig::default() };
+        let t = DecisionTree::fit_regression(&xs, 1, &ys, &cfg);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn min_leaf_respected_on_tiny_input() {
+        let xs = vec![0.0, 1.0];
+        let ys = vec![0.0, 1.0];
+        let cfg = TreeConfig { min_leaf: 2, ..TreeConfig::default() };
+        let t = DecisionTree::fit_regression(&xs, 1, &ys, &cfg);
+        assert_eq!(t.num_nodes(), 1); // cannot split without violating min_leaf
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic() {
+        let xs: Vec<f64> = (0..50).flat_map(|i| [i as f64, (i * 7 % 50) as f64]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let cfg = TreeConfig { max_features: Some(1), seed: 4, ..TreeConfig::default() };
+        let a = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
+        let b = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
+        let probe = [25.0, 13.0];
+        assert_eq!(a.predict(&probe), b.predict(&probe));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_panic() {
+        DecisionTree::fit_classification(&[0.0], 1, &[5], 2, &TreeConfig::default());
+    }
+
+    #[test]
+    fn multidimensional_regression() {
+        // y = x0 + 10 * x1 on a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                xs.extend([i as f64, j as f64]);
+                ys.push(i as f64 + 10.0 * j as f64);
+            }
+        }
+        let cfg = TreeConfig { max_depth: 10, min_leaf: 1, ..TreeConfig::default() };
+        let t = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
+        assert!((t.predict(&[3.0, 7.0]) - 73.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests over the ML substrate.
+
+use elsi_ml::{kmeans, DecisionTree, Ffn, PwlModel, TreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PWL guarantee: lower-bound rank error ≤ ε for every fitted key.
+    #[test]
+    fn pwl_guarantee(mut keys in prop::collection::vec(0.0f64..1.0, 1..300), eps in 1usize..32) {
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let m = PwlModel::fit(&keys, eps);
+        for &k in &keys {
+            let lb = keys.partition_point(|&x| x < k) as i64;
+            let err = (m.predict(k) - lb).unsigned_abs() as usize;
+            prop_assert!(err <= eps, "lower-bound error {} > eps {}", err, eps);
+        }
+    }
+
+    /// Parameter flattening round-trips for arbitrary layer shapes.
+    #[test]
+    fn ffn_params_roundtrip(h1 in 1usize..12, h2 in 1usize..12, seed in 0u64..1000) {
+        let f = Ffn::new(&[2, h1, h2, 1], seed);
+        let mut g = Ffn::new(&[2, h1, h2, 1], seed ^ 0xFFFF);
+        g.set_params_flat(&f.params_flat());
+        prop_assert_eq!(f.params_flat(), g.params_flat());
+        let x = [0.25, -0.5];
+        prop_assert!((f.forward(&x)[0] - g.forward(&x)[0]).abs() < 1e-12);
+    }
+
+    /// k-means: every point is assigned to its nearest centroid on exit.
+    #[test]
+    fn kmeans_assignment_is_nearest(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 4..120),
+        k in 1usize..6
+    ) {
+        let r = kmeans(&pts, k, 30, 7);
+        for (p, &a) in pts.iter().zip(&r.assignment) {
+            let d_assigned =
+                (p.0 - r.centroids[a].0).powi(2) + (p.1 - r.centroids[a].1).powi(2);
+            for c in &r.centroids {
+                let d = (p.0 - c.0).powi(2) + (p.1 - c.1).powi(2);
+                prop_assert!(d_assigned <= d + 1e-9);
+            }
+        }
+    }
+
+    /// A regression tree predicts exactly the training target when grown
+    /// to purity on distinct inputs.
+    #[test]
+    fn tree_memorises_distinct_inputs(ys in prop::collection::vec(-10.0f64..10.0, 2..60)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let cfg = TreeConfig { max_depth: 64, min_leaf: 1, ..TreeConfig::default() };
+        let t = DecisionTree::fit_regression(&xs, 1, &ys, &cfg);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((t.predict(&[*x]) - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Block (data page) storage.
+//!
+//! The paper stores points in blocks of `B = 100` (§VII-B1). Grid keeps an
+//! array of block MBRs per cell, LISA keeps pages per shard, and ML-Index
+//! uses extra pages for inserted points. [`BlockStore`] is the shared
+//! substrate: an ordered sequence of fixed-capacity pages with maintained
+//! MBRs, supporting bulk loading, inserts with page splits, and deletes.
+
+use crate::point::{Point, Rect};
+
+/// Default block size used across the experiments (paper §VII-B1).
+pub const DEFAULT_BLOCK_SIZE: usize = 100;
+
+/// A fixed-capacity data page with a maintained MBR.
+#[derive(Debug, Clone)]
+pub struct Block {
+    points: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self { points: Vec::new(), mbr: Rect::empty() }
+    }
+
+    /// Builds a block from points (computes the MBR).
+    pub fn from_points(points: Vec<Point>) -> Self {
+        let mbr = Rect::mbr_of(&points);
+        Self { points, mbr }
+    }
+
+    /// The points stored in the block.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The minimum bounding rectangle of the block's points.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Adds a point, growing the MBR.
+    pub fn push(&mut self, p: Point) {
+        self.mbr.expand(&p);
+        self.points.push(p);
+    }
+
+    /// Removes the point with the given id; returns whether it was found.
+    /// Recomputes the MBR on removal (deletes are rare relative to scans).
+    pub fn remove(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.points.iter().position(|p| p.id == id) {
+            self.points.swap_remove(pos);
+            self.mbr = Rect::mbr_of(&self.points);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An ordered sequence of blocks with a shared capacity.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BlockStore {
+    /// An empty store with the given block capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "block capacity must be positive");
+        Self { blocks: Vec::new(), capacity, len: 0 }
+    }
+
+    /// Bulk loads points in their given order, `capacity` per block.
+    pub fn bulk_load(points: &[Point], capacity: usize) -> Self {
+        assert!(capacity > 0, "block capacity must be positive");
+        let blocks = points.chunks(capacity).map(|c| Block::from_points(c.to_vec())).collect();
+        Self { blocks, capacity, len: points.len() }
+    }
+
+    /// Block capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The blocks in order.
+    #[inline]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block that a bulk-loaded rank falls into. Only meaningful while
+    /// no splits have occurred since [`BlockStore::bulk_load`].
+    #[inline]
+    pub fn block_of_rank(&self, rank: usize) -> usize {
+        (rank / self.capacity).min(self.blocks.len().saturating_sub(1))
+    }
+
+    /// Appends a point to block `idx`, splitting the block in half (by the
+    /// given key function order) when it would exceed capacity. Returns the
+    /// number of blocks added (0 or 1).
+    pub fn insert_into(&mut self, idx: usize, p: Point, key: impl Fn(&Point) -> f64) -> usize {
+        if self.blocks.is_empty() {
+            self.blocks.push(Block::new());
+        }
+        let idx = idx.min(self.blocks.len() - 1);
+        self.blocks[idx].push(p);
+        self.len += 1;
+        if self.blocks[idx].len() > self.capacity {
+            let mut pts = std::mem::take(&mut self.blocks[idx]).points;
+            pts.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"));
+            let right = pts.split_off(pts.len() / 2);
+            self.blocks[idx] = Block::from_points(pts);
+            self.blocks.insert(idx + 1, Block::from_points(right));
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Removes the point with id `id` from block `idx` (or its neighbours,
+    /// to tolerate split-shifted ranks). Returns whether it was found.
+    pub fn remove_near(&mut self, idx: usize, id: u64, slack: usize) -> bool {
+        if self.blocks.is_empty() {
+            return false;
+        }
+        let idx = idx.min(self.blocks.len() - 1);
+        let lo = idx.saturating_sub(slack);
+        let hi = (idx + slack + 1).min(self.blocks.len());
+        for b in lo..hi {
+            if self.blocks[b].remove(id) {
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Like [`BlockStore::remove_near`], but requires the stored point to
+    /// match `p` exactly (id *and* coordinates) — the delete contract of
+    /// the spatial indices.
+    pub fn remove_point_near(&mut self, idx: usize, p: &Point, slack: usize) -> bool {
+        if self.blocks.is_empty() {
+            return false;
+        }
+        let idx = idx.min(self.blocks.len() - 1);
+        let lo = idx.saturating_sub(slack);
+        let hi = (idx + slack + 1).min(self.blocks.len());
+        for b in lo..hi {
+            let blk = &self.blocks[b];
+            let matches = blk
+                .points()
+                .iter()
+                .any(|s| s.id == p.id && s.x == p.x && s.y == p.y);
+            if matches && self.blocks[b].remove(p.id) {
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates over all points (block order).
+    pub fn iter_points(&self) -> impl Iterator<Item = &Point> {
+        self.blocks.iter().flat_map(|b| b.points.iter())
+    }
+
+    /// Collects points inside `window`, pruning whole blocks by MBR.
+    pub fn window_scan(&self, window: &Rect, out: &mut Vec<Point>) {
+        for b in &self.blocks {
+            if b.is_empty() || !window.intersects(&b.mbr) {
+                continue;
+            }
+            if window.contains_rect(&b.mbr) {
+                out.extend_from_slice(&b.points);
+            } else {
+                out.extend(b.points.iter().filter(|p| window.contains(p)).copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as u64, i as f64 / n as f64, 0.5)).collect()
+    }
+
+    #[test]
+    fn bulk_load_chunks() {
+        let s = BlockStore::bulk_load(&pts(250), 100);
+        assert_eq!(s.num_blocks(), 3);
+        assert_eq!(s.len(), 250);
+        assert_eq!(s.blocks()[0].len(), 100);
+        assert_eq!(s.blocks()[2].len(), 50);
+        assert_eq!(s.block_of_rank(0), 0);
+        assert_eq!(s.block_of_rank(150), 1);
+        assert_eq!(s.block_of_rank(999), 2); // clamped
+    }
+
+    #[test]
+    fn block_mbr_tracks_points() {
+        let mut b = Block::new();
+        assert!(b.mbr().is_empty());
+        b.push(Point::new(1, 0.25, 0.25));
+        b.push(Point::new(2, 0.75, 0.5));
+        assert_eq!(b.mbr(), Rect::new(0.25, 0.25, 0.75, 0.5));
+        assert!(b.remove(1));
+        assert_eq!(b.mbr(), Rect::new(0.75, 0.5, 0.75, 0.5));
+        assert!(!b.remove(42));
+    }
+
+    #[test]
+    fn insert_splits_full_blocks() {
+        let mut s = BlockStore::bulk_load(&pts(100), 100);
+        assert_eq!(s.num_blocks(), 1);
+        let added = s.insert_into(0, Point::new(1000, 0.001, 0.5), |p| p.x);
+        assert_eq!(added, 1);
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.len(), 101);
+        // Split keeps the key order between blocks.
+        let max_left = s.blocks()[0].points().iter().map(|p| p.x).fold(f64::MIN, f64::max);
+        let min_right = s.blocks()[1].points().iter().map(|p| p.x).fold(f64::MAX, f64::min);
+        assert!(max_left <= min_right);
+    }
+
+    #[test]
+    fn insert_into_empty_store() {
+        let mut s = BlockStore::new(10);
+        s.insert_into(5, Point::new(7, 0.5, 0.5), |p| p.x);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_blocks(), 1);
+    }
+
+    #[test]
+    fn remove_near_searches_neighbours() {
+        let mut s = BlockStore::bulk_load(&pts(300), 100);
+        // Point 150 lives in block 1; search with a wrong hint but slack.
+        assert!(s.remove_near(0, 150, 1));
+        assert_eq!(s.len(), 299);
+        assert!(!s.remove_near(0, 150, 2), "already removed");
+    }
+
+    #[test]
+    fn window_scan_filters() {
+        let s = BlockStore::bulk_load(&pts(200), 50);
+        let mut out = Vec::new();
+        s.window_scan(&Rect::new(0.0, 0.0, 0.25, 1.0), &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|p| p.x <= 0.25));
+        let expected = (0..200).filter(|&i| i as f64 / 200.0 <= 0.25).count();
+        assert_eq!(out.len(), expected);
+    }
+}

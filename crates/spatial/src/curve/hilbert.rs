@@ -1,0 +1,146 @@
+//! Hilbert curve encoding.
+//!
+//! HRR (Qi et al., PVLDB 2018) bulk-loads an R-tree by sorting points in
+//! Hilbert order, and RSMI uses Hilbert ordering inside its rank-space
+//! partitions. The implementation follows the classic iterative rotate-and-
+//! reflect formulation (Hamilton's compact Hilbert indices restricted to
+//! d = 2), parameterised by the curve order (bits per dimension).
+
+/// Default curve order used by the mappers (bits per dimension).
+pub const HILBERT_ORDER: u32 = 16;
+
+/// Encodes grid cell `(x, y)` on a `2^order × 2^order` grid into its Hilbert
+/// distance. Both coordinates must be `< 2^order`; `order ≤ 32`.
+pub fn hilbert_encode(order: u32, x: u32, y: u32) -> u64 {
+    debug_assert!(order >= 1 && order <= 32);
+    debug_assert!(order == 32 || (x >> order) == 0, "x out of range");
+    debug_assert!(order == 32 || (y >> order) == 0, "y out of range");
+    let n: u64 = 1u64 << order;
+    let mut x = x as u64;
+    let mut y = y as u64;
+    let mut d: u64 = 0;
+    let mut s: u64 = n >> 1;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate/reflect the quadrant (rot(n, ..) of the classic algorithm).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s >>= 1;
+    }
+    d
+}
+
+/// Decodes a Hilbert distance back into its `(x, y)` grid cell.
+pub fn hilbert_decode(order: u32, d: u64) -> (u32, u32) {
+    debug_assert!(order <= 32);
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut t = d;
+    let mut x: u64 = 0;
+    let mut y: u64 = 0;
+    let mut s: u64 = 1;
+    while s < (1u64 << order) {
+        rx = 1 & (t / 2);
+        ry = 1 & (t ^ rx);
+        // Rotate back.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s <<= 1;
+    }
+    (x as u32, y as u32)
+}
+
+/// Quantises a coordinate in `[0,1]` onto the `2^order` Hilbert grid.
+#[inline]
+pub fn quantize(order: u32, v: f64) -> u32 {
+    let cells = (1u64 << order) as f64;
+    let scaled = v.clamp(0.0, 1.0) * cells;
+    let max = (1u64 << order) - 1;
+    if scaled >= max as f64 {
+        max as u32
+    } else {
+        scaled as u32
+    }
+}
+
+/// Hilbert distance of a point in the unit square at [`HILBERT_ORDER`].
+#[inline]
+pub fn hilbert_of(x: f64, y: f64) -> u64 {
+    hilbert_encode(HILBERT_ORDER, quantize(HILBERT_ORDER, x), quantize(HILBERT_ORDER, y))
+}
+
+/// Normalises a Hilbert distance at [`HILBERT_ORDER`] to `[0,1)`.
+#[inline]
+pub fn hilbert_to_unit(d: u64) -> f64 {
+    d as f64 / (1u64 << (2 * HILBERT_ORDER)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order1_is_the_u_shape() {
+        // The order-1 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(hilbert_encode(1, 0, 0), 0);
+        assert_eq!(hilbert_encode(1, 0, 1), 1);
+        assert_eq!(hilbert_encode(1, 1, 1), 2);
+        assert_eq!(hilbert_encode(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_order4() {
+        let order = 4;
+        let mut seen = vec![false; 1 << (2 * order)];
+        for x in 0..(1u32 << order) {
+            for y in 0..(1u32 << order) {
+                let d = hilbert_encode(order, x, y);
+                assert_eq!(hilbert_decode(order, d), (x, y));
+                assert!(!seen[d as usize], "duplicate hilbert index {d}");
+                seen[d as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "curve must be a bijection");
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbours() {
+        // The defining property of the Hilbert curve: consecutive distances
+        // map to cells at Manhattan distance exactly 1.
+        let order = 5;
+        for d in 0..((1u64 << (2 * order)) - 1) {
+            let (x0, y0) = hilbert_decode(order, d);
+            let (x1, y1) = hilbert_decode(order, d + 1);
+            let manhattan = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(manhattan, 1, "d={d}: ({x0},{y0}) -> ({x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn quantize_boundaries() {
+        assert_eq!(quantize(16, 0.0), 0);
+        assert_eq!(quantize(16, 1.0), (1 << 16) - 1);
+        assert_eq!(quantize(16, -1.0), 0);
+    }
+
+    #[test]
+    fn unit_normalisation_in_range() {
+        let v = hilbert_to_unit(hilbert_of(0.3, 0.7));
+        assert!((0.0..1.0).contains(&v));
+    }
+}

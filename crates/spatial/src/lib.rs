@@ -1,0 +1,25 @@
+//! # elsi-spatial
+//!
+//! Spatial substrate for the ELSI reproduction (*Efficiently Learning
+//! Spatial Indices*, ICDE 2023): geometry primitives, space-filling curves,
+//! the key mappers of the four base indices, space partitioning, the
+//! mapped-and-sorted storage layout, and block (data page) storage.
+//!
+//! This crate is dependency-free and deterministic; everything above it
+//! (`elsi-indices`, `elsi` itself) builds on these types.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod block;
+pub mod curve;
+pub mod mapping;
+pub mod partition;
+pub mod point;
+pub mod sorted;
+
+pub use block::{Block, BlockStore, DEFAULT_BLOCK_SIZE};
+pub use mapping::{HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper};
+pub use partition::{quadtree_partition, QuadLeaf, UniformGrid};
+pub use point::{Point, Rect};
+pub use sorted::MappedData;

@@ -1,0 +1,287 @@
+//! Space partitioning: recursive quadtree cells and uniform grids.
+//!
+//! The RS building method (paper §V-B1, Algorithm 2) partitions the original
+//! space quadtree-style until every cell holds at most β points; the RL
+//! method (§V-B2) and LISA's substrate work over η×η uniform grids. Both
+//! partitioners are provided here as data-set-agnostic substrates.
+
+use crate::point::{Point, Rect};
+
+/// A leaf cell produced by [`quadtree_partition`].
+#[derive(Debug, Clone)]
+pub struct QuadLeaf {
+    /// Spatial extent of the cell.
+    pub bounds: Rect,
+    /// Indices (into the input slice) of the points inside the cell.
+    pub indices: Vec<usize>,
+    /// Depth of the cell in the partition tree (root = 0).
+    pub depth: u32,
+}
+
+/// Maximum recursion depth; at depth 48 a unit-square cell has side
+/// `2^-48 ≈ 3.6e-15`, below `f64` resolution for unit-scale data, so deeper
+/// splits cannot separate points and would loop forever on duplicates.
+const MAX_DEPTH: u32 = 48;
+
+/// Recursively partitions `bounds` into 4 equal quadrants until every cell
+/// holds at most `beta` points (Algorithm 2's partitioning loop for d = 2).
+///
+/// Empty cells are dropped, matching the paper ("a point from each
+/// *non-empty* cell is selected"). Duplicated points that cannot be
+/// separated stop splitting at a fixed maximum depth.
+///
+/// # Panics
+/// Panics if `beta == 0`.
+pub fn quadtree_partition(points: &[Point], beta: usize, bounds: Rect) -> Vec<QuadLeaf> {
+    assert!(beta > 0, "beta must be positive");
+    let mut leaves = Vec::new();
+    let all: Vec<usize> = (0..points.len()).collect();
+    if all.is_empty() {
+        return leaves;
+    }
+    split_into(points, all, beta, bounds, 0, &mut leaves);
+    leaves
+}
+
+fn split_into(
+    points: &[Point],
+    indices: Vec<usize>,
+    beta: usize,
+    bounds: Rect,
+    depth: u32,
+    out: &mut Vec<QuadLeaf>,
+) {
+    if indices.is_empty() {
+        return;
+    }
+    if indices.len() <= beta || depth >= MAX_DEPTH {
+        out.push(QuadLeaf { bounds, indices, depth });
+        return;
+    }
+    let mx = (bounds.lo_x + bounds.hi_x) / 2.0;
+    let my = (bounds.lo_y + bounds.hi_y) / 2.0;
+    // Quadrants in Z order: (lo,lo), (hi,lo), (lo,hi), (hi,hi).
+    let mut quads: [Vec<usize>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for i in indices {
+        let p = &points[i];
+        let qx = usize::from(p.x >= mx);
+        let qy = usize::from(p.y >= my);
+        quads[qy * 2 + qx].push(i);
+    }
+    let child_bounds = [
+        Rect::new(bounds.lo_x, bounds.lo_y, mx, my),
+        Rect::new(mx, bounds.lo_y, bounds.hi_x, my),
+        Rect::new(bounds.lo_x, my, mx, bounds.hi_y),
+        Rect::new(mx, my, bounds.hi_x, bounds.hi_y),
+    ];
+    for (q, b) in quads.into_iter().zip(child_bounds) {
+        split_into(points, q, beta, b, depth + 1, out);
+    }
+}
+
+/// A uniform `nx × ny` grid over the unit square.
+///
+/// Used by the RL building method (η×η state grid) and by the Grid file and
+/// LISA substrates. Cells are addressed as `(ix, iy)` with `ix` along x.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGrid {
+    nx: usize,
+    ny: usize,
+}
+
+impl UniformGrid {
+    /// Creates a grid with the given resolution.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid resolution must be positive");
+        Self { nx, ny }
+    }
+
+    /// Square grid of side `eta`.
+    pub fn square(eta: usize) -> Self {
+        Self::new(eta, eta)
+    }
+
+    /// Grid width (cells along x).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (cells along y).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid has no cells (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cell coordinates of a point (clamped to the grid).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let ix = ((p.x * self.nx as f64) as isize).clamp(0, self.nx as isize - 1) as usize;
+        let iy = ((p.y * self.ny as f64) as isize).clamp(0, self.ny as isize - 1) as usize;
+        (ix, iy)
+    }
+
+    /// Row-major linear index of a cell.
+    #[inline]
+    pub fn index_of(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`UniformGrid::index_of`].
+    #[inline]
+    pub fn coords_of(&self, idx: usize) -> (usize, usize) {
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// Spatial extent of a cell.
+    #[inline]
+    pub fn cell_rect(&self, ix: usize, iy: usize) -> Rect {
+        let w = 1.0 / self.nx as f64;
+        let h = 1.0 / self.ny as f64;
+        Rect::new(ix as f64 * w, iy as f64 * h, (ix + 1) as f64 * w, (iy + 1) as f64 * h)
+    }
+
+    /// Centre point of a cell.
+    #[inline]
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point {
+        let w = 1.0 / self.nx as f64;
+        let h = 1.0 / self.ny as f64;
+        Point::at((ix as f64 + 0.5) * w, (iy as f64 + 0.5) * h)
+    }
+
+    /// Linear indices of all cells whose extent intersects `r`.
+    pub fn cells_overlapping(&self, r: &Rect) -> Vec<usize> {
+        let lo = self.cell_of(Point::at(r.lo_x, r.lo_y));
+        let hi = self.cell_of(Point::at(r.hi_x, r.hi_y));
+        let mut out = Vec::with_capacity((hi.0 - lo.0 + 1) * (hi.1 - lo.1 + 1));
+        for iy in lo.1..=hi.1 {
+            for ix in lo.0..=hi.0 {
+                out.push(self.index_of(ix, iy));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_points() -> Vec<Point> {
+        // 12 points in the lower-left corner, 4 spread elsewhere.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            pts.push(Point::new(i, 0.01 + 0.01 * (i % 4) as f64, 0.01 + 0.01 * (i / 4) as f64));
+        }
+        pts.push(Point::new(12, 0.9, 0.1));
+        pts.push(Point::new(13, 0.1, 0.9));
+        pts.push(Point::new(14, 0.9, 0.9));
+        pts.push(Point::new(15, 0.6, 0.6));
+        pts
+    }
+
+    #[test]
+    fn quadtree_leaves_cover_all_points_exactly_once() {
+        let pts = cluster_points();
+        let leaves = quadtree_partition(&pts, 4, Rect::unit());
+        let mut seen = vec![false; pts.len()];
+        for leaf in &leaves {
+            assert!(leaf.indices.len() <= 4, "leaf exceeds beta");
+            assert!(!leaf.indices.is_empty(), "empty leaves must be dropped");
+            for &i in &leaf.indices {
+                assert!(!seen[i], "point {i} in two leaves");
+                seen[i] = true;
+                assert!(leaf.bounds.contains(&pts[i]) || on_boundary(&leaf.bounds, &pts[i]));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    fn on_boundary(r: &Rect, p: &Point) -> bool {
+        // Splitting assigns boundary points to the higher quadrant; a point
+        // exactly on a cell's upper edge belongs to the neighbouring cell.
+        p.x >= r.lo_x - 1e-12 && p.x <= r.hi_x + 1e-12 && p.y >= r.lo_y - 1e-12 && p.y <= r.hi_y + 1e-12
+    }
+
+    #[test]
+    fn quadtree_no_split_when_under_beta() {
+        let pts = cluster_points();
+        let leaves = quadtree_partition(&pts, 100, Rect::unit());
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].depth, 0);
+        assert_eq!(leaves[0].indices.len(), pts.len());
+    }
+
+    #[test]
+    fn quadtree_duplicates_terminate() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i, 0.5, 0.5)).collect();
+        let leaves = quadtree_partition(&pts, 2, Rect::unit());
+        // Ten identical points cannot be separated; the recursion must stop.
+        let total: usize = leaves.iter().map(|l| l.indices.len()).sum();
+        assert_eq!(total, 10);
+        assert!(leaves.iter().all(|l| l.depth <= MAX_DEPTH));
+    }
+
+    #[test]
+    fn quadtree_empty_input() {
+        let leaves = quadtree_partition(&[], 4, Rect::unit());
+        assert!(leaves.is_empty());
+    }
+
+    #[test]
+    fn grid_cell_of_clamps() {
+        let g = UniformGrid::square(4);
+        assert_eq!(g.cell_of(Point::at(0.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::at(1.0, 1.0)), (3, 3));
+        assert_eq!(g.cell_of(Point::at(-0.5, 2.0)), (0, 3));
+        assert_eq!(g.cell_of(Point::at(0.49, 0.51)), (1, 2));
+    }
+
+    #[test]
+    fn grid_index_roundtrip() {
+        let g = UniformGrid::new(5, 3);
+        for idx in 0..g.len() {
+            let (ix, iy) = g.coords_of(idx);
+            assert_eq!(g.index_of(ix, iy), idx);
+        }
+    }
+
+    #[test]
+    fn grid_cell_rect_contains_center() {
+        let g = UniformGrid::square(8);
+        for iy in 0..8 {
+            for ix in 0..8 {
+                let r = g.cell_rect(ix, iy);
+                let c = g.cell_center(ix, iy);
+                assert!(r.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cells_overlapping_window() {
+        let g = UniformGrid::square(4);
+        let all = g.cells_overlapping(&Rect::unit());
+        assert_eq!(all.len(), 16);
+        let one = g.cells_overlapping(&Rect::new(0.1, 0.1, 0.2, 0.2));
+        assert_eq!(one, vec![0]);
+        let quad = g.cells_overlapping(&Rect::new(0.2, 0.2, 0.3, 0.3));
+        assert_eq!(quad, vec![0, 1, 4, 5]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests over the spatial substrate.
+
+use elsi_spatial::{
+    BlockStore, HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper, Point, Rect,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every mapper emits keys in [0, 1] for unit-square points.
+    #[test]
+    fn mappers_emit_unit_keys(pts in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..100)) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let lisa = LisaMapper::fit(&points, 4);
+        let idist = IDistanceMapper::new(vec![Point::at(0.2, 0.2), Point::at(0.8, 0.8)]);
+        for &p in &points {
+            for key in [MortonMapper.key(p), HilbertMapper.key(p), lisa.key(p), idist.key(p)] {
+                prop_assert!((0.0..=1.0).contains(&key), "key {} for {}", key, p);
+            }
+        }
+    }
+
+    /// The LISA key of a point lies inside the key range of its cell, and
+    /// within a cell the key is monotone in y.
+    #[test]
+    fn lisa_key_cell_consistency(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 16..200),
+        (qx, qy1, qy2) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+    ) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let m = LisaMapper::fit(&points, 4);
+        let q1 = Point::at(qx, qy1.min(qy2));
+        let q2 = Point::at(qx, qy1.max(qy2));
+        let (c1, r1) = m.cell_of(q1);
+        let (lo, hi) = m.cell_key_range(c1, r1);
+        let k1 = m.key(q1);
+        prop_assert!(k1 >= lo && k1 < hi);
+        // Same cell => monotone in y.
+        if m.cell_of(q2) == (c1, r1) {
+            prop_assert!(m.key(q2) >= k1 - 1e-12);
+        }
+    }
+
+    /// Bulk-loaded blocks partition the input and respect capacity; MBRs
+    /// cover their points.
+    #[test]
+    fn block_store_invariants(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..300),
+        cap in 1usize..40
+    ) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let store = BlockStore::bulk_load(&points, cap);
+        prop_assert_eq!(store.len(), points.len());
+        let mut seen = 0usize;
+        for b in store.blocks() {
+            prop_assert!(b.len() <= cap);
+            for p in b.points() {
+                prop_assert!(b.mbr().contains(p));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, points.len());
+    }
+
+    /// iDistance keys of points assigned to pivot i sort before keys of
+    /// pivot j > i (non-overlapping pivot ranges).
+    #[test]
+    fn idistance_ranges_do_not_overlap(pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..100)) {
+        let m = IDistanceMapper::new(vec![Point::at(0.25, 0.25), Point::at(0.75, 0.75)]);
+        for &(x, y) in &pts {
+            let p = Point::at(x, y);
+            let (i, d) = m.nearest_pivot(p);
+            let key = m.key_of(i, d);
+            if i == 0 {
+                prop_assert!(key < 0.5, "pivot 0 key {} out of range", key);
+            } else {
+                prop_assert!(key >= 0.5, "pivot 1 key {} out of range", key);
+            }
+        }
+    }
+
+    /// Window/MBR algebra: union contains both, intersection area is
+    /// symmetric and bounded by each area.
+    #[test]
+    fn rect_algebra(
+        (ax, ay, aw, ah) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5),
+        (bx, by, bw, bh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
+    ) {
+        let a = Rect::new(ax, ay, ax + aw, ay + ah);
+        let b = Rect::new(bx, by, bx + bw, by + bh);
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        let ia = a.intersection_area(&b);
+        prop_assert!((ia - b.intersection_area(&a)).abs() < 1e-12);
+        prop_assert!(ia <= a.area() + 1e-12 && ia <= b.area() + 1e-12);
+        prop_assert_eq!(ia > 0.0, a.intersects(&b) && ia > 0.0);
+    }
+}

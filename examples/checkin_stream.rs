@@ -1,0 +1,94 @@
+//! Check-in stream scenario (the paper's Fig. 1 and §VII-H): an index built
+//! over historical check-ins receives a skewed stream of new check-ins from
+//! a small region. Without rebuilds the learned structure degrades; the
+//! ELSI update processor tracks the CDF drift and triggers a full rebuild
+//! through the build processor at the right time.
+//!
+//! Run with: `cargo run --release --example checkin_stream`
+
+use elsi::{Elsi, ElsiConfig, Method, RebuildPolicy, UpdateOutcome, UpdateProcessor};
+use elsi_data::Dataset;
+use elsi_indices::{RsmiConfig, RsmiIndex, SpatialIndex};
+use elsi_spatial::Point;
+use std::time::Instant;
+
+fn avg_point_query_micros(idx: &dyn SpatialIndex, probes: &[Point]) -> f64 {
+    let t = Instant::now();
+    let mut found = 0usize;
+    for p in probes {
+        if idx.point_query(*p).is_some() {
+            found += 1;
+        }
+    }
+    std::hint::black_box(found);
+    t.elapsed().as_secs_f64() * 1e6 / probes.len() as f64
+}
+
+fn main() {
+    let n = 40_000;
+    println!("Historical check-ins: {n} OSM-like points");
+    let base = Dataset::Osm1.generate(n, 21);
+    let probes: Vec<Point> = base.iter().step_by(40).copied().collect();
+
+    let elsi = Elsi::new(ElsiConfig::scaled_for(n));
+    let make_proc = |policy: RebuildPolicy| {
+        let cfg = elsi.config().clone();
+        let mr = elsi.mr_pool();
+        UpdateProcessor::new(
+            base.clone(),
+            Box::new(move |pts| {
+                let builder = elsi::ElsiBuilder::fixed(Method::Rs, cfg.clone(), mr.clone());
+                RsmiIndex::build(pts, &RsmiConfig::default(), &builder)
+            }),
+            policy,
+            2_000,
+        )
+    };
+
+    // RSMI-F: never rebuild. RSMI-R: rebuild on drift.
+    let mut no_rebuild = make_proc(RebuildPolicy::Never);
+    let mut with_rebuild =
+        make_proc(RebuildPolicy::Threshold { max_drift: 0.08, max_ratio: 4.0 });
+
+    // The stream: check-ins from one hot neighbourhood (heavy skew).
+    let stream: Vec<Point> = Dataset::Skewed
+        .generate(n, 33)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut p)| {
+            p.id = 10_000_000 + i as u64;
+            p.x = 0.1 + p.x * 0.08;
+            p.y = 0.7 + p.y * 0.08;
+            p
+        })
+        .collect();
+
+    println!("\n{:>8} {:>14} {:>14} {:>9}", "inserted", "F µs/query", "R µs/query", "rebuilds");
+    let mut inserted = 0usize;
+    for chunk in stream.chunks(n / 8) {
+        for p in chunk {
+            no_rebuild.insert(*p);
+            if with_rebuild.insert(*p) == UpdateOutcome::Rebuilt {
+                // counted below
+            }
+        }
+        inserted += chunk.len();
+        let f = avg_point_query_micros(no_rebuild.index(), &probes);
+        let r = avg_point_query_micros(with_rebuild.index(), &probes);
+        println!(
+            "{:>7}% {f:>14.2} {r:>14.2} {:>9}",
+            inserted * 100 / n,
+            with_rebuild.rebuilds()
+        );
+    }
+
+    let feats = with_rebuild.features();
+    println!(
+        "\nFinal drift features: sim(D', D) = {:.3}, update ratio = {:.2}, depth = {}",
+        feats.drift_sim, feats.update_ratio, feats.depth
+    );
+    println!(
+        "The rebuild-managed index performed {} full rebuild(s) through the build processor.",
+        with_rebuild.rebuilds()
+    );
+}

@@ -1,0 +1,78 @@
+//! Method tuning: sweep the per-method parameters of the ELSI pool (ρ for
+//! SP, C for CL, ε for MR, β for RS, η for RL — the axes of the paper's
+//! Fig. 7 Pareto study) on one data set and print the build-time /
+//! error-span trade-off, then show how λ steers the learned selector.
+//!
+//! Run with: `cargo run --release --example method_tuning`
+
+use elsi::{Elsi, ElsiConfig, Method, MrPool};
+use elsi_data::Dataset;
+use elsi_spatial::{MappedData, MortonMapper};
+use std::rc::Rc;
+
+fn main() {
+    let n = 60_000;
+    let data = MappedData::build(Dataset::Osm1.generate(n, 5), &MortonMapper);
+    println!("Sweeping build-method parameters over {n} OSM-like points\n");
+    println!(
+        "{:6} {:>14} {:>12} {:>12} {:>12}",
+        "method", "param", "|D_S|", "build (ms)", "err span"
+    );
+
+    let sweep = |mut cfg: ElsiConfig, m: Method, label: String| {
+        cfg.seed = 3;
+        let pool = MrPool::generate(&cfg, 1);
+        let (built, secs) = elsi::scorer::build_with_method(m, &data, &cfg, &pool, 3);
+        println!(
+            "{:6} {:>14} {:>12} {:>12.1} {:>12}",
+            m.name(),
+            label,
+            built.stats.training_set_size,
+            secs * 1e3,
+            built.stats.err_span
+        );
+    };
+
+    for rho in [0.0005, 0.002, 0.01] {
+        sweep(ElsiConfig { rho, ..ElsiConfig::default() }, Method::Sp, format!("rho={rho}"));
+    }
+    for clusters in [50, 200, 800] {
+        sweep(
+            ElsiConfig { clusters, ..ElsiConfig::default() },
+            Method::Cl,
+            format!("C={clusters}"),
+        );
+    }
+    for epsilon in [0.5, 0.25, 0.1] {
+        sweep(
+            ElsiConfig { epsilon, ..ElsiConfig::default() },
+            Method::Mr,
+            format!("eps={epsilon}"),
+        );
+    }
+    for beta in [8_000, 2_000, 500] {
+        sweep(ElsiConfig { beta, ..ElsiConfig::default() }, Method::Rs, format!("beta={beta}"));
+    }
+    for eta in [8, 16] {
+        sweep(ElsiConfig { eta, ..ElsiConfig::default() }, Method::Rl, format!("eta={eta}"));
+    }
+    sweep(ElsiConfig::default(), Method::Og, "-".to_string());
+
+    // The learned selector: λ steers build-time vs query-time priority.
+    println!("\nTraining the method scorer (small preparation pass)…");
+    let mut cfg = ElsiConfig::default();
+    cfg.train.epochs = 60;
+    let mut elsi = Elsi::new(cfg);
+    elsi.prepare_scorer(&[2_000, 10_000], &[1, 4, 12], 9);
+    let scorer = elsi.scorer().expect("prepared");
+    let _ = Rc::clone(&scorer);
+
+    println!("\nSelected method vs lambda (n = {n}, OSM-like skew):");
+    let dist_u = elsi_data::dist_from_uniform(data.keys());
+    for lambda in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let m = scorer.select(n, dist_u, lambda, 1.0, &Method::pool());
+        println!("  lambda = {lambda:.1} -> {m}");
+    }
+    println!("\nEq. 2 weighs the predicted costs: larger lambda prioritises build");
+    println!("time, smaller lambda prioritises query time (paper Figs. 9 and 11).");
+}

@@ -1,0 +1,77 @@
+//! Query-aware indexing with Flood — the paper's closing future-work item
+//! ("we also plan to extend ELSI to support query-aware learned indices
+//! such as Flood"), demonstrated end to end: ELSI accelerates Flood's
+//! per-column model builds while Flood's cost model tunes its layout to
+//! the query workload.
+//!
+//! Run with: `cargo run --release --example query_aware_flood`
+
+use elsi::{Elsi, ElsiConfig, Method};
+use elsi_data::Dataset;
+use elsi_indices::{FloodConfig, FloodIndex, SpatialIndex};
+use elsi_spatial::Rect;
+use std::time::Instant;
+
+fn window_micros(idx: &FloodIndex, windows: &[Rect]) -> f64 {
+    let t = Instant::now();
+    let mut total = 0usize;
+    for w in windows {
+        total += idx.window_query(w).len();
+    }
+    std::hint::black_box(total);
+    t.elapsed().as_secs_f64() * 1e6 / windows.len() as f64
+}
+
+fn main() {
+    let n = 120_000;
+    println!("Data: {n} OSM-like points. Two workloads with opposite shapes.\n");
+    let pts = Dataset::Osm1.generate(n, 5);
+    let elsi = Elsi::new(ElsiConfig::scaled_for(n));
+    let builder = elsi.fixed_builder(Method::Rs);
+
+    // Workload A: tall, narrow windows (column scans).
+    let tall: Vec<Rect> = (0..200)
+        .map(|i| {
+            let x = (i as f64 / 200.0) * 0.98;
+            Rect::new(x, 0.0, x + 0.005, 1.0)
+        })
+        .collect();
+    // Workload B: wide, flat windows (row scans).
+    let flat: Vec<Rect> = (0..200)
+        .map(|i| {
+            let y = (i as f64 / 200.0) * 0.98;
+            Rect::new(0.0, y, 1.0, y + 0.005)
+        })
+        .collect();
+
+    let candidates = [1, 4, 16, 64, 256];
+    let (idx_tall, cols_tall) = FloodIndex::tune(pts.clone(), &tall, &candidates, &builder);
+    let (idx_flat, cols_flat) = FloodIndex::tune(pts.clone(), &flat, &candidates, &builder);
+    println!("tuned for tall windows: {cols_tall} columns");
+    println!("tuned for flat windows: {cols_flat} columns\n");
+
+    println!("{:22} {:>14} {:>14}", "", "tall workload", "flat workload");
+    for (name, idx) in [
+        (format!("Flood({cols_tall} cols)"), &idx_tall),
+        (format!("Flood({cols_flat} cols)"), &idx_flat),
+    ] {
+        println!(
+            "{name:22} {:>11.0} µs {:>11.0} µs",
+            window_micros(idx, &tall),
+            window_micros(idx, &flat)
+        );
+    }
+
+    // ELSI's build advantage applies to Flood like any map-and-sort index.
+    let t0 = Instant::now();
+    let _og = FloodIndex::build(
+        pts.clone(),
+        &FloodConfig { columns: cols_tall },
+        &elsi.fixed_builder(Method::Og),
+    );
+    let og = t0.elapsed();
+    let t1 = Instant::now();
+    let _fast = FloodIndex::build(pts, &FloodConfig { columns: cols_tall }, &builder);
+    let fast = t1.elapsed();
+    println!("\nFlood build: OG {og:?} vs ELSI(RS) {fast:?} ({:.0}x)", og.as_secs_f64() / fast.as_secs_f64().max(1e-9));
+}

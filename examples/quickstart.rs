@@ -1,0 +1,62 @@
+//! Quickstart: build a learned spatial index the slow way (OG: train on all
+//! of `D`) and the ELSI way (train on an engineered reduced set), and show
+//! that queries stay just as good while the build gets far cheaper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use elsi::{Elsi, ElsiConfig, Method};
+use elsi_data::{gen, Dataset};
+use elsi_indices::{SpatialIndex, ZmConfig, ZmIndex};
+use std::time::Instant;
+
+fn main() {
+    let n = 100_000;
+    println!("Generating {n} OSM-like points…");
+    let points = Dataset::Osm1.generate(n, 42);
+
+    let elsi = Elsi::new(ElsiConfig::scaled_for(n));
+    let zm_cfg = ZmConfig { fanout: 8 };
+
+    // OG: the base index trains every model on its full partition.
+    let t0 = Instant::now();
+    let og = ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Og));
+    let og_time = t0.elapsed();
+
+    // ELSI (RS method): models train on small representative sets instead.
+    let t1 = Instant::now();
+    let fast = ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Rs));
+    let elsi_time = t1.elapsed();
+
+    println!("\nBuild time");
+    println!("  ZM   (OG, full training):    {og_time:?}");
+    println!("  ZM-F (ELSI, reduced set):    {elsi_time:?}");
+    println!(
+        "  speedup: {:.1}x",
+        og_time.as_secs_f64() / elsi_time.as_secs_f64().max(1e-9)
+    );
+
+    // Point queries: every indexed point, timed.
+    for (name, idx) in [("ZM", &og), ("ZM-F", &fast)] {
+        let t = Instant::now();
+        let mut found = 0usize;
+        for p in points.iter().step_by(10) {
+            if idx.point_query(*p).is_some() {
+                found += 1;
+            }
+        }
+        let per = t.elapsed().as_secs_f64() * 1e6 / (n / 10) as f64;
+        println!("\n{name}: point query {per:.2} µs/query, {found}/{} found", n / 10);
+        assert_eq!(found, n / 10, "learned indices must be exact on point queries");
+    }
+
+    // Window queries.
+    let windows = gen::window_queries(&points, 200, 0.0001, 7);
+    for (name, idx) in [("ZM", &og), ("ZM-F", &fast)] {
+        let t = Instant::now();
+        let total: usize = windows.iter().map(|w| idx.window_query(w).len()).sum();
+        let per = t.elapsed().as_secs_f64() * 1e6 / windows.len() as f64;
+        println!("{name}: window query {per:.1} µs/query ({total} results over {} windows)", windows.len());
+    }
+
+    println!("\nSame index, same queries — a fraction of the build time.");
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper into results/.
+# Scale: ELSI_BENCH_N (default 30000) stands in for the paper's 100M OSM1.
+set -u
+export ELSI_BENCH_N=${ELSI_BENCH_N:-30000}
+export ELSI_BENCH_EPOCHS=${ELSI_BENCH_EPOCHS:-50}
+cd "$(dirname "$0")"
+for bin in fig06_selector fig07_pareto table1_cost table2_ablation \
+           fig08_build fig09_build_lambda fig10_point fig11_point_lambda \
+           fig12_window fig13_window_sweep fig14_knn fig15_updates \
+           fig16_window_updates; do
+  echo "=== running $bin (N=$ELSI_BENCH_N, epochs=$ELSI_BENCH_EPOCHS)"
+  cargo run --release -q -p elsi-bench --bin "$bin" >"results/$bin.txt" 2>"results/$bin.log"
+done
+echo "all experiments done"

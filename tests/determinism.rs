@@ -1,0 +1,73 @@
+//! Determinism: identical seeds must produce identical data sets, reduced
+//! training sets, models and query results — the whole stack is seeded.
+
+use elsi::{Elsi, ElsiConfig, Method, Reduction};
+use elsi_data::Dataset;
+use elsi_indices::{BuildInput, ModelBuilder, SpatialIndex, ZmConfig, ZmIndex};
+use elsi_spatial::{MappedData, MortonMapper, Rect};
+
+#[test]
+fn datasets_are_reproducible() {
+    for ds in Dataset::all() {
+        assert_eq!(ds.generate(500, 9), ds.generate(500, 9), "{ds}");
+    }
+}
+
+#[test]
+fn reductions_are_reproducible() {
+    let cfg = ElsiConfig::fast_test();
+    let pool = elsi::MrPool::generate(&cfg, 2);
+    let data = MappedData::build(Dataset::Skewed.generate(2000, 4), &MortonMapper);
+    let input = BuildInput {
+        points: data.points(),
+        keys: data.keys(),
+        mapper: &MortonMapper,
+        seed: 17,
+    };
+    for m in Method::all() {
+        let a = elsi::methods::reduce(m, &input, &cfg, &pool);
+        let b = elsi::methods::reduce(m, &input, &cfg, &pool);
+        match (a, b) {
+            (Reduction::TrainingSet(x), Reduction::TrainingSet(y)) => {
+                assert_eq!(x, y, "{m}")
+            }
+            (Reduction::Pretrained(x), Reduction::Pretrained(y)) => {
+                assert_eq!(x.params_flat(), y.params_flat(), "{m}")
+            }
+            _ => panic!("{m}: reduction kind flipped"),
+        }
+    }
+}
+
+#[test]
+fn built_indices_answer_identically() {
+    let run = || {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        let pts = Dataset::Osm2.generate(1500, 6);
+        let idx = ZmIndex::build(pts, &ZmConfig { fanout: 2 }, &elsi.builder());
+        let w = Rect::new(0.2, 0.2, 0.6, 0.6);
+        let mut ids: Vec<u64> = idx.window_query(&w).iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn builder_method_choice_is_reproducible() {
+    let make = || {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        let b = elsi.random_builder(99);
+        let data = MappedData::build(Dataset::Uniform.generate(500, 1), &MortonMapper);
+        for _ in 0..5 {
+            b.build_model(&BuildInput {
+                points: data.points(),
+                keys: data.keys(),
+                mapper: &MortonMapper,
+                seed: 0,
+            });
+        }
+        b.chosen_methods()
+    };
+    assert_eq!(make(), make());
+}

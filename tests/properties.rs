@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) over the core invariants of the stack:
+//! curve bijectivity, KS-distance bounds, the systematic-sampling gap bound
+//! (§V-A1), quadtree partition completeness, rank-model search-range
+//! correctness, and window-query exactness of the exact indices.
+
+use elsi_data::{cdf, sample};
+use elsi_indices::{
+    build_on_training_set, GridConfig, GridIndex, HrrConfig, HrrIndex, SpatialIndex,
+};
+use elsi_ml::TrainConfig;
+use elsi_spatial::curve::{hilbert, morton};
+use elsi_spatial::{quadtree_partition, Point, Rect};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn morton_roundtrips(x in any::<u32>(), y in any::<u32>()) {
+        let code = morton::morton_encode(x, y);
+        prop_assert_eq!(morton::morton_decode(code), (x, y));
+    }
+
+    #[test]
+    fn morton_monotone_under_dominance(
+        x1 in 0u32..1000, y1 in 0u32..1000, dx in 0u32..1000, dy in 0u32..1000
+    ) {
+        // If (x1,y1) ≤ (x2,y2) componentwise, the Z-value cannot decrease —
+        // the property ZM's exact window query relies on.
+        let a = morton::morton_encode(x1, y1);
+        let b = morton::morton_encode(x1 + dx, y1 + dy);
+        prop_assert!(a <= b);
+    }
+
+    #[test]
+    fn hilbert_roundtrips(x in 0u32..(1 << 16), y in 0u32..(1 << 16)) {
+        let d = hilbert::hilbert_encode(16, x, y);
+        prop_assert_eq!(hilbert::hilbert_decode(16, d), (x, y));
+    }
+
+    #[test]
+    fn ks_distance_bounded_and_zero_on_self(mut keys in prop::collection::vec(0.0f64..1.0, 1..200)) {
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let d = cdf::ks_distance(&keys, &keys);
+        prop_assert!(d >= 0.0 && d < 1e-9);
+        let uniform: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
+        let d2 = cdf::ks_distance(&keys, &uniform);
+        prop_assert!((0.0..=1.0).contains(&d2));
+    }
+
+    #[test]
+    fn systematic_sampling_gap_bound(n in 1usize..2000, rho_m in 1usize..100) {
+        // Pigeonhole bound of §V-A1: every rank within ⌊1/ρ⌋ − 1 of a sample.
+        let rho = rho_m as f64 / 100.0;
+        let idx = sample::systematic_indices(n, rho);
+        let bound = (1.0 / rho).floor() as usize - 1;
+        for i in 0..n {
+            let nearest = idx.iter().map(|&j| j.abs_diff(i)).min().unwrap();
+            prop_assert!(nearest <= bound.max(0), "rank {} gap {} bound {}", i, nearest, bound);
+        }
+    }
+
+    #[test]
+    fn quadtree_partition_is_complete_and_disjoint(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..300),
+        beta in 1usize..50
+    ) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let leaves = quadtree_partition(&points, beta, Rect::unit());
+        let mut seen = vec![false; points.len()];
+        for leaf in &leaves {
+            prop_assert!(!leaf.indices.is_empty());
+            for &i in &leaf.indices {
+                prop_assert!(!seen[i], "point {} appears twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some point dropped");
+    }
+
+    #[test]
+    fn rank_model_search_range_contains_every_rank(
+        raw in prop::collection::vec(0.0f64..1.0, 2..150)
+    ) {
+        let mut keys = raw;
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // A deliberately under-trained model: bounds must still guarantee
+        // containment because they are derived empirically.
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let built = build_on_training_set(&keys, &keys, 4, &cfg, 1, "OG", Duration::ZERO);
+        for (i, &k) in keys.iter().enumerate() {
+            let (lo, hi) = built.model.search_range(k);
+            prop_assert!(lo <= i && i < hi, "rank {} outside [{}, {})", i, lo, hi);
+        }
+    }
+
+    #[test]
+    fn exact_indices_agree_with_brute_force_windows(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..250),
+        (wx, wy, ww, wh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
+    ) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let w = Rect::new(wx, wy, (wx + ww).min(1.0), (wy + wh).min(1.0));
+        let mut want: Vec<u64> =
+            points.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+        want.sort_unstable();
+
+        let grid = GridIndex::build(points.clone(), &GridConfig { block_size: 16 });
+        let mut got: Vec<u64> = grid.window_query(&w).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &want);
+
+        let hrr = HrrIndex::build(points, &HrrConfig { leaf_capacity: 16, fanout: 4 });
+        let mut got: Vec<u64> = hrr.window_query(&w).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &want);
+    }
+
+    #[test]
+    fn drift_tracker_dist_is_bounded(
+        base in prop::collection::vec(0.0f64..1.0, 1..200),
+        adds in prop::collection::vec(0.0f64..1.0, 0..200)
+    ) {
+        let mut t = elsi::DriftTracker::new(base.iter().copied(), 64);
+        for a in &adds {
+            t.add(*a);
+        }
+        let d = t.dist();
+        prop_assert!((0.0..=1.0).contains(&d));
+        t.rebaseline();
+        prop_assert!(t.dist() < 1e-12);
+    }
+}
