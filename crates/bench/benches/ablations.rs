@@ -87,7 +87,9 @@ fn ks_distance_merge(sample: &[f64], full: &[f64]) -> f64 {
 }
 
 fn bench_ks_algorithms(c: &mut Criterion) {
-    let full: Vec<f64> = (0..1_000_000).map(|i| (i as f64 / 999_999.0).powi(2)).collect();
+    let full: Vec<f64> = (0..1_000_000)
+        .map(|i| (i as f64 / 999_999.0).powi(2))
+        .collect();
     let sample: Vec<f64> = full.iter().copied().step_by(1000).collect();
 
     // Correctness cross-check before timing.
@@ -107,8 +109,12 @@ fn bench_ks_algorithms(c: &mut Criterion) {
 }
 
 fn bench_sketch_resolution(c: &mut Criterion) {
-    let before: Vec<f64> = (0..200_000).map(|i| (i as f64 / 199_999.0).powi(2)).collect();
-    let after: Vec<f64> = (0..200_000).map(|i| (i as f64 / 199_999.0).powi(3)).collect();
+    let before: Vec<f64> = (0..200_000)
+        .map(|i| (i as f64 / 199_999.0).powi(2))
+        .collect();
+    let after: Vec<f64> = (0..200_000)
+        .map(|i| (i as f64 / 199_999.0).powi(3))
+        .collect();
     let exact = cdf::ks_distance(&after, &before);
 
     let mut group = c.benchmark_group("drift_sketch");
@@ -127,5 +133,10 @@ fn bench_sketch_resolution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_families, bench_ks_algorithms, bench_sketch_resolution);
+criterion_group!(
+    benches,
+    bench_model_families,
+    bench_ks_algorithms,
+    bench_sketch_resolution
+);
 criterion_main!(benches);

@@ -16,7 +16,14 @@ fn bench_reductions(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("reduce_20k");
     group.sample_size(10);
-    for m in [Method::Sp, Method::Rsp, Method::Cl, Method::Mr, Method::Rs, Method::Rl] {
+    for m in [
+        Method::Sp,
+        Method::Rsp,
+        Method::Cl,
+        Method::Mr,
+        Method::Rs,
+        Method::Rl,
+    ] {
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let input = elsi_indices::BuildInput {

@@ -1,0 +1,98 @@
+//! Criterion benches of rayon-parallel index building and batch querying.
+//!
+//! Builds a 100k-point ZM-F (the ZM index through the ELSI build
+//! processor) sequentially (1 thread) and with the full machine, plus a
+//! parallel batch point-query pass. Per-partition seeding makes both
+//! builds bit-identical, so the comparison is pure wall-clock.
+//!
+//! On a ≥4-core machine the parallel build is expected to be ≥2× faster;
+//! the harness prints the detected core count so single-core containers
+//! read honestly (there, both configurations run the same inline code
+//! path and the ratio is ~1×).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elsi::{Elsi, ElsiConfig, Method};
+use elsi_data::Dataset;
+use elsi_indices::{SpatialIndex, ZmConfig, ZmIndex};
+use elsi_spatial::Point;
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("thread pool");
+}
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let n: usize = std::env::var("ELSI_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[par_build] n = {n}, cores = {cores}{}",
+        if cores < 4 {
+            " (<4: no parallel speedup is expected here)"
+        } else {
+            ""
+        }
+    );
+
+    let pts = Dataset::Osm1.generate(n, 42);
+    let mut cfg = ElsiConfig::scaled_for(n);
+    cfg.train.epochs = 30;
+    let elsi = Elsi::new(cfg);
+    let zm_cfg = ZmConfig { fanout: 64 };
+
+    let mut group = c.benchmark_group(format!("zmf_build_{}k", n / 1000));
+    group.sample_size(10);
+    group.bench_function("seq_1_thread", |b| {
+        set_threads(1);
+        b.iter(|| {
+            let builder = elsi.fixed_builder(Method::Rs);
+            black_box(ZmIndex::build(pts.clone(), &zm_cfg, &builder).len())
+        });
+    });
+    group.bench_function(format!("par_{cores}_threads"), |b| {
+        set_threads(0); // auto-detect
+        b.iter(|| {
+            let builder = elsi.fixed_builder(Method::Rs);
+            black_box(ZmIndex::build(pts.clone(), &zm_cfg, &builder).len())
+        });
+    });
+    group.finish();
+
+    // Batch queries over the built index: sequential vs parallel fan-out.
+    set_threads(0);
+    let builder = elsi.fixed_builder(Method::Rs);
+    let idx = ZmIndex::build(pts.clone(), &zm_cfg, &builder);
+    let probes: Vec<Point> = pts.iter().step_by(10).copied().collect();
+    let mut group = c.benchmark_group(format!("zmf_point_queries_{}", probes.len()));
+    group.sample_size(10);
+    group.bench_function("seq_loop", |b| {
+        b.iter(|| {
+            black_box(
+                probes
+                    .iter()
+                    .filter(|&&q| idx.point_query(q).is_some())
+                    .count(),
+            )
+        });
+    });
+    group.bench_function(format!("par_batch_{cores}_threads"), |b| {
+        b.iter(|| {
+            black_box(
+                idx.par_point_queries(&probes)
+                    .iter()
+                    .filter(|r| r.is_some())
+                    .count(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build);
+criterion_main!(benches);

@@ -19,7 +19,9 @@ fn bench_curves(c: &mut Criterion) {
 }
 
 fn bench_ks(c: &mut Criterion) {
-    let full: Vec<f64> = (0..100_000).map(|i| (i as f64 / 99_999.0).powi(2)).collect();
+    let full: Vec<f64> = (0..100_000)
+        .map(|i| (i as f64 / 99_999.0).powi(2))
+        .collect();
     let sample: Vec<f64> = full.iter().copied().step_by(100).collect();
     c.bench_function("ks_distance_1k_vs_100k", |b| {
         b.iter(|| cdf::ks_distance(black_box(&sample), black_box(&full)))
@@ -45,7 +47,10 @@ fn bench_ffn(c: &mut Criterion) {
     c.bench_function("ffn_train_1k_keys_10_epochs", |b| {
         b.iter(|| {
             let mut f = Ffn::new(&[1, 16, 1], 2);
-            let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            };
             train_regression(&mut f, black_box(&keys), black_box(&ys), &cfg)
         })
     });

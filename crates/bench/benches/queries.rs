@@ -28,7 +28,7 @@ fn bench_queries(c: &mut Criterion) {
         let (idx, _) = ctx.build(kind, &b, pts.clone());
         let label = b.label(kind);
 
-        c.bench_function(&format!("point_query/{label}"), |bch| {
+        c.bench_function(format!("point_query/{label}"), |bch| {
             let mut i = 0usize;
             bch.iter(|| {
                 i = (i + 997) % pts.len();

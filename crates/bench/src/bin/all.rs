@@ -8,8 +8,12 @@ use std::process::Command;
 
 fn run_bin(name: &str) {
     println!("\n################ {name} ################");
-    let status = Command::new(std::env::current_exe().expect("self path").with_file_name(name))
-        .status();
+    let status = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .with_file_name(name),
+    )
+    .status();
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => eprintln!("[all] {name} exited with {s}"),

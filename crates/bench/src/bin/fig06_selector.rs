@@ -52,9 +52,16 @@ fn main() {
 
     // Five cardinality levels standing in for u = 4..8.
     let sizes = [n / 100, n / 30, n / 10, n / 3, n].map(|s| s.max(200));
-    eprintln!("[fig06] measuring method costs on {} x {} data sets…", sizes.len(), SKEW_GRID.len());
+    eprintln!(
+        "[fig06] measuring method costs on {} x {} data sets…",
+        sizes.len(),
+        SKEW_GRID.len()
+    );
     let costs = measure_method_costs(&sizes, &SKEW_GRID, &Method::pool(), &cfg, &pool, 7);
-    eprintln!("[fig06] {} (dataset, method) cost rows measured", costs.len());
+    eprintln!(
+        "[fig06] {} (dataset, method) cost rows measured",
+        costs.len()
+    );
     // Held-out test set: same grid, different generator seed, so selectors
     // are scored on data sets they never saw.
     eprintln!("[fig06] measuring held-out test costs…");
@@ -64,8 +71,11 @@ fn main() {
     let mut rows_a = Vec::new();
     for (u_level, label) in (0..sizes.len()).map(|i| (i, format!("u={}", 4 + i))) {
         let train_sizes = &sizes[..=u_level];
-        let train_costs: Vec<MethodCosts> =
-            costs.iter().filter(|c| train_sizes.contains(&c.n)).copied().collect();
+        let train_costs: Vec<MethodCosts> = costs
+            .iter()
+            .filter(|c| train_sizes.contains(&c.n))
+            .copied()
+            .collect();
         let scorer = MethodScorer::train(&samples_from_costs(&train_costs), 3);
         let acc = accuracy_of(
             |n, d, l| scorer.select(n, d, l, 1.0, &Method::pool()),
@@ -74,7 +84,11 @@ fn main() {
         );
         rows_a.push(vec![label, format!("{acc:.3}")]);
     }
-    print_table("Fig. 6(a) — Selector accuracy vs preparation scale u", &["u", "accuracy"], &rows_a);
+    print_table(
+        "Fig. 6(a) — Selector accuracy vs preparation scale u",
+        &["u", "accuracy"],
+        &rows_a,
+    );
 
     // (b) FFN vs RFR / RFC / DTR / DTC per λ.
     let samples = samples_from_costs(&costs);
@@ -89,12 +103,18 @@ fn main() {
     let mut rows_b = Vec::new();
     for &l in &LAMBDAS {
         let one = [l];
-        let acc_ffn =
-            accuracy_of(|n, d, l| ffn.select(n, d, l, 1.0, &Method::pool()), &test_costs, &one);
+        let acc_ffn = accuracy_of(
+            |n, d, l| ffn.select(n, d, l, 1.0, &Method::pool()),
+            &test_costs,
+            &one,
+        );
         let mut row = vec![format!("{l:.1}"), format!("{acc_ffn:.3}")];
         for sel in [&rfr, &rfc, &dtr, &dtc] {
-            let acc =
-                accuracy_of(|n, d, l| sel.select(n, d, l, 1.0, &Method::pool()), &test_costs, &one);
+            let acc = accuracy_of(
+                |n, d, l| sel.select(n, d, l, 1.0, &Method::pool()),
+                &test_costs,
+                &one,
+            );
             row.push(format!("{acc:.3}"));
         }
         rows_b.push(row);

@@ -24,48 +24,79 @@ fn main() {
 
     for kind in IndexKind::learned_all() {
         let mut rows = Vec::new();
-        let mut run = |label: String, builder: BuilderKind, cfg_mut: &dyn Fn(&mut elsi::ElsiConfig)| {
-            // CL and RL are inapplicable to LISA (paper §VII-A).
-            if kind == IndexKind::Lisa {
-                if let BuilderKind::Fixed(m) = &builder {
-                    if m.synthesises_points() {
-                        return;
+        let mut run =
+            |label: String, builder: BuilderKind, cfg_mut: &dyn Fn(&mut elsi::ElsiConfig)| {
+                // CL and RL are inapplicable to LISA (paper §VII-A).
+                if kind == IndexKind::Lisa {
+                    if let BuilderKind::Fixed(m) = &builder {
+                        if m.synthesises_points() {
+                            return;
+                        }
                     }
                 }
-            }
-            let mut cfg = bench_config(n);
-            cfg_mut(&mut cfg);
-            let ctx = BenchCtx { elsi: elsi::Elsi::new(cfg), n };
-            let (idx, secs) = ctx.build(kind, &builder, pts.clone());
-            let micros = point_query_micros(idx.as_ref(), &pts, 2000);
-            rows.push(vec![label, fmt_secs(secs), format!("{micros:.2}")]);
-        };
+                let mut cfg = bench_config(n);
+                cfg_mut(&mut cfg);
+                let ctx = BenchCtx {
+                    elsi: elsi::Elsi::new(cfg),
+                    n,
+                };
+                let (idx, secs) = ctx.build(kind, &builder, pts.clone());
+                let micros = point_query_micros(idx.as_ref(), &pts, 2000);
+                rows.push(vec![label, fmt_secs(secs), format!("{micros:.2}")]);
+            };
 
         for rho in rho_grid {
-            run(format!("SP rho={rho}"), BuilderKind::Fixed(Method::Sp), &|c| c.rho = rho);
+            run(
+                format!("SP rho={rho}"),
+                BuilderKind::Fixed(Method::Sp),
+                &|c| c.rho = rho,
+            );
         }
         for rho in rho_grid {
-            run(format!("RSP rho={rho}"), BuilderKind::Fixed(Method::Rsp), &|c| c.rho = rho);
+            run(
+                format!("RSP rho={rho}"),
+                BuilderKind::Fixed(Method::Rsp),
+                &|c| c.rho = rho,
+            );
         }
         for c_k in c_grid {
-            run(format!("CL C={c_k}"), BuilderKind::Fixed(Method::Cl), &|c| c.clusters = c_k);
+            run(
+                format!("CL C={c_k}"),
+                BuilderKind::Fixed(Method::Cl),
+                &|c| c.clusters = c_k,
+            );
         }
         for eps in eps_grid {
-            run(format!("MR eps={eps}"), BuilderKind::Fixed(Method::Mr), &|c| c.epsilon = eps);
+            run(
+                format!("MR eps={eps}"),
+                BuilderKind::Fixed(Method::Mr),
+                &|c| c.epsilon = eps,
+            );
         }
         for beta in beta_grid {
-            run(format!("RS beta={beta}"), BuilderKind::Fixed(Method::Rs), &|c| c.beta = beta);
+            run(
+                format!("RS beta={beta}"),
+                BuilderKind::Fixed(Method::Rs),
+                &|c| c.beta = beta,
+            );
         }
         for eta in eta_grid {
-            run(format!("RL eta={eta}"), BuilderKind::Fixed(Method::Rl), &|c| {
-                c.eta = eta;
-                c.rl_steps = 400;
-            });
+            run(
+                format!("RL eta={eta}"),
+                BuilderKind::Fixed(Method::Rl),
+                &|c| {
+                    c.eta = eta;
+                    c.rl_steps = 400;
+                },
+            );
         }
         run("OG".to_string(), BuilderKind::Og, &|_| {});
 
         print_table(
-            &format!("Fig. 7 — Build vs point-query trade-off on OSM1, base index {}", kind.name()),
+            &format!(
+                "Fig. 7 — Build vs point-query trade-off on OSM1, base index {}",
+                kind.name()
+            ),
             &["method/param", "build (s)", "query (µs)"],
             &rows,
         );

@@ -1,4 +1,6 @@
 //! Fig. 8: index build time vs data distribution, all ten variants.
 fn main() {
-    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(true, false, false, false));
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(
+        true, false, false, false,
+    ));
 }

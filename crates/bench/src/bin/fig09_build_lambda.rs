@@ -18,7 +18,10 @@ fn main() {
 
         let mut rows = Vec::new();
         for &l in &LAMBDAS {
-            let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+            let lctx = BenchCtx {
+                elsi: ctx.elsi.with_lambda(l),
+                n: ctx.n,
+            };
             let mut row = vec![format!("{l:.1}")];
             for kind in IndexKind::learned() {
                 let (_, secs) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
@@ -30,7 +33,14 @@ fn main() {
         }
         print_table(
             &format!("Fig. 9 — Build time (s) vs lambda on {ds}"),
-            &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+            &[
+                "lambda",
+                "ML-F",
+                "RSMI-F",
+                "LISA-F",
+                "RR* (ref)",
+                "RSMI (ref)",
+            ],
             &rows,
         );
     }

@@ -1,4 +1,6 @@
 //! Fig. 10: point query time vs data distribution.
 fn main() {
-    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(false, true, false, false));
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(
+        false, true, false, false,
+    ));
 }

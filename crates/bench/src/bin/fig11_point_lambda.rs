@@ -19,11 +19,17 @@ fn main() {
 
         let mut rows = Vec::new();
         for &l in &LAMBDAS {
-            let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+            let lctx = BenchCtx {
+                elsi: ctx.elsi.with_lambda(l),
+                n: ctx.n,
+            };
             let mut row = vec![format!("{l:.1}")];
             for kind in IndexKind::learned() {
                 let (idx, _) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
-                row.push(format!("{:.2}", point_query_micros(idx.as_ref(), &pts, 2000)));
+                row.push(format!(
+                    "{:.2}",
+                    point_query_micros(idx.as_ref(), &pts, 2000)
+                ));
             }
             row.push(format!("{rstar_micros:.2}"));
             row.push(format!("{rsmi_og_micros:.2}"));
@@ -31,7 +37,14 @@ fn main() {
         }
         print_table(
             &format!("Fig. 11 — Point query time (µs) vs lambda on {ds}"),
-            &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+            &[
+                "lambda",
+                "ML-F",
+                "RSMI-F",
+                "LISA-F",
+                "RR* (ref)",
+                "RSMI (ref)",
+            ],
             &rows,
         );
     }

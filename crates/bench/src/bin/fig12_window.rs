@@ -1,4 +1,6 @@
 //! Fig. 12: window query time and recall vs data distribution.
 fn main() {
-    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(false, false, true, false));
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(
+        false, false, true, false,
+    ));
 }

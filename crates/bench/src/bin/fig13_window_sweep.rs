@@ -21,7 +21,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for &l in &LAMBDAS {
-        let lctx = BenchCtx { elsi: ctx.elsi.with_lambda(l), n: ctx.n };
+        let lctx = BenchCtx {
+            elsi: ctx.elsi.with_lambda(l),
+            n: ctx.n,
+        };
         let mut row = vec![format!("{l:.1}")];
         for kind in IndexKind::learned() {
             let (idx, _) = lctx.build(kind, &BuilderKind::Selector, pts.clone());
@@ -34,7 +37,14 @@ fn main() {
     }
     print_table(
         "Fig. 13(a) — Window query time (µs) vs lambda on OSM1 (0.01% windows)",
-        &["lambda", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+        &[
+            "lambda",
+            "ML-F",
+            "RSMI-F",
+            "LISA-F",
+            "RR* (ref)",
+            "RSMI (ref)",
+        ],
         &rows,
     );
 
@@ -60,7 +70,14 @@ fn main() {
     }
     print_table(
         "Fig. 13(b) — Window query time (µs) vs window size on OSM1",
-        &["window", "ML-F", "RSMI-F", "LISA-F", "RR* (ref)", "RSMI (ref)"],
+        &[
+            "window",
+            "ML-F",
+            "RSMI-F",
+            "LISA-F",
+            "RR* (ref)",
+            "RSMI (ref)",
+        ],
         &rows,
     );
 }

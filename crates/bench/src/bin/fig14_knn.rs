@@ -1,4 +1,6 @@
 //! Fig. 14: kNN query time and recall vs data distribution (k = 25).
 fn main() {
-    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(false, false, false, true));
+    elsi_bench::matrix::run(elsi_bench::matrix::MatrixOpts::only(
+        false, false, false, true,
+    ));
 }

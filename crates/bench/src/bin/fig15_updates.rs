@@ -22,38 +22,80 @@ fn main() {
     let runs: Vec<(String, Vec<_>)> = vec![
         (
             "ML-F".into(),
-            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
-                           RebuildPolicy::Never, initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Ml,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                RebuildPolicy::Never,
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "ML-R".into(),
-            run_insertions(&ctx, IndexKind::Ml, BuilderKind::Fixed(elsi::Method::Rs),
-                           predictor(), initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Ml,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                predictor(),
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "RSMI-F".into(),
-            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
-                           RebuildPolicy::Never, initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Rsmi,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                RebuildPolicy::Never,
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "RSMI-R".into(),
-            run_insertions(&ctx, IndexKind::Rsmi, BuilderKind::Fixed(elsi::Method::Rs),
-                           predictor(), initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Rsmi,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                predictor(),
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "LISA-F".into(),
-            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
-                           RebuildPolicy::Never, initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Lisa,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                RebuildPolicy::Never,
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "LISA-R".into(),
-            run_insertions(&ctx, IndexKind::Lisa, BuilderKind::Fixed(elsi::Method::Rs),
-                           predictor(), initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Lisa,
+                BuilderKind::Fixed(elsi::Method::Rs),
+                predictor(),
+                initial.clone(),
+                &windows,
+            ),
         ),
         (
             "RR*".into(),
-            run_insertions(&ctx, IndexKind::Rstar, BuilderKind::Og,
-                           RebuildPolicy::Never, initial.clone(), &windows),
+            run_insertions(
+                &ctx,
+                IndexKind::Rstar,
+                BuilderKind::Og,
+                RebuildPolicy::Never,
+                initial.clone(),
+                &windows,
+            ),
         ),
     ];
 

@@ -17,13 +17,25 @@ fn main() {
 
     // Shared data preparation cost (map + sort), measured once.
     let (_, prep_secs) = timed(|| MappedData::build(pts.clone(), &MortonMapper));
-    println!("Data preparation (map + sort) on OSM1 ({n} points): {:.3} s — shared by all methods", prep_secs);
+    println!(
+        "Data preparation (map + sort) on OSM1 ({n} points): {:.3} s — shared by all methods",
+        prep_secs
+    );
 
     let ctx = BenchCtx::new(n);
-    let zm_cfg = ZmConfig { fanout: (n / 12_500).clamp(4, 16) };
+    let zm_cfg = ZmConfig {
+        fanout: (n / 12_500).clamp(4, 16),
+    };
 
     let mut rows = Vec::new();
-    for m in [Method::Sp, Method::Cl, Method::Mr, Method::Rs, Method::Rl, Method::Og] {
+    for m in [
+        Method::Sp,
+        Method::Cl,
+        Method::Mr,
+        Method::Rs,
+        Method::Rl,
+        Method::Og,
+    ] {
         let builder = ctx.elsi.fixed_builder(m);
         let (idx, _) = timed(|| ZmIndex::build(pts.clone(), &zm_cfg, &builder));
         let agg = CostDecomposition::aggregate(
@@ -45,7 +57,16 @@ fn main() {
     }
     print_table(
         "Table I — Cost decomposition on OSM1 (ZM)",
-        &["method", "|D_S|", "train T(|D_S|)", "extra cost_ex", "bounds M(n)", "total", "|Error|", "query µs"],
+        &[
+            "method",
+            "|D_S|",
+            "train T(|D_S|)",
+            "extra cost_ex",
+            "bounds M(n)",
+            "total",
+            "|Error|",
+            "query µs",
+        ],
         &rows,
     );
 }

@@ -40,13 +40,24 @@ fn main() {
             let _ = label;
             let (idx, secs) = ctx.build(kind, builder, pts.clone());
             b_row.push(fmt_secs(secs));
-            q_row.push(format!("{:.2}", point_query_micros(idx.as_ref(), &pts, 2000)));
+            q_row.push(format!(
+                "{:.2}",
+                point_query_micros(idx.as_ref(), &pts, 2000)
+            ));
         }
         build_rows.push(b_row);
         query_rows.push(q_row);
     }
 
     let header = ["index", "ELSI", "Rand", "SP", "CL", "MR", "RS", "RL", "OG"];
-    print_table("Table II (top) — Build time (s) on OSM1, lambda = 0.8", &header, &build_rows);
-    print_table("Table II (bottom) — Point query time (µs) on OSM1", &header, &query_rows);
+    print_table(
+        "Table II (top) — Build time (s) on OSM1, lambda = 0.8",
+        &header,
+        &build_rows,
+    );
+    print_table(
+        "Table II (bottom) — Point query time (µs) on OSM1",
+        &header,
+        &query_rows,
+    );
 }

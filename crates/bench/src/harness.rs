@@ -1,7 +1,7 @@
 //! Shared experiment machinery: the index zoo, scale knobs, timing and
 //! table printing.
 
-use elsi::{Elsi, ElsiConfig, ElsiBuilder, Method};
+use elsi::{Elsi, ElsiBuilder, ElsiConfig, Method};
 use elsi_data::{gen, Dataset};
 use elsi_indices::*;
 use elsi_spatial::{Point, Rect};
@@ -9,12 +9,34 @@ use std::time::Instant;
 
 /// Base cardinality standing in for the paper's 100M-point OSM1.
 pub fn base_n() -> usize {
-    std::env::var("ELSI_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000)
+    std::env::var("ELSI_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000)
 }
 
 /// Training epochs used for every model (paper: 500 on GPU).
 pub fn bench_epochs() -> usize {
-    std::env::var("ELSI_BENCH_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(50)
+    std::env::var("ELSI_BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Applies the `ELSI_THREADS` knob to the global rayon pool (unset or `0`
+/// restores auto-detection) and returns the resulting thread count.
+/// Parallel and sequential builds produce identical indices (per-partition
+/// seeding), so the knob only moves wall-clock time.
+pub fn configure_threads() -> usize {
+    let n: usize = std::env::var("ELSI_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("global thread pool");
+    rayon::current_num_threads()
 }
 
 /// The ELSI configuration used across the experiments, scaled to `n`.
@@ -55,7 +77,12 @@ pub enum IndexKind {
 impl IndexKind {
     /// The traditional competitors.
     pub fn traditional() -> [IndexKind; 4] {
-        [IndexKind::Grid, IndexKind::Kdb, IndexKind::Hrr, IndexKind::Rstar]
+        [
+            IndexKind::Grid,
+            IndexKind::Kdb,
+            IndexKind::Hrr,
+            IndexKind::Rstar,
+        ]
     }
 
     /// The learned indices reported in the main experiments
@@ -66,12 +93,20 @@ impl IndexKind {
 
     /// All learned indices including ZM.
     pub fn learned_all() -> [IndexKind; 4] {
-        [IndexKind::Zm, IndexKind::Ml, IndexKind::Rsmi, IndexKind::Lisa]
+        [
+            IndexKind::Zm,
+            IndexKind::Ml,
+            IndexKind::Rsmi,
+            IndexKind::Lisa,
+        ]
     }
 
     /// Whether this is a learned (ELSI-compatible) index.
     pub fn is_learned(&self) -> bool {
-        matches!(self, IndexKind::Zm | IndexKind::Ml | IndexKind::Rsmi | IndexKind::Lisa)
+        matches!(
+            self,
+            IndexKind::Zm | IndexKind::Ml | IndexKind::Rsmi | IndexKind::Lisa
+        )
     }
 
     /// Base display name.
@@ -127,16 +162,21 @@ pub struct BenchCtx {
 impl BenchCtx {
     /// Context without a trained scorer (fixed-method experiments).
     pub fn new(n: usize) -> Self {
-        Self { elsi: Elsi::new(bench_config(n)), n }
+        let threads = configure_threads();
+        eprintln!("[prep] rayon threads: {threads} (override with ELSI_THREADS)");
+        Self {
+            elsi: Elsi::new(bench_config(n)),
+            n,
+        }
     }
 
     /// Context with the scorer prepared on a small measurement pass.
     pub fn with_scorer(n: usize) -> Self {
-        let mut elsi = Elsi::new(bench_config(n));
+        let mut ctx = Self::new(n);
         let sizes = [n / 20, n / 5, n].map(|s| s.max(200));
         eprintln!("[prep] training method scorer on {sizes:?} x 5 skews…");
-        elsi.prepare_scorer(&sizes, &[1, 3, 6, 12, 26], 11);
-        Self { elsi, n }
+        ctx.elsi.prepare_scorer(&sizes, &[1, 3, 6, 12, 26], 11);
+        ctx
     }
 
     /// Materialises a model builder.
@@ -181,13 +221,18 @@ impl BenchCtx {
             }
             IndexKind::Zm => {
                 let builder = self.builder(kind, b);
-                let cfg = ZmConfig { fanout: (n / 12_500).clamp(4, 16) };
+                let cfg = ZmConfig {
+                    fanout: (n / 12_500).clamp(4, 16),
+                };
                 let (idx, t) = timed(|| ZmIndex::build(pts, &cfg, &builder));
                 (Box::new(idx), t)
             }
             IndexKind::Ml => {
                 let builder = self.builder(kind, b);
-                let cfg = MlConfig { pivots: 8, ..MlConfig::default() };
+                let cfg = MlConfig {
+                    pivots: 8,
+                    ..MlConfig::default()
+                };
                 let (idx, t) = timed(|| MlIndex::build(pts, &cfg, &builder));
                 (Box::new(idx), t)
             }
@@ -247,7 +292,14 @@ pub fn window_query_stats(idx: &dyn SpatialIndex, pts: &[Point], windows: &[Rect
         want += truth;
         got += r.min(truth);
     }
-    (micros, if want == 0 { 1.0 } else { got as f64 / want as f64 })
+    (
+        micros,
+        if want == 0 {
+            1.0
+        } else {
+            got as f64 / want as f64
+        },
+    )
 }
 
 /// kNN stats: average latency (µs) and recall at `k` over the workload.
@@ -273,7 +325,14 @@ pub fn knn_query_stats(
         total += k.min(pts.len());
         hit += ans.iter().filter(|p| q.dist(p) <= radius).count().min(k);
     }
-    (micros, if total == 0 { 1.0 } else { hit as f64 / total as f64 })
+    (
+        micros,
+        if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        },
+    )
 }
 
 /// Generates the standard workloads for one data set.
@@ -313,7 +372,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

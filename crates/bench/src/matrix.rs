@@ -25,12 +25,25 @@ pub struct MatrixOpts {
 impl MatrixOpts {
     /// Options computing everything.
     pub fn all() -> Self {
-        Self { build: true, point: true, window: true, knn: true, window_area: 1e-4, k: 25 }
+        Self {
+            build: true,
+            point: true,
+            window: true,
+            knn: true,
+            window_area: 1e-4,
+            k: 25,
+        }
     }
 
     /// Options computing only what `which` asks for.
     pub fn only(build: bool, point: bool, window: bool, knn: bool) -> Self {
-        Self { build, point, window, knn, ..Self::all() }
+        Self {
+            build,
+            point,
+            window,
+            knn,
+            ..Self::all()
+        }
     }
 }
 
@@ -38,8 +51,10 @@ impl MatrixOpts {
 /// without ELSI, 3 learned with ELSI (`-F`). ZM is excluded here, matching
 /// the paper (§VII-A: ZM only appears in the §VII-D method study).
 pub fn main_variants() -> Vec<(IndexKind, BuilderKind)> {
-    let mut v: Vec<(IndexKind, BuilderKind)> =
-        IndexKind::traditional().into_iter().map(|k| (k, BuilderKind::Og)).collect();
+    let mut v: Vec<(IndexKind, BuilderKind)> = IndexKind::traditional()
+        .into_iter()
+        .map(|k| (k, BuilderKind::Og))
+        .collect();
     for k in IndexKind::learned() {
         v.push((k, BuilderKind::Og));
     }
@@ -97,10 +112,18 @@ pub fn run(opts: MatrixOpts) {
     header.extend(labels.iter().map(String::as_str));
 
     if opts.build {
-        print_table("Fig. 8 — Build time (s) vs data distribution", &header, &build_rows);
+        print_table(
+            "Fig. 8 — Build time (s) vs data distribution",
+            &header,
+            &build_rows,
+        );
     }
     if opts.point {
-        print_table("Fig. 10 — Point query time (µs) vs data distribution", &header, &point_rows);
+        print_table(
+            "Fig. 10 — Point query time (µs) vs data distribution",
+            &header,
+            &point_rows,
+        );
     }
     if opts.window {
         print_table(
@@ -110,6 +133,10 @@ pub fn run(opts: MatrixOpts) {
         );
     }
     if opts.knn {
-        print_table("Fig. 14 — kNN query (k=25): µs/recall vs data distribution", &header, &knn_rows);
+        print_table(
+            "Fig. 14 — kNN query (k=25): µs/recall vs data distribution",
+            &header,
+            &knn_rows,
+        );
     }
 }

@@ -2,16 +2,17 @@
 //! rebuild-predictor training pass (§VII-B2).
 
 use crate::harness::{point_query_micros, timed, BenchCtx, BuilderKind, IndexKind};
-use elsi::{DriftTracker, Method, RebuildFeatures, RebuildPolicy, RebuildPredictor,
-           RebuildSample, UpdateProcessor};
+use elsi::{
+    DriftTracker, Method, RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample,
+    UpdateProcessor,
+};
 use elsi_data::{gen, Dataset};
 use elsi_indices::SpatialIndex;
 use elsi_spatial::{KeyMapper, MortonMapper, Point, Rect};
 
 /// The paper's insertion schedule: cumulative ratios `2^i %` of the
 /// initial cardinality, up to 512%.
-pub const INSERT_RATIOS: [f64; 10] =
-    [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12];
+pub const INSERT_RATIOS: [f64; 10] = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12];
 
 /// The skewed insert stream of §VII-H: points from **Skewed**, re-labelled
 /// with fresh ids.
@@ -119,7 +120,10 @@ pub fn run_insertions(
     let rebuild = move |pts: Vec<Point>| -> Box<dyn SpatialIndex> {
         // Rebuilds go through the build processor with the same method
         // choice as the initial build.
-        let tmp = BenchCtx { elsi: rebuild_elsi(&elsi_cfg, &mr), n: ctx_n };
+        let tmp = BenchCtx {
+            elsi: rebuild_elsi(&elsi_cfg, &mr),
+            n: ctx_n,
+        };
         tmp.build(kind, &builder_for_rebuild, pts).0
     };
 
@@ -140,7 +144,11 @@ pub fn run_insertions(
         });
         live.extend_from_slice(batch);
 
-        let probes: Vec<Point> = live.iter().step_by((live.len() / 512).max(1)).copied().collect();
+        let probes: Vec<Point> = live
+            .iter()
+            .step_by((live.len() / 512).max(1))
+            .copied()
+            .collect();
         let point_micros = point_query_micros(proc.index().as_ref(), &probes, probes.len());
 
         let (stats, w_secs) = timed(|| {
@@ -155,8 +163,10 @@ pub fn run_insertions(
             }
             got
         });
-        let want: usize =
-            windows.iter().map(|w| live.iter().filter(|p| w.contains(p)).count()).sum();
+        let want: usize = windows
+            .iter()
+            .map(|w| live.iter().filter(|p| w.contains(p)).count())
+            .sum();
 
         steps.push(UpdateStep {
             ratio,
@@ -167,17 +177,21 @@ pub fn run_insertions(
             },
             point_micros,
             window_micros: w_secs * 1e6 / windows.len().max(1) as f64,
-            window_recall: if want == 0 { 1.0 } else { (stats.min(want)) as f64 / want as f64 },
+            window_recall: if want == 0 {
+                1.0
+            } else {
+                (stats.min(want)) as f64 / want as f64
+            },
             rebuilds: proc.rebuilds(),
         });
     }
     steps
 }
 
-fn rebuild_elsi(cfg: &elsi::ElsiConfig, mr: &std::rc::Rc<elsi::MrPool>) -> elsi::Elsi {
+fn rebuild_elsi(cfg: &elsi::ElsiConfig, mr: &std::sync::Arc<elsi::MrPool>) -> elsi::Elsi {
     // Reuse the prepared MR pool; the scorer is not needed for fixed-method
     // rebuilds.
-    elsi::Elsi::with_pool(cfg.clone(), std::rc::Rc::clone(mr))
+    elsi::Elsi::with_pool(cfg.clone(), std::sync::Arc::clone(mr))
 }
 
 /// Convenience: `UpdateOutcome` statistics are accessible on the processor;

@@ -85,7 +85,9 @@ impl IndexChoice {
             "rsmi" => Ok(Self::Rsmi),
             "lisa" => Ok(Self::Lisa),
             "flood" => Ok(Self::Flood),
-            other => Err(format!("unknown index {other:?} (expected zm|ml|rsmi|lisa|flood)")),
+            other => Err(format!(
+                "unknown index {other:?} (expected zm|ml|rsmi|lisa|flood)"
+            )),
         }
     }
 
@@ -155,7 +157,10 @@ fn parse_floats(s: &str, want: usize) -> Result<Vec<f64>, String> {
     let vals: Result<Vec<f64>, _> = s.split(',').map(|v| v.trim().parse::<f64>()).collect();
     let vals = vals.map_err(|e| format!("bad number in {s:?}: {e}"))?;
     if vals.len() != want {
-        return Err(format!("expected {want} comma-separated numbers, got {}", vals.len()));
+        return Err(format!(
+            "expected {want} comma-separated numbers, got {}",
+            vals.len()
+        ));
     }
     Ok(vals)
 }
@@ -186,7 +191,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("generate: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Generate { dataset, n, out, seed })
+            Ok(Command::Generate {
+                dataset,
+                n,
+                out,
+                seed,
+            })
         }
         "inspect" => {
             let input = it.next().ok_or("inspect: missing input path")?.clone();
@@ -198,14 +208,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut method = MethodChoice::Fixed(Method::Rs);
             while let Some(flag) = it.next() {
                 match flag.as_str() {
-                    "--index" => index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?,
+                    "--index" => {
+                        index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?
+                    }
                     "--method" => {
                         method = MethodChoice::parse(it.next().ok_or("--method needs a value")?)?
                     }
                     other => return Err(format!("build: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Build { input, index, method })
+            Ok(Command::Build {
+                input,
+                index,
+                method,
+            })
         }
         "query" => {
             let input = it.next().ok_or("query: missing input path")?.clone();
@@ -213,13 +229,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut query = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
-                    "--index" => index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?,
+                    "--index" => {
+                        index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?
+                    }
                     "--point" => {
                         let v = parse_floats(it.next().ok_or("--point needs X,Y")?, 2)?;
                         query = Some(QuerySpec::Point(Point::at(v[0], v[1])));
                     }
                     "--window" => {
-                        let v = parse_floats(it.next().ok_or("--window needs LOX,LOY,HIX,HIY")?, 4)?;
+                        let v =
+                            parse_floats(it.next().ok_or("--window needs LOX,LOY,HIX,HIY")?, 4)?;
                         query = Some(QuerySpec::Window(Rect::new(v[0], v[1], v[2], v[3])));
                     }
                     "--knn" => {
@@ -233,7 +252,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             let query = query.ok_or("query: one of --point/--window/--knn is required")?;
-            Ok(Command::Query { input, index, query })
+            Ok(Command::Query {
+                input,
+                index,
+                query,
+            })
         }
         "help" | "--help" | "-h" => Err(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -276,7 +299,9 @@ fn build_index(
         MethodChoice::Pwl => Box::new(PwlBuilder::default()),
         MethodChoice::Fixed(m) => {
             if index == IndexChoice::Lisa && m.synthesises_points() {
-                return Err(format!("method {m} is inapplicable to LISA (synthesises points)"));
+                return Err(format!(
+                    "method {m} is inapplicable to LISA (synthesises points)"
+                ));
             }
             let elsi = Elsi::new(cfg.clone());
             Box::new(elsi.fixed_builder(m))
@@ -299,19 +324,28 @@ fn build_index(
 fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Box<dyn SpatialIndex> {
     let n = pts.len().max(1);
     match index {
-        IndexChoice::Zm => {
-            Box::new(ZmIndex::build(pts, &ZmConfig { fanout: (n / 12_500).clamp(4, 16) }, b))
-        }
+        IndexChoice::Zm => Box::new(ZmIndex::build(
+            pts,
+            &ZmConfig {
+                fanout: (n / 12_500).clamp(4, 16),
+            },
+            b,
+        )),
         IndexChoice::Ml => Box::new(MlIndex::build(pts, &MlConfig::default(), b)),
         IndexChoice::Rsmi => Box::new(RsmiIndex::build(pts, &RsmiConfig::default(), b)),
         IndexChoice::Lisa => Box::new(LisaIndex::build(
             pts,
-            &LisaConfig { shard_size: (n / 200).clamp(100, 1000), ..LisaConfig::default() },
+            &LisaConfig {
+                shard_size: (n / 200).clamp(100, 1000),
+                ..LisaConfig::default()
+            },
             b,
         )),
         IndexChoice::Flood => Box::new(FloodIndex::build(
             pts,
-            &FloodConfig { columns: (n / 2_000).clamp(4, 64) },
+            &FloodConfig {
+                columns: (n / 2_000).clamp(4, 64),
+            },
             b,
         )),
     }
@@ -321,7 +355,12 @@ fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Box<
 pub fn run(cmd: Command) -> Result<String, String> {
     let mut out = String::new();
     match cmd {
-        Command::Generate { dataset, n, out: path, seed } => {
+        Command::Generate {
+            dataset,
+            n,
+            out: path,
+            seed,
+        } => {
             let pts = dataset.generate(n, seed);
             io::write_points_csv(Path::new(&path), &pts).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "wrote {n} {dataset} points to {path}");
@@ -338,14 +377,25 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 "bounding box:        [{:.6}, {:.6}] x [{:.6}, {:.6}]",
                 bbox.lo_x, bbox.hi_x, bbox.lo_y, bbox.hi_y
             );
-            let _ = writeln!(out, "dist(D_U, D):        {dist_u:.4} (Z-order keys vs uniform)");
+            let _ = writeln!(
+                out,
+                "dist(D_U, D):        {dist_u:.4} (Z-order keys vs uniform)"
+            );
             let _ = writeln!(
                 out,
                 "suggested method:    {}",
-                if dist_u < 0.1 { "SP (near-uniform)" } else { "RS (skewed)" }
+                if dist_u < 0.1 {
+                    "SP (near-uniform)"
+                } else {
+                    "RS (skewed)"
+                }
             );
         }
-        Command::Build { input, index, method } => {
+        Command::Build {
+            input,
+            index,
+            method,
+        } => {
             let pts = load_points(&input)?;
             let n = pts.len();
             let probes: Vec<Point> = pts.iter().step_by((n / 1000).max(1)).copied().collect();
@@ -367,7 +417,11 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let _ = writeln!(out, "probes found:        {found}/{}", probes.len());
             let _ = writeln!(out, "structure depth:     {}", idx.depth());
         }
-        Command::Query { input, index, query } => {
+        Command::Query {
+            input,
+            index,
+            query,
+        } => {
             let pts = load_points(&input)?;
             let idx = build_index(pts, index, MethodChoice::Fixed(Method::Rs))?;
             match query {
@@ -391,7 +445,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
                 QuerySpec::Knn(q, k) => {
                     let hits = idx.knn_query(q, k);
-                    let _ = writeln!(out, "{} nearest neighbours of ({}, {}):", hits.len(), q.x, q.y);
+                    let _ = writeln!(
+                        out,
+                        "{} nearest neighbours of ({}, {}):",
+                        hits.len(),
+                        q.x,
+                        q.y
+                    );
                     for p in &hits {
                         let _ = writeln!(out, "  {p}  dist {:.6}", q.dist(p));
                     }
@@ -420,7 +480,12 @@ mod tests {
         let cmd = parse_args(&args("generate NYC 5000 /tmp/nyc.csv --seed 7")).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { dataset: Dataset::Nyc, n: 5000, out: "/tmp/nyc.csv".into(), seed: 7 }
+            Command::Generate {
+                dataset: Dataset::Nyc,
+                n: 5000,
+                out: "/tmp/nyc.csv".into(),
+                seed: 7
+            }
         );
         // Default seed.
         let cmd = parse_args(&args("generate uniform 10 out.csv")).unwrap();
@@ -439,19 +504,42 @@ mod tests {
             }
         );
         let cmd = parse_args(&args("build in.csv --method pwl")).unwrap();
-        assert!(matches!(cmd, Command::Build { method: MethodChoice::Pwl, .. }));
+        assert!(matches!(
+            cmd,
+            Command::Build {
+                method: MethodChoice::Pwl,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parse_queries() {
         let cmd = parse_args(&args("query in.csv --point 0.5,0.25")).unwrap();
-        assert!(matches!(cmd, Command::Query { query: QuerySpec::Point(_), .. }));
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                query: QuerySpec::Point(_),
+                ..
+            }
+        ));
         let cmd = parse_args(&args("query in.csv --window 0.1,0.1,0.2,0.2")).unwrap();
-        assert!(matches!(cmd, Command::Query { query: QuerySpec::Window(_), .. }));
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                query: QuerySpec::Window(_),
+                ..
+            }
+        ));
         let cmd = parse_args(&args("query in.csv --knn 0.5,0.5,25 --index rsmi")).unwrap();
-        assert!(
-            matches!(cmd, Command::Query { query: QuerySpec::Knn(_, 25), index: IndexChoice::Rsmi, .. })
-        );
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                query: QuerySpec::Knn(_, 25),
+                index: IndexChoice::Rsmi,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -466,17 +554,26 @@ mod tests {
     }
 
     fn temp_csv(name: &str, ds: Dataset, n: usize) -> String {
-        let path = std::env::temp_dir()
-            .join(format!("elsi_cli_test_{}_{name}.csv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("elsi_cli_test_{}_{name}.csv", std::process::id()));
         let path = path.to_string_lossy().into_owned();
-        run(Command::Generate { dataset: ds, n, out: path.clone(), seed: 1 }).unwrap();
+        run(Command::Generate {
+            dataset: ds,
+            n,
+            out: path.clone(),
+            seed: 1,
+        })
+        .unwrap();
         path
     }
 
     #[test]
     fn generate_inspect_roundtrip() {
         let path = temp_csv("inspect", Dataset::Skewed, 2000);
-        let report = run(Command::Inspect { input: path.clone() }).unwrap();
+        let report = run(Command::Inspect {
+            input: path.clone(),
+        })
+        .unwrap();
         std::fs::remove_file(&path).ok();
         assert!(report.contains("points:              2000"), "{report}");
         assert!(report.contains("dist(D_U, D)"), "{report}");
@@ -487,8 +584,8 @@ mod tests {
     fn build_reports_exact_probes() {
         let path = temp_csv("build", Dataset::Uniform, 1500);
         for method in ["rs", "pwl"] {
-            let cmd = parse_args(&args(&format!("build {path} --index zm --method {method}")))
-                .unwrap();
+            let cmd =
+                parse_args(&args(&format!("build {path} --index zm --method {method}"))).unwrap();
             let report = run(cmd).unwrap();
             let want = "probes found:        1500/1500";
             assert!(report.contains(want), "method {method}: {report}");
@@ -502,7 +599,10 @@ mod tests {
         let cmd = parse_args(&args(&format!("build {path} --index flood --method pwl"))).unwrap();
         let report = run(cmd).unwrap();
         std::fs::remove_file(&path).ok();
-        assert!(report.contains("probes found:        1000/1000"), "{report}");
+        assert!(
+            report.contains("probes found:        1000/1000"),
+            "{report}"
+        );
     }
 
     #[test]
@@ -517,8 +617,7 @@ mod tests {
     #[test]
     fn query_window_and_knn() {
         let path = temp_csv("query", Dataset::Uniform, 1200);
-        let cmd =
-            parse_args(&args(&format!("query {path} --window 0.2,0.2,0.4,0.4"))).unwrap();
+        let cmd = parse_args(&args(&format!("query {path} --window 0.2,0.2,0.4,0.4"))).unwrap();
         let report = run(cmd).unwrap();
         assert!(report.contains("points in window"), "{report}");
 

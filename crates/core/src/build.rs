@@ -14,9 +14,10 @@ use crate::config::ElsiConfig;
 use crate::methods::{reduce, Method, MrPool, Reduction};
 use crate::scorer::{MethodScorer, RandomSelector};
 use elsi_data::dist_from_uniform;
-use elsi_indices::{build_on_training_set, BuildInput, BuildStats, BuiltModel, ModelBuilder, RankModel};
-use std::cell::RefCell;
-use std::rc::Rc;
+use elsi_indices::{
+    build_on_training_set, BuildInput, BuildStats, BuiltModel, ModelBuilder, RankModel,
+};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the builder picks a method for each model build.
@@ -25,54 +26,63 @@ pub enum MethodChoice {
     /// the Fig. 7 Pareto sweeps).
     Fixed(Method),
     /// The learned FFN method selector (the ELSI row).
-    Learned(Rc<MethodScorer>),
-    /// Uniformly random choice (the "Rand" ablation of Table II).
-    Random(RefCell<RandomSelector>),
+    Learned(Arc<MethodScorer>),
+    /// Uniformly random choice (the "Rand" ablation of Table II). Each
+    /// model build draws from a fresh [`RandomSelector`] seeded by this
+    /// root seed mixed with the build's partition seed, so the choice for
+    /// a partition does not depend on which thread trains it first.
+    Random(u64),
 }
 
 /// The ELSI build processor.
+///
+/// `Send + Sync`: base indices train their per-partition models in
+/// parallel, sharing one builder across rayon worker threads. The only
+/// mutable state is the chosen-method diagnostic log behind a [`Mutex`].
 pub struct ElsiBuilder {
     cfg: ElsiConfig,
     choice: MethodChoice,
-    mr_pool: Rc<MrPool>,
+    mr_pool: Arc<MrPool>,
     /// Methods this builder may use (LISA masks out CL and RL).
     allowed: Vec<Method>,
-    /// Record of the methods chosen, in build order (diagnostics).
-    chosen: RefCell<Vec<Method>>,
+    /// Record of the methods chosen, one per model build (diagnostics).
+    /// Under parallel builds the order follows build *completion*, which
+    /// varies with the thread schedule; the multiset of entries does not.
+    chosen: Mutex<Vec<Method>>,
 }
 
 impl ElsiBuilder {
     /// A builder that always uses `method` (including the RSP baseline,
     /// which is outside the selector's pool).
-    pub fn fixed(method: Method, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+    pub fn fixed(method: Method, cfg: ElsiConfig, mr_pool: Arc<MrPool>) -> Self {
         Self {
             cfg,
             choice: MethodChoice::Fixed(method),
             mr_pool,
             allowed: Method::all().to_vec(),
-            chosen: RefCell::new(Vec::new()),
+            chosen: Mutex::new(Vec::new()),
         }
     }
 
     /// A builder driven by a trained method scorer (the full ELSI system).
-    pub fn learned(scorer: Rc<MethodScorer>, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+    pub fn learned(scorer: Arc<MethodScorer>, cfg: ElsiConfig, mr_pool: Arc<MrPool>) -> Self {
         Self {
             cfg,
             choice: MethodChoice::Learned(scorer),
             mr_pool,
             allowed: Method::pool().to_vec(),
-            chosen: RefCell::new(Vec::new()),
+            chosen: Mutex::new(Vec::new()),
         }
     }
 
     /// A builder that picks methods uniformly at random (Table II's Rand).
-    pub fn random(seed: u64, cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
+    pub fn random(seed: u64, cfg: ElsiConfig, mr_pool: Arc<MrPool>) -> Self {
         Self {
             cfg,
-            choice: MethodChoice::Random(RefCell::new(RandomSelector::new(seed))),
+            choice: MethodChoice::Random(seed),
             mr_pool,
             allowed: Method::pool().to_vec(),
-            chosen: RefCell::new(Vec::new()),
+            chosen: Mutex::new(Vec::new()),
         }
     }
 
@@ -87,14 +97,20 @@ impl ElsiBuilder {
     /// Masks out the methods that synthesise points not in `D`
     /// (for LISA-style base indices).
     pub fn for_lisa(self) -> Self {
-        let allowed: Vec<Method> =
-            Method::pool().into_iter().filter(|m| !m.synthesises_points()).collect();
+        let allowed: Vec<Method> = Method::pool()
+            .into_iter()
+            .filter(|m| !m.synthesises_points())
+            .collect();
         self.with_allowed(allowed)
     }
 
-    /// The methods chosen so far, one per model build.
+    /// The methods chosen so far, one per model build. Under parallel
+    /// builds the order follows build completion (see [`ElsiBuilder`]).
     pub fn chosen_methods(&self) -> Vec<Method> {
-        self.chosen.borrow().clone()
+        self.chosen
+            .lock()
+            .expect("chosen-method log poisoned")
+            .clone()
     }
 
     /// The system configuration.
@@ -102,7 +118,7 @@ impl ElsiBuilder {
         &self.cfg
     }
 
-    fn pick_method(&self, n: usize, dist_u: f64) -> Method {
+    fn pick_method(&self, n: usize, dist_u: f64, input_seed: u64) -> Method {
         match &self.choice {
             MethodChoice::Fixed(m) => {
                 if self.allowed.contains(m) {
@@ -114,7 +130,12 @@ impl ElsiBuilder {
             MethodChoice::Learned(scorer) => {
                 scorer.select(n, dist_u, self.cfg.lambda, self.cfg.w_q, &self.allowed)
             }
-            MethodChoice::Random(sel) => sel.borrow_mut().select(&self.allowed),
+            MethodChoice::Random(root) => {
+                // A per-build selector seeded from (root, partition seed)
+                // keeps the choice a pure function of the partition.
+                let mixed = root ^ input_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                RandomSelector::new(mixed).select(&self.allowed)
+            }
         }
     }
 }
@@ -125,9 +146,12 @@ impl ModelBuilder for ElsiBuilder {
         // M(1) + O(n) — the O(n) is dist(D_U, D) over the sorted keys.
         let select_t0 = Instant::now();
         let dist_u = dist_from_uniform(input.keys);
-        let method = self.pick_method(input.keys.len(), dist_u);
+        let method = self.pick_method(input.keys.len(), dist_u, input.seed);
         let select_time = select_t0.elapsed();
-        self.chosen.borrow_mut().push(method);
+        self.chosen
+            .lock()
+            .expect("chosen-method log poisoned")
+            .push(method);
 
         // Line 4: compute D_S.
         let reduce_t0 = Instant::now();
@@ -183,9 +207,9 @@ mod tests {
     use elsi_data::gen::skewed;
     use elsi_spatial::{MappedData, MortonMapper};
 
-    fn setup() -> (MappedData, ElsiConfig, Rc<MrPool>) {
+    fn setup() -> (MappedData, ElsiConfig, Arc<MrPool>) {
         let cfg = ElsiConfig::fast_test();
-        let pool = Rc::new(MrPool::generate(&cfg, 1));
+        let pool = Arc::new(MrPool::generate(&cfg, 1));
         let data = MappedData::build(skewed(3000, 4, 5), &MortonMapper);
         (data, cfg, pool)
     }
@@ -203,7 +227,7 @@ mod tests {
     fn every_fixed_method_yields_correct_point_lookup() {
         let (data, cfg, pool) = setup();
         for m in Method::pool() {
-            let builder = ElsiBuilder::fixed(m, cfg.clone(), Rc::clone(&pool));
+            let builder = ElsiBuilder::fixed(m, cfg.clone(), Arc::clone(&pool));
             let built = builder.build_model(&input_of(&data));
             assert_eq!(built.stats.method, m.name());
             // Algorithm 1's error bounds guarantee point-query correctness
@@ -219,7 +243,7 @@ mod tests {
     fn reduced_methods_train_on_fewer_points() {
         let (data, cfg, pool) = setup();
         for m in [Method::Sp, Method::Cl, Method::Rs, Method::Rl] {
-            let builder = ElsiBuilder::fixed(m, cfg.clone(), Rc::clone(&pool));
+            let builder = ElsiBuilder::fixed(m, cfg.clone(), Arc::clone(&pool));
             let built = builder.build_model(&input_of(&data));
             assert!(
                 built.stats.training_set_size < data.len(),
@@ -229,7 +253,7 @@ mod tests {
             );
         }
         // MR reuses a model: no online training at all.
-        let builder = ElsiBuilder::fixed(Method::Mr, cfg.clone(), Rc::clone(&pool));
+        let builder = ElsiBuilder::fixed(Method::Mr, cfg.clone(), Arc::clone(&pool));
         let built = builder.build_model(&input_of(&data));
         assert_eq!(built.stats.training_set_size, 0);
         assert_eq!(built.stats.train_time, Duration::ZERO);
@@ -238,8 +262,7 @@ mod tests {
     #[test]
     fn lisa_mask_removes_synthesising_methods() {
         let (data, cfg, pool) = setup();
-        let builder =
-            ElsiBuilder::fixed(Method::Cl, cfg.clone(), Rc::clone(&pool)).for_lisa();
+        let builder = ElsiBuilder::fixed(Method::Cl, cfg.clone(), Arc::clone(&pool)).for_lisa();
         let built = builder.build_model(&input_of(&data));
         // CL is not allowed for LISA; the builder falls back to OG.
         assert_eq!(built.stats.method, "OG");
@@ -261,7 +284,10 @@ mod tests {
     #[test]
     fn builder_names() {
         let (_, cfg, pool) = setup();
-        assert_eq!(ElsiBuilder::fixed(Method::Rs, cfg.clone(), Rc::clone(&pool)).name(), "RS");
+        assert_eq!(
+            ElsiBuilder::fixed(Method::Rs, cfg.clone(), Arc::clone(&pool)).name(),
+            "RS"
+        );
         assert_eq!(ElsiBuilder::random(1, cfg, pool).name(), "Rand");
     }
 }

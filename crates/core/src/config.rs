@@ -70,7 +70,10 @@ impl Default for ElsiConfig {
             gamma: 0.9,
             rl_patience: 150,
             hidden: 16,
-            train: TrainConfig { epochs: 200, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 200,
+                ..TrainConfig::default()
+            },
             f_u: 1024,
             seed: 0,
         }
@@ -106,7 +109,10 @@ impl ElsiConfig {
             rl_steps: 120,
             rl_patience: 60,
             mr_set_size: 128,
-            train: TrainConfig { epochs: 80, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 80,
+                ..TrainConfig::default()
+            },
             ..Self::default()
         }
     }

@@ -46,30 +46,38 @@ pub use cost::CostDecomposition;
 pub use methods::{Method, MrPool, Reduction};
 pub use rebuild::{RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample};
 pub use scorer::{AltSelector, MethodCosts, MethodScorer, RandomSelector, ScorerSample};
-pub use update::{DeltaOverlay, DriftTracker, UpdateOutcome, UpdateProcessor};
+pub use update::{DeltaOverlay, DriftTracker, RebuildFn, UpdateOutcome, UpdateProcessor};
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The ELSI system facade: owns the (offline-prepared) MR model pool and
 /// the trained method scorer, and hands out build processors.
 pub struct Elsi {
     cfg: ElsiConfig,
-    mr_pool: Rc<MrPool>,
-    scorer: Option<Rc<MethodScorer>>,
+    mr_pool: Arc<MrPool>,
+    scorer: Option<Arc<MethodScorer>>,
 }
 
 impl Elsi {
     /// Creates the system, running the MR pre-training (part of "ELSI
     /// preparation", an offline one-off task — §VII-B2).
     pub fn new(cfg: ElsiConfig) -> Self {
-        let mr_pool = Rc::new(MrPool::generate(&cfg, cfg.seed));
-        Self { cfg, mr_pool, scorer: None }
+        let mr_pool = Arc::new(MrPool::generate(&cfg, cfg.seed));
+        Self {
+            cfg,
+            mr_pool,
+            scorer: None,
+        }
     }
 
     /// Creates the system around an already generated MR pool — cheap, for
     /// rebuild paths that must not re-run the offline preparation.
-    pub fn with_pool(cfg: ElsiConfig, mr_pool: Rc<MrPool>) -> Self {
-        Self { cfg, mr_pool, scorer: None }
+    pub fn with_pool(cfg: ElsiConfig, mr_pool: Arc<MrPool>) -> Self {
+        Self {
+            cfg,
+            mr_pool,
+            scorer: None,
+        }
     }
 
     /// A copy of this system with a different cost-balance λ, sharing the
@@ -77,7 +85,11 @@ impl Elsi {
     pub fn with_lambda(&self, lambda: f64) -> Elsi {
         let mut cfg = self.cfg.clone();
         cfg.lambda = lambda;
-        Elsi { cfg, mr_pool: Rc::clone(&self.mr_pool), scorer: self.scorer.clone() }
+        Elsi {
+            cfg,
+            mr_pool: Arc::clone(&self.mr_pool),
+            scorer: self.scorer.clone(),
+        }
     }
 
     /// The system configuration.
@@ -86,14 +98,19 @@ impl Elsi {
     }
 
     /// The MR pre-trained model pool.
-    pub fn mr_pool(&self) -> Rc<MrPool> {
-        Rc::clone(&self.mr_pool)
+    pub fn mr_pool(&self) -> Arc<MrPool> {
+        Arc::clone(&self.mr_pool)
     }
 
     /// Runs the remaining ELSI preparation: measures per-method costs over
     /// generated data sets (`sizes` × the skew grid) and trains the method
     /// scorer on them.
-    pub fn prepare_scorer(&mut self, sizes: &[usize], skews: &[i32], seed: u64) -> Vec<MethodCosts> {
+    pub fn prepare_scorer(
+        &mut self,
+        sizes: &[usize],
+        skews: &[i32],
+        seed: u64,
+    ) -> Vec<MethodCosts> {
         let costs = scorer::measure_method_costs(
             sizes,
             skews,
@@ -103,17 +120,17 @@ impl Elsi {
             seed,
         );
         let samples = scorer::samples_from_costs(&costs);
-        self.scorer = Some(Rc::new(MethodScorer::train(&samples, seed)));
+        self.scorer = Some(Arc::new(MethodScorer::train(&samples, seed)));
         costs
     }
 
     /// Installs an externally trained scorer.
     pub fn set_scorer(&mut self, scorer: MethodScorer) {
-        self.scorer = Some(Rc::new(scorer));
+        self.scorer = Some(Arc::new(scorer));
     }
 
     /// The trained scorer, if preparation has run.
-    pub fn scorer(&self) -> Option<Rc<MethodScorer>> {
+    pub fn scorer(&self) -> Option<Arc<MethodScorer>> {
         self.scorer.clone()
     }
 
@@ -121,7 +138,7 @@ impl Elsi {
     /// otherwise the RS method (the paper's strongest fixed default).
     pub fn builder(&self) -> ElsiBuilder {
         match &self.scorer {
-            Some(s) => ElsiBuilder::learned(Rc::clone(s), self.cfg.clone(), self.mr_pool()),
+            Some(s) => ElsiBuilder::learned(Arc::clone(s), self.cfg.clone(), self.mr_pool()),
             None => ElsiBuilder::fixed(Method::Rs, self.cfg.clone(), self.mr_pool()),
         }
     }

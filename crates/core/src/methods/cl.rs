@@ -38,7 +38,10 @@ mod tests {
     fn centroid_keys_sorted_and_bounded() {
         let pts = elsi_data::gen::uniform(2000, 3);
         let data = MappedData::build(pts, &MortonMapper);
-        let cfg = ElsiConfig { clusters: 32, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            clusters: 32,
+            ..ElsiConfig::fast_test()
+        };
         let input = BuildInput {
             points: data.points(),
             keys: data.keys(),
@@ -54,7 +57,12 @@ mod tests {
     #[test]
     fn empty_partition() {
         let cfg = ElsiConfig::fast_test();
-        let input = BuildInput { points: &[], keys: &[], mapper: &MortonMapper, seed: 0 };
+        let input = BuildInput {
+            points: &[],
+            keys: &[],
+            mapper: &MortonMapper,
+            seed: 0,
+        };
         assert!(centroids(&input, &cfg).is_empty());
     }
 }

@@ -44,12 +44,27 @@ impl Method {
     /// The six-method pool of the ELSI system (§I; RSP is only a Fig. 7
     /// baseline and not part of the pool).
     pub fn pool() -> [Method; 6] {
-        [Method::Sp, Method::Cl, Method::Mr, Method::Rs, Method::Rl, Method::Og]
+        [
+            Method::Sp,
+            Method::Cl,
+            Method::Mr,
+            Method::Rs,
+            Method::Rl,
+            Method::Og,
+        ]
     }
 
     /// All methods including the RSP baseline.
     pub fn all() -> [Method; 7] {
-        [Method::Sp, Method::Rsp, Method::Cl, Method::Mr, Method::Rs, Method::Rl, Method::Og]
+        [
+            Method::Sp,
+            Method::Rsp,
+            Method::Cl,
+            Method::Mr,
+            Method::Rs,
+            Method::Rl,
+            Method::Og,
+        ]
     }
 
     /// Display name as used in the paper's tables.

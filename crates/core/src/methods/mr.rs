@@ -61,7 +61,10 @@ impl MrPool {
                 idx += 1;
             }
         }
-        Self { entries, epsilon: eps }
+        Self {
+            entries,
+            epsilon: eps,
+        }
     }
 
     /// Number of pre-trained models.
@@ -140,7 +143,10 @@ mod tests {
         ElsiConfig {
             epsilon: eps,
             mr_set_size: 64,
-            train: elsi_ml::TrainConfig { epochs: 30, ..Default::default() },
+            train: elsi_ml::TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
             ..ElsiConfig::fast_test()
         }
     }
@@ -149,7 +155,12 @@ mod tests {
     fn smaller_epsilon_means_more_models() {
         let coarse = MrPool::generate(&small_cfg(0.5), 1);
         let fine = MrPool::generate(&small_cfg(0.1), 1);
-        assert!(fine.len() > coarse.len(), "{} vs {}", fine.len(), coarse.len());
+        assert!(
+            fine.len() > coarse.len(),
+            "{} vs {}",
+            fine.len(),
+            coarse.len()
+        );
         assert!(!coarse.is_empty());
     }
 

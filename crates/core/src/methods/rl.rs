@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn rl_produces_bounded_sorted_set() {
-        let cfg = ElsiConfig { eta: 4, rl_steps: 150, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            eta: 4,
+            rl_steps: 150,
+            ..ElsiConfig::fast_test()
+        };
         let (keys, _) = run_on(elsi_data::gen::uniform(2000, 1), &cfg);
         assert!(!keys.is_empty());
         assert!(keys.len() <= 16, "at most η² points, got {}", keys.len());
@@ -135,7 +139,12 @@ mod tests {
     fn rl_improves_over_initial_state_on_skewed_data() {
         // On skewed data the all-active (uniform) start is a poor D_S;
         // the search must improve on it.
-        let cfg = ElsiConfig { eta: 6, rl_steps: 400, rl_patience: 400, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            eta: 6,
+            rl_steps: 400,
+            rl_patience: 400,
+            ..ElsiConfig::fast_test()
+        };
         let pts = elsi_data::gen::skewed(4000, 4, 9);
         let data = MappedData::build(pts, &MortonMapper);
         let input = BuildInput {
@@ -168,7 +177,11 @@ mod tests {
 
     #[test]
     fn rl_is_deterministic_under_seed() {
-        let cfg = ElsiConfig { eta: 4, rl_steps: 100, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            eta: 4,
+            rl_steps: 100,
+            ..ElsiConfig::fast_test()
+        };
         let (a, _) = run_on(elsi_data::gen::uniform(1000, 3), &cfg);
         let (b, _) = run_on(elsi_data::gen::uniform(1000, 3), &cfg);
         assert_eq!(a, b);
@@ -177,7 +190,12 @@ mod tests {
     #[test]
     fn rl_empty_partition() {
         let cfg = ElsiConfig::fast_test();
-        let input = BuildInput { points: &[], keys: &[], mapper: &MortonMapper, seed: 0 };
+        let input = BuildInput {
+            points: &[],
+            keys: &[],
+            mapper: &MortonMapper,
+            seed: 0,
+        };
         assert!(rl_set(&input, &cfg).is_empty());
     }
 }

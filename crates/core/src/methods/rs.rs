@@ -42,7 +42,10 @@ mod tests {
     fn rs_tracks_distribution_closely() {
         let pts = elsi_data::gen::nyc_like(5000, 11);
         let data = MappedData::build(pts, &MortonMapper);
-        let cfg = ElsiConfig { beta: 64, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            beta: 64,
+            ..ElsiConfig::fast_test()
+        };
         let input = BuildInput {
             points: data.points(),
             keys: data.keys(),
@@ -65,10 +68,20 @@ mod tests {
             mapper: &MortonMapper,
             seed: 0,
         };
-        let small_beta =
-            representative_set(&input, &ElsiConfig { beta: 32, ..ElsiConfig::fast_test() });
-        let large_beta =
-            representative_set(&input, &ElsiConfig { beta: 512, ..ElsiConfig::fast_test() });
+        let small_beta = representative_set(
+            &input,
+            &ElsiConfig {
+                beta: 32,
+                ..ElsiConfig::fast_test()
+            },
+        );
+        let large_beta = representative_set(
+            &input,
+            &ElsiConfig {
+                beta: 512,
+                ..ElsiConfig::fast_test()
+            },
+        );
         assert!(small_beta.len() > large_beta.len());
     }
 
@@ -76,7 +89,10 @@ mod tests {
     fn every_key_is_a_member_of_d() {
         let pts = elsi_data::gen::skewed(1000, 4, 5);
         let data = MappedData::build(pts, &MortonMapper);
-        let cfg = ElsiConfig { beta: 50, ..ElsiConfig::fast_test() };
+        let cfg = ElsiConfig {
+            beta: 50,
+            ..ElsiConfig::fast_test()
+        };
         let input = BuildInput {
             points: data.points(),
             keys: data.keys(),

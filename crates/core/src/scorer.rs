@@ -88,12 +88,19 @@ impl MethodScorer {
             .collect();
         let build_ys: Vec<f64> = samples.iter().map(|s| s.build_rel).collect();
         let query_ys: Vec<f64> = samples.iter().map(|s| s.query_rel).collect();
-        let cfg = TrainConfig { epochs: 400, batch_size: 32, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 400,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         let mut build_net = Ffn::new(&[SCORER_FEATURES, 24, 1], seed ^ 0xB);
         train_regression(&mut build_net, &xs, &build_ys, &cfg);
         let mut query_net = Ffn::new(&[SCORER_FEATURES, 24, 1], seed ^ 0x5EED);
         train_regression(&mut query_net, &xs, &query_ys, &cfg);
-        Self { build_net, query_net }
+        Self {
+            build_net,
+            query_net,
+        }
     }
 
     /// Predicted `(build_rel, query_rel)` log-costs of a method.
@@ -253,7 +260,10 @@ pub fn samples_from_costs(costs: &[MethodCosts]) -> Vec<ScorerSample> {
     let mut out = Vec::new();
     // Group by (n, dist_u) via the OG rows.
     for og in costs.iter().filter(|c| c.method == Method::Og) {
-        for c in costs.iter().filter(|c| c.n == og.n && c.dist_u == og.dist_u) {
+        for c in costs
+            .iter()
+            .filter(|c| c.n == og.n && c.dist_u == og.dist_u)
+        {
             out.push(ScorerSample {
                 method: c.method,
                 n: c.n,
@@ -338,7 +348,11 @@ impl AltSelector {
         let build_ys: Vec<f64> = samples.iter().map(|s| s.build_rel).collect();
         let query_ys: Vec<f64> = samples.iter().map(|s| s.query_rel).collect();
         if forest {
-            let cfg = ForestConfig { n_trees: 30, seed, ..ForestConfig::default() };
+            let cfg = ForestConfig {
+                n_trees: 30,
+                seed,
+                ..ForestConfig::default()
+            };
             AltSelector::Rfr {
                 build: RandomForest::fit_regression(&xs, SCORER_FEATURES, &build_ys, &cfg),
                 query: RandomForest::fit_regression(&xs, SCORER_FEATURES, &query_ys, &cfg),
@@ -376,7 +390,11 @@ impl AltSelector {
             }
         }
         if forest {
-            let cfg = ForestConfig { n_trees: 30, seed, ..ForestConfig::default() };
+            let cfg = ForestConfig {
+                n_trees: 30,
+                seed,
+                ..ForestConfig::default()
+            };
             AltSelector::Rfc(RandomForest::fit_classification(&xs, 3, &labels, 7, &cfg))
         } else {
             AltSelector::Dtc(DecisionTree::fit_classification(
@@ -449,7 +467,9 @@ pub struct RandomSelector {
 impl RandomSelector {
     /// Creates a seeded random selector.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Picks one of the allowed methods uniformly at random.
@@ -520,8 +540,14 @@ mod tests {
     fn ground_truth_best_matches_hand_computation() {
         let costs = tiny_costs();
         let allowed = [Method::Sp, Method::Og];
-        assert_eq!(ground_truth_best(&costs, 1000, 0.1, 1.0, 1.0, &allowed), Method::Sp);
-        assert_eq!(ground_truth_best(&costs, 1000, 0.1, 0.0, 1.0, &allowed), Method::Og);
+        assert_eq!(
+            ground_truth_best(&costs, 1000, 0.1, 1.0, 1.0, &allowed),
+            Method::Sp
+        );
+        assert_eq!(
+            ground_truth_best(&costs, 1000, 0.1, 0.0, 1.0, &allowed),
+            Method::Og
+        );
     }
 
     #[test]
@@ -553,23 +579,23 @@ mod tests {
     #[test]
     fn measure_costs_smoke() {
         let cfg = ElsiConfig {
-            train: TrainConfig { epochs: 20, ..Default::default() },
+            train: TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
             ..ElsiConfig::fast_test()
         };
         let pool = MrPool::generate(&cfg, 1);
-        let costs = measure_method_costs(
-            &[500],
-            &[1, 8],
-            &[Method::Sp, Method::Og],
-            &cfg,
-            &pool,
-            7,
-        );
+        let costs =
+            measure_method_costs(&[500], &[1, 8], &[Method::Sp, Method::Og], &cfg, &pool, 7);
         assert_eq!(costs.len(), 4);
         assert!(costs.iter().all(|c| c.build_secs > 0.0));
         // SP must build faster than OG on the same data.
         for chunk in costs.chunks(2) {
-            assert!(chunk[0].build_secs < chunk[1].build_secs, "SP not faster: {chunk:?}");
+            assert!(
+                chunk[0].build_secs < chunk[1].build_secs,
+                "SP not faster: {chunk:?}"
+            );
         }
     }
 }

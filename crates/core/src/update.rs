@@ -24,6 +24,15 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// "binary tree on the IDs of the updated points", used by deletes) and by
 /// Morton code (so point and window queries locate delta points in
 /// `O(log n_u + answer)` instead of scanning the whole delta).
+///
+/// The point id is the identity: the overlay keeps **at most one live copy
+/// per id**, and the last write wins. Inserting an id that the base index
+/// already holds tombstones the base copy, so the delta copy replaces it
+/// (an overwrite, possibly at new coordinates); deleting that delta copy
+/// afterwards leaves the tombstone in place, so the id is fully gone
+/// rather than resurrecting the base copy. The base index is snapshotted
+/// at wrap time to resolve id collisions, so the base must not be mutated
+/// behind the overlay's back, and points must lie in the unit square.
 /// ```
 /// use elsi::DeltaOverlay;
 /// use elsi_indices::{GridConfig, GridIndex, SpatialIndex};
@@ -36,20 +45,38 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// assert_eq!(overlay.point_query(p).unwrap().id, 999);
 /// assert!(overlay.delete(p));
 /// assert!(overlay.point_query(p).is_none());
+///
+/// // Overwrite a base point: id 5 moves to new coordinates.
+/// let old = elsi_data::gen::uniform(100, 1)[5];
+/// let moved = Point::new(old.id, 0.9, 0.9);
+/// overlay.insert(moved);
+/// assert_eq!(overlay.len(), 100); // still one copy of id 5
+/// assert!(overlay.point_query(old).is_none());
+/// assert_eq!(overlay.point_query(moved).unwrap().id, old.id);
 /// ```
 pub struct DeltaOverlay<I: SpatialIndex> {
     base: I,
+    /// Ids stored in the base index at wrap time, for collision handling.
+    base_ids: BTreeSet<u64>,
     inserted: BTreeMap<u64, Point>,
     /// Secondary order: (Morton code, id) → point.
     inserted_by_key: BTreeMap<(u64, u64), Point>,
+    /// Tombstoned base copies. Invariant: `deleted ⊆ base_ids`, and delta
+    /// points are never tombstoned — a delete drops them from `inserted`.
     deleted: BTreeSet<u64>,
 }
 
 impl<I: SpatialIndex> DeltaOverlay<I> {
     /// Wraps a freshly built base index.
     pub fn new(base: I) -> Self {
+        let base_ids = base
+            .window_query(&Rect::unit())
+            .iter()
+            .map(|p| p.id)
+            .collect();
         Self {
             base,
+            base_ids,
             inserted: BTreeMap::new(),
             inserted_by_key: BTreeMap::new(),
             deleted: BTreeSet::new(),
@@ -69,21 +96,26 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
 
 impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
     fn len(&self) -> usize {
+        // Exact: every tombstone hides one base copy, and every delta
+        // point is live (the id-collision invariants above).
         self.base.len() + self.inserted.len() - self.deleted.len()
     }
 
     fn point_query(&self, q: Point) -> Option<Point> {
-        // Exact-coordinate delta lookup via the Morton-ordered map.
+        // Exact-coordinate delta lookup via the Morton-ordered map. Delta
+        // points are live by invariant — no tombstone check needed.
         let code = morton_of(q.x, q.y);
         if let Some(p) = self
             .inserted_by_key
             .range((code, 0)..=(code, u64::MAX))
             .map(|(_, p)| p)
-            .find(|p| p.x == q.x && p.y == q.y && !self.deleted.contains(&p.id))
+            .find(|p| p.x == q.x && p.y == q.y)
         {
             return Some(*p);
         }
-        self.base.point_query(q).filter(|p| !self.deleted.contains(&p.id))
+        self.base
+            .point_query(q)
+            .filter(|p| !self.deleted.contains(&p.id))
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
@@ -101,7 +133,7 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
             self.inserted_by_key
                 .range(lo..=hi)
                 .map(|(_, p)| p)
-                .filter(|p| w.contains(p) && !self.deleted.contains(&p.id))
+                .filter(|p| w.contains(p))
                 .copied(),
         );
         out
@@ -126,29 +158,43 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
             overfetch = (overfetch * 2).max(k + 1);
         }
         let mut cands = base_live;
-        cands.extend(
-            self.inserted.values().filter(|p| !self.deleted.contains(&p.id)).copied(),
-        );
-        cands.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).expect("finite distances"));
+        cands.extend(self.inserted.values().copied());
+        cands.sort_by(|a, b| {
+            q.dist2(a)
+                .partial_cmp(&q.dist2(b))
+                .expect("finite distances")
+        });
         cands.dedup_by_key(|p| p.id);
         cands.truncate(k);
         cands
     }
 
     fn insert(&mut self, p: Point) {
-        self.deleted.remove(&p.id);
+        // Last write wins: a base copy of this id is tombstoned so the
+        // delta copy is the only live one. (Previously the base copy
+        // stayed visible and `len` double-counted the id.)
+        if self.base_ids.contains(&p.id) {
+            self.deleted.insert(p.id);
+        }
         if let Some(old) = self.inserted.insert(p.id, p) {
-            self.inserted_by_key.remove(&(morton_of(old.x, old.y), old.id));
+            self.inserted_by_key
+                .remove(&(morton_of(old.x, old.y), old.id));
         }
         self.inserted_by_key.insert((morton_of(p.x, p.y), p.id), p);
     }
 
     fn delete(&mut self, p: Point) -> bool {
         if let Some(old) = self.inserted.remove(&p.id) {
-            self.inserted_by_key.remove(&(morton_of(old.x, old.y), old.id));
+            self.inserted_by_key
+                .remove(&(morton_of(old.x, old.y), old.id));
+            // If the delta copy had overwritten a base copy, the tombstone
+            // set at insert time stays: the id is gone, not resurrected.
             return true;
         }
-        if self.base.point_query(p).is_some() && !self.deleted.contains(&p.id) {
+        if self.deleted.contains(&p.id) {
+            return false;
+        }
+        if self.base.point_query(p).is_some() {
             self.deleted.insert(p.id);
             true
         } else {
@@ -185,7 +231,12 @@ impl DriftTracker {
             base[Self::bin_of(k, bins)] += 1.0;
             total += 1.0;
         }
-        Self { current: base.clone(), base, base_total: total, current_total: total }
+        Self {
+            current: base.clone(),
+            base,
+            base_total: total,
+            current_total: total,
+        }
     }
 
     #[inline]
@@ -212,7 +263,11 @@ impl DriftTracker {
     /// `dist(D', D)`: sup-distance between the current and at-build CDFs.
     pub fn dist(&self) -> f64 {
         if self.base_total == 0.0 || self.current_total == 0.0 {
-            return if self.base_total == self.current_total { 0.0 } else { 1.0 };
+            return if self.base_total == self.current_total {
+                0.0
+            } else {
+                1.0
+            };
         }
         let mut acc_b = 0.0;
         let mut acc_c = 0.0;
@@ -256,6 +311,10 @@ pub enum UpdateOutcome {
     Rebuilt,
 }
 
+/// Rebuild callback of an [`UpdateProcessor`] (typically closing over an
+/// `ElsiBuilder`). `Send + Sync` so processors can move across threads.
+pub type RebuildFn<I> = Box<dyn Fn(Vec<Point>) -> I + Send + Sync>;
+
 /// The full ELSI update lifecycle around a base index.
 ///
 /// The processor owns the live point set (so it can hand it to the build
@@ -263,7 +322,7 @@ pub enum UpdateOutcome {
 /// every `f_u` updates.
 pub struct UpdateProcessor<I: SpatialIndex> {
     index: I,
-    rebuild_fn: Box<dyn Fn(Vec<Point>) -> I>,
+    rebuild_fn: RebuildFn<I>,
     policy: RebuildPolicy,
     points: HashMap<u64, Point>,
     drift: DriftTracker,
@@ -278,7 +337,7 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
     /// from scratch (typically closing over an `ElsiBuilder`).
     pub fn new(
         initial: Vec<Point>,
-        rebuild_fn: Box<dyn Fn(Vec<Point>) -> I>,
+        rebuild_fn: RebuildFn<I>,
         policy: RebuildPolicy,
         f_u: usize,
     ) -> Self {
@@ -410,7 +469,7 @@ mod tests {
     use elsi_data::gen::uniform;
     use elsi_indices::{GridConfig, GridIndex};
 
-    fn grid_rebuild() -> Box<dyn Fn(Vec<Point>) -> GridIndex> {
+    fn grid_rebuild() -> RebuildFn<GridIndex> {
         Box::new(|pts| GridIndex::build(pts, &GridConfig { block_size: 20 }))
     }
 
@@ -437,7 +496,10 @@ mod tests {
         assert!(overlay.delete(pts[5]));
         assert!(overlay.point_query(pts[5]).is_none());
         assert_eq!(overlay.len(), 99);
-        assert!(!overlay.window_query(&Rect::unit()).iter().any(|p| p.id == 5));
+        assert!(!overlay
+            .window_query(&Rect::unit())
+            .iter()
+            .any(|p| p.id == 5));
         assert_eq!(overlay.delta_len(), 1);
     }
 
@@ -460,7 +522,7 @@ mod tests {
         let uniform_keys: Vec<f64> = (0..4096).map(|i| (i as f64 + 0.5) / 4096.0).collect();
         let t = DriftTracker::new(uniform_keys.iter().copied(), 512);
         assert!(t.dist_from_uniform() < 0.01);
-        let point_mass = DriftTracker::new(std::iter::repeat(0.3).take(100), 512);
+        let point_mass = DriftTracker::new(std::iter::repeat_n(0.3, 100), 512);
         assert!(point_mass.dist_from_uniform() > 0.5);
     }
 
@@ -478,7 +540,10 @@ mod tests {
 
     #[test]
     fn processor_threshold_policy_triggers_rebuild() {
-        let policy = RebuildPolicy::Threshold { max_drift: 0.1, max_ratio: 10.0 };
+        let policy = RebuildPolicy::Threshold {
+            max_drift: 0.1,
+            max_ratio: 10.0,
+        };
         let mut proc = UpdateProcessor::new(uniform(300, 4), grid_rebuild(), policy, 16);
         let mut rebuilt = false;
         // Heavy skewed insertions drift the CDF and must trigger a rebuild.

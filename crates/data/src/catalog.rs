@@ -24,7 +24,14 @@ pub enum Dataset {
 impl Dataset {
     /// All data sets, in the paper's presentation order.
     pub fn all() -> [Dataset; 6] {
-        [Dataset::Uniform, Dataset::Skewed, Dataset::Osm1, Dataset::Osm2, Dataset::TpcH, Dataset::Nyc]
+        [
+            Dataset::Uniform,
+            Dataset::Skewed,
+            Dataset::Osm1,
+            Dataset::Osm2,
+            Dataset::TpcH,
+            Dataset::Nyc,
+        ]
     }
 
     /// Short display name matching the paper's figures.

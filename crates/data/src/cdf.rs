@@ -26,7 +26,10 @@
 /// # Panics
 /// Panics (debug builds) if either slice is unsorted.
 pub fn ks_distance(sample: &[f64], full: &[f64]) -> f64 {
-    debug_assert!(sample.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted");
+    debug_assert!(
+        sample.windows(2).all(|w| w[0] <= w[1]),
+        "sample must be sorted"
+    );
     debug_assert!(full.windows(2).all(|w| w[0] <= w[1]), "full must be sorted");
     if sample.is_empty() || full.is_empty() {
         return 1.0;
@@ -41,7 +44,9 @@ pub fn ks_distance(sample: &[f64], full: &[f64]) -> f64 {
         let j_hi = full.partition_point(|&x| x <= v) as f64;
         let below = i as f64 / ns; // F_S just below v
         let at = (i + 1) as f64 / ns; // F_S at v
-        worst = worst.max((below - j_lo / n).abs()).max((at - j_hi / n).abs());
+        worst = worst
+            .max((below - j_lo / n).abs())
+            .max((at - j_hi / n).abs());
     }
     worst.min(1.0)
 }
@@ -55,7 +60,10 @@ pub fn similarity(sample: &[f64], full: &[f64]) -> f64 {
 /// on `[0,1]` — the `dist(D_U, D)` feature of the method scorer and rebuild
 /// predictor (computed exactly, no uniform sample needed).
 pub fn dist_from_uniform(sorted_keys: &[f64]) -> f64 {
-    debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    debug_assert!(
+        sorted_keys.windows(2).all(|w| w[0] <= w[1]),
+        "keys must be sorted"
+    );
     if sorted_keys.is_empty() {
         return 1.0;
     }
@@ -63,7 +71,9 @@ pub fn dist_from_uniform(sorted_keys: &[f64]) -> f64 {
     let mut worst = 0.0f64;
     for (i, &k) in sorted_keys.iter().enumerate() {
         let k = k.clamp(0.0, 1.0);
-        worst = worst.max((i as f64 / n - k).abs()).max(((i + 1) as f64 / n - k).abs());
+        worst = worst
+            .max((i as f64 / n - k).abs())
+            .max(((i + 1) as f64 / n - k).abs());
     }
     worst.min(1.0)
 }
@@ -242,7 +252,9 @@ mod tests {
         // derivative 1/4 x^(-3/4) = 1 → x = (1/4)^(4/3) ≈ 0.1575;
         // sup ≈ 0.4724.
         let n = 100_000;
-        let keys: Vec<f64> = (0..n).map(|i| ((i as f64 + 0.5) / n as f64).powi(4)).collect();
+        let keys: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 + 0.5) / n as f64).powi(4))
+            .collect();
         let d = dist_from_uniform(&keys);
         assert!((d - 0.4724).abs() < 0.01, "distance {d}");
     }
@@ -279,7 +291,11 @@ mod tests {
         let exact = ks_distance(&a, &b);
         let sa = CdfSketch::build(a.iter().copied(), 4096);
         let sb = CdfSketch::build(b.iter().copied(), 4096);
-        assert!((sa.dist(&sb) - exact).abs() < 0.01, "sketch {} exact {exact}", sa.dist(&sb));
+        assert!(
+            (sa.dist(&sb) - exact).abs() < 0.01,
+            "sketch {} exact {exact}",
+            sa.dist(&sb)
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ use rand::{Rng, SeedableRng};
 /// Uniform points in the unit square (paper's **Uniform**).
 pub fn uniform(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|i| Point::new(i as u64, rng.gen(), rng.gen())).collect()
+    (0..n)
+        .map(|i| Point::new(i as u64, rng.gen(), rng.gen()))
+        .collect()
 }
 
 /// **Skewed**: Uniform with every y replaced by `y^s` (paper: `s = 4`,
@@ -89,7 +91,13 @@ fn gauss_pair(rng: &mut StdRng) -> (f64, f64) {
 }
 
 /// Zipf-like cluster weights: weight of rank `k` is `1 / (k + 1)^alpha`.
-fn zipf_clusters(count: usize, sd_lo: f64, sd_hi: f64, alpha: f64, rng: &mut StdRng) -> Vec<ClusterSpec> {
+fn zipf_clusters(
+    count: usize,
+    sd_lo: f64,
+    sd_hi: f64,
+    alpha: f64,
+    rng: &mut StdRng,
+) -> Vec<ClusterSpec> {
     (0..count)
         .map(|k| ClusterSpec {
             cx: rng.gen(),
@@ -138,12 +146,42 @@ pub fn tpch_like(n: usize, seed: u64) -> Vec<Point> {
 pub fn nyc_like(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x41C);
     let hotspots = [
-        ClusterSpec { cx: 0.45, cy: 0.55, sd: 0.015, weight: 5.0 },
-        ClusterSpec { cx: 0.48, cy: 0.60, sd: 0.010, weight: 4.0 },
-        ClusterSpec { cx: 0.70, cy: 0.35, sd: 0.004, weight: 2.0 },
-        ClusterSpec { cx: 0.30, cy: 0.75, sd: 0.006, weight: 1.5 },
-        ClusterSpec { cx: 0.55, cy: 0.42, sd: 0.020, weight: 2.5 },
-        ClusterSpec { cx: 0.62, cy: 0.68, sd: 0.008, weight: 1.0 },
+        ClusterSpec {
+            cx: 0.45,
+            cy: 0.55,
+            sd: 0.015,
+            weight: 5.0,
+        },
+        ClusterSpec {
+            cx: 0.48,
+            cy: 0.60,
+            sd: 0.010,
+            weight: 4.0,
+        },
+        ClusterSpec {
+            cx: 0.70,
+            cy: 0.35,
+            sd: 0.004,
+            weight: 2.0,
+        },
+        ClusterSpec {
+            cx: 0.30,
+            cy: 0.75,
+            sd: 0.006,
+            weight: 1.5,
+        },
+        ClusterSpec {
+            cx: 0.55,
+            cy: 0.42,
+            sd: 0.020,
+            weight: 2.5,
+        },
+        ClusterSpec {
+            cx: 0.62,
+            cy: 0.68,
+            sd: 0.008,
+            weight: 1.0,
+        },
     ];
     let mut pts = gaussian_mixture(n, &hotspots, 0.12, seed.wrapping_add(2));
     // Street-grid snapping: most pickups happen on a regular street lattice.
@@ -191,7 +229,8 @@ mod tests {
     use elsi_spatial::{KeyMapper, MortonMapper};
 
     fn in_unit_square(pts: &[Point]) -> bool {
-        pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y))
+        pts.iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y))
     }
 
     fn mapped_dist_from_uniform(pts: &[Point]) -> f64 {
@@ -213,7 +252,10 @@ mod tests {
         ] {
             assert_eq!(pts.len(), n, "{name}");
             assert!(in_unit_square(&pts), "{name} out of square");
-            assert!(pts.iter().enumerate().all(|(i, p)| p.id == i as u64), "{name} ids");
+            assert!(
+                pts.iter().enumerate().all(|(i, p)| p.id == i as u64),
+                "{name} ids"
+            );
         }
     }
 

@@ -43,7 +43,9 @@ pub fn read_points_csv(path: &Path) -> io::Result<Vec<Point>> {
         if lineno == 0 && a.parse::<u64>().is_err() {
             continue;
         }
-        let id = a.parse::<u64>().map_err(|_| bad_line(lineno, t, "bad id"))?;
+        let id = a
+            .parse::<u64>()
+            .map_err(|_| bad_line(lineno, t, "bad id"))?;
         let x = b.parse::<f64>().map_err(|_| bad_line(lineno, t, "bad x"))?;
         let y = c.parse::<f64>().map_err(|_| bad_line(lineno, t, "bad y"))?;
         if !x.is_finite() || !y.is_finite() {

@@ -73,7 +73,10 @@ mod tests {
         let bound = (1.0 / rho).floor() as usize - 1;
         for i in 0..n {
             let nearest = idx.iter().map(|&j| j.abs_diff(i)).min().unwrap();
-            assert!(nearest <= bound, "rank {i} is {nearest} from nearest sample");
+            assert!(
+                nearest <= bound,
+                "rank {i} is {nearest} from nearest sample"
+            );
         }
     }
 

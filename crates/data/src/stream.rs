@@ -62,12 +62,7 @@ pub fn moving_hotspot_insertions(total: usize, radius: f64, seed: u64) -> Vec<Up
 /// deleted) point of the base set. Deletions sweep the base set in a
 /// seeded random order; once it is exhausted the stream falls back to
 /// insertions.
-pub fn churn(
-    base: &[Point],
-    total: usize,
-    insert_fraction: f64,
-    seed: u64,
-) -> Vec<Update> {
+pub fn churn(base: &[Point], total: usize, insert_fraction: f64, seed: u64) -> Vec<Update> {
     let mut rng = StdRng::seed_from_u64(seed);
     let inserts = gen::skewed(total, 4, seed ^ 0xC0FFEE);
     let mut delete_order: Vec<usize> = (0..base.len()).collect();

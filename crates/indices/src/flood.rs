@@ -106,10 +106,21 @@ impl FloodIndex {
                 seed: 0xF100D + ci as u64,
             });
             stats.push(built.stats);
-            columns.push(Column { points: pts, ys, model: built.model, overflow: Vec::new() });
+            columns.push(Column {
+                points: pts,
+                ys,
+                model: built.model,
+                overflow: Vec::new(),
+            });
         }
 
-        Self { bounds, columns, deleted: HashSet::new(), n_live: n, stats }
+        Self {
+            bounds,
+            columns,
+            deleted: HashSet::new(),
+            n_live: n,
+            stats,
+        }
     }
 
     /// Query-aware tuning: evaluates candidate column counts against a
@@ -149,7 +160,10 @@ impl FloodIndex {
                 best = c;
             }
         }
-        (Self::build(points, &FloodConfig { columns: best }, builder), best)
+        (
+            Self::build(points, &FloodConfig { columns: best }, builder),
+            best,
+        )
     }
 
     /// Number of columns.
@@ -169,7 +183,10 @@ impl FloodIndex {
 
 #[inline]
 fn locate_column(bounds: &[f64], x: f64) -> usize {
-    bounds.partition_point(|&b| b <= x).saturating_sub(1).min(bounds.len() - 2)
+    bounds
+        .partition_point(|&b| b <= x)
+        .saturating_sub(1)
+        .min(bounds.len() - 2)
 }
 
 impl SpatialIndex for FloodIndex {
@@ -190,7 +207,10 @@ impl SpatialIndex for FloodIndex {
                 }
             }
         }
-        col.overflow.iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+        col.overflow
+            .iter()
+            .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+            .copied()
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
@@ -205,10 +225,18 @@ impl SpatialIndex for FloodIndex {
                 let lo = locate_lower(&col.ys, col.model.search_range(w.lo_y), w.lo_y);
                 let hi = locate_lower(&col.ys, col.model.search_range(w.hi_y), w.hi_y.next_up());
                 out.extend(
-                    col.points[lo..hi].iter().filter(|p| w.contains(p) && self.live(p)).copied(),
+                    col.points[lo..hi]
+                        .iter()
+                        .filter(|p| w.contains(p) && self.live(p))
+                        .copied(),
                 );
             }
-            out.extend(col.overflow.iter().filter(|p| w.contains(p) && self.live(p)).copied());
+            out.extend(
+                col.overflow
+                    .iter()
+                    .filter(|p| w.contains(p) && self.live(p))
+                    .copied(),
+            );
         }
         out
     }
@@ -263,8 +291,11 @@ mod tests {
 
     fn build_small(n: usize, columns: usize) -> (Vec<Point>, FloodIndex) {
         let pts = uniform(n, 29);
-        let idx =
-            FloodIndex::build(pts.clone(), &FloodConfig { columns }, &OgBuilder::with_epochs(50));
+        let idx = FloodIndex::build(
+            pts.clone(),
+            &FloodConfig { columns },
+            &OgBuilder::with_epochs(50),
+        );
         (pts, idx)
     }
 
@@ -297,7 +328,11 @@ mod tests {
     #[test]
     fn works_with_pwl_models_too() {
         let pts = nyc_like(2000, 4);
-        let idx = FloodIndex::build(pts.clone(), &FloodConfig { columns: 8 }, &PwlBuilder::default());
+        let idx = FloodIndex::build(
+            pts.clone(),
+            &FloodConfig { columns: 8 },
+            &PwlBuilder::default(),
+        );
         for p in pts.iter().step_by(41) {
             assert!(idx.point_query(*p).is_some());
         }
@@ -321,7 +356,10 @@ mod tests {
             &[1, 4, 16, 64],
             &OgBuilder::with_epochs(20),
         );
-        assert!(cols >= 16, "tall windows should prefer many columns, got {cols}");
+        assert!(
+            cols >= 16,
+            "tall windows should prefer many columns, got {cols}"
+        );
 
         // Wide, flat windows intersect every column; fewer columns win.
         let flat: Vec<Rect> = (0..50)
@@ -330,9 +368,11 @@ mod tests {
                 Rect::new(0.0, y, 1.0, (y + 0.01).min(1.0))
             })
             .collect();
-        let (_, cols) =
-            FloodIndex::tune(pts, &flat, &[1, 4, 16, 64], &OgBuilder::with_epochs(20));
-        assert!(cols <= 4, "flat windows should prefer few columns, got {cols}");
+        let (_, cols) = FloodIndex::tune(pts, &flat, &[1, 4, 16, 64], &OgBuilder::with_epochs(20));
+        assert!(
+            cols <= 4,
+            "flat windows should prefer few columns, got {cols}"
+        );
     }
 
     #[test]
@@ -365,12 +405,20 @@ mod tests {
 
     #[test]
     fn empty_and_single_column() {
-        let idx = FloodIndex::build(Vec::new(), &FloodConfig::default(), &OgBuilder::with_epochs(5));
+        let idx = FloodIndex::build(
+            Vec::new(),
+            &FloodConfig::default(),
+            &OgBuilder::with_epochs(5),
+        );
         assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
         assert!(idx.window_query(&Rect::unit()).is_empty());
 
         let pts = uniform(50, 1);
-        let idx = FloodIndex::build(pts.clone(), &FloodConfig { columns: 1 }, &OgBuilder::with_epochs(30));
+        let idx = FloodIndex::build(
+            pts.clone(),
+            &FloodConfig { columns: 1 },
+            &OgBuilder::with_epochs(30),
+        );
         assert_eq!(idx.num_columns(), 1);
         assert!(idx.point_query(pts[0]).is_some());
     }

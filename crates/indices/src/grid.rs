@@ -20,7 +20,9 @@ pub struct GridConfig {
 
 impl Default for GridConfig {
     fn default() -> Self {
-        Self { block_size: DEFAULT_BLOCK_SIZE }
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
     }
 }
 
@@ -130,8 +132,10 @@ impl SpatialIndex for GridIndex {
         let (ix, iy) = self.grid.cell_of(p);
         let cell = self.grid.index_of(ix, iy);
         for b in &mut self.cells[cell] {
-            let matches =
-                b.points().iter().any(|s| s.id == p.id && s.x == p.x && s.y == p.y);
+            let matches = b
+                .points()
+                .iter()
+                .any(|s| s.id == p.id && s.x == p.x && s.y == p.y);
             if matches && b.remove(p.id) {
                 self.n -= 1;
                 return true;
@@ -174,7 +178,10 @@ mod tests {
         let pts = nyc_like(2000, 3);
         let idx = GridIndex::build(pts, &GridConfig { block_size: 20 });
         let max_blocks = idx.cells.iter().map(Vec::len).max().unwrap();
-        assert!(max_blocks > 3, "hotspot cells must hold several blocks, got {max_blocks}");
+        assert!(
+            max_blocks > 3,
+            "hotspot cells must hold several blocks, got {max_blocks}"
+        );
     }
 
     #[test]

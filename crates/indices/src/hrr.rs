@@ -22,7 +22,10 @@ pub struct HrrConfig {
 
 impl Default for HrrConfig {
     fn default() -> Self {
-        Self { leaf_capacity: 100, fanout: 16 }
+        Self {
+            leaf_capacity: 100,
+            fanout: 16,
+        }
     }
 }
 
@@ -192,9 +195,19 @@ mod tests {
     #[test]
     fn inserts_split_and_stay_findable() {
         let pts = uniform(150, 9);
-        let mut idx = HrrIndex::build(pts, &HrrConfig { leaf_capacity: 20, fanout: 4 });
+        let mut idx = HrrIndex::build(
+            pts,
+            &HrrConfig {
+                leaf_capacity: 20,
+                fanout: 4,
+            },
+        );
         for i in 0..500u64 {
-            let p = Point::new(1000 + i, (i as f64 * 0.00197) % 1.0, (i as f64 * 0.00313) % 1.0);
+            let p = Point::new(
+                1000 + i,
+                (i as f64 * 0.00197) % 1.0,
+                (i as f64 * 0.00313) % 1.0,
+            );
             idx.insert(p);
             assert!(idx.point_query(p).is_some(), "lost insert {i}");
         }

@@ -19,13 +19,24 @@ pub struct KdbConfig {
 
 impl Default for KdbConfig {
     fn default() -> Self {
-        Self { leaf_capacity: DEFAULT_BLOCK_SIZE }
+        Self {
+            leaf_capacity: DEFAULT_BLOCK_SIZE,
+        }
     }
 }
 
 enum KdNode {
-    Internal { mbr: Rect, axis: u8, split: f64, left: Box<KdNode>, right: Box<KdNode> },
-    Leaf { mbr: Rect, points: Vec<Point> },
+    Internal {
+        mbr: Rect,
+        axis: u8,
+        split: f64,
+        left: Box<KdNode>,
+        right: Box<KdNode>,
+    },
+    Leaf {
+        mbr: Rect,
+        points: Vec<Point>,
+    },
 }
 
 impl KdNode {
@@ -56,7 +67,9 @@ impl KdNode {
         }
         let mid = points.len() / 2;
         points.select_nth_unstable_by(mid, |a, b| {
-            coord(a, axis).partial_cmp(&coord(b, axis)).expect("finite coordinates")
+            coord(a, axis)
+                .partial_cmp(&coord(b, axis))
+                .expect("finite coordinates")
         });
         let split = coord(&points[mid], axis);
         let right_pts = points.split_off(mid);
@@ -78,7 +91,13 @@ impl KdNode {
                 }
                 points.iter().find(|p| p.x == q.x && p.y == q.y).copied()
             }
-            KdNode::Internal { axis, split, left, right, .. } => {
+            KdNode::Internal {
+                axis,
+                split,
+                left,
+                right,
+                ..
+            } => {
                 // The median point went to the right half; boundary values
                 // must search both sides.
                 let c = coord(&q, *axis);
@@ -105,7 +124,9 @@ impl KdNode {
                     out.extend(points.iter().filter(|p| w.contains(p)).copied());
                 }
             }
-            KdNode::Internal { mbr, left, right, .. } => {
+            KdNode::Internal {
+                mbr, left, right, ..
+            } => {
                 if !w.intersects(mbr) {
                     return;
                 }
@@ -122,11 +143,21 @@ impl KdNode {
                 points.push(p);
                 if points.len() > 2 * capacity {
                     // Split the leaf at the median of its longer MBR axis.
-                    let axis = if mbr.hi_x - mbr.lo_x >= mbr.hi_y - mbr.lo_y { 0 } else { 1 };
+                    let axis = if mbr.hi_x - mbr.lo_x >= mbr.hi_y - mbr.lo_y {
+                        0
+                    } else {
+                        1
+                    };
                     *self = KdNode::build(std::mem::take(points), axis, capacity);
                 }
             }
-            KdNode::Internal { mbr, axis, split, left, right } => {
+            KdNode::Internal {
+                mbr,
+                axis,
+                split,
+                left,
+                right,
+            } => {
                 mbr.expand(&p);
                 if coord(&p, *axis) < *split {
                     left.insert(p, capacity);
@@ -143,8 +174,9 @@ impl KdNode {
                 if !mbr.contains(&p) {
                     return false;
                 }
-                if let Some(pos) =
-                    points.iter().position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
+                if let Some(pos) = points
+                    .iter()
+                    .position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
                 {
                     points.swap_remove(pos);
                     *mbr = Rect::mbr_of(points);
@@ -153,7 +185,13 @@ impl KdNode {
                     false
                 }
             }
-            KdNode::Internal { mbr, axis, split, left, right } => {
+            KdNode::Internal {
+                mbr,
+                axis,
+                split,
+                left,
+                right,
+            } => {
                 let c = coord(&p, *axis);
                 let removed = if c < *split {
                     left.remove(p)
@@ -192,7 +230,11 @@ impl KdbIndex {
     pub fn build(points: Vec<Point>, cfg: &KdbConfig) -> Self {
         assert!(cfg.leaf_capacity >= 1);
         let n = points.len();
-        Self { root: KdNode::build(points, 0, cfg.leaf_capacity), cfg: *cfg, n }
+        Self {
+            root: KdNode::build(points, 0, cfg.leaf_capacity),
+            cfg: *cfg,
+            n,
+        }
     }
 }
 
@@ -213,7 +255,10 @@ impl PartialOrd for Entry<'_> {
 }
 impl Ord for Entry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist2.partial_cmp(&self.dist2).unwrap_or(Ordering::Equal)
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -238,7 +283,10 @@ impl SpatialIndex for KdbIndex {
             return out;
         }
         let mut heap = BinaryHeap::new();
-        heap.push(Entry { dist2: self.root.mbr().min_dist2(&q), item: Ok(&self.root) });
+        heap.push(Entry {
+            dist2: self.root.mbr().min_dist2(&q),
+            item: Ok(&self.root),
+        });
         while let Some(e) = heap.pop() {
             match e.item {
                 Err(p) => {
@@ -249,13 +297,19 @@ impl SpatialIndex for KdbIndex {
                 }
                 Ok(KdNode::Leaf { points, .. }) => {
                     for p in points {
-                        heap.push(Entry { dist2: q.dist2(p), item: Err(*p) });
+                        heap.push(Entry {
+                            dist2: q.dist2(p),
+                            item: Err(*p),
+                        });
                     }
                 }
                 Ok(KdNode::Internal { left, right, .. }) => {
                     for c in [left.as_ref(), right.as_ref()] {
                         if c.len() > 0 {
-                            heap.push(Entry { dist2: c.mbr().min_dist2(&q), item: Ok(c) });
+                            heap.push(Entry {
+                                dist2: c.mbr().min_dist2(&q),
+                                item: Ok(c),
+                            });
                         }
                     }
                 }
@@ -335,7 +389,11 @@ mod tests {
     fn insert_splits_leaves() {
         let mut idx = KdbIndex::build(uniform(50, 2), &KdbConfig { leaf_capacity: 10 });
         for i in 0..300u64 {
-            let p = Point::new(1000 + i, (i as f64 * 0.00173) % 1.0, (i as f64 * 0.00041) % 1.0);
+            let p = Point::new(
+                1000 + i,
+                (i as f64 * 0.00173) % 1.0,
+                (i as f64 * 0.00041) % 1.0,
+            );
             idx.insert(p);
             assert!(idx.point_query(p).is_some(), "lost insert {i}");
         }

@@ -41,5 +41,7 @@ pub use model::{
 };
 pub use rsmi::{RsmiConfig, RsmiIndex};
 pub use rstar::{RStarConfig, RStarIndex};
-pub use traits::{knn_by_expanding_window, SpatialIndex};
+pub use traits::{
+    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+};
 pub use zm::{ZmConfig, ZmIndex};

@@ -18,8 +18,11 @@
 //! the `elsi` crate masks them out for LISA.
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use crate::traits::{
+    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+};
 use elsi_spatial::{BlockStore, KeyMapper, LisaMapper, MappedData, Point, Rect};
+use rayon::prelude::*;
 use std::collections::{BTreeSet, HashSet};
 
 /// LISA configuration.
@@ -35,7 +38,11 @@ pub struct LisaConfig {
 
 impl Default for LisaConfig {
     fn default() -> Self {
-        Self { grid: 16, shard_size: 400, block_size: 100 }
+        Self {
+            grid: 16,
+            shard_size: 400,
+            block_size: 100,
+        }
     }
 }
 
@@ -78,20 +85,38 @@ impl LisaIndex {
         let stats = vec![built.stats];
         let model = built.model;
 
-        // Shard-level error bounds: predicted vs actual shard of every point.
+        // Shard-level error bounds: predicted vs actual shard of every
+        // point. The scan is a pure min/max reduction, so chunked partials
+        // merge to the same bounds for any thread count.
+        let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+        let partials: Vec<(i64, i64)> = starts
+            .into_par_iter()
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                let mut lo = 0i64;
+                let mut hi = 0i64;
+                for (i, &k) in data.keys()[start..end].iter().enumerate() {
+                    let pred = shard_of_prediction(&model, k, cfg.shard_size, num_shards);
+                    let actual = ((start + i) / cfg.shard_size) as i64;
+                    lo = lo.min(actual - pred);
+                    hi = hi.max(actual - pred);
+                }
+                (lo, hi)
+            })
+            .collect();
         let mut shard_lo = 0i64;
         let mut shard_hi = 0i64;
-        for (i, &k) in data.keys().iter().enumerate() {
-            let pred = shard_of_prediction(&model, k, cfg.shard_size, num_shards);
-            let actual = (i / cfg.shard_size) as i64;
-            shard_lo = shard_lo.min(actual - pred);
-            shard_hi = shard_hi.max(actual - pred);
+        for (lo, hi) in partials {
+            shard_lo = shard_lo.min(lo);
+            shard_hi = shard_hi.max(hi);
         }
 
-        // Bulk-load shard pages.
-        let shards: Vec<BlockStore> = data
-            .points()
-            .chunks(cfg.shard_size)
+        // Bulk-load shard pages in parallel; shard order follows the chunk
+        // order, independent of thread count.
+        let chunks: Vec<&[Point]> = data.points().chunks(cfg.shard_size).collect();
+        let shards: Vec<BlockStore> = chunks
+            .into_par_iter()
             .map(|chunk| BlockStore::bulk_load(chunk, cfg.block_size))
             .collect();
 
@@ -238,7 +263,9 @@ impl SpatialIndex for LisaIndex {
     fn insert(&mut self, p: Point) {
         self.deleted.remove(&p.id);
         let key = self.mapper.key(p);
-        let s = self.predicted_shard(key).clamp(0, self.shards.len() as i64 - 1) as usize;
+        let s = self
+            .predicted_shard(key)
+            .clamp(0, self.shards.len() as i64 - 1) as usize;
         // Append into the shard's last page; the store splits full pages
         // ("new pages are created as needed").
         let mapper = self.mapper.clone();
@@ -255,7 +282,9 @@ impl SpatialIndex for LisaIndex {
         let (lo, hi) = self.shard_range(key);
         // Inserted points live exactly at the predicted shard, bulk points
         // within the error-bounded range; search both.
-        let pred = self.predicted_shard(key).clamp(0, self.shards.len() as i64 - 1) as usize;
+        let pred = self
+            .predicted_shard(key)
+            .clamp(0, self.shards.len() as i64 - 1) as usize;
         let mut order: Vec<usize> = (lo..=hi).collect();
         if !order.contains(&pred) {
             order.push(pred);
@@ -279,6 +308,14 @@ impl SpatialIndex for LisaIndex {
     fn depth(&self) -> usize {
         2
     }
+
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        par_point_queries_of(self, queries)
+    }
+
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        par_window_queries_of(self, windows)
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +326,11 @@ mod tests {
 
     fn build_small(n: usize) -> (Vec<Point>, LisaIndex) {
         let pts = uniform(n, 23);
-        let cfg = LisaConfig { grid: 8, shard_size: 100, block_size: 25 };
+        let cfg = LisaConfig {
+            grid: 8,
+            shard_size: 100,
+            block_size: 25,
+        };
         let idx = LisaIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
         (pts, idx)
     }
@@ -324,7 +365,11 @@ mod tests {
     #[test]
     fn skewed_data_still_exact_point_queries() {
         let pts = nyc_like(1000, 5);
-        let cfg = LisaConfig { grid: 8, shard_size: 100, block_size: 25 };
+        let cfg = LisaConfig {
+            grid: 8,
+            shard_size: 100,
+            block_size: 25,
+        };
         let idx = LisaIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
         for p in pts.iter().step_by(7) {
             assert!(idx.point_query(*p).is_some(), "missing {p}");
@@ -372,7 +417,11 @@ mod tests {
 
     #[test]
     fn empty_index_is_safe() {
-        let idx = LisaIndex::build(Vec::new(), &LisaConfig::default(), &OgBuilder::with_epochs(5));
+        let idx = LisaIndex::build(
+            Vec::new(),
+            &LisaConfig::default(),
+            &OgBuilder::with_epochs(5),
+        );
         assert!(idx.is_empty());
         assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
         assert!(idx.window_query(&Rect::unit()).is_empty());

@@ -16,9 +16,12 @@
 //! data pages to store points inserted into each index model").
 
 use crate::model::{locate_lower, BuildInput, BuildStats, ModelBuilder, RankModel};
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use crate::traits::{
+    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+};
 use elsi_ml::kmeans;
 use elsi_spatial::{IDistanceMapper, MappedData, Point, Rect};
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// ML-Index configuration.
@@ -37,7 +40,12 @@ pub struct MlConfig {
 
 impl Default for MlConfig {
     fn default() -> Self {
-        Self { pivots: 8, kmeans_iters: 10, kmeans_sample: 10_000, seed: 0 }
+        Self {
+            pivots: 8,
+            kmeans_iters: 10,
+            kmeans_sample: 10_000,
+            seed: 0,
+        }
     }
 }
 
@@ -67,20 +75,37 @@ impl MlIndex {
         let data = MappedData::build(points, &mapper);
         let n = data.len();
 
+        // Per-pivot models train in parallel; each partition's seed is a
+        // pure function of the pivot index, so the built index is identical
+        // for every thread count.
+        let built_parts: Vec<_> = (0..k)
+            .into_par_iter()
+            .map(|i| {
+                // Pivot i's keys live in [i/k, (i+1)/k) by the iDistance layout.
+                let lo = data.lower_bound(i as f64 / k as f64);
+                let hi = if i + 1 == k {
+                    n
+                } else {
+                    data.lower_bound((i + 1) as f64 / k as f64)
+                };
+                let built = builder.build_model(&BuildInput {
+                    points: &data.points()[lo..hi],
+                    keys: &data.keys()[lo..hi],
+                    mapper: &mapper,
+                    seed: 0x31 + i as u64,
+                });
+                (built, lo, hi)
+            })
+            .collect();
         let mut partitions = Vec::with_capacity(k);
         let mut stats = Vec::new();
-        for i in 0..k {
-            // Pivot i's keys live in [i/k, (i+1)/k) by the iDistance layout.
-            let lo = data.lower_bound(i as f64 / k as f64);
-            let hi = if i + 1 == k { n } else { data.lower_bound((i + 1) as f64 / k as f64) };
-            let built = builder.build_model(&BuildInput {
-                points: &data.points()[lo..hi],
-                keys: &data.keys()[lo..hi],
-                mapper: &mapper,
-                seed: 0x31 + i as u64,
-            });
+        for (built, lo, hi) in built_parts {
             stats.push(built.stats);
-            partitions.push(Partition { model: built.model, offset: lo, len: hi - lo });
+            partitions.push(Partition {
+                model: built.model,
+                offset: lo,
+                len: hi - lo,
+            });
         }
 
         Self {
@@ -98,10 +123,13 @@ impl MlIndex {
             return IDistanceMapper::new(vec![Point::at(0.5, 0.5)]);
         }
         let stride = (points.len() / cfg.kmeans_sample.max(1)).max(1);
-        let sample: Vec<(f64, f64)> =
-            points.iter().step_by(stride).map(|p| (p.x, p.y)).collect();
+        let sample: Vec<(f64, f64)> = points.iter().step_by(stride).map(|p| (p.x, p.y)).collect();
         let result = kmeans(&sample, cfg.pivots, cfg.kmeans_iters, cfg.seed);
-        let pivots = result.centroids.iter().map(|&(x, y)| Point::at(x, y)).collect();
+        let pivots = result
+            .centroids
+            .iter()
+            .map(|&(x, y)| Point::at(x, y))
+            .collect();
         IDistanceMapper::new(pivots)
     }
 
@@ -137,7 +165,12 @@ impl MlIndex {
         let pts = &self.data.points()[part.offset..part.offset + part.len];
         let lo = locate_lower(keys, part.model.search_range(key_lo), key_lo);
         let hi = locate_lower(keys, part.model.search_range(key_hi), key_hi.next_up());
-        out.extend(pts[lo..hi].iter().filter(|p| w.contains(p) && self.live(p)).copied());
+        out.extend(
+            pts[lo..hi]
+                .iter()
+                .filter(|p| w.contains(p) && self.live(p))
+                .copied(),
+        );
     }
 }
 
@@ -159,7 +192,10 @@ impl SpatialIndex for MlIndex {
                 }
             }
         }
-        self.overflow[i].iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+        self.overflow[i]
+            .iter()
+            .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+            .copied()
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
@@ -172,14 +208,16 @@ impl SpatialIndex for MlIndex {
         ];
         for (i, pivot) in self.mapper.pivots().iter().enumerate() {
             let d_min = w.min_dist2(pivot).sqrt();
-            let d_max = corners
-                .iter()
-                .map(|c| pivot.dist(c))
-                .fold(0.0f64, f64::max);
+            let d_max = corners.iter().map(|c| pivot.dist(c)).fold(0.0f64, f64::max);
             let key_lo = self.mapper.key_of(i, d_min);
             let key_hi = self.mapper.key_of(i, d_max);
             self.scan_partition_range(i, key_lo, key_hi, w, &mut out);
-            out.extend(self.overflow[i].iter().filter(|p| w.contains(p) && self.live(p)).copied());
+            out.extend(
+                self.overflow[i]
+                    .iter()
+                    .filter(|p| w.contains(p) && self.live(p))
+                    .copied(),
+            );
         }
         out
     }
@@ -196,8 +234,9 @@ impl SpatialIndex for MlIndex {
 
     fn delete(&mut self, p: Point) -> bool {
         let (i, _) = self.mapper.nearest_pivot(p);
-        if let Some(pos) =
-            self.overflow[i].iter().position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+        if let Some(pos) = self.overflow[i]
+            .iter()
+            .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
         {
             self.overflow[i].swap_remove(pos);
             return true;
@@ -217,6 +256,14 @@ impl SpatialIndex for MlIndex {
     fn depth(&self) -> usize {
         2
     }
+
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        par_point_queries_of(self, queries)
+    }
+
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        par_window_queries_of(self, windows)
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +274,10 @@ mod tests {
 
     fn build_small(n: usize) -> (Vec<Point>, MlIndex) {
         let pts = uniform(n, 42);
-        let cfg = MlConfig { pivots: 4, ..MlConfig::default() };
+        let cfg = MlConfig {
+            pivots: 4,
+            ..MlConfig::default()
+        };
         let idx = MlIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
         (pts, idx)
     }
@@ -287,7 +337,11 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let idx = MlIndex::build(Vec::new(), &MlConfig::default(), &OgBuilder::with_epochs(10));
+        let idx = MlIndex::build(
+            Vec::new(),
+            &MlConfig::default(),
+            &OgBuilder::with_epochs(10),
+        );
         assert!(idx.is_empty());
         assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
         assert!(idx.window_query(&Rect::unit()).is_empty());

@@ -103,7 +103,12 @@ impl RankModel {
             err_lo = err_lo.min(err);
             err_hi = err_hi.max(err);
         }
-        Self { f, n, err_lo, err_hi }
+        Self {
+            f,
+            n,
+            err_lo,
+            err_hi,
+        }
     }
 
     /// Number of points in the partition this model indexes.
@@ -160,7 +165,12 @@ impl RankModel {
 
     /// A trivial model for an empty partition.
     pub fn empty(seed: u64) -> Self {
-        Self { f: RankFn::Ffn(Ffn::new(&[1, 2, 1], seed)), n: 0, err_lo: 0, err_hi: 0 }
+        Self {
+            f: RankFn::Ffn(Ffn::new(&[1, 2, 1], seed)),
+            n: 0,
+            err_lo: 0,
+            err_hi: 0,
+        }
     }
 }
 
@@ -214,7 +224,13 @@ pub struct BuiltModel {
 }
 
 /// Pluggable model construction (the seam where ELSI integrates).
-pub trait ModelBuilder {
+///
+/// Builders are `Send + Sync` by contract: base indices train their
+/// per-partition models in parallel (rayon), sharing one builder across
+/// worker threads. `build_model` takes `&self`, so any internal builder
+/// state must be synchronised (the `ElsiBuilder` keeps its chosen-method
+/// diagnostics behind a `Mutex`).
+pub trait ModelBuilder: Send + Sync {
     /// Builds a rank model for one sorted partition.
     fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel;
 
@@ -234,20 +250,37 @@ pub struct OgBuilder {
 
 impl Default for OgBuilder {
     fn default() -> Self {
-        Self { hidden: 16, train: TrainConfig::default() }
+        Self {
+            hidden: 16,
+            train: TrainConfig::default(),
+        }
     }
 }
 
 impl OgBuilder {
     /// A builder with the given epoch budget (other parameters default).
     pub fn with_epochs(epochs: usize) -> Self {
-        Self { train: TrainConfig { epochs, ..TrainConfig::default() }, ..Self::default() }
+        Self {
+            train: TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+            ..Self::default()
+        }
     }
 }
 
 impl ModelBuilder for OgBuilder {
     fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
-        build_on_training_set(input.keys, input.keys, self.hidden, &self.train, input.seed, "OG", Duration::ZERO)
+        build_on_training_set(
+            input.keys,
+            input.keys,
+            self.hidden,
+            &self.train,
+            input.seed,
+            "OG",
+            Duration::ZERO,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -357,18 +390,28 @@ mod tests {
     use elsi_spatial::MortonMapper;
 
     fn sorted_keys(n: usize, skew: i32) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 / (n - 1) as f64).powi(skew)).collect()
+        (0..n)
+            .map(|i| (i as f64 / (n - 1) as f64).powi(skew))
+            .collect()
     }
 
     fn points_for(keys: &[f64]) -> Vec<Point> {
-        keys.iter().enumerate().map(|(i, &k)| Point::new(i as u64, k, k)).collect()
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Point::new(i as u64, k, k))
+            .collect()
     }
 
     #[test]
     fn og_builder_point_query_correctness() {
         let keys = sorted_keys(500, 2);
         let pts = points_for(&keys);
-        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 1 };
+        let input = BuildInput {
+            points: &pts,
+            keys: &keys,
+            mapper: &MortonMapper,
+            seed: 1,
+        };
         let built = OgBuilder::with_epochs(150).build_model(&input);
         // Every key must fall inside its own search range.
         for (i, &k) in keys.iter().enumerate() {
@@ -386,14 +429,20 @@ mod tests {
             &keys,
             &keys,
             8,
-            &TrainConfig { epochs: 100, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 100,
+                ..TrainConfig::default()
+            },
             0,
             "OG",
             Duration::ZERO,
         );
         assert!(built.model.err_lo() <= 0);
         assert!(built.model.err_hi() >= 0);
-        assert_eq!(built.model.err_span(), (built.model.err_hi() - built.model.err_lo()) as u64);
+        assert_eq!(
+            built.model.err_span(),
+            (built.model.err_hi() - built.model.err_lo()) as u64
+        );
     }
 
     #[test]
@@ -405,7 +454,10 @@ mod tests {
             &sample,
             &keys,
             16,
-            &TrainConfig { epochs: 150, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 150,
+                ..TrainConfig::default()
+            },
             2,
             "SP",
             Duration::ZERO,
@@ -419,7 +471,12 @@ mod tests {
 
     #[test]
     fn empty_partition() {
-        let input = BuildInput { points: &[], keys: &[], mapper: &MortonMapper, seed: 0 };
+        let input = BuildInput {
+            points: &[],
+            keys: &[],
+            mapper: &MortonMapper,
+            seed: 0,
+        };
         let built = OgBuilder::default().build_model(&input);
         assert!(built.model.is_empty());
         assert_eq!(built.model.search_range(0.5), (0, 0));
@@ -429,7 +486,12 @@ mod tests {
     fn single_point_partition() {
         let keys = vec![0.5];
         let pts = points_for(&keys);
-        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 0 };
+        let input = BuildInput {
+            points: &pts,
+            keys: &keys,
+            mapper: &MortonMapper,
+            seed: 0,
+        };
         let built = OgBuilder::with_epochs(50).build_model(&input);
         let (lo, hi) = built.model.search_range(0.5);
         assert!(lo == 0 && hi >= 1);
@@ -439,7 +501,12 @@ mod tests {
     fn pwl_builder_point_query_correctness_and_tight_bounds() {
         let keys = sorted_keys(2000, 3);
         let pts = points_for(&keys);
-        let input = BuildInput { points: &pts, keys: &keys, mapper: &MortonMapper, seed: 1 };
+        let input = BuildInput {
+            points: &pts,
+            keys: &keys,
+            mapper: &MortonMapper,
+            seed: 1,
+        };
         let built = PwlBuilder { epsilon: 16 }.build_model(&input);
         assert_eq!(built.stats.method, "PWL");
         // Fitted on the full partition: the empirical span must respect the
@@ -487,7 +554,11 @@ mod tests {
     fn locate_lower_with_duplicates() {
         let keys = vec![0.1, 0.5, 0.5, 0.5, 0.9];
         assert_eq!(locate_lower(&keys, (0, 5), 0.5), 1);
-        assert_eq!(locate_lower(&keys, (2, 4), 0.5), 1, "must escape a bad hint");
+        assert_eq!(
+            locate_lower(&keys, (2, 4), 0.5),
+            1,
+            "must escape a bad hint"
+        );
     }
 
     #[test]
@@ -497,7 +568,10 @@ mod tests {
             &keys,
             &keys,
             8,
-            &TrainConfig { epochs: 50, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 50,
+                ..TrainConfig::default()
+            },
             0,
             "OG",
             Duration::ZERO,

@@ -19,8 +19,11 @@
 //! capacity, which is exactly the unbalanced deepening of Figure 1.
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use crate::traits::{
+    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+};
 use elsi_spatial::{HilbertMapper, KeyMapper, Point, Rect};
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// RSMI configuration.
@@ -37,7 +40,11 @@ pub struct RsmiConfig {
 
 impl Default for RsmiConfig {
     fn default() -> Self {
-        Self { leaf_capacity: 2048, fanout: 8, overflow_fraction: 0.5 }
+        Self {
+            leaf_capacity: 2048,
+            fanout: 8,
+            overflow_fraction: 0.5,
+        }
     }
 }
 
@@ -78,7 +85,9 @@ impl Node {
     fn n(&self) -> usize {
         match self {
             Node::Internal { n, .. } => *n,
-            Node::Leaf { points, overflow, .. } => points.len() + overflow.len(),
+            Node::Leaf {
+                points, overflow, ..
+            } => points.len() + overflow.len(),
         }
     }
 
@@ -122,10 +131,23 @@ impl RsmiIndex {
         assert!(cfg.fanout >= 2, "fanout must be at least 2");
         assert!(cfg.leaf_capacity >= 1, "leaf capacity must be positive");
         let n_total = points.len();
-        let bounds = if points.is_empty() { Rect::unit() } else { Rect::mbr_of(&points) };
+        let bounds = if points.is_empty() {
+            Rect::unit()
+        } else {
+            Rect::mbr_of(&points)
+        };
         let mut stats = Vec::new();
-        let root = build_node(points, bounds, cfg, builder, &mut stats, 0);
-        Self { root, cfg: *cfg, deleted: HashSet::new(), stats, n_total }
+        // Parallelise the root's children only: subtree sizes differ by at
+        // most one point at the top split, so top-level parallelism already
+        // balances well, and deeper spawning would oversubscribe threads.
+        let root = build_node(points, bounds, cfg, builder, &mut stats, 0, 1);
+        Self {
+            root,
+            cfg: *cfg,
+            deleted: HashSet::new(),
+            stats,
+            n_total,
+        }
     }
 
     /// Per-model build statistics (pre-order).
@@ -150,11 +172,18 @@ fn build_node(
     builder: &dyn ModelBuilder,
     stats: &mut Vec<BuildStats>,
     seed: u64,
+    par_levels: usize,
 ) -> Node {
-    let mbr = if points.is_empty() { Rect::empty() } else { Rect::mbr_of(&points) };
+    let mbr = if points.is_empty() {
+        Rect::empty()
+    } else {
+        Rect::mbr_of(&points)
+    };
     // Map and sort in the node's local rank space.
-    let mut keyed: Vec<(f64, Point)> =
-        points.drain(..).map(|p| (local_key(p, &bounds), p)).collect();
+    let mut keyed: Vec<(f64, Point)> = points
+        .drain(..)
+        .map(|p| (local_key(p, &bounds), p))
+        .collect();
     keyed.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
     let keys: Vec<f64> = keyed.iter().map(|(k, _)| *k).collect();
     let pts: Vec<Point> = keyed.into_iter().map(|(_, p)| p).collect();
@@ -171,19 +200,67 @@ fn build_node(
     let model = built.model;
 
     if n <= cfg.leaf_capacity {
-        return Node::Leaf { model, bounds, mbr, points: pts, keys, overflow: Vec::new() };
+        return Node::Leaf {
+            model,
+            bounds,
+            mbr,
+            points: pts,
+            keys,
+            overflow: Vec::new(),
+        };
     }
 
-    // Partition into `fanout` contiguous rank slices and recurse.
+    // Partition into `fanout` contiguous rank slices and recurse. Child
+    // seeds are pure functions of the path from the root, so sequential and
+    // parallel builds produce the same subtrees; child subtrees collect
+    // their stats separately and are appended in child order, preserving
+    // the sequential pre-order.
     let f = cfg.fanout;
-    let mut children = Vec::with_capacity(f);
-    for c in 0..f {
-        let lo = c * n / f;
-        let hi = (c + 1) * n / f;
-        let slice: Vec<Point> = pts[lo..hi].to_vec();
-        let child_bounds = if slice.is_empty() { bounds } else { Rect::mbr_of(&slice) };
-        children.push(build_node(slice, child_bounds, cfg, builder, stats, seed * 31 + c as u64 + 1));
-    }
+    let slices: Vec<(Vec<Point>, Rect, u64)> = (0..f)
+        .map(|c| {
+            let lo = c * n / f;
+            let hi = (c + 1) * n / f;
+            let slice: Vec<Point> = pts[lo..hi].to_vec();
+            let child_bounds = if slice.is_empty() {
+                bounds
+            } else {
+                Rect::mbr_of(&slice)
+            };
+            (slice, child_bounds, seed * 31 + c as u64 + 1)
+        })
+        .collect();
+    let children: Vec<Node> = if par_levels > 0 {
+        let built: Vec<(Node, Vec<BuildStats>)> = slices
+            .into_par_iter()
+            .map(|(slice, child_bounds, child_seed)| {
+                let mut child_stats = Vec::new();
+                let node = build_node(
+                    slice,
+                    child_bounds,
+                    cfg,
+                    builder,
+                    &mut child_stats,
+                    child_seed,
+                    par_levels - 1,
+                );
+                (node, child_stats)
+            })
+            .collect();
+        built
+            .into_iter()
+            .map(|(node, child_stats)| {
+                stats.extend(child_stats);
+                node
+            })
+            .collect()
+    } else {
+        slices
+            .into_iter()
+            .map(|(slice, child_bounds, child_seed)| {
+                build_node(slice, child_bounds, cfg, builder, stats, child_seed, 0)
+            })
+            .collect()
+    };
 
     // Routing error bounds over this node's own points.
     let mut route_lo = 0i64;
@@ -195,7 +272,16 @@ fn build_node(
         route_hi = route_hi.max(actual - predicted);
     }
 
-    Node::Internal { model, bounds, mbr, n, n_route: n, children, route_lo, route_hi }
+    Node::Internal {
+        model,
+        bounds,
+        mbr,
+        n,
+        n_route: n,
+        children,
+        route_lo,
+        route_hi,
+    }
 }
 
 /// A [`KeyMapper`] for one node's rank space, handed to building methods
@@ -219,7 +305,14 @@ fn route_child(model: &RankModel, key: f64, n: usize, fanout: usize) -> usize {
 impl RsmiIndex {
     fn point_query_node<'a>(&'a self, node: &'a Node, q: Point) -> Option<Point> {
         match node {
-            Node::Leaf { model, bounds, points, keys, overflow, .. } => {
+            Node::Leaf {
+                model,
+                bounds,
+                points,
+                keys,
+                overflow,
+                ..
+            } => {
                 let key = local_key(q, bounds);
                 let (lo, hi) = model.search_range(key);
                 for (p, _) in points[lo..hi.min(points.len())]
@@ -230,9 +323,20 @@ impl RsmiIndex {
                         return Some(*p);
                     }
                 }
-                overflow.iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+                overflow
+                    .iter()
+                    .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+                    .copied()
             }
-            Node::Internal { model, bounds, n_route, children, route_lo, route_hi, .. } => {
+            Node::Internal {
+                model,
+                bounds,
+                n_route,
+                children,
+                route_lo,
+                route_hi,
+                ..
+            } => {
                 let key = local_key(q, bounds);
                 let c = route_child(model, key, *n_route, children.len()) as i64;
                 let lo = (c + route_lo).clamp(0, children.len() as i64 - 1) as usize;
@@ -249,7 +353,14 @@ impl RsmiIndex {
 
     fn window_query_node(&self, node: &Node, w: &Rect, out: &mut Vec<Point>) {
         match node {
-            Node::Leaf { model, bounds, mbr, points, keys, overflow } => {
+            Node::Leaf {
+                model,
+                bounds,
+                mbr,
+                points,
+                keys,
+                overflow,
+            } => {
                 if points.is_empty() && overflow.is_empty() {
                     return;
                 }
@@ -295,9 +406,17 @@ impl RsmiIndex {
                 };
                 let _ = keys;
                 out.extend(
-                    points[lo..hi].iter().filter(|p| w.contains(p) && self.live(p)).copied(),
+                    points[lo..hi]
+                        .iter()
+                        .filter(|p| w.contains(p) && self.live(p))
+                        .copied(),
                 );
-                out.extend(overflow.iter().filter(|p| w.contains(p) && self.live(p)).copied());
+                out.extend(
+                    overflow
+                        .iter()
+                        .filter(|p| w.contains(p) && self.live(p))
+                        .copied(),
+                );
             }
             Node::Internal { children, .. } => {
                 for child in children {
@@ -311,7 +430,12 @@ impl RsmiIndex {
 
     fn insert_into(node: &mut Node, p: Point, cfg: &RsmiConfig, builder: &dyn ModelBuilder) {
         match node {
-            Node::Leaf { mbr, overflow, points, .. } => {
+            Node::Leaf {
+                mbr,
+                overflow,
+                points,
+                ..
+            } => {
                 mbr.expand(&p);
                 overflow.push(p);
                 let trigger = ((points.len() as f64 * cfg.overflow_fraction) as usize).max(8);
@@ -322,10 +446,18 @@ impl RsmiIndex {
                     all.append(overflow);
                     let bounds = Rect::mbr_of(&all);
                     let mut local_stats = Vec::new();
-                    *node = build_node(all, bounds, cfg, builder, &mut local_stats, 0xF00D);
+                    *node = build_node(all, bounds, cfg, builder, &mut local_stats, 0xF00D, 0);
                 }
             }
-            Node::Internal { model, bounds, mbr, n, n_route, children, .. } => {
+            Node::Internal {
+                model,
+                bounds,
+                mbr,
+                n,
+                n_route,
+                children,
+                ..
+            } => {
                 mbr.expand(&p);
                 *n += 1;
                 let key = local_key(p, bounds);
@@ -380,6 +512,14 @@ impl SpatialIndex for RsmiIndex {
     fn depth(&self) -> usize {
         self.root.depth()
     }
+
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        par_point_queries_of(self, queries)
+    }
+
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        par_window_queries_of(self, windows)
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +530,11 @@ mod tests {
 
     fn build_small(n: usize) -> (Vec<Point>, RsmiIndex) {
         let pts = uniform(n, 17);
-        let cfg = RsmiConfig { leaf_capacity: 128, fanout: 4, ..RsmiConfig::default() };
+        let cfg = RsmiConfig {
+            leaf_capacity: 128,
+            fanout: 4,
+            ..RsmiConfig::default()
+        };
         let idx = RsmiIndex::build(pts.clone(), &cfg, &OgBuilder::with_epochs(60));
         (pts, idx)
     }
@@ -472,12 +616,20 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_indices() {
-        let idx = RsmiIndex::build(Vec::new(), &RsmiConfig::default(), &OgBuilder::with_epochs(5));
+        let idx = RsmiIndex::build(
+            Vec::new(),
+            &RsmiConfig::default(),
+            &OgBuilder::with_epochs(5),
+        );
         assert!(idx.is_empty());
         assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
 
         let one = vec![Point::new(0, 0.5, 0.5)];
-        let idx = RsmiIndex::build(one.clone(), &RsmiConfig::default(), &OgBuilder::with_epochs(5));
+        let idx = RsmiIndex::build(
+            one.clone(),
+            &RsmiConfig::default(),
+            &OgBuilder::with_epochs(5),
+        );
         assert_eq!(idx.point_query(one[0]).unwrap().id, 0);
     }
 

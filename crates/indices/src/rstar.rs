@@ -25,7 +25,11 @@ pub struct RStarConfig {
 
 impl Default for RStarConfig {
     fn default() -> Self {
-        Self { leaf_capacity: 100, fanout: 16, min_fill: 0.4 }
+        Self {
+            leaf_capacity: 100,
+            fanout: 16,
+            min_fill: 0.4,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ impl RStarIndex {
     pub fn build(points: Vec<Point>, cfg: &RStarConfig) -> Self {
         assert!(cfg.leaf_capacity >= 2 && cfg.fanout >= 2);
         assert!((0.0..=0.5).contains(&cfg.min_fill));
-        let mut idx = Self { root: RNode::new_leaf(Vec::new()), cfg: *cfg, n: 0 };
+        let mut idx = Self {
+            root: RNode::new_leaf(Vec::new()),
+            cfg: *cfg,
+            n: 0,
+        };
         for p in points {
             idx.insert(p);
         }
@@ -57,7 +65,7 @@ impl RStarIndex {
                 points.push(p);
                 if points.len() > cfg.leaf_capacity {
                     let (left, right) =
-                        rstar_split(std::mem::take(points), |pt| point_rect(pt), cfg.min_fill);
+                        rstar_split(std::mem::take(points), point_rect, cfg.min_fill);
                     *points = left;
                     *mbr = Rect::mbr_of(points);
                     Some(RNode::new_leaf(right))
@@ -90,7 +98,12 @@ impl RStarIndex {
 
 #[inline]
 fn point_rect(p: &Point) -> Rect {
-    Rect { lo_x: p.x, lo_y: p.y, hi_x: p.x, hi_y: p.y }
+    Rect {
+        lo_x: p.x,
+        lo_y: p.y,
+        hi_x: p.x,
+        hi_y: p.y,
+    }
 }
 
 /// R* ChooseSubtree: minimum overlap enlargement when children are leaves,
@@ -254,14 +267,22 @@ mod tests {
     #[test]
     fn build_and_exact_queries() {
         let pts = uniform(1500, 21);
-        let cfg = RStarConfig { leaf_capacity: 25, fanout: 8, min_fill: 0.4 };
+        let cfg = RStarConfig {
+            leaf_capacity: 25,
+            fanout: 8,
+            min_fill: 0.4,
+        };
         let idx = RStarIndex::build(pts.clone(), &cfg);
         assert_eq!(idx.len(), 1500);
         assert!(idx.depth() >= 2);
         for p in pts.iter().step_by(11) {
             assert_eq!(idx.point_query(*p).unwrap().id, p.id);
         }
-        for w in [Rect::new(0.1, 0.1, 0.4, 0.4), Rect::unit(), Rect::new(0.9, 0.0, 1.0, 1.0)] {
+        for w in [
+            Rect::new(0.1, 0.1, 0.4, 0.4),
+            Rect::unit(),
+            Rect::new(0.9, 0.0, 1.0, 1.0),
+        ] {
             let got = idx.window_query(&w);
             let want = pts.iter().filter(|p| w.contains(p)).count();
             assert_eq!(got.len(), want, "window {w:?}");
@@ -271,7 +292,11 @@ mod tests {
     #[test]
     fn skewed_data_splits_stay_balancedish() {
         let pts = nyc_like(2000, 7);
-        let cfg = RStarConfig { leaf_capacity: 50, fanout: 8, min_fill: 0.4 };
+        let cfg = RStarConfig {
+            leaf_capacity: 50,
+            fanout: 8,
+            min_fill: 0.4,
+        };
         let idx = RStarIndex::build(pts.clone(), &cfg);
         assert_eq!(idx.len(), 2000);
         // Height should be logarithmic-ish despite extreme skew.

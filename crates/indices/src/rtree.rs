@@ -116,8 +116,9 @@ impl RNode {
                 if !mbr.contains(&p) {
                     return false;
                 }
-                if let Some(pos) =
-                    points.iter().position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
+                if let Some(pos) = points
+                    .iter()
+                    .position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
                 {
                     points.swap_remove(pos);
                     *mbr = Rect::mbr_of(points);
@@ -172,7 +173,10 @@ impl PartialOrd for HeapEntry<'_> {
 impl Ord for HeapEntry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller distance = greater priority.
-        other.dist2.partial_cmp(&self.dist2).unwrap_or(Ordering::Equal)
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -183,7 +187,10 @@ pub(crate) fn knn_best_first(root: &RNode, q: Point, k: usize) -> Vec<Point> {
         return out;
     }
     let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { dist2: root.mbr().min_dist2(&q), item: HeapItem::Node(root) });
+    heap.push(HeapEntry {
+        dist2: root.mbr().min_dist2(&q),
+        item: HeapItem::Node(root),
+    });
     while let Some(entry) = heap.pop() {
         match entry.item {
             HeapItem::Point(p) => {
@@ -194,7 +201,10 @@ pub(crate) fn knn_best_first(root: &RNode, q: Point, k: usize) -> Vec<Point> {
             }
             HeapItem::Node(RNode::Leaf { points, .. }) => {
                 for p in points {
-                    heap.push(HeapEntry { dist2: q.dist2(p), item: HeapItem::Point(*p) });
+                    heap.push(HeapEntry {
+                        dist2: q.dist2(p),
+                        item: HeapItem::Point(*p),
+                    });
                 }
             }
             HeapItem::Node(RNode::Internal { children, .. }) => {
@@ -218,11 +228,19 @@ mod tests {
 
     fn grid_tree(side: usize, leaf: usize) -> (Vec<Point>, RNode) {
         let pts: Vec<Point> = (0..side * side)
-            .map(|i| Point::new(i as u64, (i % side) as f64 / side as f64, (i / side) as f64 / side as f64))
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                )
+            })
             .collect();
         // Pack leaves row-major, one internal level.
-        let leaves: Vec<RNode> =
-            pts.chunks(leaf).map(|c| RNode::new_leaf(c.to_vec())).collect();
+        let leaves: Vec<RNode> = pts
+            .chunks(leaf)
+            .map(|c| RNode::new_leaf(c.to_vec()))
+            .collect();
         (pts.clone(), RNode::new_internal(leaves))
     }
 

@@ -48,6 +48,44 @@ pub trait SpatialIndex {
     fn depth(&self) -> usize {
         1
     }
+
+    /// Answers a batch of point queries, one result per query, in query
+    /// order.
+    ///
+    /// The default runs sequentially so every implementor (including
+    /// non-`Sync` wrappers) gets the API; `Sync` indices override it with
+    /// [`par_point_queries_of`] to fan the batch out across threads.
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        queries.iter().map(|&q| self.point_query(q)).collect()
+    }
+
+    /// Answers a batch of window queries, one result vector per window, in
+    /// query order. Default sequential; `Sync` indices override it with
+    /// [`par_window_queries_of`].
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        windows.iter().map(|w| self.window_query(w)).collect()
+    }
+}
+
+/// Thread-parallel batch point queries over any `Sync` index: the shared
+/// implementation behind the per-index `par_point_queries` overrides.
+/// Results come back in query order regardless of the thread count.
+pub fn par_point_queries_of<I: SpatialIndex + Sync + ?Sized>(
+    index: &I,
+    queries: &[Point],
+) -> Vec<Option<Point>> {
+    use rayon::prelude::*;
+    queries.par_iter().map(|&q| index.point_query(q)).collect()
+}
+
+/// Thread-parallel batch window queries over any `Sync` index (see
+/// [`par_point_queries_of`]).
+pub fn par_window_queries_of<I: SpatialIndex + Sync + ?Sized>(
+    index: &I,
+    windows: &[Rect],
+) -> Vec<Vec<Point>> {
+    use rayon::prelude::*;
+    windows.par_iter().map(|w| index.window_query(w)).collect()
 }
 
 impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
@@ -75,6 +113,12 @@ impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
     fn depth(&self) -> usize {
         (**self).depth()
     }
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        (**self).par_point_queries(queries)
+    }
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        (**self).par_window_queries(windows)
+    }
 }
 
 /// Shared kNN fallback: expanding window search over any window-query
@@ -95,9 +139,18 @@ where
     // Expected-density start: a window that would hold ~4k uniform points.
     let mut side = ((4 * k) as f64 / n as f64).sqrt().clamp(1e-4, 2.0);
     loop {
-        let w = Rect::new(q.x - side / 2.0, q.y - side / 2.0, q.x + side / 2.0, q.y + side / 2.0);
+        let w = Rect::new(
+            q.x - side / 2.0,
+            q.y - side / 2.0,
+            q.x + side / 2.0,
+            q.y + side / 2.0,
+        );
         let mut cands = window_fn(&w);
-        cands.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).expect("finite distances"));
+        cands.sort_by(|a, b| {
+            q.dist2(a)
+                .partial_cmp(&q.dist2(b))
+                .expect("finite distances")
+        });
         cands.truncate(k);
         let safe_radius = side / 2.0;
         if cands.len() == k && q.dist(&cands[k - 1]) <= safe_radius {
@@ -125,11 +178,21 @@ mod tests {
     #[test]
     fn expanding_window_matches_brute_force() {
         let data: Vec<Point> = (0..400)
-            .map(|i| Point::new(i, (i % 20) as f64 / 20.0 + 0.01, (i / 20) as f64 / 20.0 + 0.01))
+            .map(|i| {
+                Point::new(
+                    i,
+                    (i % 20) as f64 / 20.0 + 0.01,
+                    (i / 20) as f64 / 20.0 + 0.01,
+                )
+            })
             .collect();
         let q = Point::at(0.52, 0.48);
-        let exact_window =
-            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let exact_window = |w: &Rect| {
+            data.iter()
+                .filter(|p| w.contains(p))
+                .copied()
+                .collect::<Vec<_>>()
+        };
         let got = knn_by_expanding_window(q, 10, data.len(), exact_window);
         let want = brute_knn(&data, q, 10);
         assert_eq!(got.len(), 10);
@@ -140,9 +203,13 @@ mod tests {
 
     #[test]
     fn knn_with_k_larger_than_n() {
-        let data = vec![Point::new(0, 0.5, 0.5), Point::new(1, 0.6, 0.6)];
-        let exact_window =
-            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let data = [Point::new(0, 0.5, 0.5), Point::new(1, 0.6, 0.6)];
+        let exact_window = |w: &Rect| {
+            data.iter()
+                .filter(|p| w.contains(p))
+                .copied()
+                .collect::<Vec<_>>()
+        };
         let got = knn_by_expanding_window(Point::at(0.1, 0.1), 5, data.len(), exact_window);
         assert_eq!(got.len(), 2);
     }
@@ -159,8 +226,12 @@ mod tests {
             .map(|i| Point::new(i, (i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0))
             .collect();
         let q = Point::at(0.0, 0.0);
-        let exact_window =
-            |w: &Rect| data.iter().filter(|p| w.contains(p)).copied().collect::<Vec<_>>();
+        let exact_window = |w: &Rect| {
+            data.iter()
+                .filter(|p| w.contains(p))
+                .copied()
+                .collect::<Vec<_>>()
+        };
         let got = knn_by_expanding_window(q, 3, data.len(), exact_window);
         let want = brute_knn(&data, q, 3);
         assert_eq!(got.len(), 3);

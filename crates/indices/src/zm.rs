@@ -13,8 +13,11 @@
 //! have Z-values between the window corners' Z-values).
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
+use crate::traits::{
+    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+};
 use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// ZM configuration.
@@ -87,39 +90,81 @@ impl ZmIndex {
         stats.push(root_built.stats);
         let root = root_built.model;
 
-        // Second-stage models over contiguous rank slices.
+        // Second-stage models over contiguous rank slices, trained in
+        // parallel. Each leaf's seed is a pure function of its slice index,
+        // so the result is identical for every thread count.
         let s = cfg.fanout.min(n).max(1);
+        let built_leaves: Vec<_> = (0..s)
+            .into_par_iter()
+            .map(|j| {
+                let lo = j * n / s;
+                let hi = (j + 1) * n / s;
+                let built = builder.build_model(&BuildInput {
+                    points: &data.points()[lo..hi],
+                    keys: &data.keys()[lo..hi],
+                    mapper: &MortonMapper,
+                    seed: 0xD01 + j as u64,
+                });
+                (built, lo)
+            })
+            .collect();
         let mut leaves = Vec::with_capacity(s);
-        for j in 0..s {
-            let lo = j * n / s;
-            let hi = (j + 1) * n / s;
-            let built = builder.build_model(&BuildInput {
-                points: &data.points()[lo..hi],
-                keys: &data.keys()[lo..hi],
-                mapper: &MortonMapper,
-                seed: 0xD01 + j as u64,
-            });
+        for (built, lo) in built_leaves {
             stats.push(built.stats);
-            leaves.push(Leaf { model: built.model, offset: lo, err_lo: 0, err_hi: 0 });
+            leaves.push(Leaf {
+                model: built.model,
+                offset: lo,
+                err_lo: 0,
+                err_hi: 0,
+            });
         }
 
-        let mut zm = Self { data, root, leaves, buffer: Vec::new(), deleted: HashSet::new(), stats };
+        let mut zm = Self {
+            data,
+            root,
+            leaves,
+            buffer: Vec::new(),
+            deleted: HashSet::new(),
+            stats,
+        };
         zm.compute_composed_bounds();
         zm
     }
 
     /// Algorithm 1, line 6, composed over the two stages: predict every
     /// point through its *routed* leaf and record per-leaf error bounds.
+    ///
+    /// The O(n · M(1)) prediction scan is chunked across threads; per-leaf
+    /// min/max partials merge associatively, so the bounds are independent
+    /// of the chunking and thread count.
     fn compute_composed_bounds(&mut self) {
         let n = self.data.len();
-        for i in 0..n {
-            let key = self.data.keys()[i];
-            let j = self.route(key);
-            let pred = self.predict_global(j, key);
-            let err = i as i64 - pred;
-            let leaf = &mut self.leaves[j];
-            leaf.err_lo = leaf.err_lo.min(err);
-            leaf.err_hi = leaf.err_hi.max(err);
+        let s = self.leaves.len();
+        if n == 0 || s == 0 {
+            return;
+        }
+        let this = &*self;
+        let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let starts: Vec<usize> = (0..n.div_ceil(chunk)).map(|c| c * chunk).collect();
+        let partials: Vec<Vec<(i64, i64)>> = starts
+            .into_par_iter()
+            .map(|start| {
+                let mut bounds = vec![(0i64, 0i64); s];
+                for i in start..(start + chunk).min(n) {
+                    let key = this.data.keys()[i];
+                    let j = this.route(key);
+                    let err = i as i64 - this.predict_global(j, key);
+                    bounds[j].0 = bounds[j].0.min(err);
+                    bounds[j].1 = bounds[j].1.max(err);
+                }
+                bounds
+            })
+            .collect();
+        for partial in partials {
+            for (leaf, (lo, hi)) in self.leaves.iter_mut().zip(partial) {
+                leaf.err_lo = leaf.err_lo.min(lo);
+                leaf.err_hi = leaf.err_hi.max(hi);
+            }
         }
     }
 
@@ -171,7 +216,10 @@ impl ZmIndex {
 
     /// Sum of all models' error spans, `Σ (err_l + err_u)`.
     pub fn total_err_span(&self) -> u64 {
-        self.leaves.iter().map(|l| (l.err_hi - l.err_lo) as u64).sum()
+        self.leaves
+            .iter()
+            .map(|l| (l.err_hi - l.err_lo) as u64)
+            .sum()
     }
 
     fn live(&self, p: &Point) -> bool {
@@ -192,7 +240,10 @@ impl SpatialIndex for ZmIndex {
                 return Some(*p);
             }
         }
-        self.buffer.iter().find(|p| p.x == q.x && p.y == q.y && self.live(p)).copied()
+        self.buffer
+            .iter()
+            .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+            .copied()
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
@@ -209,7 +260,12 @@ impl SpatialIndex for ZmIndex {
                     .copied(),
             );
         }
-        out.extend(self.buffer.iter().filter(|p| w.contains(p) && self.live(p)).copied());
+        out.extend(
+            self.buffer
+                .iter()
+                .filter(|p| w.contains(p) && self.live(p))
+                .copied(),
+        );
         out
     }
 
@@ -223,8 +279,10 @@ impl SpatialIndex for ZmIndex {
     }
 
     fn delete(&mut self, p: Point) -> bool {
-        if let Some(pos) =
-            self.buffer.iter().position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+        if let Some(pos) = self
+            .buffer
+            .iter()
+            .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
         {
             self.buffer.swap_remove(pos);
             return true;
@@ -244,6 +302,14 @@ impl SpatialIndex for ZmIndex {
     fn depth(&self) -> usize {
         2
     }
+
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        par_point_queries_of(self, queries)
+    }
+
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        par_window_queries_of(self, windows)
+    }
 }
 
 #[cfg(test)]
@@ -259,8 +325,11 @@ mod tests {
                 Point::new(i as u64, x, y)
             })
             .collect();
-        let idx =
-            ZmIndex::build(pts.clone(), &ZmConfig { fanout: 4 }, &OgBuilder::with_epochs(60));
+        let idx = ZmIndex::build(
+            pts.clone(),
+            &ZmConfig { fanout: 4 },
+            &OgBuilder::with_epochs(60),
+        );
         (pts, idx)
     }
 
@@ -330,7 +399,11 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let idx = ZmIndex::build(Vec::new(), &ZmConfig::default(), &OgBuilder::with_epochs(10));
+        let idx = ZmIndex::build(
+            Vec::new(),
+            &ZmConfig::default(),
+            &OgBuilder::with_epochs(10),
+        );
         assert!(idx.is_empty());
         assert!(idx.point_query(Point::at(0.5, 0.5)).is_none());
         assert!(idx.window_query(&Rect::unit()).is_empty());
@@ -342,10 +415,20 @@ mod tests {
         // TPC-H-style data: massive key duplication must not break the
         // predict-and-scan guarantee.
         let mut pts: Vec<Point> = (0..300)
-            .map(|i| Point::new(i, ((i % 5) as f64 + 0.5) / 5.0, ((i % 7) as f64 + 0.5) / 7.0))
+            .map(|i| {
+                Point::new(
+                    i,
+                    ((i % 5) as f64 + 0.5) / 5.0,
+                    ((i % 7) as f64 + 0.5) / 7.0,
+                )
+            })
             .collect();
         pts.push(Point::new(999, 0.31, 0.41));
-        let idx = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &OgBuilder::with_epochs(40));
+        let idx = ZmIndex::build(
+            pts.clone(),
+            &ZmConfig { fanout: 2 },
+            &OgBuilder::with_epochs(40),
+        );
         for p in pts.iter().step_by(17) {
             assert!(idx.point_query(*p).is_some(), "lost {p}");
         }

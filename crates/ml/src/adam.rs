@@ -18,7 +18,15 @@ impl Adam {
     /// Creates an optimiser for `n` parameters with the given learning rate
     /// and the standard moment decay rates (β₁ = 0.9, β₂ = 0.999).
     pub fn new(n: usize, lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// Learning rate.

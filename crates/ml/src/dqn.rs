@@ -36,7 +36,11 @@ impl ReplayBuffer {
     /// Creates a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be positive");
-        Self { items: Vec::with_capacity(capacity.min(4096)), capacity, next: 0 }
+        Self {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -61,7 +65,9 @@ impl ReplayBuffer {
 
     /// Samples `k` transitions uniformly at random (with replacement).
     pub fn sample<'a>(&'a self, k: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
-        (0..k).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+        (0..k)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
     }
 }
 
@@ -162,8 +168,12 @@ impl Dqn {
         }
         let k = self.cfg.batch_size.min(self.buffer.len());
         // Clone out the sampled transitions to end the buffer borrow.
-        let batch: Vec<Transition> =
-            self.buffer.sample(k, &mut self.rng).into_iter().cloned().collect();
+        let batch: Vec<Transition> = self
+            .buffer
+            .sample(k, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
 
         let n_actions = self.n_actions();
         let mut grads = self.online.zero_grads();
@@ -173,7 +183,10 @@ impl Dqn {
             // TD target: r + γ · max_a' Q_target(s', a').
             let next_q = self.target.forward(&t.next_state);
             let target = t.reward + self.cfg.gamma * max_of(&next_q);
-            let q = self.online.forward_cached_vec(&t.state, &mut self.cache).to_vec();
+            let q = self
+                .online
+                .forward_cached_vec(&t.state, &mut self.cache)
+                .to_vec();
             let diff = q[t.action] - target;
             loss += diff * diff;
             d_out.iter_mut().for_each(|d| *d = 0.0);
@@ -236,7 +249,15 @@ mod tests {
 
     #[test]
     fn select_action_in_range() {
-        let mut agent = Dqn::new(4, 6, DqnConfig { epsilon: 0.5, ..DqnConfig::default() }, 1);
+        let mut agent = Dqn::new(
+            4,
+            6,
+            DqnConfig {
+                epsilon: 0.5,
+                ..DqnConfig::default()
+            },
+            1,
+        );
         for _ in 0..50 {
             let a = agent.select_action(&[0.1, 0.2, 0.3, 0.4]);
             assert!(a < 6);
@@ -261,7 +282,12 @@ mod tests {
     /// 0. After training, the greedy policy must prefer action 0.
     #[test]
     fn learns_simple_bandit() {
-        let cfg = DqnConfig { epsilon: 0.3, gamma: 0.0, lr: 0.05, ..DqnConfig::default() };
+        let cfg = DqnConfig {
+            epsilon: 0.3,
+            gamma: 0.0,
+            lr: 0.05,
+            ..DqnConfig::default()
+        };
         let mut agent = Dqn::new(1, 2, cfg, 3);
         let s = vec![1.0];
         for _ in 0..200 {

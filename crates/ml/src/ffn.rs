@@ -26,9 +26,16 @@ impl Dense {
     fn new(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
         // He initialisation, appropriate for ReLU activations.
         let scale = (2.0 / fan_in as f64).sqrt();
-        let w = (0..fan_in * fan_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        let w = (0..fan_in * fan_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
         let b = vec![0.0; fan_out];
-        Self { fan_in, fan_out, w, b }
+        Self {
+            fan_in,
+            fan_out,
+            w,
+            b,
+        }
     }
 
     #[inline]
@@ -97,11 +104,20 @@ impl Ffn {
     /// # Panics
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "an FFN needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an FFN needs at least input and output sizes"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], &mut rng)).collect();
-        Self { layers, sizes: sizes.to_vec() }
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Self {
+            layers,
+            sizes: sizes.to_vec(),
+        }
     }
 
     /// Layer sizes this network was built with.
@@ -217,10 +233,10 @@ impl Ffn {
             let base = layer_offsets[l];
             let x = &cache.act[l];
             // dW[o][i] += delta[o] * x[i]; db[o] += delta[o]
-            for o in 0..layer.fan_out {
-                let d = delta[o];
+            for (o, &d) in delta.iter().enumerate() {
                 if d != 0.0 {
-                    let row = &mut grads.flat[base + o * layer.fan_in..base + (o + 1) * layer.fan_in];
+                    let row =
+                        &mut grads.flat[base + o * layer.fan_in..base + (o + 1) * layer.fan_in];
                     for (g, xi) in row.iter_mut().zip(x) {
                         *g += d * xi;
                     }
@@ -232,8 +248,7 @@ impl Ffn {
             }
             // delta for previous layer: (W^T · delta) ⊙ relu'(pre[l-1])
             let mut prev = vec![0.0; layer.fan_in];
-            for o in 0..layer.fan_out {
-                let d = delta[o];
+            for (o, &d) in delta.iter().enumerate() {
                 if d != 0.0 {
                     let row = &layer.w[o * layer.fan_in..(o + 1) * layer.fan_in];
                     for (p, wi) in prev.iter_mut().zip(row) {
@@ -252,7 +267,9 @@ impl Ffn {
 
     /// Returns a fresh zeroed gradient buffer for this network.
     pub fn zero_grads(&self) -> Gradients {
-        Gradients { flat: vec![0.0; self.num_params()] }
+        Gradients {
+            flat: vec![0.0; self.num_params()],
+        }
     }
 
     /// Copies all parameters into a flat vector (layer-major, weights then
@@ -390,7 +407,11 @@ mod tests {
         f.backward(&cache, &d, &mut grads);
 
         let loss = |f: &Ffn| -> f64 {
-            f.forward(&x).iter().zip(&t).map(|(yi, ti)| (yi - ti).powi(2)).sum()
+            f.forward(&x)
+                .iter()
+                .zip(&t)
+                .map(|(yi, ti)| (yi - ti).powi(2))
+                .sum()
         };
         let params = f.params_flat();
         let eps = 1e-6;

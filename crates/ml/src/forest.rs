@@ -21,7 +21,11 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 25, tree: TreeConfig::default(), seed: 0 }
+        Self {
+            n_trees: 25,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -54,8 +58,10 @@ impl RandomForest {
         let n = xs.len() / dim;
         assert!(n > 0, "empty training set");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let max_features =
-            cfg.tree.max_features.unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize);
+        let max_features = cfg
+            .tree
+            .max_features
+            .unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize);
 
         let mut trees = Vec::with_capacity(cfg.n_trees);
         for t in 0..cfg.n_trees {
@@ -128,7 +134,10 @@ impl RandomForest {
 
 enum Targets<'a> {
     Regression(&'a [f64]),
-    Classification { labels: &'a [usize], n_classes: usize },
+    Classification {
+        labels: &'a [usize],
+        n_classes: usize,
+    },
 }
 
 #[cfg(test)]
@@ -165,7 +174,11 @@ mod tests {
     fn deterministic_under_seed() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| x * x).collect();
-        let cfg = ForestConfig { n_trees: 5, seed: 11, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            n_trees: 5,
+            seed: 11,
+            ..ForestConfig::default()
+        };
         let a = RandomForest::fit_regression(&xs, 1, &ys, &cfg);
         let b = RandomForest::fit_regression(&xs, 1, &ys, &cfg);
         assert_eq!(a.predict(&[20.0]), b.predict(&[20.0]));
@@ -180,7 +193,10 @@ mod tests {
 
     #[test]
     fn forest_len() {
-        let cfg = ForestConfig { n_trees: 7, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            n_trees: 7,
+            ..ForestConfig::default()
+        };
         let f = RandomForest::fit_regression(&[0.0, 1.0], 1, &[0.0, 1.0], &cfg);
         assert_eq!(f.len(), 7);
         assert!(!f.is_empty());

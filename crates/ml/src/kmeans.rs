@@ -46,8 +46,10 @@ pub fn kmeans(points: &[(f64, f64)], k: usize, max_iter: usize, seed: u64) -> KM
     let k = k.min(points.len());
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut centroids: Vec<(f64, f64)> =
-        index_sample(&mut rng, points.len(), k).into_iter().map(|i| points[i]).collect();
+    let mut centroids: Vec<(f64, f64)> = index_sample(&mut rng, points.len(), k)
+        .into_iter()
+        .map(|i| points[i])
+        .collect();
     let mut assignment = vec![0usize; points.len()];
     let mut iterations = 0;
 
@@ -93,9 +95,17 @@ pub fn kmeans(points: &[(f64, f64)], k: usize, max_iter: usize, seed: u64) -> KM
         }
     }
 
-    let inertia =
-        points.iter().zip(&assignment).map(|(p, &a)| dist2(*p, centroids[a])).sum();
-    KMeansResult { centroids, assignment, iterations, inertia }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| dist2(*p, centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignment,
+        iterations,
+        inertia,
+    }
 }
 
 #[inline]

@@ -59,7 +59,12 @@ impl PwlModel {
         let n = keys.len();
         let mut segments = Vec::new();
         if n == 0 {
-            return Self { segments, boundaries: Vec::new(), epsilon, n };
+            return Self {
+                segments,
+                boundaries: Vec::new(),
+                epsilon,
+                n,
+            };
         }
         let eps = epsilon as f64;
 
@@ -67,7 +72,7 @@ impl PwlModel {
         // duplicate runs collapse to one fitted point, as in the PGM-index.
         let mut distinct: Vec<(f64, usize)> = Vec::with_capacity(n);
         for (i, &k) in keys.iter().enumerate() {
-            if distinct.last().map_or(true, |&(last, _)| k > last) {
+            if distinct.last().is_none_or(|&(last, _)| k > last) {
                 distinct.push((k, i));
             }
         }
@@ -103,7 +108,12 @@ impl PwlModel {
         }
 
         let boundaries = segments.iter().map(|s| s.start_key).collect();
-        Self { segments, boundaries, epsilon, n }
+        Self {
+            segments,
+            boundaries,
+            epsilon,
+            n,
+        }
     }
 
     /// Number of segments.
@@ -132,7 +142,10 @@ impl PwlModel {
             return 0;
         }
         // Route to the segment whose start_key is the last ≤ key.
-        let idx = self.boundaries.partition_point(|&b| b <= key).saturating_sub(1);
+        let idx = self
+            .boundaries
+            .partition_point(|&b| b <= key)
+            .saturating_sub(1);
         let s = &self.segments[idx];
         let raw = s.slope * (key - s.start_key) + s.intercept;
         (raw.round() as i64).clamp(0, self.n as i64 - 1)
@@ -164,7 +177,11 @@ fn close_segment(distinct: &[(f64, usize)], start: usize, slope_lo: f64, slope_h
         0.0
     };
     let (key, rank) = distinct[start];
-    Segment { start_key: key, slope, intercept: rank as f64 }
+    Segment {
+        start_key: key,
+        slope,
+        intercept: rank as f64,
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +193,10 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             let lb = keys.partition_point(|&x| x < k) as i64;
             let err = (m.predict(k) - lb).unsigned_abs() as usize;
-            assert!(err <= eps, "key rank {i}: lower-bound error {err} > eps {eps}");
+            assert!(
+                err <= eps,
+                "key rank {i}: lower-bound error {err} > eps {eps}"
+            );
             let (lo, hi) = m.search_range(k);
             assert!(
                 lo as i64 <= lb && (lb as usize) < hi,
@@ -236,7 +256,7 @@ mod tests {
         assert_eq!(m.num_segments(), 1);
         assert_eq!(m.predict(0.5), 0);
         let (lo, hi) = m.search_range(0.5);
-        assert!(lo == 0 && hi >= 1 && hi <= 100);
+        assert!(lo == 0 && (1..=100).contains(&hi));
     }
 
     #[test]
@@ -244,7 +264,7 @@ mod tests {
         // 50 distinct keys, 40 copies each — the TPC-H structure.
         let mut keys = Vec::new();
         for q in 0..50 {
-            keys.extend(std::iter::repeat((q as f64 + 0.5) / 50.0).take(40));
+            keys.extend(std::iter::repeat_n((q as f64 + 0.5) / 50.0, 40));
         }
         check_guarantee(&keys, 2);
     }

@@ -28,7 +28,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 0.01, epochs: 200, batch_size: 64, seed: 0, tol: 0.0 }
+        Self {
+            lr: 0.01,
+            epochs: 200,
+            batch_size: 64,
+            seed: 0,
+            tol: 0.0,
+        }
     }
 }
 
@@ -54,12 +60,19 @@ pub struct TrainReport {
 pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig) -> TrainReport {
     let in_dim = ffn.input_dim();
     let out_dim = ffn.output_dim();
-    assert!(xs.len() % in_dim == 0, "xs length not a multiple of input dim");
+    assert!(
+        xs.len() % in_dim == 0,
+        "xs length not a multiple of input dim"
+    );
     let n = xs.len() / in_dim;
     assert!(n > 0, "empty training set");
     assert_eq!(ys.len(), n * out_dim, "ys length mismatch");
 
-    let batch = if cfg.batch_size == 0 { n } else { cfg.batch_size.min(n) };
+    let batch = if cfg.batch_size == 0 {
+        n
+    } else {
+        cfg.batch_size.min(n)
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut opt = Adam::new(ffn.num_params(), cfg.lr);
@@ -98,7 +111,11 @@ pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig
             break;
         }
     }
-    TrainReport { final_mse, epochs_run, samples: n }
+    TrainReport {
+        final_mse,
+        epochs_run,
+        samples: n,
+    }
 }
 
 /// Trains a fresh `[1, hidden, 1]` rank model on a sorted key array: the
@@ -123,7 +140,10 @@ mod tests {
     fn learns_identity_on_uniform_keys() {
         // The CDF of uniform keys is the identity; a tiny FFN must fit it.
         let keys: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
-        let cfg = TrainConfig { epochs: 300, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 300,
+            ..TrainConfig::default()
+        };
         let ffn = train_rank_model(&keys, 8, &cfg, 7);
         let mut worst: f64 = 0.0;
         for (i, &k) in keys.iter().enumerate() {
@@ -138,7 +158,10 @@ mod tests {
     fn learns_skewed_cdf() {
         // keys = (i/n)^3 — a skewed CDF; the model must still track it.
         let keys: Vec<f64> = (0..300).map(|i| (i as f64 / 299.0).powi(3)).collect();
-        let cfg = TrainConfig { epochs: 600, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 600,
+            ..TrainConfig::default()
+        };
         let ffn = train_rank_model(&keys, 16, &cfg, 3);
         let mut worst: f64 = 0.0;
         for (i, &k) in keys.iter().enumerate() {
@@ -150,7 +173,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let keys: Vec<f64> = (0..100).map(|i| (i as f64 / 99.0).sqrt()).collect();
-        let cfg = TrainConfig { epochs: 50, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        };
         let a = train_rank_model(&keys, 8, &cfg, 5);
         let b = train_rank_model(&keys, 8, &cfg, 5);
         assert_eq!(a.params_flat(), b.params_flat());
@@ -161,7 +187,11 @@ mod tests {
         let keys: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
         let ys: Vec<f64> = keys.clone();
         let mut ffn = Ffn::new(&[1, 8, 1], 1);
-        let cfg = TrainConfig { epochs: 10_000, tol: 1e-3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 10_000,
+            tol: 1e-3,
+            ..TrainConfig::default()
+        };
         let report = train_regression(&mut ffn, &keys, &ys, &cfg);
         assert!(report.epochs_run < 10_000, "tol must trigger early stop");
         assert!(report.final_mse <= 1e-3);
@@ -173,7 +203,10 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
         let ys: Vec<f64> = xs.iter().flat_map(|&x| [x, 1.0 - x]).collect();
         let mut ffn = Ffn::new(&[1, 12, 2], 2);
-        let cfg = TrainConfig { epochs: 500, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 500,
+            ..TrainConfig::default()
+        };
         let report = train_regression(&mut ffn, &xs, &ys, &cfg);
         assert!(report.final_mse < 0.01, "mse {}", report.final_mse);
         let out = ffn.forward(&[0.5]);
@@ -191,7 +224,10 @@ mod tests {
     #[test]
     fn single_sample_trains() {
         let mut ffn = Ffn::new(&[1, 4, 1], 0);
-        let cfg = TrainConfig { epochs: 200, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            ..TrainConfig::default()
+        };
         let report = train_regression(&mut ffn, &[0.5], &[0.25], &cfg);
         assert!(report.final_mse < 1e-3);
         assert!((ffn.predict1(0.5) - 0.25).abs() < 0.05);

@@ -25,14 +25,26 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_leaf: 2, max_features: None, seed: 0 }
+        Self {
+            max_depth: 12,
+            min_leaf: 2,
+            max_features: None,
+            seed: 0,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { value: f64 },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f64,
+    },
 }
 
 /// A binary CART tree over row-major `f64` features.
@@ -46,7 +58,10 @@ pub struct DecisionTree {
 /// for classification.
 enum Target<'a> {
     Regression(&'a [f64]),
-    Classification { labels: &'a [usize], n_classes: usize },
+    Classification {
+        labels: &'a [usize],
+        n_classes: usize,
+    },
 }
 
 impl Target<'_> {
@@ -142,7 +157,10 @@ impl DecisionTree {
             Target::Regression(ys) => assert_eq!(ys.len(), n),
             Target::Classification { labels, .. } => assert_eq!(labels.len(), n),
         }
-        let mut tree = Self { nodes: Vec::new(), dim };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            dim,
+        };
         let idx: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         tree.grow(xs, &target, idx, 0, cfg, &mut rng);
@@ -158,19 +176,18 @@ impl DecisionTree {
         cfg: &TreeConfig,
         rng: &mut StdRng,
     ) -> usize {
-        let make_leaf = idx.len() <= cfg.min_leaf.max(1)
-            || depth >= cfg.max_depth
-            || target.is_pure(&idx);
+        let make_leaf =
+            idx.len() <= cfg.min_leaf.max(1) || depth >= cfg.max_depth || target.is_pure(&idx);
         if make_leaf {
-            let node = Node::Leaf { value: target.leaf_value(&idx) };
+            let node = Node::Leaf {
+                value: target.leaf_value(&idx),
+            };
             self.nodes.push(node);
             return self.nodes.len() - 1;
         }
 
         let features: Vec<usize> = match cfg.max_features {
-            Some(k) if k < self.dim => {
-                index_sample(rng, self.dim, k).into_iter().collect()
-            }
+            Some(k) if k < self.dim => index_sample(rng, self.dim, k).into_iter().collect(),
             _ => (0..self.dim).collect(),
         };
 
@@ -179,7 +196,9 @@ impl DecisionTree {
         let mut sorted = idx.clone();
         for &f in &features {
             sorted.sort_unstable_by(|&a, &b| {
-                xs[a * self.dim + f].partial_cmp(&xs[b * self.dim + f]).expect("finite features")
+                xs[a * self.dim + f]
+                    .partial_cmp(&xs[b * self.dim + f])
+                    .expect("finite features")
             });
             // Scan split positions between distinct feature values.
             for cut in cfg.min_leaf.max(1)..=(sorted.len() - cfg.min_leaf.max(1)) {
@@ -192,10 +211,9 @@ impl DecisionTree {
                     continue;
                 }
                 let (l, r) = sorted.split_at(cut);
-                let gain = parent_impurity
-                    - target.weighted_impurity(l)
-                    - target.weighted_impurity(r);
-                if best.map_or(true, |(g, _, _)| gain > g) {
+                let gain =
+                    parent_impurity - target.weighted_impurity(l) - target.weighted_impurity(r);
+                if best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, (lo + hi) / 2.0));
                 }
             }
@@ -206,20 +224,28 @@ impl DecisionTree {
         // first split, yet become separable one level down. Termination is
         // guaranteed because a valid split strictly shrinks both sides.
         let Some((_gain, feature, threshold)) = best else {
-            let node = Node::Leaf { value: target.leaf_value(&idx) };
+            let node = Node::Leaf {
+                value: target.leaf_value(&idx),
+            };
             self.nodes.push(node);
             return self.nodes.len() - 1;
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| xs[i * self.dim + feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| xs[i * self.dim + feature] <= threshold);
 
         // Reserve our slot before growing children so indices are stable.
         let me = self.nodes.len();
         self.nodes.push(Node::Leaf { value: 0.0 });
         let left = self.grow(xs, target, left_idx, depth + 1, cfg, rng);
         let right = self.grow(xs, target, right_idx, depth + 1, cfg, rng);
-        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         me
     }
 
@@ -235,8 +261,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -274,7 +309,10 @@ mod tests {
     fn regression_fits_step_function() {
         // y = 0 for x < 0.5, y = 1 otherwise.
         let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| if x < 0.5 { 0.0 } else { 1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 0.5 { 0.0 } else { 1.0 })
+            .collect();
         let t = DecisionTree::fit_regression(&xs, 1, &ys, &TreeConfig::default());
         assert!((t.predict(&[0.2]) - 0.0).abs() < 1e-9);
         assert!((t.predict(&[0.8]) - 1.0).abs() < 1e-9);
@@ -285,7 +323,10 @@ mod tests {
         // XOR over two binary features — needs depth ≥ 2.
         let xs = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0];
         let labels = vec![0usize, 1, 1, 0];
-        let cfg = TreeConfig { min_leaf: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_leaf: 1,
+            ..TreeConfig::default()
+        };
         let t = DecisionTree::fit_classification(&xs, 2, &labels, 2, &cfg);
         assert_eq!(t.predict_class(&[0.0, 0.0]), 0);
         assert_eq!(t.predict_class(&[0.0, 1.0]), 1);
@@ -307,7 +348,11 @@ mod tests {
     fn max_depth_respected() {
         let xs: Vec<f64> = (0..256).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
-        let cfg = TreeConfig { max_depth: 3, min_leaf: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_leaf: 1,
+            ..TreeConfig::default()
+        };
         let t = DecisionTree::fit_regression(&xs, 1, &ys, &cfg);
         assert!(t.depth() <= 3);
     }
@@ -316,16 +361,25 @@ mod tests {
     fn min_leaf_respected_on_tiny_input() {
         let xs = vec![0.0, 1.0];
         let ys = vec![0.0, 1.0];
-        let cfg = TreeConfig { min_leaf: 2, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_leaf: 2,
+            ..TreeConfig::default()
+        };
         let t = DecisionTree::fit_regression(&xs, 1, &ys, &cfg);
         assert_eq!(t.num_nodes(), 1); // cannot split without violating min_leaf
     }
 
     #[test]
     fn feature_subsampling_is_deterministic() {
-        let xs: Vec<f64> = (0..50).flat_map(|i| [i as f64, (i * 7 % 50) as f64]).collect();
+        let xs: Vec<f64> = (0..50)
+            .flat_map(|i| [i as f64, (i * 7 % 50) as f64])
+            .collect();
         let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let cfg = TreeConfig { max_features: Some(1), seed: 4, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            seed: 4,
+            ..TreeConfig::default()
+        };
         let a = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
         let b = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
         let probe = [25.0, 13.0];
@@ -349,7 +403,11 @@ mod tests {
                 ys.push(i as f64 + 10.0 * j as f64);
             }
         }
-        let cfg = TreeConfig { max_depth: 10, min_leaf: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_leaf: 1,
+            ..TreeConfig::default()
+        };
         let t = DecisionTree::fit_regression(&xs, 2, &ys, &cfg);
         assert!((t.predict(&[3.0, 7.0]) - 73.0).abs() < 1.0);
     }

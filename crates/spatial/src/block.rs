@@ -21,7 +21,10 @@ pub struct Block {
 impl Block {
     /// An empty block.
     pub fn new() -> Self {
-        Self { points: Vec::new(), mbr: Rect::empty() }
+        Self {
+            points: Vec::new(),
+            mbr: Rect::empty(),
+        }
     }
 
     /// Builds a block from points (computes the MBR).
@@ -94,14 +97,25 @@ impl BlockStore {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "block capacity must be positive");
-        Self { blocks: Vec::new(), capacity, len: 0 }
+        Self {
+            blocks: Vec::new(),
+            capacity,
+            len: 0,
+        }
     }
 
     /// Bulk loads points in their given order, `capacity` per block.
     pub fn bulk_load(points: &[Point], capacity: usize) -> Self {
         assert!(capacity > 0, "block capacity must be positive");
-        let blocks = points.chunks(capacity).map(|c| Block::from_points(c.to_vec())).collect();
-        Self { blocks, capacity, len: points.len() }
+        let blocks = points
+            .chunks(capacity)
+            .map(|c| Block::from_points(c.to_vec()))
+            .collect();
+        Self {
+            blocks,
+            capacity,
+            len: points.len(),
+        }
     }
 
     /// Block capacity.
@@ -230,7 +244,9 @@ mod tests {
     use super::*;
 
     fn pts(n: usize) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as u64, i as f64 / n as f64, 0.5)).collect()
+        (0..n)
+            .map(|i| Point::new(i as u64, i as f64 / n as f64, 0.5))
+            .collect()
     }
 
     #[test]
@@ -266,8 +282,16 @@ mod tests {
         assert_eq!(s.num_blocks(), 2);
         assert_eq!(s.len(), 101);
         // Split keeps the key order between blocks.
-        let max_left = s.blocks()[0].points().iter().map(|p| p.x).fold(f64::MIN, f64::max);
-        let min_right = s.blocks()[1].points().iter().map(|p| p.x).fold(f64::MAX, f64::min);
+        let max_left = s.blocks()[0]
+            .points()
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::MIN, f64::max);
+        let min_right = s.blocks()[1]
+            .points()
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::MAX, f64::min);
         assert!(max_left <= min_right);
     }
 

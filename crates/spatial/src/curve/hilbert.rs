@@ -12,7 +12,7 @@ pub const HILBERT_ORDER: u32 = 16;
 /// Encodes grid cell `(x, y)` on a `2^order × 2^order` grid into its Hilbert
 /// distance. Both coordinates must be `< 2^order`; `order ≤ 32`.
 pub fn hilbert_encode(order: u32, x: u32, y: u32) -> u64 {
-    debug_assert!(order >= 1 && order <= 32);
+    debug_assert!((1..=32).contains(&order));
     debug_assert!(order == 32 || (x >> order) == 0, "x out of range");
     debug_assert!(order == 32 || (y >> order) == 0, "y out of range");
     let n: u64 = 1u64 << order;
@@ -81,7 +81,11 @@ pub fn quantize(order: u32, v: f64) -> u32 {
 /// Hilbert distance of a point in the unit square at [`HILBERT_ORDER`].
 #[inline]
 pub fn hilbert_of(x: f64, y: f64) -> u64 {
-    hilbert_encode(HILBERT_ORDER, quantize(HILBERT_ORDER, x), quantize(HILBERT_ORDER, y))
+    hilbert_encode(
+        HILBERT_ORDER,
+        quantize(HILBERT_ORDER, x),
+        quantize(HILBERT_ORDER, y),
+    )
 }
 
 /// Normalises a Hilbert distance at [`HILBERT_ORDER`] to `[0,1)`.

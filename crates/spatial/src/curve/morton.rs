@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn decode_roundtrip_samples() {
-        for &(x, y) in &[(0u32, 0u32), (1, 2), (12345, 67890), (u32::MAX, 0), (0, u32::MAX)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 2),
+            (12345, 67890),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+        ] {
             assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
         }
     }

@@ -73,7 +73,10 @@ impl IDistanceMapper {
     /// never overlap for unit-square data).
     pub fn new(pivots: Vec<Point>) -> Self {
         assert!(!pivots.is_empty(), "iDistance requires at least one pivot");
-        Self { pivots, stretch: std::f64::consts::SQRT_2 }
+        Self {
+            pivots,
+            stretch: std::f64::consts::SQRT_2,
+        }
     }
 
     /// The pivots of this mapper.
@@ -221,7 +224,11 @@ impl KeyMapper for LisaMapper {
         // In-cell offset along y keeps the mapping monotone inside a cell.
         let lo = self.rows[c][r];
         let hi = self.rows[c][r + 1];
-        let off = if hi > lo { ((p.y - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.0 };
+        let off = if hi > lo {
+            ((p.y - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         // Guard against offset exactly 1.0 spilling into the next cell.
         (cell_id + off.min(1.0 - 1e-12)) / self.num_cells() as f64
     }

@@ -55,7 +55,11 @@ fn split_into(
         return;
     }
     if indices.len() <= beta || depth >= MAX_DEPTH {
-        out.push(QuadLeaf { bounds, indices, depth });
+        out.push(QuadLeaf {
+            bounds,
+            indices,
+            depth,
+        });
         return;
     }
     let mx = (bounds.lo_x + bounds.hi_x) / 2.0;
@@ -154,7 +158,12 @@ impl UniformGrid {
     pub fn cell_rect(&self, ix: usize, iy: usize) -> Rect {
         let w = 1.0 / self.nx as f64;
         let h = 1.0 / self.ny as f64;
-        Rect::new(ix as f64 * w, iy as f64 * h, (ix + 1) as f64 * w, (iy + 1) as f64 * h)
+        Rect::new(
+            ix as f64 * w,
+            iy as f64 * h,
+            (ix + 1) as f64 * w,
+            (iy + 1) as f64 * h,
+        )
     }
 
     /// Centre point of a cell.
@@ -187,7 +196,11 @@ mod tests {
         // 12 points in the lower-left corner, 4 spread elsewhere.
         let mut pts = Vec::new();
         for i in 0..12 {
-            pts.push(Point::new(i, 0.01 + 0.01 * (i % 4) as f64, 0.01 + 0.01 * (i / 4) as f64));
+            pts.push(Point::new(
+                i,
+                0.01 + 0.01 * (i % 4) as f64,
+                0.01 + 0.01 * (i / 4) as f64,
+            ));
         }
         pts.push(Point::new(12, 0.9, 0.1));
         pts.push(Point::new(13, 0.1, 0.9));
@@ -216,7 +229,10 @@ mod tests {
     fn on_boundary(r: &Rect, p: &Point) -> bool {
         // Splitting assigns boundary points to the higher quadrant; a point
         // exactly on a cell's upper edge belongs to the neighbouring cell.
-        p.x >= r.lo_x - 1e-12 && p.x <= r.hi_x + 1e-12 && p.y >= r.lo_y - 1e-12 && p.y <= r.hi_y + 1e-12
+        p.x >= r.lo_x - 1e-12
+            && p.x <= r.hi_x + 1e-12
+            && p.y >= r.lo_y - 1e-12
+            && p.y <= r.hi_y + 1e-12
     }
 
     #[test]

@@ -93,7 +93,12 @@ impl Rect {
     /// The unit square `[0,1]²`, the canonical data space of all generators.
     #[inline]
     pub fn unit() -> Self {
-        Self { lo_x: 0.0, lo_y: 0.0, hi_x: 1.0, hi_y: 1.0 }
+        Self {
+            lo_x: 0.0,
+            lo_y: 0.0,
+            hi_x: 1.0,
+            hi_y: 1.0,
+        }
     }
 
     /// An "empty" rectangle that is the identity for [`Rect::expand`].
@@ -345,7 +350,11 @@ mod tests {
 
     #[test]
     fn mbr_of_points() {
-        let pts = [Point::at(0.2, 0.8), Point::at(0.4, 0.1), Point::at(0.9, 0.5)];
+        let pts = [
+            Point::at(0.2, 0.8),
+            Point::at(0.4, 0.1),
+            Point::at(0.9, 0.5),
+        ];
         let r = Rect::mbr_of(&pts);
         assert_eq!(r, Rect::new(0.2, 0.1, 0.9, 0.8));
         for p in &pts {

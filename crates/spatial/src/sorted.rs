@@ -144,7 +144,9 @@ mod tests {
 
     #[test]
     fn bounds_and_cdf() {
-        let pts: Vec<Point> = (0..10).map(|i| Point::new(i, i as f64 / 10.0, 0.0)).collect();
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::new(i, i as f64 / 10.0, 0.0))
+            .collect();
         let keys: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
         let d = MappedData::from_sorted_pairs(pts, keys);
         assert_eq!(d.lower_bound(0.35), 4);

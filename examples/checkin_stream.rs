@@ -47,8 +47,10 @@ fn main() {
 
     // RSMI-F: never rebuild. RSMI-R: rebuild on drift.
     let mut no_rebuild = make_proc(RebuildPolicy::Never);
-    let mut with_rebuild =
-        make_proc(RebuildPolicy::Threshold { max_drift: 0.08, max_ratio: 4.0 });
+    let mut with_rebuild = make_proc(RebuildPolicy::Threshold {
+        max_drift: 0.08,
+        max_ratio: 4.0,
+    });
 
     // The stream: check-ins from one hot neighbourhood (heavy skew).
     let stream: Vec<Point> = Dataset::Skewed
@@ -63,7 +65,10 @@ fn main() {
         })
         .collect();
 
-    println!("\n{:>8} {:>14} {:>14} {:>9}", "inserted", "F µs/query", "R µs/query", "rebuilds");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>9}",
+        "inserted", "F µs/query", "R µs/query", "rebuilds"
+    );
     let mut inserted = 0usize;
     for chunk in stream.chunks(n / 8) {
         for p in chunk {

@@ -57,7 +57,10 @@ fn main() {
         stats.push((name, per, rec_sum / viewports.len() as f64));
     }
 
-    println!("\nViewport (window) queries over {} screens:", viewports.len());
+    println!(
+        "\nViewport (window) queries over {} screens:",
+        viewports.len()
+    );
     println!("  {:8} {:>12} {:>8}", "index", "µs/query", "recall");
     for (name, per, rec) in &stats {
         println!("  {name:8} {per:>12.1} {rec:>8.3}");

@@ -8,7 +8,7 @@
 use elsi::{Elsi, ElsiConfig, Method, MrPool};
 use elsi_data::Dataset;
 use elsi_spatial::{MappedData, MortonMapper};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let n = 60_000;
@@ -34,27 +34,54 @@ fn main() {
     };
 
     for rho in [0.0005, 0.002, 0.01] {
-        sweep(ElsiConfig { rho, ..ElsiConfig::default() }, Method::Sp, format!("rho={rho}"));
+        sweep(
+            ElsiConfig {
+                rho,
+                ..ElsiConfig::default()
+            },
+            Method::Sp,
+            format!("rho={rho}"),
+        );
     }
     for clusters in [50, 200, 800] {
         sweep(
-            ElsiConfig { clusters, ..ElsiConfig::default() },
+            ElsiConfig {
+                clusters,
+                ..ElsiConfig::default()
+            },
             Method::Cl,
             format!("C={clusters}"),
         );
     }
     for epsilon in [0.5, 0.25, 0.1] {
         sweep(
-            ElsiConfig { epsilon, ..ElsiConfig::default() },
+            ElsiConfig {
+                epsilon,
+                ..ElsiConfig::default()
+            },
             Method::Mr,
             format!("eps={epsilon}"),
         );
     }
     for beta in [8_000, 2_000, 500] {
-        sweep(ElsiConfig { beta, ..ElsiConfig::default() }, Method::Rs, format!("beta={beta}"));
+        sweep(
+            ElsiConfig {
+                beta,
+                ..ElsiConfig::default()
+            },
+            Method::Rs,
+            format!("beta={beta}"),
+        );
     }
     for eta in [8, 16] {
-        sweep(ElsiConfig { eta, ..ElsiConfig::default() }, Method::Rl, format!("eta={eta}"));
+        sweep(
+            ElsiConfig {
+                eta,
+                ..ElsiConfig::default()
+            },
+            Method::Rl,
+            format!("eta={eta}"),
+        );
     }
     sweep(ElsiConfig::default(), Method::Og, "-".to_string());
 
@@ -65,7 +92,7 @@ fn main() {
     let mut elsi = Elsi::new(cfg);
     elsi.prepare_scorer(&[2_000, 10_000], &[1, 4, 12], 9);
     let scorer = elsi.scorer().expect("prepared");
-    let _ = Rc::clone(&scorer);
+    let _ = Arc::clone(&scorer);
 
     println!("\nSelected method vs lambda (n = {n}, OSM-like skew):");
     let dist_u = elsi_data::dist_from_uniform(data.keys());

@@ -73,5 +73,8 @@ fn main() {
     let t1 = Instant::now();
     let _fast = FloodIndex::build(pts, &FloodConfig { columns: cols_tall }, &builder);
     let fast = t1.elapsed();
-    println!("\nFlood build: OG {og:?} vs ELSI(RS) {fast:?} ({:.0}x)", og.as_secs_f64() / fast.as_secs_f64().max(1e-9));
+    println!(
+        "\nFlood build: OG {og:?} vs ELSI(RS) {fast:?} ({:.0}x)",
+        og.as_secs_f64() / fast.as_secs_f64().max(1e-9)
+    );
 }

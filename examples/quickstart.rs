@@ -45,8 +45,15 @@ fn main() {
             }
         }
         let per = t.elapsed().as_secs_f64() * 1e6 / (n / 10) as f64;
-        println!("\n{name}: point query {per:.2} µs/query, {found}/{} found", n / 10);
-        assert_eq!(found, n / 10, "learned indices must be exact on point queries");
+        println!(
+            "\n{name}: point query {per:.2} µs/query, {found}/{} found",
+            n / 10
+        );
+        assert_eq!(
+            found,
+            n / 10,
+            "learned indices must be exact on point queries"
+        );
     }
 
     // Window queries.
@@ -55,7 +62,10 @@ fn main() {
         let t = Instant::now();
         let total: usize = windows.iter().map(|w| idx.window_query(w).len()).sum();
         let per = t.elapsed().as_secs_f64() * 1e6 / windows.len() as f64;
-        println!("{name}: window query {per:.1} µs/query ({total} results over {} windows)", windows.len());
+        println!(
+            "{name}: window query {per:.1} µs/query ({total} results over {} windows)",
+            windows.len()
+        );
     }
 
     println!("\nSame index, same queries — a fraction of the build time.");

@@ -53,6 +53,138 @@ fn built_indices_answer_identically() {
     assert_eq!(run(), run());
 }
 
+/// One index's fingerprint: name, per-partition build stats
+/// (method, training set size, error span), batch point-query ids,
+/// and sorted window-query ids.
+type Fingerprint = (
+    String,
+    Vec<(String, usize, u64)>,
+    Vec<Option<u64>>,
+    Vec<u64>,
+);
+
+/// Builds every learned index over the same data and reduces it to a
+/// thread-count-independent fingerprint: build-stat methods and error
+/// spans (model weights determine the spans bit-for-bit), batch point
+/// query results over all points, and sorted window-query id sets.
+fn fingerprint_all_indices() -> Vec<Fingerprint> {
+    use elsi_indices::{LisaConfig, LisaIndex, MlConfig, MlIndex, RsmiConfig, RsmiIndex};
+    let elsi = Elsi::new(ElsiConfig::fast_test());
+    let pts = Dataset::Skewed.generate(3000, 11);
+    let probes: Vec<_> = pts.iter().step_by(7).copied().collect();
+    let windows = [
+        Rect::new(0.1, 0.1, 0.4, 0.4),
+        Rect::new(0.0, 0.5, 1.0, 0.7),
+        Rect::unit(),
+    ];
+
+    let mut out = Vec::new();
+    let mut record = |name: &str, stats: &[elsi_indices::BuildStats], idx: &dyn SpatialIndex| {
+        let stat_fp: Vec<(String, usize, u64)> = stats
+            .iter()
+            .map(|s| (s.method.to_string(), s.training_set_size, s.err_span))
+            .collect();
+        let point_fp: Vec<Option<u64>> = idx
+            .par_point_queries(&probes)
+            .iter()
+            .map(|r| r.map(|p| p.id))
+            .collect();
+        let mut window_fp: Vec<u64> = idx
+            .par_window_queries(&windows)
+            .iter()
+            .flat_map(|v| v.iter().map(|p| p.id))
+            .collect();
+        window_fp.sort_unstable();
+        out.push((name.to_string(), stat_fp, point_fp, window_fp));
+    };
+
+    let zm = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 4 }, &elsi.builder());
+    record("ZM", zm.build_stats(), &zm);
+    let ml = MlIndex::build(
+        pts.clone(),
+        &MlConfig {
+            pivots: 4,
+            ..MlConfig::default()
+        },
+        &elsi.builder(),
+    );
+    record("ML", ml.build_stats(), &ml);
+    let rsmi = RsmiIndex::build(
+        pts.clone(),
+        &RsmiConfig {
+            leaf_capacity: 256,
+            fanout: 4,
+            ..RsmiConfig::default()
+        },
+        &elsi.builder(),
+    );
+    record("RSMI", rsmi.build_stats(), &rsmi);
+    let lisa = LisaIndex::build(
+        pts.clone(),
+        &LisaConfig {
+            grid: 8,
+            shard_size: 200,
+            block_size: 50,
+        },
+        &elsi.builder().for_lisa(),
+    );
+    record("LISA", lisa.build_stats(), &lisa);
+    out
+}
+
+#[test]
+fn parallel_builds_are_bit_identical_across_thread_counts() {
+    // The vendored rayon allows re-setting the global thread count; the
+    // per-partition seeding must make every build independent of it.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .unwrap();
+    let sequential = fingerprint_all_indices();
+    for threads in [2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        let parallel = fingerprint_all_indices();
+        assert_eq!(sequential, parallel, "divergence at {threads} threads");
+    }
+    // Restore auto-detection for the rest of the test binary.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+}
+
+#[test]
+fn random_builder_is_schedule_independent() {
+    // The Rand ablation seeds each choice from the partition seed, so the
+    // methods chosen for a ZM build form the same multiset (and the built
+    // index the same models) at any thread count.
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        let b = elsi.random_builder(1234);
+        let pts = Dataset::Uniform.generate(2000, 3);
+        let idx = ZmIndex::build(pts, &ZmConfig { fanout: 4 }, &b);
+        let mut chosen: Vec<String> = b.chosen_methods().iter().map(|m| m.to_string()).collect();
+        chosen.sort();
+        let spans: Vec<u64> = idx.build_stats().iter().map(|s| s.err_span).collect();
+        (chosen, spans)
+    };
+    let (chosen_1, spans_1) = run(1);
+    let (chosen_4, spans_4) = run(4);
+    assert_eq!(chosen_1, chosen_4);
+    assert_eq!(spans_1, spans_4);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+}
+
 #[test]
 fn builder_method_choice_is_reproducible() {
     let make = || {

@@ -23,17 +23,28 @@ fn all_four_f_variants_answer_point_queries_exactly() {
     let zm = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 4 }, &elsi.builder());
     let ml = MlIndex::build(
         pts.clone(),
-        &MlConfig { pivots: 4, ..MlConfig::default() },
+        &MlConfig {
+            pivots: 4,
+            ..MlConfig::default()
+        },
         &elsi.builder(),
     );
     let rsmi = RsmiIndex::build(
         pts.clone(),
-        &RsmiConfig { leaf_capacity: 512, fanout: 4, ..RsmiConfig::default() },
+        &RsmiConfig {
+            leaf_capacity: 512,
+            fanout: 4,
+            ..RsmiConfig::default()
+        },
         &elsi.builder(),
     );
     let lisa = LisaIndex::build(
         pts.clone(),
-        &LisaConfig { grid: 8, shard_size: 200, block_size: 50 },
+        &LisaConfig {
+            grid: 8,
+            shard_size: 200,
+            block_size: 50,
+        },
         &elsi.builder().for_lisa(),
     );
 
@@ -70,12 +81,19 @@ fn elsi_builder_is_much_faster_than_og_on_reduced_methods() {
     let pts = Dataset::Uniform.generate(20_000, 7);
 
     let t0 = Instant::now();
-    let _fast =
-        ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &elsi.fixed_builder(Method::Sp));
+    let _fast = ZmIndex::build(
+        pts.clone(),
+        &ZmConfig { fanout: 2 },
+        &elsi.fixed_builder(Method::Sp),
+    );
     let sp_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let _slow = ZmIndex::build(pts, &ZmConfig { fanout: 2 }, &elsi.fixed_builder(Method::Og));
+    let _slow = ZmIndex::build(
+        pts,
+        &ZmConfig { fanout: 2 },
+        &elsi.fixed_builder(Method::Og),
+    );
     let og_time = t1.elapsed();
 
     assert!(
@@ -90,7 +108,10 @@ fn window_queries_work_through_the_full_stack() {
     let pts = Dataset::Nyc.generate(4000, 13);
     let idx = MlIndex::build(
         pts.clone(),
-        &MlConfig { pivots: 4, ..MlConfig::default() },
+        &MlConfig {
+            pivots: 4,
+            ..MlConfig::default()
+        },
         &elsi.builder(),
     );
     // ML-F stays exact (paper §VII-G2).

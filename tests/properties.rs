@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) over the core invariants of the stack:
 //! curve bijectivity, KS-distance bounds, the systematic-sampling gap bound
 //! (§V-A1), quadtree partition completeness, rank-model search-range
-//! correctness, and window-query exactness of the exact indices.
+//! correctness, window-query exactness of the exact indices, and the
+//! [`elsi::DeltaOverlay`] last-write-wins id semantics against a
+//! brute-force oracle.
 
 use elsi_data::{cdf, sample};
 use elsi_indices::{
@@ -43,7 +45,7 @@ proptest! {
     fn ks_distance_bounded_and_zero_on_self(mut keys in prop::collection::vec(0.0f64..1.0, 1..200)) {
         keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let d = cdf::ks_distance(&keys, &keys);
-        prop_assert!(d >= 0.0 && d < 1e-9);
+        prop_assert!((0.0..1e-9).contains(&d));
         let uniform: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
         let d2 = cdf::ks_distance(&keys, &uniform);
         prop_assert!((0.0..=1.0).contains(&d2));
@@ -57,7 +59,7 @@ proptest! {
         let bound = (1.0 / rho).floor() as usize - 1;
         for i in 0..n {
             let nearest = idx.iter().map(|&j| j.abs_diff(i)).min().unwrap();
-            prop_assert!(nearest <= bound.max(0), "rank {} gap {} bound {}", i, nearest, bound);
+            prop_assert!(nearest <= bound, "rank {} gap {} bound {}", i, nearest, bound);
         }
     }
 
@@ -117,6 +119,77 @@ proptest! {
         let mut got: Vec<u64> = hrr.window_query(&w).iter().map(|p| p.id).collect();
         got.sort_unstable();
         prop_assert_eq!(&got, &want);
+    }
+
+    #[test]
+    fn delta_overlay_matches_id_oracle(
+        base_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60),
+        ops in prop::collection::vec((0u8..4, 0u64..40, 0.0f64..1.0, 0.0f64..1.0), 0..120),
+        (wx, wy, ww, wh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.6, 0.0f64..0.6)
+    ) {
+        // Random mixed insert/delete/query workloads against a brute-force
+        // id → point oracle. Op ids are drawn from a range overlapping the
+        // base ids, so overwrites of base points (id collisions) are
+        // exercised: the overlay must keep exactly one live copy per id,
+        // with the last write winning.
+        use std::collections::BTreeMap;
+        let points: Vec<Point> = base_pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(i as u64, x, y))
+            .collect();
+        let mut live: BTreeMap<u64, Point> = points.iter().map(|p| (p.id, *p)).collect();
+        let base = GridIndex::build(points, &GridConfig { block_size: 16 });
+        let mut overlay = elsi::DeltaOverlay::new(base);
+
+        for &(op, id, x, y) in &ops {
+            match op {
+                // Two insert arms: overwrites and fresh ids both happen.
+                0 | 1 => {
+                    let p = Point::new(id, x, y);
+                    overlay.insert(p);
+                    live.insert(id, p);
+                }
+                // Delete the live copy of an id (base, delta, or overwrite).
+                2 => {
+                    if let Some(p) = live.get(&id).copied() {
+                        prop_assert!(overlay.delete(p), "live id {} not deleted", id);
+                        live.remove(&id);
+                    }
+                }
+                // Deleting a dead id must report not-found.
+                _ => {
+                    if !live.contains_key(&id) {
+                        prop_assert!(!overlay.delete(Point::new(id, x, y)));
+                    }
+                }
+            }
+            prop_assert_eq!(overlay.len(), live.len(), "len after op {:?}", (op, id));
+        }
+
+        // Every live point is found at its coordinates under its id.
+        for p in live.values() {
+            prop_assert_eq!(overlay.point_query(*p).map(|g| g.id), Some(p.id));
+        }
+
+        // Window query agrees with the oracle, one copy per id.
+        let w = Rect::new(wx, wy, (wx + ww).min(1.0), (wy + wh).min(1.0));
+        let mut got: Vec<u64> = overlay.window_query(&w).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> =
+            live.values().filter(|p| w.contains(p)).map(|p| p.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // kNN distances agree with brute force over the live set.
+        let q = Point::at(0.5, 0.5);
+        let got = overlay.knn_query(q, 5);
+        prop_assert_eq!(got.len(), 5usize.min(live.len()));
+        let mut dists: Vec<f64> = live.values().map(|p| q.dist(p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, d) in got.iter().zip(&dists) {
+            prop_assert!((q.dist(g) - d).abs() < 1e-12);
+        }
     }
 
     #[test]

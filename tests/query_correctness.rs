@@ -20,7 +20,11 @@ fn workbench(ds: Dataset) -> Workbench {
     let pts = ds.generate(N, 77);
     let windows = gen::window_queries(&pts, 15, 0.004, 5);
     let knn_qs = gen::knn_queries(&pts, 10, 6);
-    Workbench { pts, windows, knn_qs }
+    Workbench {
+        pts,
+        windows,
+        knn_qs,
+    }
 }
 
 fn brute_window(pts: &[Point], w: &Rect) -> Vec<u64> {
@@ -43,7 +47,12 @@ fn check_exact(idx: &dyn SpatialIndex, wb: &Workbench) {
         let mut got: Vec<u64> = idx.window_query(w).iter().map(|p| p.id).collect();
         got.sort_unstable();
         got.dedup();
-        assert_eq!(got, brute_window(&wb.pts, w), "{}: window mismatch", idx.name());
+        assert_eq!(
+            got,
+            brute_window(&wb.pts, w),
+            "{}: window mismatch",
+            idx.name()
+        );
     }
     for q in &wb.knn_qs {
         let got = idx.knn_query(*q, 10);
@@ -67,28 +76,52 @@ fn check_approximate(idx: &dyn SpatialIndex, wb: &Workbench, min_recall: f64) {
     for w in &wb.windows {
         let want = brute_window(&wb.pts, w);
         let got = idx.window_query(w);
-        assert!(got.iter().all(|p| w.contains(p)), "{}: false positive", idx.name());
+        assert!(
+            got.iter().all(|p| w.contains(p)),
+            "{}: false positive",
+            idx.name()
+        );
         want_total += want.len();
         got_total += got.len().min(want.len());
     }
     let recall = got_total as f64 / want_total.max(1) as f64;
-    assert!(recall >= min_recall, "{}: window recall {recall}", idx.name());
+    assert!(
+        recall >= min_recall,
+        "{}: window recall {recall}",
+        idx.name()
+    );
 }
 
 #[test]
 fn traditional_indices_are_exact_on_all_datasets() {
     for ds in [Dataset::Uniform, Dataset::Skewed, Dataset::Nyc] {
         let wb = workbench(ds);
-        check_exact(&GridIndex::build(wb.pts.clone(), &GridConfig { block_size: 50 }), &wb);
-        check_exact(&KdbIndex::build(wb.pts.clone(), &KdbConfig { leaf_capacity: 50 }), &wb);
         check_exact(
-            &HrrIndex::build(wb.pts.clone(), &HrrConfig { leaf_capacity: 50, fanout: 8 }),
+            &GridIndex::build(wb.pts.clone(), &GridConfig { block_size: 50 }),
+            &wb,
+        );
+        check_exact(
+            &KdbIndex::build(wb.pts.clone(), &KdbConfig { leaf_capacity: 50 }),
+            &wb,
+        );
+        check_exact(
+            &HrrIndex::build(
+                wb.pts.clone(),
+                &HrrConfig {
+                    leaf_capacity: 50,
+                    fanout: 8,
+                },
+            ),
             &wb,
         );
         check_exact(
             &RStarIndex::build(
                 wb.pts.clone(),
-                &RStarConfig { leaf_capacity: 50, fanout: 8, min_fill: 0.4 },
+                &RStarConfig {
+                    leaf_capacity: 50,
+                    fanout: 8,
+                    min_fill: 0.4,
+                },
             ),
             &wb,
         );
@@ -107,7 +140,10 @@ fn zm_and_ml_are_exact() {
         check_exact(
             &MlIndex::build(
                 wb.pts.clone(),
-                &MlConfig { pivots: 4, ..MlConfig::default() },
+                &MlConfig {
+                    pivots: 4,
+                    ..MlConfig::default()
+                },
                 &elsi.builder(),
             ),
             &wb,
@@ -123,7 +159,11 @@ fn rsmi_and_lisa_no_false_positives_and_high_recall() {
         check_approximate(
             &RsmiIndex::build(
                 wb.pts.clone(),
-                &RsmiConfig { leaf_capacity: 256, fanout: 4, ..RsmiConfig::default() },
+                &RsmiConfig {
+                    leaf_capacity: 256,
+                    fanout: 4,
+                    ..RsmiConfig::default()
+                },
                 &elsi.builder(),
             ),
             &wb,
@@ -132,7 +172,11 @@ fn rsmi_and_lisa_no_false_positives_and_high_recall() {
         check_approximate(
             &LisaIndex::build(
                 wb.pts.clone(),
-                &LisaConfig { grid: 8, shard_size: 150, block_size: 50 },
+                &LisaConfig {
+                    grid: 8,
+                    shard_size: 150,
+                    block_size: 50,
+                },
                 &elsi.builder().for_lisa(),
             ),
             &wb,

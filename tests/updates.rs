@@ -2,8 +2,10 @@
 //! default delta overlay, the update processor's drift tracking, and
 //! rebuild triggering (paper §IV-B2 and §VII-H).
 
-use elsi::{DeltaOverlay, Elsi, ElsiConfig, RebuildFeatures, RebuildPolicy, RebuildPredictor,
-           RebuildSample, UpdateOutcome, UpdateProcessor};
+use elsi::{
+    DeltaOverlay, Elsi, ElsiConfig, RebuildFeatures, RebuildPolicy, RebuildPredictor,
+    RebuildSample, UpdateOutcome, UpdateProcessor,
+};
 use elsi_data::Dataset;
 use elsi_indices::*;
 use elsi_spatial::{Point, Rect};
@@ -20,11 +22,18 @@ fn skewed_insertions_degrade_then_rebuild_recovers_structure() {
         let builder = elsi::ElsiBuilder::fixed(elsi::Method::Rs, cfg.clone(), mr.clone());
         RsmiIndex::build(
             pts,
-            &RsmiConfig { leaf_capacity: 256, fanout: 4, ..RsmiConfig::default() },
+            &RsmiConfig {
+                leaf_capacity: 256,
+                fanout: 4,
+                ..RsmiConfig::default()
+            },
             &builder,
         )
     };
-    let policy = RebuildPolicy::Threshold { max_drift: 0.15, max_ratio: 10.0 };
+    let policy = RebuildPolicy::Threshold {
+        max_drift: 0.15,
+        max_ratio: 10.0,
+    };
     let mut proc = UpdateProcessor::new(base, Box::new(rebuild), policy, 64);
 
     let inserts = Dataset::Skewed.generate(1200, 2);
@@ -40,8 +49,9 @@ fn skewed_insertions_degrade_then_rebuild_recovers_structure() {
     assert!(rebuilt, "drift threshold never triggered a rebuild");
     assert_eq!(proc.len(), 2700);
     // Everything still findable after the rebuild.
-    assert!(proc.point_query(Point::new(1_000_000, 0.0, 0.0)).is_some()
-        || proc.index().len() == 2700);
+    assert!(
+        proc.point_query(Point::new(1_000_000, 0.0, 0.0)).is_some() || proc.index().len() == 2700
+    );
 }
 
 #[test]
@@ -53,7 +63,11 @@ fn delta_overlay_equivalent_to_rebuilt_ground_truth() {
     let mut live = pts.clone();
     // Apply a mixed update stream.
     for i in 0..200u64 {
-        let p = Point::new(50_000 + i, (i as f64 * 0.00437) % 1.0, (i as f64 * 0.00911) % 1.0);
+        let p = Point::new(
+            50_000 + i,
+            (i as f64 * 0.00437) % 1.0,
+            (i as f64 * 0.00911) % 1.0,
+        );
         overlay.insert(p);
         live.push(p);
     }
@@ -66,7 +80,11 @@ fn delta_overlay_equivalent_to_rebuilt_ground_truth() {
     for w in [Rect::new(0.1, 0.1, 0.4, 0.4), Rect::new(0.0, 0.5, 1.0, 1.0)] {
         let mut got: Vec<u64> = overlay.window_query(&w).iter().map(|p| p.id).collect();
         got.sort_unstable();
-        let mut want: Vec<u64> = live.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+        let mut want: Vec<u64> = live
+            .iter()
+            .filter(|p| w.contains(p))
+            .map(|p| p.id)
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -87,12 +105,19 @@ fn built_in_insertions_stay_queryable_across_indices() {
     let mut zm = ZmIndex::build(pts.clone(), &ZmConfig { fanout: 2 }, &elsi.builder());
     let mut ml = MlIndex::build(
         pts.clone(),
-        &MlConfig { pivots: 4, ..MlConfig::default() },
+        &MlConfig {
+            pivots: 4,
+            ..MlConfig::default()
+        },
         &elsi.builder(),
     );
     let mut lisa = LisaIndex::build(
         pts.clone(),
-        &LisaConfig { grid: 8, shard_size: 100, block_size: 25 },
+        &LisaConfig {
+            grid: 8,
+            shard_size: 100,
+            block_size: 25,
+        },
         &elsi.builder().for_lisa(),
     );
     let mut grid = GridIndex::build(pts.clone(), &GridConfig::default());
@@ -137,7 +162,11 @@ fn moving_hotspot_stream_keeps_indices_consistent() {
         let w = Rect::new(c - 0.05, c - 0.05, c + 0.05, c + 0.05);
         let mut got: Vec<u64> = idx.window_query(&w).iter().map(|p| p.id).collect();
         got.sort_unstable();
-        let mut want: Vec<u64> = live.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+        let mut want: Vec<u64> = live
+            .iter()
+            .filter(|p| w.contains(p))
+            .map(|p| p.id)
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want, "window around {c}");
     }
@@ -151,11 +180,13 @@ fn churn_stream_through_update_processor() {
     let mut proc = UpdateProcessor::new(
         base.clone(),
         Box::new(|pts| GridIndex::build(pts, &GridConfig::default())),
-        RebuildPolicy::Threshold { max_drift: 0.2, max_ratio: 1.0 },
+        RebuildPolicy::Threshold {
+            max_drift: 0.2,
+            max_ratio: 1.0,
+        },
         64,
     );
-    let mut live: std::collections::HashMap<u64, Point> =
-        base.iter().map(|p| (p.id, *p)).collect();
+    let mut live: std::collections::HashMap<u64, Point> = base.iter().map(|p| (p.id, *p)).collect();
     for u in stream {
         match u {
             Update::Insert(p) => {

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size` / `finish`),
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple calibrated wall-clock
+//! loop reporting the median and spread over samples; there is no plotting,
+//! baseline persistence, or statistical regression machinery.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timer handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Calibrate the per-sample iteration count so one sample costs
+    // roughly `TARGET`, then keep it fixed across samples.
+    const TARGET: Duration = Duration::from_millis(20);
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    let mut times: Vec<Duration> = (0..samples.max(3))
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed / (iters as u32)
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi)
+    );
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), self.samples, f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.samples, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.as_ref().to_string(), samples: self.samples, _parent: self }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench binaries with `--test`; skip the
+            // (expensive) timing loops there, as upstream does via its
+            // own arg parsing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.samples = 3;
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

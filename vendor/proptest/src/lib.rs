@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `pat in strategy` arguments,
+//! range / tuple / `prop::collection::vec` / `any::<T>()` strategies, and
+//! `prop_assert!` / `prop_assert_eq!`. Case generation is deterministic
+//! (seeded per test from the case counter); failing cases are reported by
+//! panic with the generated inputs' case number. No shrinking.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Controls how many random cases each property test runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The RNG handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-case RNG: a pure function of the case number.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0xE15A_9E37_u64.wrapping_mul(case.wrapping_add(1)),
+        ))
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Map the closed unit interval onto [start, end].
+        let u = (rng.below(1u64 << 53) as f64) / ((1u64 << 53) - 1) as f64;
+        self.start() + u * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer strategy range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.below(u64::MAX) as $t; // practically unreachable
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Types with a full-domain default strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias towards boundary values so edge cases show up in
+                // a 64-case run, like upstream's special-value weighting.
+                match rng.below(8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.below(1 << (<$t>::BITS.min(63))) as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, usize);
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        match rng.below(8) {
+            0 => 0,
+            1 => u64::MAX,
+            2 => 1,
+            _ => rng.below(u64::MAX),
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            _ => rng.unit_f64() * 2e3 - 1e3,
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len_lo: usize,
+        len_hi: usize, // exclusive
+    }
+
+    /// Accepted length specifiers for [`vec`].
+    pub trait IntoLenRange {
+        /// (lo, exclusive hi).
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoLenRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `vec(element, 1..100)`: vectors of 1..100 generated elements.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (len_lo, len_hi) = len.bounds();
+        assert!(len_lo < len_hi, "empty length range for collection::vec");
+        VecStrategy { element, len_lo, len_hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len_hi - self.len_lo) as u64;
+            let n = self.len_lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property test; panics (fails the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// The `proptest!` block: expands each `fn name(pat in strategy, ..)` into
+/// a `#[test]` that loops over deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases as u64 {
+                let rng = &mut $crate::TestRng::for_case(case);
+                let ($($pat,)+) = ($( $crate::Strategy::generate(&($strat), rng), )+);
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0.0f64..1.0, (a, b) in (1usize..10, 0u32..5)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 5, "b was {}", b);
+        }
+
+        #[test]
+        fn vectors_respect_bounds(mut v in prop::collection::vec(0.0f64..=1.0, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            v.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(v.iter().all(|e| (0.0..=1.0).contains(e)));
+        }
+
+        #[test]
+        fn any_hits_boundaries(x in any::<u32>()) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let g = |case| {
+            let mut rng = crate::TestRng::for_case(case);
+            crate::Strategy::generate(&(0.0f64..1.0), &mut rng)
+        };
+        assert_eq!(g(3), g(3));
+        assert_ne!(g(3), g(4));
+    }
+}

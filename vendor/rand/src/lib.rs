@@ -1,0 +1,343 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the exact API surface it consumes: `StdRng` (seeded, deterministic),
+//! the `Rng`/`SeedableRng` traits, `seq::SliceRandom::shuffle`, and
+//! `seq::index::sample`. The generator is xoshiro256++ seeded through
+//! SplitMix64 — not the upstream ChaCha12, but the workspace only relies
+//! on *determinism for a given seed*, never on a specific stream.
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Named RNG types (`StdRng`).
+
+    /// A deterministic, seedable pseudo-random generator: xoshiro256++
+    /// with SplitMix64 seed expansion.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+
+        /// Advance the generator and return the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Next 32 random bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+/// Types whose values can be produced uniformly by [`Rng::gen`]
+/// (stand-in for sampling from rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from the generator.
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> f64 {
+        // 53 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` endpoints.
+pub trait RangeInt: Copy + PartialOrd {
+    /// Widen to u64 (shifting signed types into unsigned order).
+    fn to_u64(self) -> u64;
+    /// Inverse of [`RangeInt::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_range_int_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 { (self as $u) as u64 ^ (1u64 << (<$u>::BITS - 1)) }
+            fn from_u64(v: u64) -> Self { (v ^ (1u64 << (<$u>::BITS - 1))) as $u as $t }
+        }
+    )*};
+}
+impl_range_int_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range. Panics when empty.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+fn uniform_u64_below(rng: &mut rngs::StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection sampling on the top bits keeps the draw unbiased.
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64(lo + uniform_u64_below(rng, hi - lo))
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + uniform_u64_below(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait (subset of rand's `Rng`).
+pub trait Rng {
+    /// Draw one value of an inferred [`Standard`]-sampleable type.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draw uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+/// Construction from seeds (subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64_seed(seed)
+    }
+}
+
+pub mod seq {
+    //! Sequence utilities (`SliceRandom`, `index::sample`).
+
+    use super::{rngs::StdRng, Rng};
+
+    /// Slice shuffling (subset of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    pub mod index {
+        //! Distinct-index sampling.
+
+        use super::super::{rngs::StdRng, Rng};
+
+        /// The result of [`sample`]: distinct indices in draw order.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// The sampled indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length` (partial
+        /// Fisher–Yates). Panics if `amount > length`, as upstream does.
+        pub fn sample(rng: &mut StdRng, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{index::sample, SliceRandom};
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(2usize..=5);
+            assert!((2..=5).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 5;
+            let w = r.gen_range(0..3u32);
+            assert!(w < 3);
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_distinct() {
+        let mut r = StdRng::seed_from_u64(11);
+        let idx: Vec<usize> = sample(&mut r, 100, 10).into_iter().collect();
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset this workspace uses on top of `std::thread::scope`:
+//! `par_iter()` / `into_par_iter()` with order-preserving `map` + `collect`
+//! / `for_each`, `join`, `current_num_threads`, and a `ThreadPoolBuilder`
+//! whose `num_threads(..).build_global()` sets a process-wide thread count.
+//!
+//! Differences from upstream, deliberately:
+//! - No work stealing: items are split into `current_num_threads()`
+//!   contiguous chunks, one OS thread per chunk, results concatenated in
+//!   input order.
+//! - `build_global` may be called repeatedly; the last call wins. The
+//!   determinism tests rely on this to rebuild the same index under
+//!   different thread counts within one process.
+//! - With one thread (or one item) everything runs inline on the caller's
+//!   stack — zero spawn overhead, bit-identical to the multi-thread path.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The number of threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the process-wide thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` threads; `0` restores auto-detection.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the setting globally. Unlike upstream, repeat calls are
+    /// allowed and the most recent call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+/// Order-preserving parallel map: the engine behind `map().collect()`.
+fn run_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map closure panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, |t| f(t));
+    }
+}
+
+/// A pending parallel map, realized by `collect` / `for_each`.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Execute the map and collect results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Sync + Fn(T) -> C::Item,
+        C: FromParallelIterator,
+    {
+        C::from_ordered_vec(run_map(self.items, self.f))
+    }
+
+    /// Execute the map for its side effects.
+    pub fn for_each<U: Send>(self, g: impl Fn(U) + Sync)
+    where
+        F: Sync + Fn(T) -> U,
+    {
+        run_map(self.items, |t| g((self.f)(t)));
+    }
+}
+
+/// Collections constructible from an ordered parallel result.
+pub trait FromParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Build from the already-ordered results.
+    fn from_ordered_vec(v: Vec<Self::Item>) -> Self;
+}
+
+impl<U: Send> FromParallelIterator for Vec<U> {
+    type Item = U;
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let input: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * x).collect();
+        for t in [1, 2, 3, 8] {
+            ThreadPoolBuilder::new().num_threads(t).build_global().unwrap();
+            let got: Vec<u64> = input.clone().into_par_iter().map(|x| x * x).collect();
+            assert_eq!(got, expect, "thread count {t}");
+        }
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn ranges_parallelize() {
+        let squares: Vec<usize> = (0usize..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 9801);
+    }
+}
