@@ -1,0 +1,454 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! rule engine, with no dependency on `syn` or the compiler.
+//!
+//! The rules in this crate match on *token* sequences, never on raw text:
+//! that is what makes them robust against banned names appearing inside
+//! string literals, comments, or raw strings (e.g. the fixture snippets in
+//! this crate's own tests). The lexer therefore handles the full set of
+//! Rust literal forms — line and (nested) block comments, string literals
+//! with escapes, raw strings with arbitrary `#` fences, byte/C strings,
+//! char literals vs lifetimes — and degrades gracefully on anything exotic
+//! by emitting single-character punctuation tokens.
+//!
+//! It also extracts `// lint:allow(rule): reason` escape-hatch annotations,
+//! which the engine uses to suppress (and report) individual findings.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`Instant`, `as`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `;`, …).
+    Punct,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A numeric literal (integer or float, including suffixes).
+    Num,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexeme with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokenKind,
+    /// The lexeme text (literals keep only their delimiter-free content
+    /// where convenient; rules never match on literal contents).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+/// A parsed `// lint:allow(rule): reason` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The reason after the trailing `:` (empty if missing — the engine
+    /// rejects reason-less annotations).
+    pub reason: String,
+    /// Line the annotation is written on.
+    pub line: u32,
+    /// Whether the comment is the only thing on its line; if so it also
+    /// covers the *next* line, allowing annotations above the finding.
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` annotations found in line comments.
+    pub allows: Vec<Allow>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses a line comment's text for a `lint:allow(rule): reason` marker.
+fn parse_allow(comment: &str, line: u32, own_line: bool) -> Option<Allow> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim();
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Allow {
+        rule,
+        reason,
+        line,
+        own_line,
+    })
+}
+
+/// Tokenizes `src`. Never fails: unrecognised bytes become punctuation.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recent token, to detect comment-only lines.
+    let mut last_token_line = 0u32;
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers doc comments `///` and `//!`).
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < cs.len() && cs[i] != '\n' {
+                i += 1;
+            }
+            let text: String = cs[start..i].iter().collect();
+            if let Some(a) = parse_allow(&text, line, last_token_line != line) {
+                out.allows.push(a);
+            }
+            continue;
+        }
+        // Block comment, nesting included.
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < cs.len() && depth > 0 {
+                if cs[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < cs.len() {
+                match cs[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            match cs.get(i + 1) {
+                Some(&'\\') => {
+                    // Escaped char literal: consume to the closing quote.
+                    i += 2;
+                    while i < cs.len() && cs[i] != '\'' {
+                        if cs[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                }
+                Some(&n) if is_ident_start(n) && cs.get(i + 2) != Some(&'\'') => {
+                    // Lifetime: `'a`, `'static`, `'_`.
+                    let start = i + 1;
+                    i += 1;
+                    while i < cs.len() && is_ident_continue(cs[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: cs[start..i].iter().collect(),
+                        line: tok_line,
+                    });
+                }
+                Some(_) => {
+                    // Single-char literal `'x'` (x possibly punctuation).
+                    i += 2;
+                    if cs.get(i) == Some(&'\'') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                }
+                None => {
+                    i += 1;
+                }
+            }
+            last_token_line = line;
+            continue;
+        }
+        // Identifier, keyword, or raw-string / raw-identifier prefix.
+        if is_ident_start(c) {
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            let text: String = cs[start..i].iter().collect();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "c" | "br" | "cr");
+            // `b"…"`/`c"…"` escape-processed, `r"…"` raw with zero fences.
+            if is_str_prefix && cs.get(i) == Some(&'"') {
+                let raw = text.contains('r');
+                let tok_line = line;
+                i += 1;
+                while i < cs.len() {
+                    match cs[i] {
+                        '\\' if !raw => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                last_token_line = line;
+                continue;
+            }
+            // `r#…`: raw string with fences, or raw identifier.
+            if matches!(text.as_str(), "r" | "br" | "cr") && cs.get(i) == Some(&'#') {
+                let mut j = i;
+                let mut hashes = 0usize;
+                while cs.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if cs.get(j) == Some(&'"') {
+                    // Raw string: ends at `"` followed by `hashes` fences.
+                    let tok_line = line;
+                    i = j + 1;
+                    'scan: while i < cs.len() {
+                        if cs[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if cs[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && cs.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    last_token_line = line;
+                    continue;
+                }
+                if text == "r" && hashes == 1 && cs.get(j).copied().is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`: token is the bare name.
+                    let start = j;
+                    i = j;
+                    while i < cs.len() && is_ident_continue(cs[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: cs[start..i].iter().collect(),
+                        line,
+                    });
+                    last_token_line = line;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        // Numeric literal (suffixes and a simple decimal point included).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            if cs.get(i) == Some(&'.') && cs.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < cs.len() && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: cs[start..i].iter().collect(),
+                line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        // Anything else: one punctuation character.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        last_token_line = line;
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("let x = a.b(1);");
+        let kinds: Vec<TokenKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Num,
+                TokenKind::Punct,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "Instant::now() .lock()";"#), ["let", "s"]);
+        assert_eq!(idents("let s = r#\"thread_rng()\"#;"), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"unwrap()";"#), ["let", "s"]);
+        // Escaped quote does not terminate the literal early.
+        assert_eq!(idents(r#"let s = "a\"Instant"; x"#), ["let", "s", "x"]);
+    }
+
+    #[test]
+    fn comments_hide_their_contents() {
+        assert_eq!(idents("// Instant::now()\nx"), ["x"]);
+        assert_eq!(idents("/* outer /* nested Instant */ still */ x"), ["x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn multiline_literals_advance_lines() {
+        let l = lex("let s = \"a\nb\";\nInstant");
+        let inst = l.tokens.iter().find(|t| t.text == "Instant").unwrap();
+        assert_eq!(inst.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        let l = lex("x.lock(); // lint:allow(lock_hygiene): init is single-threaded\n");
+        assert_eq!(l.allows.len(), 1);
+        let a = &l.allows[0];
+        assert_eq!(a.rule, "lock_hygiene");
+        assert_eq!(a.reason, "init is single-threaded");
+        assert_eq!(a.line, 1);
+        assert!(!a.own_line);
+
+        let l = lex("// lint:allow(determinism): bench-only path\nInstant::now();\n");
+        assert!(l.allows[0].own_line);
+    }
+
+    #[test]
+    fn allow_without_reason_has_empty_reason() {
+        let l = lex("// lint:allow(determinism)\n");
+        assert_eq!(l.allows[0].reason, "");
+    }
+}

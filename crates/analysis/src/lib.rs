@@ -1,0 +1,39 @@
+//! Workspace invariant linter.
+//!
+//! A dependency-free static-analysis pass over every `.rs` file in the
+//! workspace. It tokenizes each file with a hand-rolled lexer (so banned
+//! names inside string literals and comments are invisible) and enforces
+//! five rules:
+//!
+//! | rule              | invariant                                                        |
+//! |-------------------|------------------------------------------------------------------|
+//! | `determinism`     | no ambient clocks/RNGs outside `elsi_indices::timing`, bench, cli |
+//! | `lock_hygiene`    | `.lock()` only via `elsi::lock_unpoisoned`                        |
+//! | `par_reduction`   | no order-dependent float reductions in `par_iter` chains          |
+//! | `truncating_cast` | no raw `as <int>` casts in `crates/spatial/src/curve/`            |
+//! | `panic_budget`    | per-crate `unwrap`/`expect`/`panic!` ceilings that ratchet down   |
+//!
+//! Run it with `cargo run -p analysis` (exits non-zero on violations); the
+//! self-scan test in `tests/workspace.rs` runs the same pass under
+//! `cargo test`. Individual findings can be waived with
+//! `// lint:allow(rule): reason` — the reason is mandatory and every
+//! suppression is listed in the report.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{collect_rs_files, scan_files, scan_workspace, Finding, Policy, Report};
+
+use std::path::PathBuf;
+
+/// The workspace root, resolved from this crate's manifest directory
+/// (`crates/analysis` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,49 @@
+//! CLI entry point: scan the workspace, print the report, exit non-zero on
+//! violations. Pass `-q` to print violations only.
+
+use analysis::{scan_workspace, workspace_root, Policy};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quiet = std::env::args().any(|a| a == "-q" || a == "--quiet");
+    let root = workspace_root();
+    let report = match scan_workspace(&root, &Policy::workspace()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "analysis: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+
+    if !quiet {
+        if !report.suppressed.is_empty() {
+            println!("\nsuppressed ({}):", report.suppressed.len());
+            for s in &report.suppressed {
+                println!("  {}  [{}]", s.finding, s.reason);
+            }
+        }
+        println!("\npanic budget (count/ceiling):");
+        for b in &report.budgets {
+            println!("  {:<20} {:>3}/{}", b.group, b.count, b.ceiling);
+        }
+        println!(
+            "\n{} files scanned, {} violations, {} suppressed",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed.len()
+        );
+    }
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

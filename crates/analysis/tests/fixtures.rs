@@ -1,0 +1,245 @@
+//! Fixture tests: one violating snippet and one allowed-via-annotation
+//! snippet per rule, asserting the exact diagnostics the linter emits.
+//!
+//! Every snippet is a raw string literal so the workspace self-scan (which
+//! lexes this file too) cannot see the deliberately-bad code inside them.
+
+use analysis::{scan_files, Policy, Report};
+
+/// A policy mirroring the workspace one but with a tight panic budget so
+/// fixtures can exercise the ratchet without hundreds of lines.
+fn fixture_policy() -> Policy {
+    Policy {
+        determinism_allowed: vec![
+            "crates/indices/src/timing.rs".into(),
+            "crates/bench/".into(),
+            "crates/cli/".into(),
+        ],
+        lock_allowed: vec!["crates/core/src/sync.rs".into()],
+        cast_scope: "crates/spatial/src/curve/".into(),
+        cast_allowed: vec!["crates/spatial/src/curve/convert.rs".into()],
+        panic_budgets: vec![("crates/core/".into(), 0)],
+    }
+}
+
+fn scan_one(path: &str, src: &str) -> Report {
+    scan_files(&[(path.to_string(), src.to_string())], &fixture_policy())
+}
+
+fn diagnostics(r: &Report) -> Vec<String> {
+    r.violations.iter().map(|v| v.to_string()).collect()
+}
+
+#[test]
+fn determinism_bad_fixture() {
+    let src = r#"
+fn build(&self) -> Model {
+    let t0 = Instant::now();
+    let model = fit(self.keys);
+    self.stats.record(t0.elapsed());
+    model
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    assert_eq!(
+        diagnostics(&r),
+        vec![
+            "crates/core/src/build.rs:3:determinism: ambient time/entropy source \
+             `Instant`: route timing through `elsi_indices::timing` and seed RNGs \
+             explicitly"
+        ]
+    );
+}
+
+#[test]
+fn determinism_allowed_fixture() {
+    let src = r#"
+fn jitter() -> u64 {
+    // lint:allow(determinism): cache-buster for the perf harness only
+    let rng = thread_rng();
+    rng.gen()
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].finding.rule, "determinism");
+    assert_eq!(
+        r.suppressed[0].reason,
+        "cache-buster for the perf harness only"
+    );
+}
+
+#[test]
+fn lock_hygiene_bad_fixture() {
+    let src = r#"
+fn chosen(&self) -> Vec<Method> {
+    self.chosen.lock().unwrap().clone()
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    let locks: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":lock_hygiene:"))
+        .collect();
+    assert_eq!(
+        locks,
+        vec![
+            "crates/core/src/build.rs:3:lock_hygiene: bare `.lock()`: call \
+             `elsi::lock_unpoisoned(&mutex)` so a poisoned mutex cannot cascade \
+             panics across rayon workers"
+        ]
+    );
+    // The unwrap also lands on the panic budget (ceiling 0 here).
+    assert!(diagnostics(&r).iter().any(|d| d.contains(":panic_budget:")));
+}
+
+#[test]
+fn lock_hygiene_allowed_fixture() {
+    let src = r#"
+fn into_inner_cheaply(&self) -> Vec<Method> {
+    // lint:allow(lock_hygiene): helper crate shims an external Mutex type
+    self.chosen.lock().map(|g| g.clone()).unwrap_or_default()
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].finding.rule, "lock_hygiene");
+}
+
+#[test]
+fn par_reduction_bad_fixture() {
+    let src = r#"
+fn total_error(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}
+"#;
+    let r = scan_one("crates/core/src/scorer.rs", src);
+    assert_eq!(
+        diagnostics(&r),
+        vec![
+            "crates/core/src/scorer.rs:3:par_reduction: `.sum()` in a `par_iter` \
+             chain combines partials in scheduling order: float results vary \
+             across runs; reduce over ordered chunk partials instead (or annotate \
+             integral reductions)"
+        ]
+    );
+}
+
+#[test]
+fn par_reduction_allowed_fixture() {
+    let src = r#"
+fn total_hits(xs: &[Bucket]) -> u64 {
+    // lint:allow(par_reduction): integral sum, order cannot change the result
+    xs.par_iter().map(|b| b.hits).sum()
+}
+"#;
+    let r = scan_one("crates/core/src/scorer.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].finding.rule, "par_reduction");
+    assert_eq!(
+        r.suppressed[0].reason,
+        "integral sum, order cannot change the result"
+    );
+}
+
+#[test]
+fn truncating_cast_bad_fixture() {
+    let src = r#"
+fn quantize(v: f64) -> u32 {
+    (v * 4294967296.0) as u32
+}
+"#;
+    let r = scan_one("crates/spatial/src/curve/morton.rs", src);
+    assert_eq!(
+        diagnostics(&r),
+        vec![
+            "crates/spatial/src/curve/morton.rs:3:truncating_cast: raw `as u32` \
+             cast in curve code: use the checked conversion helpers in \
+             `elsi_spatial::curve::convert`"
+        ]
+    );
+}
+
+#[test]
+fn truncating_cast_scope_and_allow() {
+    // Outside the curve directory the same cast is not flagged.
+    let src = r#"fn f(x: u64) -> u32 { x as u32 }"#;
+    let r = scan_one("crates/core/src/grid.rs", src);
+    assert!(r.violations.is_empty());
+    // Inside it, an annotated cast is suppressed and recorded.
+    let src = r#"
+fn low_bits(x: u64) -> u32 {
+    // lint:allow(truncating_cast): masking off the high word is the intent
+    (x & 0xFFFF_FFFF) as u32
+}
+"#;
+    let r = scan_one("crates/spatial/src/curve/hilbert.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].finding.rule, "truncating_cast");
+}
+
+#[test]
+fn panic_budget_bad_fixture() {
+    let src = r#"
+fn load(path: &str) -> Data {
+    let bytes = std::fs::read(path).unwrap();
+    parse(&bytes).expect("parse failed")
+}
+"#;
+    let r = scan_one("crates/core/src/io.rs", src);
+    assert_eq!(
+        diagnostics(&r),
+        vec![
+            "crates/core/:1:panic_budget: 2 unwrap/expect/panic! sites exceed the \
+             ceiling of 0; handle the error, or annotate the new site with \
+             `// lint:allow(panic_budget): reason`"
+        ]
+    );
+    assert_eq!(r.budgets.len(), 1);
+    assert_eq!(r.budgets[0].count, 2);
+}
+
+#[test]
+fn panic_budget_allowed_fixture() {
+    let src = r#"
+fn header(bytes: &[u8]) -> [u8; 8] {
+    // lint:allow(panic_budget): length checked by the caller's magic probe
+    bytes[..8].try_into().unwrap()
+}
+"#;
+    let r = scan_one("crates/core/src/io.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.budgets[0].count, 0);
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].finding.rule, "panic_budget");
+}
+
+#[test]
+fn annotation_on_same_line_also_suppresses() {
+    let src = r#"
+fn f(m: &M) { m.lock(); } // lint:allow(lock_hygiene): fixture
+"#;
+    let r = scan_one("crates/core/src/x.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 1);
+}
+
+#[test]
+fn banned_names_inside_strings_and_comments_are_invisible() {
+    let src = r##"
+// Instant::now() in a comment, m.lock() too.
+fn doc() -> &'static str {
+    "Instant::now(); m.lock().unwrap(); x as u32"
+}
+fn raw() -> &'static str {
+    r#"thread_rng(); xs.par_iter().sum::<f64>()"#
+}
+"##;
+    let r = scan_one("crates/spatial/src/curve/morton.rs", src);
+    assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
+    assert_eq!(r.suppressed.len(), 0);
+}

@@ -1,0 +1,35 @@
+//! Workspace self-scan: the same pass `cargo run -p analysis` performs,
+//! wrapped in a `#[test]` so the invariants are enforced by `cargo test`
+//! (and thus by tier-1 CI) without a separate step.
+
+use analysis::{scan_workspace, workspace_root, Policy};
+
+#[test]
+fn workspace_has_no_unannotated_violations() {
+    let report = scan_workspace(&workspace_root(), &Policy::workspace())
+        .expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 50,
+        "self-scan saw only {} files: is the workspace root wrong?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace invariant violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let report = scan_workspace(&workspace_root(), &Policy::workspace())
+        .expect("workspace sources are readable");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.is_empty(),
+            "suppression without a reason at {}",
+            s.finding
+        );
+    }
+}

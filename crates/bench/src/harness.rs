@@ -5,7 +5,6 @@ use elsi::{Elsi, ElsiBuilder, ElsiConfig, Method};
 use elsi_data::{gen, Dataset};
 use elsi_indices::*;
 use elsi_spatial::{Point, Rect};
-use std::time::Instant;
 
 /// Base cardinality standing in for the paper's 100M-point OSM1.
 pub fn base_n() -> usize {
@@ -47,10 +46,9 @@ pub fn bench_config(n: usize) -> ElsiConfig {
 }
 
 /// Times a closure, returning its output and the elapsed seconds.
+/// (Delegates to the workspace's sanctioned timing module.)
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64())
+    elsi_indices::timing::timed_secs(f)
 }
 
 /// The index zoo of the evaluation (§VII-A).
@@ -264,26 +262,30 @@ impl BenchCtx {
 /// down to at most `max_queries` (the paper queries every indexed point).
 pub fn point_query_micros(idx: &dyn SpatialIndex, pts: &[Point], max_queries: usize) -> f64 {
     let step = (pts.len() / max_queries.max(1)).max(1);
-    let mut found = 0usize;
-    let t0 = Instant::now();
-    for p in pts.iter().step_by(step) {
-        if idx.point_query(*p).is_some() {
-            found += 1;
+    let (found, secs) = timed(|| {
+        let mut found = 0usize;
+        for p in pts.iter().step_by(step) {
+            if idx.point_query(*p).is_some() {
+                found += 1;
+            }
         }
-    }
+        found
+    });
     let q = pts.len().div_ceil(step);
     std::hint::black_box(found);
-    t0.elapsed().as_secs_f64() * 1e6 / q as f64
+    secs * 1e6 / q as f64
 }
 
 /// Window-query stats: average latency (µs) and recall over the workload.
 pub fn window_query_stats(idx: &dyn SpatialIndex, pts: &[Point], windows: &[Rect]) -> (f64, f64) {
-    let t0 = Instant::now();
-    let mut results = Vec::with_capacity(windows.len());
-    for w in windows {
-        results.push(idx.window_query(w).len());
-    }
-    let micros = t0.elapsed().as_secs_f64() * 1e6 / windows.len() as f64;
+    let (results, secs) = timed(|| {
+        let mut results = Vec::with_capacity(windows.len());
+        for w in windows {
+            results.push(idx.window_query(w).len());
+        }
+        results
+    });
+    let micros = secs * 1e6 / windows.len() as f64;
 
     let mut got = 0usize;
     let mut want = 0usize;
@@ -309,12 +311,14 @@ pub fn knn_query_stats(
     queries: &[Point],
     k: usize,
 ) -> (f64, f64) {
-    let t0 = Instant::now();
-    let mut answers = Vec::with_capacity(queries.len());
-    for q in queries {
-        answers.push(idx.knn_query(*q, k));
-    }
-    let micros = t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+    let (answers, secs) = timed(|| {
+        let mut answers = Vec::with_capacity(queries.len());
+        for q in queries {
+            answers.push(idx.knn_query(*q, k));
+        }
+        answers
+    });
+    let micros = secs * 1e6 / queries.len() as f64;
 
     let mut hit = 0usize;
     let mut total = 0usize;

@@ -13,12 +13,13 @@
 use crate::config::ElsiConfig;
 use crate::methods::{reduce, Method, MrPool, Reduction};
 use crate::scorer::{MethodScorer, RandomSelector};
+use crate::sync::lock_unpoisoned;
 use elsi_data::dist_from_uniform;
 use elsi_indices::{
-    build_on_training_set, BuildInput, BuildStats, BuiltModel, ModelBuilder, RankModel,
+    build_on_training_set, timed, BuildInput, BuildStats, BuiltModel, ModelBuilder, RankModel,
 };
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the builder picks a method for each model build.
 pub enum MethodChoice {
@@ -107,10 +108,7 @@ impl ElsiBuilder {
     /// The methods chosen so far, one per model build. Under parallel
     /// builds the order follows build completion (see [`ElsiBuilder`]).
     pub fn chosen_methods(&self) -> Vec<Method> {
-        self.chosen
-            .lock()
-            .expect("chosen-method log poisoned")
-            .clone()
+        lock_unpoisoned(&self.chosen).clone()
     }
 
     /// The system configuration.
@@ -144,19 +142,15 @@ impl ModelBuilder for ElsiBuilder {
     fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
         // Line 3: select the method. The scorer invocation costs
         // M(1) + O(n) — the O(n) is dist(D_U, D) over the sorted keys.
-        let select_t0 = Instant::now();
-        let dist_u = dist_from_uniform(input.keys);
-        let method = self.pick_method(input.keys.len(), dist_u, input.seed);
-        let select_time = select_t0.elapsed();
-        self.chosen
-            .lock()
-            .expect("chosen-method log poisoned")
-            .push(method);
+        let (method, select_time) = timed(|| {
+            let dist_u = dist_from_uniform(input.keys);
+            self.pick_method(input.keys.len(), dist_u, input.seed)
+        });
+        lock_unpoisoned(&self.chosen).push(method);
 
         // Line 4: compute D_S.
-        let reduce_t0 = Instant::now();
-        let reduction = reduce(method, input, &self.cfg, &self.mr_pool);
-        let reduce_time = select_time + reduce_t0.elapsed();
+        let (reduction, reduce_elapsed) = timed(|| reduce(method, input, &self.cfg, &self.mr_pool));
+        let reduce_time = select_time + reduce_elapsed;
 
         // Lines 5–6: train on D_S, bound over D.
         match reduction {
@@ -170,12 +164,13 @@ impl ModelBuilder for ElsiBuilder {
                 reduce_time,
             ),
             Reduction::Pretrained(ffn) => {
-                let bound_t0 = Instant::now();
-                let model = if input.keys.is_empty() {
-                    RankModel::empty(input.seed)
-                } else {
-                    RankModel::from_ffn(ffn, input.keys)
-                };
+                let (model, bound_time) = timed(|| {
+                    if input.keys.is_empty() {
+                        RankModel::empty(input.seed)
+                    } else {
+                        RankModel::from_ffn(ffn, input.keys)
+                    }
+                });
                 let err_span = model.err_span();
                 BuiltModel {
                     model,
@@ -184,7 +179,7 @@ impl ModelBuilder for ElsiBuilder {
                         training_set_size: 0,
                         reduce_time,
                         train_time: Duration::ZERO,
-                        bound_time: bound_t0.elapsed(),
+                        bound_time,
                         err_span,
                     },
                 }

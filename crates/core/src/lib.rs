@@ -38,6 +38,7 @@ pub mod cost;
 pub mod methods;
 pub mod rebuild;
 pub mod scorer;
+pub mod sync;
 pub mod update;
 
 pub use build::{ElsiBuilder, MethodChoice};
@@ -46,6 +47,7 @@ pub use cost::CostDecomposition;
 pub use methods::{Method, MrPool, Reduction};
 pub use rebuild::{RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample};
 pub use scorer::{AltSelector, MethodCosts, MethodScorer, RandomSelector, ScorerSample};
+pub use sync::lock_unpoisoned;
 pub use update::{DeltaOverlay, DriftTracker, RebuildFn, UpdateOutcome, UpdateProcessor};
 
 use std::sync::Arc;

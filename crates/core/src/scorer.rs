@@ -18,14 +18,15 @@
 use crate::config::ElsiConfig;
 use crate::methods::{reduce, Method, MrPool, Reduction};
 use elsi_data::{dist_from_uniform, gen};
-use elsi_indices::{build_on_training_set, locate_lower, BuildInput, BuiltModel};
+use elsi_indices::{
+    build_on_training_set, locate_lower, timed, timed_secs, BuildInput, BuiltModel,
+};
 use elsi_ml::{
     train_regression, DecisionTree, Ffn, ForestConfig, RandomForest, TrainConfig, TreeConfig,
 };
 use elsi_spatial::{MappedData, MortonMapper, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Number of scorer input features: 7 method slots + log-cardinality +
 /// distance from uniform.
@@ -200,37 +201,36 @@ pub fn build_with_method(
         mapper: &MortonMapper,
         seed,
     };
-    let t0 = Instant::now();
-    let reduce_t0 = Instant::now();
-    let reduction = reduce(method, &input, cfg, mr_pool);
-    let reduce_time = reduce_t0.elapsed();
-    let built = match reduction {
-        Reduction::TrainingSet(keys) => build_on_training_set(
-            &keys,
-            data.keys(),
-            cfg.hidden,
-            &cfg.train,
-            seed,
-            method.name(),
-            reduce_time,
-        ),
-        Reduction::Pretrained(ffn) => {
-            let model = elsi_indices::RankModel::from_ffn(ffn, data.keys());
-            let err_span = model.err_span();
-            BuiltModel {
-                model,
-                stats: elsi_indices::BuildStats {
-                    method: method.name(),
-                    training_set_size: 0,
-                    reduce_time,
-                    train_time: std::time::Duration::ZERO,
-                    bound_time: std::time::Duration::ZERO,
-                    err_span,
-                },
+    let (built, build_secs) = timed_secs(|| {
+        let (reduction, reduce_time) = timed(|| reduce(method, &input, cfg, mr_pool));
+        match reduction {
+            Reduction::TrainingSet(keys) => build_on_training_set(
+                &keys,
+                data.keys(),
+                cfg.hidden,
+                &cfg.train,
+                seed,
+                method.name(),
+                reduce_time,
+            ),
+            Reduction::Pretrained(ffn) => {
+                let model = elsi_indices::RankModel::from_ffn(ffn, data.keys());
+                let err_span = model.err_span();
+                BuiltModel {
+                    model,
+                    stats: elsi_indices::BuildStats {
+                        method: method.name(),
+                        training_set_size: 0,
+                        reduce_time,
+                        train_time: std::time::Duration::ZERO,
+                        bound_time: std::time::Duration::ZERO,
+                        err_span,
+                    },
+                }
             }
         }
-    };
-    (built, t0.elapsed().as_secs_f64())
+    });
+    (built, build_secs)
 }
 
 /// Average predict-and-scan point lookup time over sampled keys, in µs.
@@ -240,18 +240,20 @@ fn measure_query_micros(built: &BuiltModel, data: &MappedData, queries: usize) -
         return 0.0;
     }
     let step = (n / queries.max(1)).max(1);
-    let t0 = Instant::now();
-    let mut found = 0usize;
-    for i in (0..n).step_by(step) {
-        let key = data.keys()[i];
-        let pos = locate_lower(data.keys(), built.model.search_range(key), key);
-        if pos < n {
-            found += 1;
+    let (found, secs) = timed_secs(|| {
+        let mut found = 0usize;
+        for i in (0..n).step_by(step) {
+            let key = data.keys()[i];
+            let pos = locate_lower(data.keys(), built.model.search_range(key), key);
+            if pos < n {
+                found += 1;
+            }
         }
-    }
+        found
+    });
     let count = n.div_ceil(step);
     std::hint::black_box(found);
-    t0.elapsed().as_secs_f64() * 1e6 / count as f64
+    secs * 1e6 / count as f64
 }
 
 /// Converts measured costs into scorer training samples (log-relative to

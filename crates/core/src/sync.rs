@@ -1,0 +1,45 @@
+//! Lock-hygiene helpers.
+//!
+//! Index builds run partition models on rayon worker threads, sharing
+//! builder state behind mutexes. A panicking worker poisons those mutexes,
+//! and a bare `.lock().unwrap()` then converts one partition's panic into a
+//! cascade of poison-panics on every other thread. All protected state in
+//! this workspace is valid after a holder panic (diagnostic logs, counters
+//! — no multi-step invariants held across a lock), so poisoning is safely
+//! recoverable. The workspace linter (`crates/analysis`, rule
+//! `lock_hygiene`) bans `.lock()` everywhere except this module; call
+//! [`lock_unpoisoned`] instead.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `m`, recovering the guard when a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_and_mutates() {
+        let m = Mutex::new(1);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 2);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(41));
+        let m2 = std::sync::Arc::clone(&m);
+        // Poison the mutex by panicking while holding the guard.
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_unpoisoned(&m2);
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 42);
+    }
+}

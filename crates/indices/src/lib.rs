@@ -26,6 +26,7 @@ pub mod model;
 pub mod rsmi;
 pub mod rstar;
 pub(crate) mod rtree;
+pub mod timing;
 pub mod traits;
 pub mod zm;
 
@@ -41,6 +42,7 @@ pub use model::{
 };
 pub use rsmi::{RsmiConfig, RsmiIndex};
 pub use rstar::{RStarConfig, RStarIndex};
+pub use timing::{timed, timed_secs};
 pub use traits::{
     knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
 };

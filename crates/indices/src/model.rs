@@ -8,9 +8,10 @@
 //! *full* partition. Swapping the builder turns `ZM` into `ZM-F`, `RSMI`
 //! into `RSMI-F`, and so on, without touching index code.
 
+use crate::timing::timed;
 use elsi_ml::{train_regression, Ffn, PwlModel, TrainConfig};
 use elsi_spatial::{KeyMapper, Point};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Input to a model build: one partition of the data, already mapped and
 /// sorted (Algorithm 1, lines 1–2 happen in the base index).
@@ -310,16 +311,14 @@ impl Default for PwlBuilder {
 
 impl ModelBuilder for PwlBuilder {
     fn build_model(&self, input: &BuildInput<'_>) -> BuiltModel {
-        let t0 = Instant::now();
-        let pwl = PwlModel::fit(input.keys, self.epsilon);
-        let train_time = t0.elapsed();
-        let t1 = Instant::now();
-        let model = if input.keys.is_empty() {
-            RankModel::empty(input.seed)
-        } else {
-            RankModel::from_pwl(pwl, input.keys)
-        };
-        let bound_time = t1.elapsed();
+        let (pwl, train_time) = timed(|| PwlModel::fit(input.keys, self.epsilon));
+        let (model, bound_time) = timed(|| {
+            if input.keys.is_empty() {
+                RankModel::empty(input.seed)
+            } else {
+                RankModel::from_pwl(pwl, input.keys)
+            }
+        });
         let err_span = model.err_span();
         BuiltModel {
             model,
@@ -353,22 +352,23 @@ pub fn build_on_training_set(
     method: &'static str,
     reduce_time: Duration,
 ) -> BuiltModel {
-    let t0 = Instant::now();
-    let mut ffn = Ffn::new(&[1, hidden, 1], seed);
-    if !training_keys.is_empty() {
-        let denom = (training_keys.len() - 1).max(1) as f64;
-        let ys: Vec<f64> = (0..training_keys.len()).map(|i| i as f64 / denom).collect();
-        train_regression(&mut ffn, training_keys, &ys, train);
-    }
-    let train_time = t0.elapsed();
+    let (ffn, train_time) = timed(|| {
+        let mut ffn = Ffn::new(&[1, hidden, 1], seed);
+        if !training_keys.is_empty() {
+            let denom = (training_keys.len() - 1).max(1) as f64;
+            let ys: Vec<f64> = (0..training_keys.len()).map(|i| i as f64 / denom).collect();
+            train_regression(&mut ffn, training_keys, &ys, train);
+        }
+        ffn
+    });
 
-    let t1 = Instant::now();
-    let model = if full_keys.is_empty() {
-        RankModel::empty(seed)
-    } else {
-        RankModel::from_ffn(ffn, full_keys)
-    };
-    let bound_time = t1.elapsed();
+    let (model, bound_time) = timed(|| {
+        if full_keys.is_empty() {
+            RankModel::empty(seed)
+        } else {
+            RankModel::from_ffn(ffn, full_keys)
+        }
+    });
 
     let err_span = model.err_span();
     BuiltModel {

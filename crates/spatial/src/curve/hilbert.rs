@@ -6,6 +6,8 @@
 //! reflect formulation (Hamilton's compact Hilbert indices restricted to
 //! d = 2), parameterised by the curve order (bits per dimension).
 
+use super::convert;
+
 /// Default curve order used by the mappers (bits per dimension).
 pub const HILBERT_ORDER: u32 = 16;
 
@@ -16,8 +18,8 @@ pub fn hilbert_encode(order: u32, x: u32, y: u32) -> u64 {
     debug_assert!(order == 32 || (x >> order) == 0, "x out of range");
     debug_assert!(order == 32 || (y >> order) == 0, "y out of range");
     let n: u64 = 1u64 << order;
-    let mut x = x as u64;
-    let mut y = y as u64;
+    let mut x = convert::widen(x);
+    let mut y = convert::widen(y);
     let mut d: u64 = 0;
     let mut s: u64 = n >> 1;
     while s > 0 {
@@ -62,20 +64,13 @@ pub fn hilbert_decode(order: u32, d: u64) -> (u32, u32) {
         t /= 4;
         s <<= 1;
     }
-    (x as u32, y as u32)
+    (convert::narrow(x), convert::narrow(y))
 }
 
 /// Quantises a coordinate in `[0,1]` onto the `2^order` Hilbert grid.
 #[inline]
 pub fn quantize(order: u32, v: f64) -> u32 {
-    let cells = (1u64 << order) as f64;
-    let scaled = v.clamp(0.0, 1.0) * cells;
-    let max = (1u64 << order) - 1;
-    if scaled >= max as f64 {
-        max as u32
-    } else {
-        scaled as u32
-    }
+    convert::coord_to_cell(v, order)
 }
 
 /// Hilbert distance of a point in the unit square at [`HILBERT_ORDER`].
@@ -115,8 +110,8 @@ mod tests {
             for y in 0..(1u32 << order) {
                 let d = hilbert_encode(order, x, y);
                 assert_eq!(hilbert_decode(order, d), (x, y));
-                assert!(!seen[d as usize], "duplicate hilbert index {d}");
-                seen[d as usize] = true;
+                assert!(!seen[convert::cell_index(d)], "duplicate hilbert index {d}");
+                seen[convert::cell_index(d)] = true;
             }
         }
         assert!(seen.iter().all(|&v| v), "curve must be a bijection");
@@ -140,6 +135,39 @@ mod tests {
         assert_eq!(quantize(16, 0.0), 0);
         assert_eq!(quantize(16, 1.0), (1 << 16) - 1);
         assert_eq!(quantize(16, -1.0), 0);
+        assert_eq!(quantize(16, 2.0), (1 << 16) - 1);
+    }
+
+    #[test]
+    fn unit_square_corners_hit_the_grid_corners() {
+        // The closed unit square maps onto the full default-order grid.
+        let max = (1u32 << HILBERT_ORDER) - 1;
+        assert_eq!(hilbert_decode(HILBERT_ORDER, hilbert_of(0.0, 0.0)), (0, 0));
+        assert_eq!(
+            hilbert_decode(HILBERT_ORDER, hilbert_of(1.0, 1.0)),
+            (max, max)
+        );
+        assert_eq!(
+            hilbert_decode(HILBERT_ORDER, hilbert_of(1.0, 0.0)),
+            (max, 0)
+        );
+        assert_eq!(
+            hilbert_decode(HILBERT_ORDER, hilbert_of(0.0, 1.0)),
+            (0, max)
+        );
+    }
+
+    #[test]
+    fn max_grid_cell_roundtrips_every_order() {
+        for order in [1u32, 8, 16, 32] {
+            let max = if order == 32 {
+                u32::MAX
+            } else {
+                (1u32 << order) - 1
+            };
+            let d = hilbert_encode(order, max, max);
+            assert_eq!(hilbert_decode(order, d), (max, max), "order {order}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! * [`morton`] — the Z-order curve used by the ZM index,
 //! * [`hilbert`] — the Hilbert curve used by HRR bulk loading and RSMI.
 
+pub mod convert;
 pub mod hilbert;
 pub mod morton;
 

@@ -5,13 +5,15 @@
 //! giving a 64-bit code and a 2^32 × 2^32 implicit grid — far below the
 //! `f64` coordinate resolution of any workload in the paper.
 
+use super::convert;
+
 /// Number of bits per dimension in a Morton code.
 pub const MORTON_BITS: u32 = 32;
 
 /// Spreads the lower 32 bits of `v` so that bit `i` moves to bit `2i`.
 #[inline]
 fn interleave_zeros(v: u32) -> u64 {
-    let mut x = v as u64;
+    let mut x = convert::widen(v);
     x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
     x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
     x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
@@ -29,7 +31,7 @@ fn compact_bits(v: u64) -> u32 {
     x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
     x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
     x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
-    x as u32
+    convert::narrow(x)
 }
 
 /// Encodes grid cell `(ix, iy)` into its Morton code.
@@ -54,18 +56,13 @@ pub fn morton_decode(code: u64) -> (u32, u32) {
 /// unit square is closed on both ends.
 #[inline]
 pub fn quantize(v: f64) -> u32 {
-    let scaled = v.clamp(0.0, 1.0) * (u32::MAX as f64 + 1.0);
-    if scaled >= u32::MAX as f64 {
-        u32::MAX
-    } else {
-        scaled as u32
-    }
+    convert::coord_to_cell(v, MORTON_BITS)
 }
 
 /// Dequantises a grid coordinate back to the cell's lower corner in `[0,1)`.
 #[inline]
 pub fn dequantize(v: u32) -> f64 {
-    v as f64 / (u32::MAX as f64 + 1.0)
+    convert::cell_to_coord(v, MORTON_BITS)
 }
 
 /// Morton code of a point in the unit square.
@@ -114,6 +111,24 @@ mod tests {
         assert_eq!(quantize(-0.5), 0);
         assert_eq!(quantize(2.0), u32::MAX);
         assert!(quantize(0.5) >= (u32::MAX / 2) - 1);
+    }
+
+    #[test]
+    fn unit_square_corners_hit_the_grid_corners() {
+        // The closed unit square maps onto the full 2^32 × 2^32 grid: the
+        // corners of the square land exactly on the corner cells.
+        assert_eq!(morton_of(0.0, 0.0), 0);
+        assert_eq!(morton_of(1.0, 1.0), u64::MAX);
+        assert_eq!(morton_decode(morton_of(1.0, 0.0)), (u32::MAX, 0));
+        assert_eq!(morton_decode(morton_of(0.0, 1.0)), (0, u32::MAX));
+    }
+
+    #[test]
+    fn dequantize_inverts_max_grid_cell() {
+        let corner = dequantize(u32::MAX);
+        assert!(corner < 1.0);
+        assert_eq!(quantize(corner), u32::MAX);
+        assert_eq!(dequantize(0), 0.0);
     }
 
     #[test]

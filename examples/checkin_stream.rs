@@ -8,20 +8,21 @@
 
 use elsi::{Elsi, ElsiConfig, Method, RebuildPolicy, UpdateOutcome, UpdateProcessor};
 use elsi_data::Dataset;
-use elsi_indices::{RsmiConfig, RsmiIndex, SpatialIndex};
+use elsi_indices::{timed_secs, RsmiConfig, RsmiIndex, SpatialIndex};
 use elsi_spatial::Point;
-use std::time::Instant;
 
 fn avg_point_query_micros(idx: &dyn SpatialIndex, probes: &[Point]) -> f64 {
-    let t = Instant::now();
-    let mut found = 0usize;
-    for p in probes {
-        if idx.point_query(*p).is_some() {
-            found += 1;
+    let (found, secs) = timed_secs(|| {
+        let mut found = 0usize;
+        for p in probes {
+            if idx.point_query(*p).is_some() {
+                found += 1;
+            }
         }
-    }
+        found
+    });
     std::hint::black_box(found);
-    t.elapsed().as_secs_f64() * 1e6 / probes.len() as f64
+    secs * 1e6 / probes.len() as f64
 }
 
 fn main() {

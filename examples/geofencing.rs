@@ -9,9 +9,8 @@
 
 use elsi::{Elsi, ElsiConfig, Method};
 use elsi_data::{gen, Dataset};
-use elsi_indices::{RStarConfig, RStarIndex, RsmiConfig, RsmiIndex, SpatialIndex};
+use elsi_indices::{timed, RStarConfig, RStarIndex, RsmiConfig, RsmiIndex, SpatialIndex};
 use elsi_spatial::Point;
-use std::time::Instant;
 
 fn recall(got: &[Point], want: usize) -> f64 {
     if want == 0 {
@@ -29,31 +28,31 @@ fn main() {
     // Screen viewports: 0.01% of the map each, centred on busy places.
     let viewports = gen::window_queries(&pois, 500, 0.0001, 3);
 
-    let t0 = Instant::now();
-    let rstar = RStarIndex::build(pois.clone(), &RStarConfig::default());
-    let rstar_build = t0.elapsed();
+    let (rstar, rstar_build) = timed(|| RStarIndex::build(pois.clone(), &RStarConfig::default()));
 
     let elsi = Elsi::new(ElsiConfig::scaled_for(n));
-    let t1 = Instant::now();
-    let rsmi = RsmiIndex::build(
-        pois.clone(),
-        &RsmiConfig::default(),
-        &elsi.fixed_builder(Method::Rs),
-    );
-    let rsmi_build = t1.elapsed();
+    let (rsmi, rsmi_build) = timed(|| {
+        RsmiIndex::build(
+            pois.clone(),
+            &RsmiConfig::default(),
+            &elsi.fixed_builder(Method::Rs),
+        )
+    });
 
     println!("\nBuild:  RR* {rstar_build:?}   RSMI-F {rsmi_build:?}");
 
     let mut stats: Vec<(&str, f64, f64)> = Vec::new();
     for (name, idx) in [("RR*", &rstar as &dyn SpatialIndex), ("RSMI-F", &rsmi)] {
-        let t = Instant::now();
-        let mut rec_sum = 0.0;
-        for w in &viewports {
-            let got = idx.window_query(w);
-            let want = pois.iter().filter(|p| w.contains(p)).count();
-            rec_sum += recall(&got, want);
-        }
-        let per = t.elapsed().as_secs_f64() * 1e6 / viewports.len() as f64;
+        let (rec_sum, elapsed) = timed(|| {
+            let mut rec_sum = 0.0;
+            for w in &viewports {
+                let got = idx.window_query(w);
+                let want = pois.iter().filter(|p| w.contains(p)).count();
+                rec_sum += recall(&got, want);
+            }
+            rec_sum
+        });
+        let per = elapsed.as_secs_f64() * 1e6 / viewports.len() as f64;
         stats.push((name, per, rec_sum / viewports.len() as f64));
     }
 
@@ -70,12 +69,14 @@ fn main() {
     let users = gen::knn_queries(&pois, 300, 11);
     println!("\nNearest-25-PoI queries around {} users:", users.len());
     for (name, idx) in [("RR*", &rstar as &dyn SpatialIndex), ("RSMI-F", &rsmi)] {
-        let t = Instant::now();
-        let mut total = 0usize;
-        for u in &users {
-            total += idx.knn_query(*u, 25).len();
-        }
-        let per = t.elapsed().as_secs_f64() * 1e6 / users.len() as f64;
+        let (total, elapsed) = timed(|| {
+            let mut total = 0usize;
+            for u in &users {
+                total += idx.knn_query(*u, 25).len();
+            }
+            total
+        });
+        let per = elapsed.as_secs_f64() * 1e6 / users.len() as f64;
         println!("  {name:8} {per:>12.1} µs/query ({total} neighbours returned)");
     }
 }

@@ -8,18 +8,19 @@
 
 use elsi::{Elsi, ElsiConfig, Method};
 use elsi_data::Dataset;
-use elsi_indices::{FloodConfig, FloodIndex, SpatialIndex};
+use elsi_indices::{timed, timed_secs, FloodConfig, FloodIndex, SpatialIndex};
 use elsi_spatial::Rect;
-use std::time::Instant;
 
 fn window_micros(idx: &FloodIndex, windows: &[Rect]) -> f64 {
-    let t = Instant::now();
-    let mut total = 0usize;
-    for w in windows {
-        total += idx.window_query(w).len();
-    }
+    let (total, secs) = timed_secs(|| {
+        let mut total = 0usize;
+        for w in windows {
+            total += idx.window_query(w).len();
+        }
+        total
+    });
     std::hint::black_box(total);
-    t.elapsed().as_secs_f64() * 1e6 / windows.len() as f64
+    secs * 1e6 / windows.len() as f64
 }
 
 fn main() {
@@ -63,16 +64,15 @@ fn main() {
     }
 
     // ELSI's build advantage applies to Flood like any map-and-sort index.
-    let t0 = Instant::now();
-    let _og = FloodIndex::build(
-        pts.clone(),
-        &FloodConfig { columns: cols_tall },
-        &elsi.fixed_builder(Method::Og),
-    );
-    let og = t0.elapsed();
-    let t1 = Instant::now();
-    let _fast = FloodIndex::build(pts, &FloodConfig { columns: cols_tall }, &builder);
-    let fast = t1.elapsed();
+    let (_og, og) = timed(|| {
+        FloodIndex::build(
+            pts.clone(),
+            &FloodConfig { columns: cols_tall },
+            &elsi.fixed_builder(Method::Og),
+        )
+    });
+    let (_fast, fast) =
+        timed(|| FloodIndex::build(pts, &FloodConfig { columns: cols_tall }, &builder));
     println!(
         "\nFlood build: OG {og:?} vs ELSI(RS) {fast:?} ({:.0}x)",
         og.as_secs_f64() / fast.as_secs_f64().max(1e-9)

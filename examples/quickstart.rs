@@ -6,8 +6,7 @@
 
 use elsi::{Elsi, ElsiConfig, Method};
 use elsi_data::{gen, Dataset};
-use elsi_indices::{SpatialIndex, ZmConfig, ZmIndex};
-use std::time::Instant;
+use elsi_indices::{timed, SpatialIndex, ZmConfig, ZmIndex};
 
 fn main() {
     let n = 100_000;
@@ -18,14 +17,12 @@ fn main() {
     let zm_cfg = ZmConfig { fanout: 8 };
 
     // OG: the base index trains every model on its full partition.
-    let t0 = Instant::now();
-    let og = ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Og));
-    let og_time = t0.elapsed();
+    let (og, og_time) =
+        timed(|| ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Og)));
 
     // ELSI (RS method): models train on small representative sets instead.
-    let t1 = Instant::now();
-    let fast = ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Rs));
-    let elsi_time = t1.elapsed();
+    let (fast, elsi_time) =
+        timed(|| ZmIndex::build(points.clone(), &zm_cfg, &elsi.fixed_builder(Method::Rs)));
 
     println!("\nBuild time");
     println!("  ZM   (OG, full training):    {og_time:?}");
@@ -37,14 +34,16 @@ fn main() {
 
     // Point queries: every indexed point, timed.
     for (name, idx) in [("ZM", &og), ("ZM-F", &fast)] {
-        let t = Instant::now();
-        let mut found = 0usize;
-        for p in points.iter().step_by(10) {
-            if idx.point_query(*p).is_some() {
-                found += 1;
+        let (found, elapsed) = timed(|| {
+            let mut found = 0usize;
+            for p in points.iter().step_by(10) {
+                if idx.point_query(*p).is_some() {
+                    found += 1;
+                }
             }
-        }
-        let per = t.elapsed().as_secs_f64() * 1e6 / (n / 10) as f64;
+            found
+        });
+        let per = elapsed.as_secs_f64() * 1e6 / (n / 10) as f64;
         println!(
             "\n{name}: point query {per:.2} µs/query, {found}/{} found",
             n / 10
@@ -59,9 +58,13 @@ fn main() {
     // Window queries.
     let windows = gen::window_queries(&points, 200, 0.0001, 7);
     for (name, idx) in [("ZM", &og), ("ZM-F", &fast)] {
-        let t = Instant::now();
-        let total: usize = windows.iter().map(|w| idx.window_query(w).len()).sum();
-        let per = t.elapsed().as_secs_f64() * 1e6 / windows.len() as f64;
+        let (total, elapsed) = timed(|| {
+            windows
+                .iter()
+                .map(|w| idx.window_query(w).len())
+                .sum::<usize>()
+        });
+        let per = elapsed.as_secs_f64() * 1e6 / windows.len() as f64;
         println!(
             "{name}: window query {per:.1} µs/query ({total} results over {} windows)",
             windows.len()
