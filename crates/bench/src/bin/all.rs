@@ -2,8 +2,20 @@
 //! paper's order. Each experiment also has its own binary for isolated
 //! runs; this orchestrator shares the built index matrix across Figs. 8,
 //! 10, 12 and 14 to avoid rebuilding it four times.
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write the shared matrix's per-experiment
+//!   `{build_secs, query_micros}` records to `<path>` (see
+//!   `elsi_bench::json`), e.g.
+//!   `cargo run --release -p elsi-bench --bin all -- --json results/BENCH_elsi.json`.
+//! * `--json-only` — run only the shared matrix (skip the per-figure
+//!   binaries); combined with `--json` this is the CI perf-artifact smoke
+//!   run.
 
+use elsi_bench::json::write_json;
 use elsi_bench::matrix::{run, MatrixOpts};
+use std::path::PathBuf;
 use std::process::Command;
 
 fn run_bin(name: &str) {
@@ -22,15 +34,40 @@ fn run_bin(name: &str) {
 }
 
 fn main() {
-    run_bin("fig06_selector");
-    run_bin("fig07_pareto");
-    run_bin("table1_cost");
-    run_bin("table2_ablation");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let json_only = args.iter().any(|a| a == "--json-only");
+
+    if !json_only {
+        run_bin("fig06_selector");
+        run_bin("fig07_pareto");
+        run_bin("table1_cost");
+        run_bin("table2_ablation");
+    }
     println!("\n################ figs 8 / 10 / 12 / 14 (shared matrix) ################");
-    run(MatrixOpts::all());
-    run_bin("fig09_build_lambda");
-    run_bin("fig11_point_lambda");
-    run_bin("fig13_window_sweep");
-    run_bin("fig15_updates");
-    run_bin("fig16_window_updates");
+    let records = run(MatrixOpts::all());
+    if let Some(path) = &json_path {
+        match write_json(path, &records) {
+            Ok(()) => eprintln!(
+                "[all] wrote {} records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("[all] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if !json_only {
+        run_bin("fig09_build_lambda");
+        run_bin("fig11_point_lambda");
+        run_bin("fig13_window_sweep");
+        run_bin("fig15_updates");
+        run_bin("fig16_window_updates");
+    }
 }

@@ -1,0 +1,126 @@
+//! Machine-readable benchmark results.
+//!
+//! A minimal hand-rolled JSON emitter (the workspace is dependency-free by
+//! design — no serde) for the `--json <path>` flag of the `all` binary:
+//! each record carries the experiment id, a human label (`dataset/variant`)
+//! and the two headline measurements, so perf trajectories can be tracked
+//! as `results/BENCH_*.json` artifacts across commits.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One `{experiment, label, build_secs, query_micros}` result row.
+#[derive(Debug, Clone)]
+pub struct JsonRecord {
+    /// Experiment id (e.g. `"matrix"`).
+    pub experiment: String,
+    /// Row label (e.g. `"uniform/ML-F"`).
+    pub label: String,
+    /// Measured build wall-clock in seconds.
+    pub build_secs: f64,
+    /// Average point-query latency in microseconds (`NaN` when the run did
+    /// not measure queries; emitted as JSON `null`).
+    pub query_micros: f64,
+}
+
+impl JsonRecord {
+    /// Convenience constructor.
+    pub fn new(experiment: &str, label: String, build_secs: f64, query_micros: f64) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            label,
+            build_secs,
+            query_micros,
+        }
+    }
+}
+
+/// JSON string escaping for the label fields.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number, or `null` for non-finite values (JSON has no NaN/inf).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises records as a JSON array, one object per line.
+pub fn to_json(records: &[JsonRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"experiment\": \"{}\", \"label\": \"{}\", \"build_secs\": {}, \"query_micros\": {}}}{sep}\n",
+            esc(&r.experiment),
+            esc(&r.label),
+            num(r.build_secs),
+            num(r.query_micros),
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes records to `path`, creating parent directories as needed.
+pub fn write_json(path: &Path, records: &[JsonRecord]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(path, to_json(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_records_with_escaping_and_null() {
+        let records = [
+            JsonRecord::new("matrix", "uniform/ML-F".to_string(), 0.125, 3.5),
+            JsonRecord::new("matrix", "odd\"label\\".to_string(), 1.0, f64::NAN),
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"build_secs\": 0.125000"));
+        assert!(json.contains("\"query_micros\": null"));
+        assert!(json.contains("odd\\\"label\\\\"));
+        // Exactly one separator for two records.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn empty_record_set_is_valid_json() {
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn writes_through_missing_directories() {
+        let dir = std::env::temp_dir().join(format!("elsi_json_{}", std::process::id()));
+        let path = dir.join("nested").join("BENCH_test.json");
+        let records = [JsonRecord::new("smoke", "a/b".to_string(), 0.5, 1.5)];
+        write_json(&path, &records).map_err(|e| e.to_string()).ok();
+        let body = fs::read_to_string(&path).unwrap_or_default();
+        assert!(body.contains("\"experiment\": \"smoke\""), "body: {body}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,6 +3,7 @@
 //! window and kNN measurements selectable per figure.
 
 use crate::harness::*;
+use crate::json::JsonRecord;
 use elsi_data::Dataset;
 
 /// Which measurements a figure needs.
@@ -65,7 +66,11 @@ pub fn main_variants() -> Vec<(IndexKind, BuilderKind)> {
 }
 
 /// Runs the matrix and prints one table per requested measurement.
-pub fn run(opts: MatrixOpts) {
+///
+/// Also returns one [`JsonRecord`] per `dataset × variant` cell (build
+/// seconds plus point-query µs when measured, `NaN`→`null` otherwise) for
+/// the `--json` emitter of the `all` binary.
+pub fn run(opts: MatrixOpts) -> Vec<JsonRecord> {
     let base = base_n();
     let ctx = BenchCtx::with_scorer(base);
     let variants = main_variants();
@@ -74,6 +79,7 @@ pub fn run(opts: MatrixOpts) {
     let mut point_rows = Vec::new();
     let mut window_rows = Vec::new();
     let mut knn_rows = Vec::new();
+    let mut records = Vec::new();
 
     for ds in Dataset::all() {
         eprintln!("[matrix] {ds} …");
@@ -85,12 +91,19 @@ pub fn run(opts: MatrixOpts) {
 
         for (kind, b) in &variants {
             let (idx, secs) = ctx.build(*kind, b, wl.pts.clone());
+            let mut rec = JsonRecord::new(
+                "matrix",
+                format!("{}/{}", ds.name(), b.label(*kind)),
+                secs,
+                f64::NAN,
+            );
             if opts.build {
                 build_row.push(fmt_secs(secs));
             }
             if opts.point {
                 let micros = point_query_micros(idx.as_ref(), &wl.pts, 2000);
                 point_row.push(format!("{micros:.2}"));
+                rec.query_micros = micros;
             }
             if opts.window {
                 let (micros, recall) = window_query_stats(idx.as_ref(), &wl.pts, &wl.windows);
@@ -100,6 +113,7 @@ pub fn run(opts: MatrixOpts) {
                 let (micros, recall) = knn_query_stats(idx.as_ref(), &wl.pts, &wl.knn, opts.k);
                 knn_row.push(format!("{micros:.0}/{:.2}", recall));
             }
+            records.push(rec);
         }
         build_rows.push(build_row);
         point_rows.push(point_row);
@@ -139,4 +153,5 @@ pub fn run(opts: MatrixOpts) {
             &knn_rows,
         );
     }
+    records
 }

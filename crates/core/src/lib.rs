@@ -106,7 +106,10 @@ impl Elsi {
 
     /// Runs the remaining ELSI preparation: measures per-method costs over
     /// generated data sets (`sizes` × the skew grid) and trains the method
-    /// scorer on them.
+    /// scorer on them. Grid cells are measured in parallel on the rayon
+    /// pool ([`scorer::measure_method_costs`]); per-cell seeds keep every
+    /// cost *feature* bit-identical to the serial reference regardless of
+    /// thread count, so the trained scorer's selections are deterministic.
     pub fn prepare_scorer(
         &mut self,
         sizes: &[usize],

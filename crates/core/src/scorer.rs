@@ -27,6 +27,7 @@ use elsi_ml::{
 use elsi_spatial::{MappedData, MortonMapper, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Number of scorer input features: 7 method slots + log-cardinality +
 /// distance from uniform.
@@ -107,7 +108,12 @@ impl MethodScorer {
     /// Predicted `(build_rel, query_rel)` log-costs of a method.
     pub fn predict(&self, method: Method, n: usize, dist_u: f64) -> (f64, f64) {
         let f = features(method, n, dist_u);
-        (self.build_net.forward(&f)[0], self.query_net.forward(&f)[0])
+        // Allocation-free scalar path: `select` runs this once per allowed
+        // method on every partition of every build.
+        (
+            self.build_net.predict_scalar(&f),
+            self.query_net.predict_scalar(&f),
+        )
     }
 
     /// Combined score of Eq. 2 (lower is better in log-relative costs).
@@ -153,10 +159,80 @@ pub fn skewed_dataset(n: usize, s: i32, seed: u64) -> Vec<Point> {
 /// distribution levels).
 pub const SKEW_GRID: [i32; 10] = [1, 2, 3, 4, 6, 8, 12, 18, 26, 40];
 
+/// Measures one `(skew, size)` grid cell: generates the data set from its
+/// own deterministic seed (`seed ^ (di·131 + si)`, the PR-1 per-partition
+/// scheme) and measures every method on it. Pure in everything except the
+/// wall-clock readings, which go through the sanctioned `timed`/`timed_secs`
+/// helpers — so cells can run on any thread, in any order.
+fn measure_cell(
+    cell: (usize, usize, i32, usize),
+    methods: &[Method],
+    cfg: &ElsiConfig,
+    mr_pool: &MrPool,
+    seed: u64,
+) -> Vec<MethodCosts> {
+    let (di, si, s, n) = cell;
+    let pts = skewed_dataset(n, s, seed ^ ((di * 131 + si) as u64));
+    let data = MappedData::build(pts, &MortonMapper);
+    let dist_u = dist_from_uniform(data.keys());
+    methods
+        .iter()
+        .map(|&m| {
+            let (built, build_secs) = build_with_method(m, &data, cfg, mr_pool, seed);
+            let query_micros = measure_query_micros(&built, &data, 512);
+            MethodCosts {
+                method: m,
+                n,
+                dist_u,
+                build_secs,
+                query_micros,
+                err_span: built.model.err_span(),
+            }
+        })
+        .collect()
+}
+
 /// Measures ground-truth build and query costs of every method in
 /// `methods` over generated data sets of the given sizes × skews
 /// (the "ELSI preparation" measurement pass).
+///
+/// Grid cells are independent — each generates its own data set from a
+/// per-cell seed — so they are fanned out on the rayon pool. The map is
+/// order-preserving, so the output order (skews outer, sizes inner, methods
+/// innermost) is identical to the serial reference
+/// [`measure_method_costs_serial`], and so are all cost-feature fields
+/// (`method`, `n`, `dist_u`, `err_span`). Only the `build_secs` /
+/// `query_micros` timing fields can differ: they are honest wall-clock
+/// readings taken on whichever worker ran the cell, and on an
+/// oversubscribed pool concurrent cells contend for cores. Scorer
+/// *decisions* are unaffected in practice because method build-cost ratios
+/// are orders of magnitude apart (pinned by the serial-vs-parallel
+/// equivalence tests).
 pub fn measure_method_costs(
+    sizes: &[usize],
+    skews: &[i32],
+    methods: &[Method],
+    cfg: &ElsiConfig,
+    mr_pool: &MrPool,
+    seed: u64,
+) -> Vec<MethodCosts> {
+    let cells: Vec<(usize, usize, i32, usize)> = skews
+        .iter()
+        .enumerate()
+        .flat_map(|(di, &s)| sizes.iter().enumerate().map(move |(si, &n)| (di, si, s, n)))
+        .collect();
+    let per_cell: Vec<Vec<MethodCosts>> = cells
+        .into_par_iter()
+        .map(|cell| measure_cell(cell, methods, cfg, mr_pool, seed))
+        .collect();
+    per_cell.into_iter().flatten().collect()
+}
+
+/// Serial reference for [`measure_method_costs`]: same cells, same seeds,
+/// same output order, measured one cell at a time on the calling thread.
+/// Used by the equivalence tests and for timing-sensitive calibration runs
+/// where cells must not contend with each other.
+pub fn measure_method_costs_serial(
     sizes: &[usize],
     skews: &[i32],
     methods: &[Method],
@@ -167,21 +243,7 @@ pub fn measure_method_costs(
     let mut out = Vec::new();
     for (di, &s) in skews.iter().enumerate() {
         for (si, &n) in sizes.iter().enumerate() {
-            let pts = skewed_dataset(n, s, seed ^ ((di * 131 + si) as u64));
-            let data = MappedData::build(pts, &MortonMapper);
-            let dist_u = dist_from_uniform(data.keys());
-            for &m in methods {
-                let (built, build_secs) = build_with_method(m, &data, cfg, mr_pool, seed);
-                let query_micros = measure_query_micros(&built, &data, 512);
-                out.push(MethodCosts {
-                    method: m,
-                    n,
-                    dist_u,
-                    build_secs,
-                    query_micros,
-                    err_span: built.model.err_span(),
-                });
-            }
+            out.extend(measure_cell((di, si, s, n), methods, cfg, mr_pool, seed));
         }
     }
     out
@@ -575,6 +637,52 @@ mod tests {
         let allowed = [Method::Sp, Method::Mr, Method::Og];
         for _ in 0..30 {
             assert!(allowed.contains(&r.select(&allowed)));
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_reference() {
+        let cfg = ElsiConfig {
+            train: TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+            ..ElsiConfig::fast_test()
+        };
+        let pool = MrPool::generate(&cfg, 1);
+        let methods = [Method::Sp, Method::Og];
+        let sizes = [300, 500];
+        let skews = [1, 8];
+        let par = measure_method_costs(&sizes, &skews, &methods, &cfg, &pool, 7);
+        let ser = measure_method_costs_serial(&sizes, &skews, &methods, &cfg, &pool, 7);
+
+        // Cost-feature fields must match bit-for-bit, in the same order;
+        // only the wall-clock fields (build_secs, query_micros) may differ.
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.method, s.method);
+            assert_eq!(p.n, s.n);
+            assert_eq!(p.dist_u.to_bits(), s.dist_u.to_bits(), "{}", p.method);
+            assert_eq!(p.err_span, s.err_span, "{}", p.method);
+            assert!(p.build_secs > 0.0 && s.build_secs > 0.0);
+        }
+
+        // The scorers trained from either run must make the same picks at
+        // build-dominated λ, where SP-vs-OG build ratios (40–100×) dwarf
+        // any timing jitter between the runs.
+        let scorer_par = MethodScorer::train(&samples_from_costs(&par), 1);
+        let scorer_ser = MethodScorer::train(&samples_from_costs(&ser), 1);
+        let allowed = [Method::Sp, Method::Og];
+        for c in ser.iter().filter(|c| c.method == Method::Og) {
+            for lambda in [0.8, 1.0] {
+                assert_eq!(
+                    scorer_par.select(c.n, c.dist_u, lambda, 1.0, &allowed),
+                    scorer_ser.select(c.n, c.dist_u, lambda, 1.0, &allowed),
+                    "picks diverge at n={} dist={} λ={lambda}",
+                    c.n,
+                    c.dist_u
+                );
+            }
         }
     }
 

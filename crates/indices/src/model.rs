@@ -143,6 +143,12 @@ impl RankModel {
     }
 
     /// Predicted position (rank) of `key`, clamped to `[0, n)`.
+    ///
+    /// This is the query hot path (model invocation `M(1)`), and it is the
+    /// same code the `M(n)` bound-derivation pass runs over every key at
+    /// build time, so it must stay allocation-free: for FFN models it
+    /// bottoms out in `Ffn::predict1` / `predict_scalar`, whose stack-buffer
+    /// evaluation is pinned by `crates/ml/tests/alloc_free.rs`.
     #[inline]
     pub fn predict(&self, key: f64) -> i64 {
         self.f.predict_fraction_or_rank(key, self.n)

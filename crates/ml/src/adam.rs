@@ -34,24 +34,47 @@ impl Adam {
         self.lr
     }
 
+    /// Advances the moment estimates for `grads` and returns the bias
+    /// correction factors `(1 - β₁ᵗ, 1 - β₂ᵗ)` for this step.
+    #[inline]
+    fn advance(&mut self, grads: &[f64]) -> (f64, f64) {
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        for ((m, v), &g) in self.m.iter_mut().zip(&mut self.v).zip(grads) {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+        }
+        (
+            1.0 - self.beta1.powi(self.t as i32),
+            1.0 - self.beta2.powi(self.t as i32),
+        )
+    }
+
     /// Computes the parameter step for `grads` and writes it into `step`
     /// (`step[i]` is *added* to parameter `i`).
     ///
     /// # Panics
     /// Panics if the lengths disagree with the optimiser size.
     pub fn step_into(&mut self, grads: &[f64], step: &mut [f64]) {
-        assert_eq!(grads.len(), self.m.len());
         assert_eq!(step.len(), self.m.len());
-        self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..grads.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / b1t;
-            let v_hat = self.v[i] / b2t;
-            step[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        let (b1t, b2t) = self.advance(grads);
+        for ((s, &m), &v) in step.iter_mut().zip(&self.m).zip(&self.v) {
+            *s = -self.lr * (m / b1t) / ((v / b2t).sqrt() + self.eps);
+        }
+    }
+
+    /// Fused step: updates the moments for `grads` and applies the update to
+    /// `params` in place, in one pass over the flat vector — no intermediate
+    /// step buffer. Equivalent to `step_into` followed by
+    /// [`crate::ffn::Ffn::apply_step`].
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree with the optimiser size.
+    pub fn step_params(&mut self, grads: &[f64], params: &mut [f64]) {
+        assert_eq!(params.len(), self.m.len());
+        let (b1t, b2t) = self.advance(grads);
+        for ((p, &m), &v) in params.iter_mut().zip(&self.m).zip(&self.v) {
+            *p -= self.lr * (m / b1t) / ((v / b2t).sqrt() + self.eps);
         }
     }
 }
@@ -90,6 +113,29 @@ mod tests {
             p += step[0];
         }
         assert!((p - 3.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn fused_step_matches_step_into_bitwise() {
+        let mut a = Adam::new(4, 0.05);
+        let mut b = Adam::new(4, 0.05);
+        let mut params_a = vec![0.1, -0.2, 0.3, -0.4];
+        let mut params_b = params_a.clone();
+        let mut step = vec![0.0; 4];
+        for i in 0..20 {
+            let g: Vec<f64> = params_a
+                .iter()
+                .map(|p| 2.0 * (p - 1.0) + i as f64 * 0.01)
+                .collect();
+            a.step_into(&g, &mut step);
+            for (p, s) in params_a.iter_mut().zip(&step) {
+                *p += s;
+            }
+            b.step_params(&g, &mut params_b);
+            // The fused path must be bit-identical, not just close: trainer
+            // determinism tests pin exact parameter bytes.
+            assert_eq!(params_a, params_b, "diverged at iteration {i}");
+        }
     }
 
     #[test]

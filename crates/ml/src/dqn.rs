@@ -7,7 +7,7 @@
 //! discount factor is γ = 0.9 and the toggle-acceptance probability ζ = 0.8.
 
 use crate::adam::Adam;
-use crate::ffn::{Cache, Ffn};
+use crate::ffn::{Cache, Ffn, Gradients};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +69,13 @@ impl ReplayBuffer {
             .map(|_| &self.items[rng.gen_range(0..self.items.len())])
             .collect()
     }
+
+    /// The transition at buffer slot `i` (`i < len()`), for index-based
+    /// iteration that avoids cloning sampled transitions.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Transition {
+        &self.items[i]
+    }
 }
 
 /// DQN hyperparameters.
@@ -105,6 +112,10 @@ impl Default for DqnConfig {
 }
 
 /// A deep Q-network agent over a discrete action space.
+///
+/// All training scratch (forward caches for both networks, the gradient
+/// buffer, the output-error vector, the sampled-index buffer) lives on the
+/// agent, so [`Dqn::train_step`] performs zero allocations in steady state.
 #[derive(Debug)]
 pub struct Dqn {
     online: Ffn,
@@ -115,6 +126,10 @@ pub struct Dqn {
     rng: StdRng,
     train_steps: usize,
     cache: Cache,
+    target_cache: Cache,
+    grads: Gradients,
+    d_out: Vec<f64>,
+    idx_buf: Vec<usize>,
 }
 
 impl Dqn {
@@ -123,6 +138,7 @@ impl Dqn {
         let online = Ffn::new(&[state_dim, cfg.hidden, n_actions], seed);
         let target = online.clone();
         let opt = Adam::new(online.num_params(), cfg.lr);
+        let grads = online.zero_grads();
         Self {
             online,
             target,
@@ -132,6 +148,10 @@ impl Dqn {
             rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             train_steps: 0,
             cache: Cache::default(),
+            target_cache: Cache::default(),
+            grads,
+            d_out: vec![0.0; n_actions],
+            idx_buf: Vec::with_capacity(cfg.batch_size),
         }
     }
 
@@ -162,44 +182,46 @@ impl Dqn {
 
     /// Runs one mini-batch TD-learning step; returns the batch TD loss, or
     /// `None` if the buffer is still empty.
+    ///
+    /// Allocation-free in steady state: transitions are visited by sampled
+    /// index (no cloning), both forward passes reuse the agent's caches, and
+    /// the optimiser step is fused into the parameter vector.
     pub fn train_step(&mut self) -> Option<f64> {
         if self.buffer.is_empty() {
             return None;
         }
         let k = self.cfg.batch_size.min(self.buffer.len());
-        // Clone out the sampled transitions to end the buffer borrow.
-        let batch: Vec<Transition> = self
-            .buffer
-            .sample(k, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
-
-        let n_actions = self.n_actions();
-        let mut grads = self.online.zero_grads();
-        let mut d_out = vec![0.0; n_actions];
-        let mut loss = 0.0;
-        for t in &batch {
-            // TD target: r + γ · max_a' Q_target(s', a').
-            let next_q = self.target.forward(&t.next_state);
-            let target = t.reward + self.cfg.gamma * max_of(&next_q);
-            let q = self
-                .online
-                .forward_cached_vec(&t.state, &mut self.cache)
-                .to_vec();
-            let diff = q[t.action] - target;
-            loss += diff * diff;
-            d_out.iter_mut().for_each(|d| *d = 0.0);
-            d_out[t.action] = 2.0 * diff / k as f64;
-            self.online.backward(&self.cache, &d_out, &mut grads);
+        // Same RNG draw order as the old clone-out sampling: k uniform
+        // indices with replacement.
+        self.idx_buf.clear();
+        for _ in 0..k {
+            let i = self.rng.gen_range(0..self.buffer.len());
+            self.idx_buf.push(i);
         }
-        let mut step = vec![0.0; grads.flat.len()];
-        self.opt.step_into(&grads.flat, &mut step);
-        self.online.apply_step(&step);
+
+        self.grads.reset();
+        let mut loss = 0.0;
+        for j in 0..k {
+            let t = self.buffer.get(self.idx_buf[j]);
+            // TD target: r + γ · max_a' Q_target(s', a').
+            let next_q = self
+                .target
+                .forward_cached_vec(&t.next_state, &mut self.target_cache);
+            let target = t.reward + self.cfg.gamma * max_of(next_q);
+            let q_a = self.online.forward_cached_vec(&t.state, &mut self.cache)[t.action];
+            let diff = q_a - target;
+            loss += diff * diff;
+            self.d_out.fill(0.0);
+            self.d_out[t.action] = 2.0 * diff / k as f64;
+            self.online
+                .backward(&mut self.cache, &self.d_out, &mut self.grads);
+        }
+        self.opt
+            .step_params(&self.grads.flat, self.online.params_mut());
 
         self.train_steps += 1;
         if self.train_steps % self.cfg.target_sync == 0 {
-            self.target = self.online.clone();
+            self.target.clone_params_from(&self.online);
         }
         Some(loss / k as f64)
     }

@@ -6,100 +6,179 @@
 //! the paper's PyTorch substrate with a compact, deterministic, CPU-only
 //! implementation whose training cost is linear in the training-set size —
 //! exactly the `T(|D_S|)` vs `T(n)` asymmetry that ELSI exploits.
+//!
+//! ## Kernel layout
+//!
+//! Parameters live in **one flat `Vec<f64>`**, layer-major (weights then
+//! biases per layer), with per-layer offsets precomputed at construction.
+//! Gradients share the same layout, so backpropagation writes straight into
+//! `Gradients::flat` with no per-call offset bookkeeping, and the Adam
+//! optimiser can fuse its moment update with the parameter step in a single
+//! pass over the flat vector ([`crate::adam::Adam::step_params`]).
+//!
+//! All per-sample scratch (activations, pre-activations, the two
+//! backpropagation delta buffers) lives in a reusable [`Cache`]: a training
+//! loop that keeps one `Cache` and one `Gradients` performs **zero
+//! allocations per sample** in steady state (pinned by
+//! `crates/ml/tests/alloc_free.rs`). The inner dot-product / axpy kernels
+//! are unrolled four wide with independent accumulators; the summation
+//! order is fixed, so results stay bit-identical across runs and thread
+//! counts.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One dense (fully connected) layer: `y = W·x + b`.
+/// Widest layer the stack-allocated scalar fast path supports; wider
+/// networks fall back to the heap-allocating [`Ffn::forward`].
+const SCALAR_PATH_MAX_WIDTH: usize = 128;
+
+/// Four-wide unrolled dot product with independent accumulators.
 ///
-/// Weights are stored row-major (`w[o * fan_in + i]`), which keeps the
-/// forward pass a sequence of contiguous dot products.
-#[derive(Debug, Clone)]
-pub struct Dense {
-    fan_in: usize,
-    fan_out: usize,
-    w: Vec<f64>,
-    b: Vec<f64>,
+/// The fixed `(s0 + s1) + (s2 + s3) + tail` combination order keeps the
+/// result deterministic while letting the CPU run four FMA chains in
+/// parallel.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a
+        .chunks_exact(4)
+        .remainder()
+        .iter()
+        .zip(b.chunks_exact(4).remainder())
+    {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
-impl Dense {
-    fn new(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
-        // He initialisation, appropriate for ReLU activations.
-        let scale = (2.0 / fan_in as f64).sqrt();
-        let w = (0..fan_in * fan_out)
-            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
-            .collect();
-        let b = vec![0.0; fan_out];
-        Self {
-            fan_in,
-            fan_out,
-            w,
-            b,
-        }
+/// Four-wide unrolled `y += a · x` (the rank-1 update of backpropagation).
+#[inline]
+fn axpy4(y: &mut [f64], a: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    for (cy, cx) in y.chunks_exact_mut(4).zip(x.chunks_exact(4)) {
+        cy[0] += a * cx[0];
+        cy[1] += a * cx[1];
+        cy[2] += a * cx[2];
+        cy[3] += a * cx[3];
+    }
+    for (py, px) in y[n - n % 4..].iter_mut().zip(&x[n - n % 4..]) {
+        *py += a * px;
+    }
+}
+
+/// Shape metadata of one dense layer inside the flat parameter vector:
+/// `y = W·x + b` with `W` row-major at `w_off` and `b` at `b_off`.
+#[derive(Debug, Clone, Copy)]
+struct Layer {
+    fan_in: usize,
+    fan_out: usize,
+    w_off: usize,
+    b_off: usize,
+}
+
+impl Layer {
+    #[inline]
+    fn w<'p>(&self, params: &'p [f64]) -> &'p [f64] {
+        &params[self.w_off..self.w_off + self.fan_in * self.fan_out]
     }
 
     #[inline]
-    fn forward_into(&self, x: &[f64], out: &mut [f64]) {
-        debug_assert_eq!(x.len(), self.fan_in);
-        debug_assert_eq!(out.len(), self.fan_out);
-        for (o, out_v) in out.iter_mut().enumerate() {
-            let row = &self.w[o * self.fan_in..(o + 1) * self.fan_in];
-            let mut acc = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            *out_v = acc;
-        }
+    fn b<'p>(&self, params: &'p [f64]) -> &'p [f64] {
+        &params[self.b_off..self.b_off + self.fan_out]
     }
 
-    fn num_params(&self) -> usize {
-        self.w.len() + self.b.len()
+    /// `out = W·x + b` via the unrolled dot kernel. Scalar inputs
+    /// (`fan_in == 1`, the first layer of every rank model) take a fused
+    /// single loop instead of per-row kernel calls.
+    #[inline]
+    fn forward_into(&self, params: &[f64], x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.fan_in);
+        debug_assert_eq!(out.len(), self.fan_out);
+        let w = self.w(params);
+        let b = self.b(params);
+        if self.fan_in == 1 {
+            let x0 = x[0];
+            for ((out_v, &wv), &bv) in out.iter_mut().zip(w).zip(b) {
+                *out_v = bv + wv * x0;
+            }
+            return;
+        }
+        for (o, out_v) in out.iter_mut().enumerate() {
+            *out_v = b[o] + dot4(&w[o * self.fan_in..(o + 1) * self.fan_in], x);
+        }
     }
 }
 
 /// A multi-layer perceptron. Hidden layers use ReLU; the output is linear.
 #[derive(Debug, Clone)]
 pub struct Ffn {
-    layers: Vec<Dense>,
     sizes: Vec<usize>,
+    layers: Vec<Layer>,
+    /// All parameters, layer-major (weights then biases per layer).
+    params: Vec<f64>,
+    /// Widest layer (input included), for scratch sizing.
+    max_width: usize,
 }
 
-/// Per-training-step gradient buffer, laid out layer by layer
-/// (weights then biases for each layer).
+/// Per-training-step gradient buffer matching [`Ffn::params_flat`] order.
 #[derive(Debug, Clone)]
 pub struct Gradients {
     /// Flat gradient vector matching [`Ffn::params_flat`] order.
     pub flat: Vec<f64>,
 }
 
-/// Forward-pass activation cache used by backpropagation.
+impl Gradients {
+    /// Zeroes the buffer for the next accumulation (no reallocation).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.flat.fill(0.0);
+    }
+}
+
+/// Forward-pass activation cache and backpropagation scratch.
 ///
 /// `act[l]` is the input to layer `l` (so `act[0]` is the network input) and
-/// `pre[l]` is layer `l`'s pre-activation output. Buffers are lazily shaped
-/// on first use and reused afterwards.
+/// `pre[l]` is layer `l`'s pre-activation output; `delta` / `prev` are the
+/// two backpropagation delta buffers, sized to the widest layer. Buffers are
+/// lazily shaped on first use and reused afterwards, so a loop that keeps
+/// one `Cache` performs no per-sample allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Cache {
     pre: Vec<Vec<f64>>,
     act: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    prev: Vec<f64>,
+    /// The layer sizes the buffers are currently shaped for.
+    shaped_for: Vec<usize>,
 }
 
 impl Cache {
-    fn ensure_shape(&mut self, sizes: &[usize]) {
-        let n_layers = sizes.len() - 1;
-        let shaped = self.act.len() == n_layers
-            && self.pre.len() == n_layers
-            && self.act.iter().zip(sizes).all(|(a, &s)| a.len() == s)
-            && self.pre.iter().zip(&sizes[1..]).all(|(p, &s)| p.len() == s);
-        if !shaped {
-            self.act = sizes[..n_layers].iter().map(|&s| vec![0.0; s]).collect();
-            self.pre = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
+    fn ensure_shape(&mut self, sizes: &[usize], max_width: usize) {
+        if self.shaped_for == sizes {
+            return;
         }
+        let n_layers = sizes.len() - 1;
+        self.act = sizes[..n_layers].iter().map(|&s| vec![0.0; s]).collect();
+        self.pre = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
+        self.delta = vec![0.0; max_width];
+        self.prev = vec![0.0; max_width];
+        self.shaped_for = sizes.to_vec();
     }
 }
 
 impl Ffn {
     /// Creates an FFN with the given layer sizes, e.g. `[1, 16, 1]` for the
-    /// rank models. Weights are seeded for reproducibility.
+    /// rank models. Weights are seeded for reproducibility (He
+    /// initialisation, biases zero).
     ///
     /// # Panics
     /// Panics if fewer than two sizes are given or any size is zero.
@@ -110,13 +189,29 @@ impl Ffn {
         );
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers = sizes
-            .windows(2)
-            .map(|w| Dense::new(w[0], w[1], &mut rng))
-            .collect();
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        let mut params = Vec::new();
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let w_off = params.len();
+            // He initialisation, appropriate for ReLU activations.
+            let scale = (2.0 / fan_in as f64).sqrt();
+            params.extend((0..fan_in * fan_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale));
+            let b_off = params.len();
+            params.extend(std::iter::repeat_n(0.0, fan_out));
+            layers.push(Layer {
+                fan_in,
+                fan_out,
+                w_off,
+                b_off,
+            });
+        }
+        let max_width = sizes.iter().copied().max().unwrap_or(1);
         Self {
-            layers,
             sizes: sizes.to_vec(),
+            layers,
+            params,
+            max_width,
         }
     }
 
@@ -139,24 +234,60 @@ impl Ffn {
 
     /// Total number of trainable parameters.
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(Dense::num_params).sum()
+        self.params.len()
+    }
+
+    /// The flat parameter vector (layer-major, weights then biases per
+    /// layer), borrowed.
+    #[inline]
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutable access to the flat parameter vector, for fused optimiser
+    /// steps ([`crate::adam::Adam::step_params`]).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Copies the parameters of a same-shape network without allocating
+    /// (the DQN's online → target sync).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn clone_params_from(&mut self, other: &Ffn) {
+        assert_eq!(self.sizes, other.sizes, "shape mismatch");
+        self.params.copy_from_slice(&other.params);
     }
 
     /// Runs the network on `x`, writing the output into `out`.
+    ///
+    /// Cold-path convenience: allocates two ping-pong buffers per call.
+    /// Hot loops should hold a [`Cache`] and use [`Ffn::forward_cached_vec`]
+    /// instead.
     pub fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) {
-        let mut cur = x.to_vec();
+        debug_assert_eq!(x.len(), self.input_dim());
+        let mut a = vec![0.0; self.max_width];
+        let mut b = vec![0.0; self.max_width];
+        a[..x.len()].copy_from_slice(x);
+        let (mut cur, mut nxt) = (&mut a, &mut b);
         let last = self.layers.len() - 1;
         for (l, layer) in self.layers.iter().enumerate() {
-            let mut next = vec![0.0; layer.fan_out];
-            layer.forward_into(&cur, &mut next);
+            layer.forward_into(
+                &self.params,
+                &cur[..layer.fan_in],
+                &mut nxt[..layer.fan_out],
+            );
             if l != last {
-                for v in &mut next {
+                for v in &mut nxt[..layer.fan_out] {
                     *v = v.max(0.0);
                 }
             }
-            cur = next;
+            std::mem::swap(&mut cur, &mut nxt);
         }
-        *out = cur;
+        out.clear();
+        out.extend_from_slice(&cur[..self.output_dim()]);
     }
 
     /// Runs the network on `x` and returns the output vector.
@@ -166,24 +297,62 @@ impl Ffn {
         out
     }
 
+    /// Allocation-free scalar inference for networks with a single output
+    /// and layers no wider than 128: ping-pongs activations through two
+    /// stack buffers. Wider networks fall back to [`Ffn::forward`].
+    ///
+    /// This is the general-depth counterpart of [`Ffn::predict1`], used by
+    /// the method scorer and the rebuild predictor whose inputs are feature
+    /// vectors rather than single keys.
+    pub fn predict_scalar(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.input_dim());
+        debug_assert_eq!(self.output_dim(), 1);
+        if self.max_width > SCALAR_PATH_MAX_WIDTH {
+            return self.forward(x)[0];
+        }
+        let mut a = [0.0f64; SCALAR_PATH_MAX_WIDTH];
+        let mut b = [0.0f64; SCALAR_PATH_MAX_WIDTH];
+        a[..x.len()].copy_from_slice(x);
+        let (mut cur, mut nxt) = (&mut a, &mut b);
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward_into(
+                &self.params,
+                &cur[..layer.fan_in],
+                &mut nxt[..layer.fan_out],
+            );
+            if l != last {
+                for v in &mut nxt[..layer.fan_out] {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        cur[0]
+    }
+
     /// Scalar convenience for `1 → … → 1` rank models: the hot path of
     /// predict-and-scan (cost `M(1)` in the paper's analysis).
+    /// Allocation-free at every depth (≤ 128-wide layers).
     #[inline]
     pub fn predict1(&self, x: f64) -> f64 {
         debug_assert_eq!(self.input_dim(), 1);
         debug_assert_eq!(self.output_dim(), 1);
-        // Unrolled two-layer fast path ([1, H, 1]) avoids allocation.
+        // Unrolled two-layer fast path ([1, H, 1]): one fused loop, no
+        // intermediate activation store.
         if self.layers.len() == 2 {
-            let h = &self.layers[0];
-            let o = &self.layers[1];
-            let mut acc = o.b[0];
+            let h = self.layers[0];
+            let o = self.layers[1];
+            let (hw, hb) = (h.w(&self.params), h.b(&self.params));
+            let ow = o.w(&self.params);
+            let mut acc = self.params[o.b_off];
             for j in 0..h.fan_out {
-                let a = (h.w[j] * x + h.b[j]).max(0.0);
-                acc += o.w[j] * a;
+                let a = (hw[j] * x + hb[j]).max(0.0);
+                acc += ow[j] * a;
             }
             return acc;
         }
-        self.forward(&[x])[0]
+        self.predict_scalar(&[x])
     }
 
     /// Forward pass that records activations for backpropagation. Scalar
@@ -198,12 +367,12 @@ impl Ffn {
     /// `cache` buffers are reused across calls, so a training loop that
     /// keeps one `Cache` performs no per-sample allocation.
     pub fn forward_cached_vec<'c>(&self, x: &[f64], cache: &'c mut Cache) -> &'c [f64] {
-        cache.ensure_shape(&self.sizes);
+        cache.ensure_shape(&self.sizes, self.max_width);
         let last = self.layers.len() - 1;
         cache.act[0].copy_from_slice(x);
         for (l, layer) in self.layers.iter().enumerate() {
             // `act` and `pre` are disjoint fields, so the borrows are fine.
-            layer.forward_into(&cache.act[l], &mut cache.pre[l]);
+            layer.forward_into(&self.params, &cache.act[l], &mut cache.pre[l]);
             if l != last {
                 for (a, &p) in cache.act[l + 1].iter_mut().zip(&cache.pre[l]) {
                     *a = p.max(0.0);
@@ -215,53 +384,60 @@ impl Ffn {
 
     /// Backpropagates the output-layer error `d_out` (∂loss/∂output) through
     /// the cached activations, accumulating parameter gradients into `grads`.
-    pub fn backward(&self, cache: &Cache, d_out: &[f64], grads: &mut Gradients) {
+    ///
+    /// Uses the cache's scratch delta buffers: zero allocations per call.
+    /// `cache` must hold the activations of the matching
+    /// [`Ffn::forward_cached_vec`] call.
+    pub fn backward(&self, cache: &mut Cache, d_out: &[f64], grads: &mut Gradients) {
         debug_assert_eq!(d_out.len(), self.output_dim());
-        let mut delta = d_out.to_vec();
-        // Gradient layout is layer-major; precompute each layer's slice start.
-        let layer_offsets: Vec<usize> = {
-            let mut offs = Vec::with_capacity(self.layers.len());
-            let mut o = 0;
-            for l in &self.layers {
-                offs.push(o);
-                o += l.num_params();
-            }
-            debug_assert_eq!(o, grads.flat.len());
-            offs
-        };
+        debug_assert_eq!(grads.flat.len(), self.params.len());
+        debug_assert_eq!(
+            cache.shaped_for, self.sizes,
+            "cache shaped for another network"
+        );
+        cache.delta[..d_out.len()].copy_from_slice(d_out);
         for (l, layer) in self.layers.iter().enumerate().rev() {
-            let base = layer_offsets[l];
             let x = &cache.act[l];
-            // dW[o][i] += delta[o] * x[i]; db[o] += delta[o]
-            for (o, &d) in delta.iter().enumerate() {
-                if d != 0.0 {
-                    let row =
-                        &mut grads.flat[base + o * layer.fan_in..base + (o + 1) * layer.fan_in];
-                    for (g, xi) in row.iter_mut().zip(x) {
-                        *g += d * xi;
-                    }
+            // Gradients share the params layout: dW[o][i] += delta[o] * x[i],
+            // db[o] += delta[o], written at the layer's own offsets. The
+            // scalar-input case fuses to one loop (w grads are contiguous).
+            if layer.fan_in == 1 {
+                let x0 = x[0];
+                for (o, &d) in cache.delta[..layer.fan_out].iter().enumerate() {
+                    grads.flat[layer.w_off + o] += d * x0;
+                    grads.flat[layer.b_off + o] += d;
                 }
-                grads.flat[base + layer.fan_in * layer.fan_out + o] += d;
+            } else {
+                for (o, &d) in cache.delta[..layer.fan_out].iter().enumerate() {
+                    if d != 0.0 {
+                        let row = &mut grads.flat
+                            [layer.w_off + o * layer.fan_in..layer.w_off + (o + 1) * layer.fan_in];
+                        axpy4(row, d, x);
+                    }
+                    grads.flat[layer.b_off + o] += d;
+                }
             }
             if l == 0 {
                 break;
             }
             // delta for previous layer: (W^T · delta) ⊙ relu'(pre[l-1])
-            let mut prev = vec![0.0; layer.fan_in];
-            for (o, &d) in delta.iter().enumerate() {
+            let w = layer.w(&self.params);
+            cache.prev[..layer.fan_in].fill(0.0);
+            for (o, &d) in cache.delta[..layer.fan_out].iter().enumerate() {
                 if d != 0.0 {
-                    let row = &layer.w[o * layer.fan_in..(o + 1) * layer.fan_in];
-                    for (p, wi) in prev.iter_mut().zip(row) {
-                        *p += d * wi;
-                    }
+                    axpy4(
+                        &mut cache.prev[..layer.fan_in],
+                        d,
+                        &w[o * layer.fan_in..(o + 1) * layer.fan_in],
+                    );
                 }
             }
-            for (p, pre) in prev.iter_mut().zip(&cache.pre[l - 1]) {
+            for (p, pre) in cache.prev[..layer.fan_in].iter_mut().zip(&cache.pre[l - 1]) {
                 if *pre <= 0.0 {
                     *p = 0.0;
                 }
             }
-            delta = prev;
+            std::mem::swap(&mut cache.delta, &mut cache.prev);
         }
     }
 
@@ -275,12 +451,7 @@ impl Ffn {
     /// Copies all parameters into a flat vector (layer-major, weights then
     /// biases per layer).
     pub fn params_flat(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.num_params());
-        for l in &self.layers {
-            out.extend_from_slice(&l.w);
-            out.extend_from_slice(&l.b);
-        }
-        out
+        self.params.clone()
     }
 
     /// Overwrites all parameters from a flat vector (inverse of
@@ -290,30 +461,14 @@ impl Ffn {
     /// Panics if `flat` has the wrong length.
     pub fn set_params_flat(&mut self, flat: &[f64]) {
         assert_eq!(flat.len(), self.num_params());
-        let mut off = 0;
-        for l in &mut self.layers {
-            let wl = l.w.len();
-            l.w.copy_from_slice(&flat[off..off + wl]);
-            off += wl;
-            let bl = l.b.len();
-            l.b.copy_from_slice(&flat[off..off + bl]);
-            off += bl;
-        }
+        self.params.copy_from_slice(flat);
     }
 
     /// Applies a parameter update `p ← p + step` from a flat step vector.
     pub fn apply_step(&mut self, step: &[f64]) {
         assert_eq!(step.len(), self.num_params());
-        let mut off = 0;
-        for l in &mut self.layers {
-            for w in &mut l.w {
-                *w += step[off];
-                off += 1;
-            }
-            for b in &mut l.b {
-                *b += step[off];
-                off += 1;
-            }
+        for (p, s) in self.params.iter_mut().zip(step) {
+            *p += s;
         }
     }
 }
@@ -350,6 +505,54 @@ mod tests {
     }
 
     #[test]
+    fn predict1_deep_matches_forward() {
+        // The general (stack-buffer) scalar path must agree with the
+        // allocating reference path on deeper-than-[1,H,1] networks.
+        for sizes in [vec![1, 8, 8, 1], vec![1, 32, 16, 8, 1], vec![1, 3, 5, 1]] {
+            let f = Ffn::new(&sizes, 9);
+            for &x in &[-0.5, 0.0, 0.125, 0.5, 0.9, 2.0] {
+                let fast = f.predict1(x);
+                let slow = f.forward(&[x])[0];
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "{sizes:?} at {x}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_scalar_matches_forward_on_feature_inputs() {
+        let f = Ffn::new(&[9, 24, 1], 4);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64 * 0.37).sin()).collect();
+        let fast = f.predict_scalar(&x);
+        let slow = f.forward(&x)[0];
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn predict_scalar_wide_network_falls_back() {
+        // 200-wide hidden layer exceeds the stack path; the fallback must
+        // still agree with forward().
+        let f = Ffn::new(&[2, 200, 1], 6);
+        let x = [0.3, -0.4];
+        assert!((f.predict_scalar(&x) - f.forward(&x)[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let f = Ffn::new(&[3, 6, 4], 5);
+        let x = [0.1, -0.2, 0.3];
+        let mut cache = Cache::default();
+        let cached = f.forward_cached_vec(&x, &mut cache).to_vec();
+        assert_eq!(cached, f.forward(&x));
+        // Reusing the same cache across shapes reshapes correctly.
+        let g = Ffn::new(&[2, 4, 2], 5);
+        let y = g.forward_cached_vec(&[0.5, 0.5], &mut cache).to_vec();
+        assert_eq!(y, g.forward(&[0.5, 0.5]));
+    }
+
+    #[test]
     fn params_roundtrip() {
         let mut f = Ffn::new(&[3, 5, 2], 1);
         let p = f.params_flat();
@@ -358,6 +561,9 @@ mod tests {
         assert_eq!(f2.params_flat(), p);
         f.apply_step(&vec![0.0; p.len()]);
         assert_eq!(f.params_flat(), p);
+        let mut f3 = Ffn::new(&[3, 5, 2], 7);
+        f3.clone_params_from(&f);
+        assert_eq!(f3.params_flat(), p);
     }
 
     /// Numerical gradient check: backprop must agree with central finite
@@ -372,7 +578,7 @@ mod tests {
         let y = f.forward_cached(&x, &mut cache);
         let mut grads = f.zero_grads();
         // loss = (y - t)^2, d_out = 2 (y - t)
-        f.backward(&cache, &[2.0 * (y - target)], &mut grads);
+        f.backward(&mut cache, &[2.0 * (y - target)], &mut grads);
 
         let params = f.params_flat();
         let eps = 1e-6;
@@ -401,10 +607,10 @@ mod tests {
         let t = [0.5, -0.25, 0.0, 1.0];
 
         let mut cache = Cache::default();
-        let y = f.forward_cached_vec(&x, &mut cache);
+        let y = f.forward_cached_vec(&x, &mut cache).to_vec();
         let d: Vec<f64> = y.iter().zip(&t).map(|(yi, ti)| 2.0 * (yi - ti)).collect();
         let mut grads = f.zero_grads();
-        f.backward(&cache, &d, &mut grads);
+        f.backward(&mut cache, &d, &mut grads);
 
         let loss = |f: &Ffn| -> f64 {
             f.forward(&x)
@@ -430,6 +636,61 @@ mod tests {
                 "param {i}: numeric {numeric} vs analytic {}",
                 grads.flat[i]
             );
+        }
+    }
+
+    /// Three-layer gradient check: the swap-based delta propagation must be
+    /// correct through more than one hidden layer.
+    #[test]
+    fn gradient_check_deep() {
+        let mut f = Ffn::new(&[2, 5, 3, 1], 13);
+        let x = [0.4, -0.9];
+        let target = -0.3;
+
+        let mut cache = Cache::default();
+        let y = f.forward_cached(&x, &mut cache);
+        let mut grads = f.zero_grads();
+        f.backward(&mut cache, &[2.0 * (y - target)], &mut grads);
+
+        let params = f.params_flat();
+        let eps = 1e-6;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            f.set_params_flat(&plus);
+            let lp = (f.forward(&x)[0] - target).powi(2);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            f.set_params_flat(&minus);
+            let lm = (f.forward(&x)[0] - target).powi(2);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.flat[i]).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {i}: numeric {numeric} vs analytic {}",
+                grads.flat[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_match_naive() {
+        // dot4 / axpy4 vs the straightforward loops, across lengths that
+        // exercise the unrolled body and every tail size.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot4(&a, &b) - naive).abs() < 1e-12, "dot len {n}");
+
+            let mut y = b.clone();
+            let mut y_naive = b.clone();
+            axpy4(&mut y, 0.37, &a);
+            for (v, x) in y_naive.iter_mut().zip(&a) {
+                *v += 0.37 * x;
+            }
+            for (u, v) in y.iter().zip(&y_naive) {
+                assert!((u - v).abs() < 1e-12, "axpy len {n}");
+            }
         }
     }
 }

@@ -76,7 +76,9 @@ pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut opt = Adam::new(ffn.num_params(), cfg.lr);
-    let mut step = vec![0.0; ffn.num_params()];
+    // All loop scratch is hoisted: the epoch/batch/sample loops below
+    // allocate nothing (pinned by crates/ml/tests/alloc_free.rs).
+    let mut grads = ffn.zero_grads();
     let mut cache = Cache::default();
     let mut d_out = vec![0.0; out_dim];
 
@@ -86,7 +88,7 @@ pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig
         order.shuffle(&mut rng);
         let mut epoch_se = 0.0;
         for chunk in order.chunks(batch) {
-            let mut grads = ffn.zero_grads();
+            grads.reset();
             for &i in chunk {
                 let x = &xs[i * in_dim..(i + 1) * in_dim];
                 let y = &ys[i * out_dim..(i + 1) * out_dim];
@@ -100,10 +102,9 @@ pub fn train_regression(ffn: &mut Ffn, xs: &[f64], ys: &[f64], cfg: &TrainConfig
                     *d = 2.0 * diff / chunk.len() as f64;
                 }
                 epoch_se += se;
-                ffn.backward(&cache, &d_out, &mut grads);
+                ffn.backward(&mut cache, &d_out, &mut grads);
             }
-            opt.step_into(&grads.flat, &mut step);
-            ffn.apply_step(&step);
+            opt.step_params(&grads.flat, ffn.params_mut());
         }
         epochs_run += 1;
         final_mse = epoch_se / (n as f64 * out_dim as f64);

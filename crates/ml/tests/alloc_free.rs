@@ -1,0 +1,143 @@
+//! Pins the "zero allocations per sample in steady state" contract of the
+//! training kernels with a counting global allocator.
+//!
+//! Everything lives in ONE `#[test]` so the global counter is never read
+//! concurrently by another test thread; each section brackets its own
+//! warmed-up region.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use elsi_ml::ffn::{Cache, Ffn};
+use elsi_ml::train::{train_regression, TrainConfig};
+use elsi_ml::{Dqn, DqnConfig, Transition};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates entirely to `System`; only adds a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+/// Minimum allocation count of `f` over five trials (see [`train_allocs`]
+/// for why a single reading can be polluted by harness threads).
+fn count_min(mut f: impl FnMut()) -> u64 {
+    (0..5).map(|_| count(&mut f).0).min().unwrap_or(u64::MAX)
+}
+
+/// Minimum allocation count over several trials: the libtest harness runs a
+/// watchdog thread whose own occasional allocations bump the global counter,
+/// so a single reading can be high by a couple of counts. The minimum of a
+/// few trials is the trainer's true footprint (14 allocs for the hoisted
+/// scratch, independent of epoch count).
+fn train_allocs(epochs: usize) -> u64 {
+    let keys: Vec<f64> = (0..256).map(|i| (i as f64 / 255.0).powi(2)).collect();
+    let ys: Vec<f64> = (0..256).map(|i| i as f64 / 255.0).collect();
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    (0..5)
+        .map(|trial| {
+            let mut ffn = Ffn::new(&[1, 16, 1], 7 + trial);
+            let (allocs, _) = count(|| train_regression(&mut ffn, &keys, &ys, &cfg));
+            allocs
+        })
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn training_kernels_are_allocation_free_in_steady_state() {
+    // --- train_regression: epochs beyond the first add zero allocations.
+    // (The first epoch pays for the hoisted scratch: grads, cache, d_out,
+    // Adam moments, shuffle order.)
+    let two = train_allocs(2);
+    let twelve = train_allocs(12);
+    assert_eq!(
+        twelve, two,
+        "extra training epochs must not allocate (2 epochs: {two}, 12 epochs: {twelve})"
+    );
+
+    // --- predict1 on a deeper-than-[1,H,1] network: the general scalar
+    // path must stay on the stack.
+    let deep = Ffn::new(&[1, 16, 16, 1], 3);
+    let mut acc = 0.0;
+    let allocs = count_min(|| {
+        for i in 0..1000 {
+            acc += deep.predict1(i as f64 / 1000.0);
+        }
+    });
+    assert!(acc.is_finite());
+    assert_eq!(allocs, 0, "deep predict1 allocated {allocs} times");
+
+    // --- predict_scalar on a feature-vector network (scorer-shaped input).
+    let scorer_net = Ffn::new(&[9, 24, 1], 5);
+    let x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut acc = 0.0;
+    let allocs = count_min(|| {
+        for _ in 0..1000 {
+            acc += scorer_net.predict_scalar(&x);
+        }
+    });
+    assert!(acc.is_finite());
+    assert_eq!(allocs, 0, "predict_scalar allocated {allocs} times");
+
+    // --- warmed forward_cached_vec + backward loop.
+    let ffn = Ffn::new(&[2, 8, 8, 2], 1);
+    let mut cache = Cache::default();
+    let mut grads = ffn.zero_grads();
+    let xin = [0.25, -0.5];
+    let d_out = [0.1, -0.2];
+    // Warm-up shapes the cache.
+    let _ = ffn.forward_cached_vec(&xin, &mut cache);
+    ffn.backward(&mut cache, &d_out, &mut grads);
+    let allocs = count_min(|| {
+        for _ in 0..500 {
+            let _ = ffn.forward_cached_vec(&xin, &mut cache);
+            ffn.backward(&mut cache, &d_out, &mut grads);
+        }
+    });
+    assert_eq!(allocs, 0, "forward/backward loop allocated {allocs} times");
+
+    // --- DQN: once the replay buffer and scratch are warm, further
+    // train_steps add zero allocations.
+    let mut agent = Dqn::new(2, 2, DqnConfig::default(), 9);
+    for i in 0..64 {
+        agent.remember(Transition {
+            state: vec![i as f64 / 64.0, 0.5],
+            action: i % 2,
+            reward: if i % 2 == 0 { 1.0 } else { 0.0 },
+            next_state: vec![(i + 1) as f64 / 64.0, 0.5],
+        });
+    }
+    // Warm-up: shapes both caches, the index buffer and the grad buffer.
+    let _ = agent.train_step();
+    let allocs = count_min(|| {
+        for _ in 0..50 {
+            let _ = agent.train_step();
+        }
+    });
+    assert_eq!(allocs, 0, "dqn train_step allocated {allocs} times");
+}

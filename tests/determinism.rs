@@ -157,6 +157,41 @@ fn parallel_builds_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn scorer_cost_features_are_thread_count_independent() {
+    // The scorer preparation grid fans cells out on the rayon pool; every
+    // cell seeds its own data set, so the cost-feature fields (method, n,
+    // dist_u, err_span) must be bit-identical at any thread count. The
+    // wall-clock fields are excluded: they are honest per-run measurements.
+    let run = |threads: usize| {
+        // The vendored pool is re-callable (last call wins); nothing to unwrap.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+        let mut cfg = ElsiConfig::fast_test();
+        cfg.train.epochs = 15;
+        let elsi = Elsi::new(cfg.clone());
+        let costs = elsi::scorer::measure_method_costs(
+            &[300, 500],
+            &[1, 8],
+            &[Method::Sp, Method::Og],
+            &cfg,
+            &elsi.mr_pool(),
+            21,
+        );
+        costs
+            .iter()
+            .map(|c| (c.method.to_string(), c.n, c.dist_u.to_bits(), c.err_span))
+            .collect::<Vec<_>>()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel);
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global();
+}
+
+#[test]
 fn random_builder_is_schedule_independent() {
     // The Rand ablation seeds each choice from the partition seed, so the
     // methods chosen for a ZM build form the same multiset (and the built
