@@ -106,6 +106,7 @@ impl Policy {
                 ("crates/data/".into(), 10),
                 ("crates/indices/".into(), 36),
                 ("crates/ml/".into(), 7),
+                ("crates/serve/".into(), 4),
                 ("crates/spatial/".into(), 4),
                 ("examples/".into(), 1),
                 ("tests/".into(), 12),

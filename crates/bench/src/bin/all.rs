@@ -49,7 +49,11 @@ fn main() {
         run_bin("table2_ablation");
     }
     println!("\n################ figs 8 / 10 / 12 / 14 (shared matrix) ################");
-    let records = run(MatrixOpts::all());
+    let mut records = run(MatrixOpts::all());
+    println!("\n################ sharded serving ################");
+    records.extend(elsi_bench::sharded::run(
+        &elsi_bench::sharded::default_grids(),
+    ));
     if let Some(path) = &json_path {
         match write_json(path, &records) {
             Ok(()) => eprintln!(

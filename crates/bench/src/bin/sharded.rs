@@ -1,0 +1,49 @@
+//! Sharded-vs-monolith serving experiment (see `elsi_bench::sharded`).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write the per-configuration
+//!   `{build_secs, query_micros}` records to `<path>`.
+//! * `--grids RxC[,RxC…]` — shard grids to sweep (default `2x2,4x4`).
+
+use elsi_bench::json::write_json;
+use std::path::PathBuf;
+
+fn parse_grids(spec: &str) -> Option<Vec<(usize, usize)>> {
+    spec.split(',')
+        .map(|g| {
+            let (r, c) = g.split_once('x')?;
+            Some((r.trim().parse().ok()?, c.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let grids = args
+        .iter()
+        .position(|a| a == "--grids")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| parse_grids(s))
+        .unwrap_or_else(elsi_bench::sharded::default_grids);
+
+    let records = elsi_bench::sharded::run(&grids);
+    if let Some(path) = &json_path {
+        match write_json(path, &records) {
+            Ok(()) => eprintln!(
+                "[sharded] wrote {} records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("[sharded] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 pub mod harness;
 pub mod json;
 pub mod matrix;
+pub mod sharded;
 pub mod updates;
 
 pub use harness::*;

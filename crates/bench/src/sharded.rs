@@ -1,0 +1,117 @@
+//! Sharded-vs-monolith serving experiment (`elsi-serve`).
+//!
+//! Builds one monolithic ZM index and one `ShardedIndex` per requested
+//! grid over the same OSM1-style data, then drives identical *batched*
+//! query workloads (`par_point_queries` / `par_window_queries` /
+//! `par_knn_queries`) through each. Reported `query_micros` is the batched
+//! point-query latency per query — divide the monolith's value by a
+//! sharded row's to get the speedup (see `EXPERIMENTS.md`). The sharded
+//! results are exact: the kNN merge and window gather are pinned
+//! bit-identical to a single-index oracle by `crates/serve/tests/`.
+
+use crate::harness::*;
+use crate::json::JsonRecord;
+use elsi_data::Dataset;
+use elsi_indices::{SpatialIndex, ZmConfig, ZmIndex};
+use elsi_serve::{ShardedConfig, ShardedIndex};
+use elsi_spatial::Point;
+
+/// kNN k of the batched workload (paper's kNN experiments use 25).
+const K: usize = 25;
+
+/// The default grid sweep: the acceptance point (4 shards) plus a larger
+/// grid to show the trend.
+pub fn default_grids() -> Vec<(usize, usize)> {
+    vec![(2, 2), (4, 4)]
+}
+
+struct Measured {
+    label: String,
+    build_secs: f64,
+    point_micros: f64,
+    window_micros: f64,
+    knn_micros: f64,
+}
+
+fn drive(
+    label: String,
+    build_secs: f64,
+    idx: &(impl SpatialIndex + Sync),
+    wl: &Workload,
+    point_batch: &[Point],
+) -> Measured {
+    let (_, secs) = timed(|| idx.par_point_queries(point_batch));
+    let point_micros = secs * 1e6 / point_batch.len().max(1) as f64;
+    let (_, secs) = timed(|| idx.par_window_queries(&wl.windows));
+    let window_micros = secs * 1e6 / wl.windows.len().max(1) as f64;
+    let (_, secs) = timed(|| idx.par_knn_queries(&wl.knn, K));
+    let knn_micros = secs * 1e6 / wl.knn.len().max(1) as f64;
+    Measured {
+        label,
+        build_secs,
+        point_micros,
+        window_micros,
+        knn_micros,
+    }
+}
+
+/// Runs the experiment for the given shard grids and returns one
+/// [`JsonRecord`] per configuration (experiment id `"sharded"`, labels
+/// `"monolith/ZM"` and `"sharded-RxC/ZM"`).
+pub fn run(grids: &[(usize, usize)]) -> Vec<JsonRecord> {
+    let n = base_n();
+    let ctx = BenchCtx::new(n);
+    let wl = Workload::new(Dataset::Osm1, n, 1e-4);
+    // Batched point lookups over stored points, capped like the matrix's
+    // point workload.
+    let point_batch: Vec<Point> = wl.pts.iter().copied().take(2000).collect();
+
+    let mut measured = Vec::new();
+
+    let zm_cfg = ZmConfig {
+        fanout: (n / 12_500).clamp(4, 16),
+    };
+    let (mono, build_secs) = timed(|| ZmIndex::build(wl.pts.clone(), &zm_cfg, &ctx.elsi.builder()));
+    measured.push(drive(
+        "monolith/ZM".to_string(),
+        build_secs,
+        &mono,
+        &wl,
+        &point_batch,
+    ));
+
+    for &(rows, cols) in grids {
+        let cfg = ShardedConfig::grid(rows, cols);
+        let (sharded, build_secs) = timed(|| ShardedIndex::zm(wl.pts.clone(), &cfg, &ctx.elsi));
+        measured.push(drive(
+            format!("sharded-{rows}x{cols}/ZM"),
+            build_secs,
+            &sharded,
+            &wl,
+            &point_batch,
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.clone(),
+                fmt_secs(m.build_secs),
+                format!("{:.2}", m.point_micros),
+                format!("{:.0}", m.window_micros),
+                format!("{:.0}", m.knn_micros),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sharded serving — batched query latency vs monolith (µs/query)",
+        &["config", "build", "point", "window", "kNN"],
+        &rows,
+    );
+
+    measured
+        .into_iter()
+        .map(|m| JsonRecord::new("sharded", m.label, m.build_secs, m.point_micros))
+        .collect()
+}

@@ -16,15 +16,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use elsi::{Elsi, ElsiConfig, Method};
+use elsi::{Elsi, ElsiConfig, Method, RebuildPolicy};
 use elsi_data::{dist_from_uniform, io, Dataset};
 use elsi_indices::{
     FloodConfig, FloodIndex, LisaConfig, LisaIndex, MlConfig, MlIndex, ModelBuilder, PwlBuilder,
     RsmiConfig, RsmiIndex, SpatialIndex, ZmConfig, ZmIndex,
 };
+use elsi_serve::{ShardedConfig, ShardedIndex};
 use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A parsed CLI invocation.
@@ -63,6 +65,9 @@ pub enum Command {
         index: IndexChoice,
         /// The query.
         query: QuerySpec,
+        /// Serve through an R×C sharded deployment instead of a monolith
+        /// (`--shards RxC`; see `elsi-serve`).
+        shards: Option<(usize, usize)>,
     },
 }
 
@@ -227,10 +232,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let input = it.next().ok_or("query: missing input path")?.clone();
             let mut index = IndexChoice::Zm;
             let mut query = None;
+            let mut shards = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--index" => {
                         index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?
+                    }
+                    "--shards" => {
+                        let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
+                        let (r, c) = spec
+                            .split_once(['x', 'X'])
+                            .ok_or_else(|| format!("--shards: bad grid {spec:?} (want RxC)"))?;
+                        let parse = |v: &str, what: &str| {
+                            v.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or_else(|| format!("--shards: bad {what} in {spec:?}"))
+                        };
+                        shards = Some((parse(r, "rows")?, parse(c, "cols")?));
                     }
                     "--point" => {
                         let v = parse_floats(it.next().ok_or("--point needs X,Y")?, 2)?;
@@ -256,6 +276,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 input,
                 index,
                 query,
+                shards,
             })
         }
         "help" | "--help" | "-h" => Err(usage()),
@@ -268,7 +289,7 @@ fn usage() -> String {
      elsi generate <dataset> <n> <out.csv> [--seed S]\n  \
      elsi inspect <in.csv>\n  \
      elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method sp|rsp|cl|mr|rs|rl|og|pwl|elsi]\n  \
-     elsi query <in.csv> [--index ...] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
+     elsi query <in.csv> [--index ...] [--shards RxC] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
         .to_string()
 }
 
@@ -288,11 +309,15 @@ fn load_points(path: &str) -> Result<Vec<Point>, String> {
     }
 }
 
+/// All workspace indices are `Send + Sync` (PR 1), so the CLI's boxes are
+/// too — which lets the same `build_kind` serve as a shard builder.
+type BoxedIndex = Box<dyn SpatialIndex + Send + Sync>;
+
 fn build_index(
     pts: Vec<Point>,
     index: IndexChoice,
     method: MethodChoice,
-) -> Result<Box<dyn SpatialIndex>, String> {
+) -> Result<BoxedIndex, String> {
     let n = pts.len();
     let cfg = ElsiConfig::scaled_for(n);
     let builder: Box<dyn ModelBuilder> = match method {
@@ -321,7 +346,7 @@ fn build_index(
     Ok(build_kind(pts, index, builder.as_ref()))
 }
 
-fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Box<dyn SpatialIndex> {
+fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> BoxedIndex {
     let n = pts.len().max(1);
     match index {
         IndexChoice::Zm => Box::new(ZmIndex::build(
@@ -348,6 +373,67 @@ fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Box<
             },
             b,
         )),
+    }
+}
+
+/// An R×C sharded deployment over the CLI's boxed indices: every shard is
+/// a full ELSI update lifecycle around one `build_kind` index (queries in
+/// the CLI are one-shot, so the rebuild policy is `Never`).
+fn build_sharded(
+    pts: Vec<Point>,
+    index: IndexChoice,
+    rows: usize,
+    cols: usize,
+) -> ShardedIndex<BoxedIndex> {
+    let elsi = Elsi::new(ElsiConfig::scaled_for(pts.len()));
+    let builder = elsi.fixed_builder(Method::Rs);
+    let builder = Arc::new(if index == IndexChoice::Lisa {
+        builder.for_lisa()
+    } else {
+        builder
+    });
+    ShardedIndex::build_grid(
+        pts,
+        &ShardedConfig::grid(rows, cols),
+        move |_ctx, shard_pts| build_kind(shard_pts, index, builder.as_ref()),
+        |_shard| RebuildPolicy::Never,
+    )
+}
+
+/// Renders one query answer (shared by the monolith and sharded paths).
+fn render_query(idx: &dyn SpatialIndex, query: QuerySpec, out: &mut String) {
+    match query {
+        QuerySpec::Point(p) => match idx.point_query(p) {
+            Some(found) => {
+                let _ = writeln!(out, "found: {found}");
+            }
+            None => {
+                let _ = writeln!(out, "not found");
+            }
+        },
+        QuerySpec::Window(w) => {
+            let hits = idx.window_query(&w);
+            let _ = writeln!(out, "{} points in window", hits.len());
+            for p in hits.iter().take(20) {
+                let _ = writeln!(out, "  {p}");
+            }
+            if hits.len() > 20 {
+                let _ = writeln!(out, "  … and {} more", hits.len() - 20);
+            }
+        }
+        QuerySpec::Knn(q, k) => {
+            let hits = idx.knn_query(q, k);
+            let _ = writeln!(
+                out,
+                "{} nearest neighbours of ({}, {}):",
+                hits.len(),
+                q.x,
+                q.y
+            );
+            for p in &hits {
+                let _ = writeln!(out, "  {p}  dist {:.6}", q.dist(p));
+            }
+        }
     }
 }
 
@@ -421,40 +507,22 @@ pub fn run(cmd: Command) -> Result<String, String> {
             input,
             index,
             query,
+            shards,
         } => {
             let pts = load_points(&input)?;
-            let idx = build_index(pts, index, MethodChoice::Fixed(Method::Rs))?;
-            match query {
-                QuerySpec::Point(p) => match idx.point_query(p) {
-                    Some(found) => {
-                        let _ = writeln!(out, "found: {found}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "not found");
-                    }
-                },
-                QuerySpec::Window(w) => {
-                    let hits = idx.window_query(&w);
-                    let _ = writeln!(out, "{} points in window", hits.len());
-                    for p in hits.iter().take(20) {
-                        let _ = writeln!(out, "  {p}");
-                    }
-                    if hits.len() > 20 {
-                        let _ = writeln!(out, "  … and {} more", hits.len() - 20);
-                    }
-                }
-                QuerySpec::Knn(q, k) => {
-                    let hits = idx.knn_query(q, k);
+            match shards {
+                Some((rows, cols)) => {
+                    let sharded = build_sharded(pts, index, rows, cols);
                     let _ = writeln!(
                         out,
-                        "{} nearest neighbours of ({}, {}):",
-                        hits.len(),
-                        q.x,
-                        q.y
+                        "serving through {rows}x{cols} shards ({} kind)",
+                        index.name()
                     );
-                    for p in &hits {
-                        let _ = writeln!(out, "  {p}  dist {:.6}", q.dist(p));
-                    }
+                    render_query(&sharded, query, &mut out);
+                }
+                None => {
+                    let idx = build_index(pts, index, MethodChoice::Fixed(Method::Rs))?;
+                    render_query(idx.as_ref(), query, &mut out);
                 }
             }
         }
@@ -537,9 +605,26 @@ mod tests {
             Command::Query {
                 query: QuerySpec::Knn(_, 25),
                 index: IndexChoice::Rsmi,
+                shards: None,
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parse_shards() -> Result<(), String> {
+        let cmd = parse_args(&args("query in.csv --shards 2x4 --point 0.5,0.5"))?;
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                shards: Some((2, 4)),
+                ..
+            }
+        ));
+        assert!(parse_args(&args("query in.csv --shards 2 --point 0.5,0.5")).is_err());
+        assert!(parse_args(&args("query in.csv --shards 0x2 --point 0.5,0.5")).is_err());
+        assert!(parse_args(&args("query in.csv --shards axb --point 0.5,0.5")).is_err());
+        Ok(())
     }
 
     #[test]
@@ -625,5 +710,27 @@ mod tests {
         let report = run(cmd).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(report.contains("5 nearest neighbours"), "{report}");
+    }
+
+    #[test]
+    fn sharded_queries_match_the_monolith() -> Result<(), String> {
+        let path = temp_csv("sharded", Dataset::Uniform, 1000);
+        for q in ["--knn 0.5,0.5,5", "--window 0.2,0.2,0.4,0.4"] {
+            let mono = run(parse_args(&args(&format!("query {path} {q}")))?)?;
+            let sharded = run(parse_args(&args(&format!(
+                "query {path} --shards 2x2 {q}"
+            )))?)?;
+            assert!(sharded.contains("serving through 2x2 shards"), "{sharded}");
+            // Same hit counts (ZM is exact, and so is the sharded merge).
+            let tail = |s: &str| {
+                s.lines()
+                    .find(|l| l.contains("points in window") || l.contains("nearest neighbours"))
+                    .map(str::to_owned)
+            };
+            assert!(tail(&mono).is_some(), "{q}: no hit line in {mono}");
+            assert_eq!(tail(&mono), tail(&sharded), "{q}");
+        }
+        std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

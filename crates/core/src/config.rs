@@ -10,7 +10,7 @@ use elsi_ml::TrainConfig;
 /// that the paper sets proportionally to `n` (ρ, β) remain proportional.
 #[derive(Debug, Clone)]
 pub struct ElsiConfig {
-    /// Cost-balance parameter λ ∈ [0,1] of Eq. 2 (paper default: 0.8,
+    /// Cost-balance parameter λ ∈ `[0,1]` of Eq. 2 (paper default: 0.8,
     /// prioritising build times).
     pub lambda: f64,
     /// Query frequency weight `w_Q ∈ [1, ∞)` of Eq. 2 (paper: 1.0).

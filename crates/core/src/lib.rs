@@ -22,12 +22,29 @@
 //! assert!(index.len() > 0);
 //! ```
 //!
-//! The crate mirrors the paper's architecture (Fig. 3):
-//! [`build::ElsiBuilder`] is the build processor (Algorithm 1),
-//! [`methods`] the index building method pool (§V), [`scorer`] the method
-//! scorer and selector (§IV-B1, Fig. 4), [`update`] the update processor
-//! and [`rebuild`] the rebuild predictor (§IV-B2), and [`cost`] the cost
-//! decomposition of §VI.
+//! The crate mirrors the paper's architecture (Fig. 3), one module per
+//! component:
+//!
+//! * [`build`] — [`build::ElsiBuilder`], the build processor
+//!   (Algorithm 1: select method → shrink training set → train → derive
+//!   empirical error bounds over the full partition).
+//! * [`methods`] — the index building method pool (§V: SP/RSP/CL/MR/RS/RL
+//!   plus OG), each producing a training set similar to `D` in the
+//!   Def. 2 sense (KS distance between mapped-key CDFs).
+//! * [`scorer`] — the method scorer and selector (§IV-B1, Fig. 4): two
+//!   cost FFNs over (method, cardinality, `dist(D_U, D)`), combined by
+//!   Eq. 2; `measure_method_costs` is its training-data harness.
+//! * [`update`] — the update processor (§IV-B2): the
+//!   [`update::DeltaOverlay`] delta layer and the
+//!   [`update::UpdateProcessor`] lifecycle around a base index.
+//! * [`rebuild`] — the rebuild predictor (§IV-B2): FFN (or threshold)
+//!   policies over drift/ratio/depth features.
+//! * [`cost`] — the build-cost decomposition of §VI (Table I).
+//! * [`config`] / [`sync`] — tuning knobs and the workspace's sanctioned
+//!   lock helper (`lock_unpoisoned`; see `DESIGN.md` §7).
+//!
+//! Sharded serving over many `UpdateProcessor`s lives one layer up, in
+//! `elsi-serve` (`DESIGN.md` §9).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

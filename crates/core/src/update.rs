@@ -16,7 +16,7 @@ use elsi_data::cdf::DEFAULT_SKETCH_BINS;
 use elsi_indices::SpatialIndex;
 use elsi_spatial::curve::morton_of;
 use elsi_spatial::{KeyMapper, MortonMapper, Point, Rect};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Default update procedures: a delta layer over a static base index.
 ///
@@ -88,7 +88,8 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
         &self.base
     }
 
-    /// Number of buffered updates (inserts + deletes).
+    /// Number of buffered updates (inserts + deletes), in O(1) — both maps
+    /// track their length, so this is safe on hot load-probing paths.
     pub fn delta_len(&self) -> usize {
         self.inserted.len() + self.deleted.len()
     }
@@ -324,10 +325,16 @@ pub struct UpdateProcessor<I: SpatialIndex> {
     index: I,
     rebuild_fn: RebuildFn<I>,
     policy: RebuildPolicy,
-    points: HashMap<u64, Point>,
+    /// Live point set, ordered by id so the rebuild input (and therefore
+    /// the rebuilt index) is reproducible across runs and thread counts —
+    /// a `HashMap` here would feed rebuilds in per-process random order.
+    points: BTreeMap<u64, Point>,
     drift: DriftTracker,
     n_at_build: usize,
     updates_since_check: usize,
+    /// Updates applied since the last (re)build — an O(1) counter so load
+    /// probes (e.g. a shard router) never have to recompute drift features.
+    updates_since_build: usize,
     f_u: usize,
     rebuilds: usize,
 }
@@ -356,6 +363,7 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
             drift,
             n_at_build,
             updates_since_check: 0,
+            updates_since_build: 0,
             f_u: f_u.max(1),
             rebuilds: 0,
         }
@@ -371,7 +379,33 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
         self.rebuilds
     }
 
+    /// Number of live points, in O(1) (no query against the index).
+    pub fn live_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Cardinality at the last (re)build.
+    pub fn n_at_build(&self) -> usize {
+        self.n_at_build
+    }
+
+    /// Updates applied since the last (re)build, in O(1).
+    ///
+    /// This is the accessor hot paths (shard routers, load balancers,
+    /// metrics) should read instead of [`UpdateProcessor::features`]: the
+    /// full feature read walks both CDF sketches (O(bins) per call), which
+    /// is fine at the every-`f_u`-updates rebuild cadence but not per query.
+    pub fn pending_updates(&self) -> usize {
+        self.updates_since_build
+    }
+
     /// Current rebuild-decision features.
+    ///
+    /// Costs O(sketch bins): both drift statistics walk the bounded CDF
+    /// sketches. Intended for the rebuild-predictor cadence (every `f_u`
+    /// updates), not for per-query paths — those should use the O(1)
+    /// accessors ([`UpdateProcessor::live_len`],
+    /// [`UpdateProcessor::pending_updates`], [`UpdateProcessor::rebuilds`]).
     pub fn features(&self) -> RebuildFeatures {
         RebuildFeatures {
             n: self.points.len(),
@@ -405,6 +439,7 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
 
     fn after_update(&mut self) -> UpdateOutcome {
         self.updates_since_check += 1;
+        self.updates_since_build += 1;
         if self.updates_since_check < self.f_u {
             return UpdateOutcome::Applied;
         }
@@ -417,13 +452,15 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
         }
     }
 
-    /// Forces a full rebuild through the build processor.
+    /// Forces a full rebuild through the build processor. The live set is
+    /// handed over in ascending-id order, so rebuilds are reproducible.
     pub fn rebuild(&mut self) {
         let pts: Vec<Point> = self.points.values().copied().collect();
         self.n_at_build = pts.len();
         self.index = (self.rebuild_fn)(pts);
         self.drift.rebaseline();
         self.rebuilds += 1;
+        self.updates_since_build = 0;
     }
 }
 
@@ -571,6 +608,47 @@ mod tests {
         assert_eq!(f.n, 150);
         assert!((f.update_ratio - 0.5).abs() < 1e-9);
         assert!(f.drift_sim < 1.0);
+    }
+
+    #[test]
+    fn cheap_accessors_track_update_lifecycle() {
+        let mut proc =
+            UpdateProcessor::new(uniform(200, 7), grid_rebuild(), RebuildPolicy::Never, 1000);
+        assert_eq!(proc.live_len(), 200);
+        assert_eq!(proc.n_at_build(), 200);
+        assert_eq!(proc.pending_updates(), 0);
+        for i in 0..30u64 {
+            proc.insert(Point::new(40_000 + i, 0.25, 0.75));
+        }
+        assert_eq!(proc.live_len(), 230);
+        assert_eq!(proc.pending_updates(), 30);
+        proc.rebuild();
+        assert_eq!(proc.pending_updates(), 0);
+        assert_eq!(proc.n_at_build(), 230);
+        assert_eq!(proc.rebuilds(), 1);
+    }
+
+    #[test]
+    fn rebuild_input_order_is_id_sorted() {
+        // The live set is a BTreeMap: rebuilds see ascending ids no matter
+        // the insertion order, so rebuilt indices are reproducible.
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let log = std::sync::Arc::clone(&seen);
+        let rebuild: RebuildFn<GridIndex> = Box::new(move |pts| {
+            let ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
+            *crate::lock_unpoisoned(&log) = ids;
+            GridIndex::build(pts, &GridConfig { block_size: 20 })
+        });
+        let mut proc = UpdateProcessor::new(uniform(50, 8), rebuild, RebuildPolicy::Never, 1000);
+        for id in [907u64, 60, 733, 51, 999] {
+            proc.insert(Point::new(id, 0.4, 0.6));
+        }
+        proc.rebuild();
+        let ids = crate::lock_unpoisoned(&seen).clone();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "rebuild input not id-ordered");
+        assert_eq!(ids.len(), 55);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 
 use crate::model::{locate_lower, BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    SpatialIndex,
 };
 use elsi_ml::kmeans;
 use elsi_spatial::{IDistanceMapper, MappedData, Point, Rect};
@@ -263,6 +264,10 @@ impl SpatialIndex for MlIndex {
 
     fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
         par_window_queries_of(self, windows)
+    }
+
+    fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
+        par_knn_queries_of(self, queries, k)
     }
 }
 

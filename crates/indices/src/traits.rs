@@ -65,6 +65,13 @@ pub trait SpatialIndex {
     fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
         windows.iter().map(|w| self.window_query(w)).collect()
     }
+
+    /// Answers a batch of kNN queries (all with the same `k`), one result
+    /// vector per query point, in query order. Default sequential; `Sync`
+    /// indices override it with [`par_knn_queries_of`].
+    fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
+        queries.iter().map(|&q| self.knn_query(q, k)).collect()
+    }
 }
 
 /// Thread-parallel batch point queries over any `Sync` index: the shared
@@ -86,6 +93,18 @@ pub fn par_window_queries_of<I: SpatialIndex + Sync + ?Sized>(
 ) -> Vec<Vec<Point>> {
     use rayon::prelude::*;
     windows.par_iter().map(|w| index.window_query(w)).collect()
+}
+
+/// Thread-parallel batch kNN queries over any `Sync` index (see
+/// [`par_point_queries_of`]). Results come back in query order regardless
+/// of the thread count.
+pub fn par_knn_queries_of<I: SpatialIndex + Sync + ?Sized>(
+    index: &I,
+    queries: &[Point],
+    k: usize,
+) -> Vec<Vec<Point>> {
+    use rayon::prelude::*;
+    queries.par_iter().map(|&q| index.knn_query(q, k)).collect()
 }
 
 impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
@@ -118,6 +137,9 @@ impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
     }
     fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
         (**self).par_window_queries(windows)
+    }
+    fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
+        (**self).par_knn_queries(queries, k)
     }
 }
 

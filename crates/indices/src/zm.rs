@@ -14,7 +14,8 @@
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_point_queries_of, par_window_queries_of, SpatialIndex,
+    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    SpatialIndex,
 };
 use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
 use rayon::prelude::*;
@@ -309,6 +310,10 @@ impl SpatialIndex for ZmIndex {
 
     fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
         par_window_queries_of(self, windows)
+    }
+
+    fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
+        par_knn_queries_of(self, queries, k)
     }
 }
 

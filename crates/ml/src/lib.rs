@@ -8,6 +8,20 @@
 //! adds the CART/random-forest baselines of Figure 6(b) plus the k-means
 //! used by the CL building method.
 //!
+//! Module → paper concept:
+//!
+//! * [`ffn`] / [`adam`] / [`train`] — the FFN `M` and its training loop
+//!   `T(n_S)` of the cost model (§VI): rank models inside every learned
+//!   index, the method scorer's two cost nets, the rebuild predictor.
+//!   Allocation-free kernels; see `DESIGN.md` §8.
+//! * [`dqn`] — the RL building method's Q-network (§V-B2: η×η grid
+//!   state, reward = reduction of the Def. 2 distance to the target CDF).
+//! * [`mod@kmeans`] — the CL building method's centroid construction (§V-A2).
+//! * [`tree`] / [`forest`] — the CART / random-forest baselines the
+//!   method selector is compared against in Fig. 6(b).
+//! * [`pwl`] — the ε-bounded piecewise-linear model family (an extra
+//!   `ModelBuilder`, beyond the paper's FFN-only stack).
+//!
 //! Everything is seeded: identical inputs and seeds produce identical
 //! models, which the test suite relies on.
 

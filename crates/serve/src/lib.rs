@@ -1,0 +1,54 @@
+//! # elsi-serve — sharded serving on top of ELSI
+//!
+//! The paper's pitch (§I, Fig. 1) is that cheap (re)builds let a learned
+//! spatial index keep up with heavy update traffic — "check-ins from
+//! millions of users". This crate supplies the serving topology that pitch
+//! implies: the unit square is partitioned into an R×C grid of **shards**,
+//! each shard is a full, independent ELSI update lifecycle
+//! (`UpdateProcessor<DeltaOverlay<_>>` — delta layer, drift tracking,
+//! rebuild policy, §IV-B2), and a [`Router`] sends every query and update
+//! to exactly the shards that can be involved.
+//!
+//! Mapping to paper concepts:
+//!
+//! * [`router`] — query routing. The paper's indices answer a query by
+//!   *predict-and-scan* inside one model; the grid router is the layer
+//!   above, choosing which shard's model predicts (O(1) for points, an
+//!   overlap set for windows, a MINDIST-pruned frontier for kNN).
+//! * [`sharded`] — [`sharded::ShardedIndex`] owns the per-shard update
+//!   processors, builds them in parallel on the rayon pool with per-shard
+//!   deterministic seeds (the same seeding discipline as the method
+//!   scorer's `measure_method_costs`), and merges cross-shard kNN results
+//!   exactly (proof sketch in `DESIGN.md` §9). Each shard reuses the
+//!   existing rebuild predictor / policy machinery unchanged — sharding
+//!   multiplies the paper's build-time savings by the shard count, because
+//!   a hotspot rebuilds one shard, not the world.
+//!
+//! Layering note: ISSUE-level docs describe this crate as "re-exported
+//! from `elsi`", but `elsi-serve` sits *above* `elsi` (it consumes
+//! `UpdateProcessor`/`DeltaOverlay`), so a re-export would be a dependency
+//! cycle. Depend on `elsi-serve` directly; everything else re-exports from
+//! here.
+//!
+//! ```no_run
+//! use elsi::{Elsi, ElsiConfig};
+//! use elsi_indices::SpatialIndex;
+//! use elsi_serve::{ShardedConfig, ShardedIndex};
+//!
+//! let points = elsi_data::gen::osm1_like(100_000, 42);
+//! let elsi = Elsi::new(ElsiConfig::default());
+//! let sharded = ShardedIndex::zm(points, &ShardedConfig::grid(2, 2), &elsi);
+//! let hits = sharded.knn_query(elsi_spatial::Point::at(0.5, 0.5), 10);
+//! assert_eq!(hits.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod router;
+pub mod sharded;
+
+pub use router::{GridRouter, Router};
+pub use sharded::{
+    canonical_knn_cmp, canonical_point_key, ShardContext, ShardStats, ShardedConfig, ShardedIndex,
+};

@@ -1,0 +1,593 @@
+//! The sharded index: per-shard ELSI update lifecycles behind one façade.
+//!
+//! Each shard is an `UpdateProcessor<DeltaOverlay<I>>` — the full update
+//! machinery of the paper (§IV-B2: delta layer, drift tracking, rebuild
+//! policy) scoped to one grid cell. Queries are routed by a [`Router`],
+//! kNN results are merged *exactly* across shards (proof sketch in
+//! `DESIGN.md` §9), and batched entry points fan queries out on the rayon
+//! pool. All hot-path load probes go through the O(1) accessors
+//! `UpdateProcessor::{live_len, n_at_build, pending_updates}` — routing
+//! never recomputes drift features and never takes a lock (`ShardedIndex`
+//! owns its shards; updates are `&mut self`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use elsi::{DeltaOverlay, Elsi, RebuildFn, RebuildPolicy, UpdateOutcome, UpdateProcessor};
+use elsi_data::stream::Update;
+use elsi_indices::{
+    par_knn_queries_of, par_point_queries_of, par_window_queries_of, SpatialIndex, ZmConfig,
+    ZmIndex,
+};
+use elsi_spatial::{Point, Rect};
+use rayon::prelude::*;
+
+use crate::router::{GridRouter, Router};
+
+/// Shape and seeding of a sharded deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Per-shard update-processor check frequency (`f_u` of §IV-B2).
+    pub f_u: usize,
+    /// Root seed; each shard derives its own seed from it (see
+    /// [`shard_seed`]).
+    pub seed: u64,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            rows: 2,
+            cols: 2,
+            f_u: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A `rows × cols` deployment with default `f_u` and seed.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic per-shard seed: the same `root ^ (id * odd-constant)`
+/// discipline the method scorer uses for per-cell measurement seeds, so
+/// shard builds are reproducible no matter which rayon worker runs them.
+pub fn shard_seed(root: u64, shard: usize) -> u64 {
+    root ^ (shard as u64).wrapping_mul(131)
+}
+
+/// Everything a shard builder closure may want to know about the shard it
+/// is building: its id, its territory, and its deterministic seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardContext {
+    /// Shard id (row-major for the grid router).
+    pub shard: usize,
+    /// The shard's closed territory rectangle.
+    pub rect: Rect,
+    /// Seed derived via [`shard_seed`]; builders that randomise (sampling,
+    /// model init) must draw from this and nothing else.
+    pub seed: u64,
+}
+
+/// O(1) load snapshot of one shard, for routing/monitoring decisions.
+/// Every field reads a counter — no drift-feature recomputation, no locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: usize,
+    /// Live points currently owned by the shard.
+    pub live_len: usize,
+    /// Points at the last (re)build.
+    pub n_at_build: usize,
+    /// Updates applied since the last (re)build.
+    pub pending_updates: usize,
+    /// Size of the delta layer (buffered inserts + tombstones).
+    pub delta_len: usize,
+    /// Rebuilds triggered so far.
+    pub rebuilds: usize,
+}
+
+/// Canonical identity key of a stored point: id first, then coordinate
+/// bits. Sorting window results by this key makes "the same result set"
+/// mean "bit-identical vectors" across shard layouts and thread counts.
+pub fn canonical_point_key(p: &Point) -> (u64, u64, u64) {
+    (p.id, p.x.to_bits(), p.y.to_bits())
+}
+
+/// Canonical kNN order around `q`: ascending squared distance, ties broken
+/// by [`canonical_point_key`]. Total (uses `total_cmp`), so equal result
+/// *sets* sort into bit-identical vectors.
+pub fn canonical_knn_cmp(q: Point, a: &Point, b: &Point) -> Ordering {
+    q.dist2(a)
+        .total_cmp(&q.dist2(b))
+        .then_with(|| canonical_point_key(a).cmp(&canonical_point_key(b)))
+}
+
+/// Max-heap entry for the kNN threshold phase: squared distance under
+/// total order.
+struct HeapDist(f64);
+
+impl PartialEq for HeapDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for HeapDist {}
+impl PartialOrd for HeapDist {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapDist {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// An R×C-sharded serving deployment: one [`UpdateProcessor`] per shard,
+/// one [`Router`] in front.
+///
+/// The struct *owns* its shards and updates take `&mut self`, so the query
+/// hot path holds no lock anywhere — concurrency comes from batching
+/// (`par_*_queries` fan out over a shared `&self`) rather than from shared
+/// mutable state. Coordinates are expected in the unit square, the
+/// workspace-wide data space convention.
+pub struct ShardedIndex<I: SpatialIndex + Send + Sync, R: Router = GridRouter> {
+    router: R,
+    shards: Vec<UpdateProcessor<DeltaOverlay<I>>>,
+}
+
+impl<I: SpatialIndex + Send + Sync> ShardedIndex<I, GridRouter> {
+    /// Builds a grid-routed deployment (see [`ShardedIndex::build`]).
+    pub fn build_grid<B, P>(
+        points: Vec<Point>,
+        cfg: &ShardedConfig,
+        shard_builder: B,
+        policy: P,
+    ) -> Self
+    where
+        B: Fn(&ShardContext, Vec<Point>) -> I + Send + Sync + 'static,
+        P: Fn(usize) -> RebuildPolicy,
+    {
+        Self::build(
+            points,
+            GridRouter::new(cfg.rows, cfg.cols),
+            cfg,
+            shard_builder,
+            policy,
+        )
+    }
+}
+
+impl ShardedIndex<ZmIndex, GridRouter> {
+    /// The workhorse deployment: ZM-F shards built through a shared ELSI
+    /// build processor, with the threshold rebuild policy of the update
+    /// experiments (`max_drift` 0.15, `max_ratio` 10.0) on every shard.
+    pub fn zm(points: Vec<Point>, cfg: &ShardedConfig, elsi: &Elsi) -> Self {
+        let builder = Arc::new(elsi.builder());
+        Self::build_grid(
+            points,
+            cfg,
+            move |_ctx: &ShardContext, pts: Vec<Point>| {
+                ZmIndex::build(pts, &ZmConfig::default(), builder.as_ref())
+            },
+            |_shard| RebuildPolicy::Threshold {
+                max_drift: 0.15,
+                max_ratio: 10.0,
+            },
+        )
+    }
+}
+
+impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
+    /// Partitions `points` by `router` ownership and builds every shard in
+    /// parallel on the rayon pool.
+    ///
+    /// `shard_builder` builds one shard's base index from its points; it
+    /// runs once per shard at build time and again on every rebuild, and
+    /// must derive any randomness from its [`ShardContext::seed`] so
+    /// results are bit-identical across thread counts. `policy` hands each
+    /// shard its own [`RebuildPolicy`] (called serially, in shard order).
+    pub fn build<B, P>(
+        points: Vec<Point>,
+        router: R,
+        cfg: &ShardedConfig,
+        shard_builder: B,
+        policy: P,
+    ) -> Self
+    where
+        B: Fn(&ShardContext, Vec<Point>) -> I + Send + Sync + 'static,
+        P: Fn(usize) -> RebuildPolicy,
+    {
+        let n = router.num_shards();
+        let mut parts: Vec<Vec<Point>> = vec![Vec::new(); n];
+        for p in points {
+            parts[router.shard_of(p)].push(p);
+        }
+        let builder = Arc::new(shard_builder);
+        let work: Vec<(usize, Vec<Point>, RebuildPolicy)> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, pts)| (s, pts, policy(s)))
+            .collect();
+        let (root_seed, f_u) = (cfg.seed, cfg.f_u);
+        let router_ref = &router;
+        let shards: Vec<UpdateProcessor<DeltaOverlay<I>>> = work
+            .into_par_iter()
+            .map(move |(s, pts, pol)| {
+                let ctx = ShardContext {
+                    shard: s,
+                    rect: router_ref.shard_rect(s),
+                    seed: shard_seed(root_seed, s),
+                };
+                let b = Arc::clone(&builder);
+                let rebuild: RebuildFn<DeltaOverlay<I>> =
+                    Box::new(move |pts| DeltaOverlay::new(b(&ctx, pts)));
+                UpdateProcessor::new(pts, rebuild, pol, f_u)
+            })
+            .collect();
+        Self { router, shards }
+    }
+
+    /// The router in front of the shards.
+    pub fn router(&self) -> &R {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's update processor (for inspection; updates go through
+    /// the routed entry points).
+    pub fn shard(&self, shard: usize) -> &UpdateProcessor<DeltaOverlay<I>> {
+        &self.shards[shard]
+    }
+
+    /// O(1)-per-shard load snapshot (counters only — no drift features, no
+    /// locks; see [`ShardStats`]).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, proc)| ShardStats {
+                shard: s,
+                live_len: proc.live_len(),
+                n_at_build: proc.n_at_build(),
+                pending_updates: proc.pending_updates(),
+                delta_len: proc.index().delta_len(),
+                rebuilds: proc.rebuilds(),
+            })
+            .collect()
+    }
+
+    /// Total rebuilds triggered across all shards.
+    pub fn rebuilds(&self) -> usize {
+        self.shards.iter().map(|s| s.rebuilds()).sum()
+    }
+
+    /// Routes one insert to its owning shard; `Rebuilt` if it tripped that
+    /// shard's rebuild policy.
+    pub fn insert_routed(&mut self, p: Point) -> UpdateOutcome {
+        let s = self.router.shard_of(p);
+        self.shards[s].insert(p)
+    }
+
+    /// Routes one delete to its owning shard.
+    pub fn delete_routed(&mut self, p: Point) -> UpdateOutcome {
+        let s = self.router.shard_of(p);
+        self.shards[s].delete(p)
+    }
+
+    /// Applies a batch of updates, fanning the per-shard sub-batches out
+    /// on the rayon pool (shard-local arrival order is preserved, so the
+    /// outcome is independent of the thread count). Returns the number of
+    /// shard rebuilds the batch triggered.
+    pub fn par_apply_updates(&mut self, updates: &[Update]) -> usize {
+        let before = self.rebuilds();
+        let mut per: Vec<Vec<Update>> = vec![Vec::new(); self.shards.len()];
+        for &u in updates {
+            let p = match u {
+                Update::Insert(p) | Update::Delete(p) => p,
+            };
+            per[self.router.shard_of(p)].push(u);
+        }
+        // The vendored rayon has no `par_iter_mut`: move the shards out,
+        // run each shard+batch pair to completion, and collect them back
+        // (order-preserving map keeps shard ids stable).
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = shards
+            .into_iter()
+            .zip(per)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(mut shard, batch)| {
+                for u in batch {
+                    match u {
+                        Update::Insert(p) => {
+                            shard.insert(p);
+                        }
+                        Update::Delete(p) => {
+                            shard.delete(p);
+                        }
+                    }
+                }
+                shard
+            })
+            .collect();
+        self.rebuilds() - before
+    }
+
+    /// Exact cross-shard kNN merge; see `DESIGN.md` §9 for the proof
+    /// sketch. Results come back in canonical order
+    /// ([`canonical_knn_cmp`]), so equal result sets are bit-identical.
+    ///
+    /// Phase 1 visits shards in ascending MINDIST order, pushing each
+    /// shard's local top-k distances through a size-k max-heap and
+    /// stopping as soon as the next shard's rectangle cannot beat the
+    /// current k-th distance — that yields a radius `r` with at least `k`
+    /// points inside (when `k` points exist at all). Phase 2 gathers the
+    /// closed ball of radius `r` from every non-prunable shard via window
+    /// queries, keeps ties, sorts canonically and truncates. Exactness
+    /// inherits from the shard index's own query exactness (approximate
+    /// window queries — RSMI, LISA — give approximate merges, same as the
+    /// monolith).
+    fn knn_merged(&self, q: Point, k: usize) -> Vec<Point> {
+        if k == 0 || self.shards.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<(f64, usize)> = (0..self.shards.len())
+            .map(|s| (self.router.shard_rect(s).min_dist2(&q), s))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut heap: BinaryHeap<HeapDist> = BinaryHeap::new();
+        for &(min_d2, s) in &order {
+            if heap.len() == k && min_d2 > heap.peek().expect("non-empty heap").0 {
+                break;
+            }
+            for p in self.shards[s].knn_query(q, k) {
+                let d2 = q.dist2(&p);
+                if heap.len() < k {
+                    heap.push(HeapDist(d2));
+                } else if d2 < heap.peek().expect("non-empty heap").0 {
+                    heap.pop();
+                    heap.push(HeapDist(d2));
+                }
+            }
+        }
+        // r² = the k-th smallest candidate distance; ∞ when fewer than k
+        // points exist in total (then the "ball" is the whole plane and
+        // every shard is gathered).
+        let r2 = if heap.len() == k {
+            heap.peek().expect("k > 0").0
+        } else {
+            f64::INFINITY
+        };
+        let r = r2.sqrt();
+        let ball = Rect::new(q.x - r, q.y - r, q.x + r, q.y + r);
+        let mut cands: Vec<Point> = Vec::new();
+        for &(min_d2, s) in &order {
+            if min_d2 > r2 {
+                break;
+            }
+            cands.extend(
+                self.shards[s]
+                    .window_query(&ball)
+                    .into_iter()
+                    .filter(|p| q.dist2(p) <= r2),
+            );
+        }
+        cands.sort_by(|a, b| canonical_knn_cmp(q, a, b));
+        cands.truncate(k);
+        cands
+    }
+}
+
+impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, R> {
+    /// Sum of per-shard live sizes — O(shards), each read O(1).
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.live_len()).sum()
+    }
+
+    /// Routed to the single owning shard in O(1).
+    fn point_query(&self, q: Point) -> Option<Point> {
+        self.shards[self.router.shard_of(q)].point_query(q)
+    }
+
+    /// Gathered from the overlapping shards, in canonical
+    /// ([`canonical_point_key`]) order — equal result sets are
+    /// bit-identical regardless of the shard layout.
+    fn window_query(&self, w: &Rect) -> Vec<Point> {
+        let mut out: Vec<Point> = Vec::new();
+        for s in self.router.shards_for_window(w) {
+            out.extend(self.shards[s].window_query(w));
+        }
+        out.sort_by_key(canonical_point_key);
+        out
+    }
+
+    fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        self.knn_merged(q, k)
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.insert_routed(p);
+    }
+
+    fn delete(&mut self, p: Point) -> bool {
+        let s = self.router.shard_of(p);
+        SpatialIndex::delete(&mut self.shards[s], p)
+    }
+
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    /// One routing step above the deepest shard.
+    fn depth(&self) -> usize {
+        1 + self.shards.iter().map(|s| s.depth()).max().unwrap_or(0)
+    }
+
+    fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
+        par_point_queries_of(self, queries)
+    }
+
+    fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
+        par_window_queries_of(self, windows)
+    }
+
+    fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
+        par_knn_queries_of(self, queries, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsi_data::gen::uniform;
+    use elsi_indices::{GridConfig, GridIndex};
+
+    fn grid_sharded(points: Vec<Point>, rows: usize, cols: usize) -> ShardedIndex<GridIndex> {
+        ShardedIndex::build_grid(
+            points,
+            &ShardedConfig::grid(rows, cols),
+            |_ctx, pts| GridIndex::build(pts, &GridConfig { block_size: 16 }),
+            |_s| RebuildPolicy::Never,
+        )
+    }
+
+    #[test]
+    fn sharded_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedIndex<GridIndex>>();
+    }
+
+    #[test]
+    fn len_and_point_queries_route_correctly() {
+        let pts = uniform(500, 7);
+        let sharded = grid_sharded(pts.clone(), 2, 3);
+        assert_eq!(sharded.len(), 500);
+        assert_eq!(sharded.num_shards(), 6);
+        for p in pts.iter().step_by(17) {
+            assert_eq!(sharded.point_query(*p), Some(*p));
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_small_sets() {
+        let pts = uniform(300, 11);
+        let sharded = grid_sharded(pts.clone(), 3, 3);
+        for (i, q) in [
+            Point::at(0.5, 0.5),
+            Point::at(0.01, 0.99),
+            Point::at(1.0, 1.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let k = 1 + i * 7;
+            let mut want = pts.clone();
+            want.sort_by(|a, b| canonical_knn_cmp(q, a, b));
+            want.truncate(k);
+            assert_eq!(sharded.knn_query(q, k), want, "q={q:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn knn_with_fewer_points_than_k_returns_everything() {
+        let pts = uniform(5, 3);
+        let sharded = grid_sharded(pts.clone(), 2, 2);
+        let got = sharded.knn_query(Point::at(0.2, 0.8), 50);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn routed_updates_land_in_the_owning_shard() {
+        let mut sharded = grid_sharded(uniform(200, 5), 2, 2);
+        let p = Point::new(9_000_001, 0.9, 0.9); // shard 3
+        sharded.insert_routed(p);
+        assert_eq!(sharded.shard_stats()[3].pending_updates, 1);
+        assert_eq!(sharded.point_query(p), Some(p));
+        assert_eq!(sharded.delete_routed(p), UpdateOutcome::Applied);
+        assert_eq!(sharded.point_query(p), None);
+        assert_eq!(sharded.len(), 200);
+    }
+
+    #[test]
+    fn batched_updates_match_sequential_routing() {
+        let base = uniform(400, 9);
+        let mut batched = grid_sharded(base.clone(), 2, 2);
+        let mut sequential = grid_sharded(base.clone(), 2, 2);
+        let mut updates: Vec<Update> = uniform(120, 10)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut p)| {
+                p.id = 1_000_000 + i as u64;
+                Update::Insert(p)
+            })
+            .collect();
+        updates.extend(base.iter().step_by(11).map(|p| Update::Delete(*p)));
+        batched.par_apply_updates(&updates);
+        for &u in &updates {
+            match u {
+                Update::Insert(p) => {
+                    sequential.insert_routed(p);
+                }
+                Update::Delete(p) => {
+                    sequential.delete_routed(p);
+                }
+            }
+        }
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(
+            batched.window_query(&Rect::unit()),
+            sequential.window_query(&Rect::unit())
+        );
+    }
+
+    #[test]
+    fn batched_queries_match_their_sequential_counterparts() {
+        let pts = uniform(300, 13);
+        let sharded = grid_sharded(pts, 2, 2);
+        let queries: Vec<Point> = uniform(40, 14);
+        let windows: Vec<Rect> = queries
+            .iter()
+            .map(|q| Rect::window_around(*q, 0.01))
+            .collect();
+        assert_eq!(
+            sharded.par_point_queries(&queries),
+            queries
+                .iter()
+                .map(|&q| sharded.point_query(q))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            sharded.par_window_queries(&windows),
+            windows
+                .iter()
+                .map(|w| sharded.window_query(w))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            sharded.par_knn_queries(&queries, 5),
+            queries
+                .iter()
+                .map(|&q| sharded.knn_query(q, 5))
+                .collect::<Vec<_>>()
+        );
+    }
+}

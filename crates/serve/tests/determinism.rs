@@ -1,0 +1,93 @@
+//! Determinism under sharding: the same seed must produce bit-identical
+//! shard builds, query answers and update outcomes at any rayon thread
+//! count (the "determinism-under-sharding rules" of `DESIGN.md` §9).
+
+use elsi::{Elsi, ElsiConfig};
+use elsi_data::stream::Update;
+use elsi_indices::SpatialIndex;
+use elsi_serve::{ShardStats, ShardedConfig, ShardedIndex};
+use elsi_spatial::{Point, Rect};
+
+type Fingerprint = (
+    Vec<ShardStats>,
+    Vec<Point>,      // boundary-heavy window result (canonical order)
+    Vec<Vec<Point>>, // batched kNN answers
+    usize,           // rebuilds triggered by the update batch
+    Vec<ShardStats>, // stats after the update batch
+);
+
+/// One full serve lifecycle: parallel ZM-F shard build, batched queries,
+/// one batched update wave, queries again.
+fn serve_lifecycle() -> Fingerprint {
+    let elsi = Elsi::new(ElsiConfig::fast_test());
+    let points = elsi_data::gen::osm1_like(2_000, 33);
+    let mut sharded = ShardedIndex::zm(points, &ShardedConfig::grid(2, 2), &elsi);
+
+    let stats_before = sharded.shard_stats();
+    let window = sharded.window_query(&Rect::new(0.25, 0.25, 0.75, 0.75));
+    let queries: Vec<Point> = elsi_data::gen::uniform(32, 77);
+    let knn = sharded.par_knn_queries(&queries, 7);
+
+    let mut updates: Vec<Update> = elsi_data::stream::skewed_insertions(600, 5);
+    updates.extend(
+        sharded
+            .window_query(&Rect::new(0.0, 0.0, 0.3, 0.3))
+            .into_iter()
+            .take(50)
+            .map(Update::Delete),
+    );
+    let rebuilds = sharded.par_apply_updates(&updates);
+    (stats_before, window, knn, rebuilds, sharded.shard_stats())
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_across_thread_counts() {
+    // The vendored rayon pool is re-callable (last call wins).
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global();
+    let reference = serve_lifecycle();
+    for threads in [2, 8] {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+        assert_eq!(
+            reference,
+            serve_lifecycle(),
+            "divergence at {threads} threads"
+        );
+    }
+    // Restore auto-detection for the rest of the test binary.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global();
+}
+
+#[test]
+fn rebuilt_shards_stay_deterministic() {
+    // Force rebuilds by hammering one shard; reruns must agree exactly.
+    let run = || {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        let points = elsi_data::gen::uniform(1_000, 9);
+        let mut sharded = ShardedIndex::zm(points, &ShardedConfig::grid(2, 2), &elsi);
+        let hotspot: Vec<Update> = (0..800)
+            .map(|i| {
+                let t = i as f64 / 800.0;
+                Update::Insert(Point::new(
+                    1_000_000 + i as u64,
+                    0.05 + 0.01 * t,
+                    0.05 + 0.01 * t,
+                ))
+            })
+            .collect();
+        let rebuilds = sharded.par_apply_updates(&hotspot);
+        (
+            rebuilds,
+            sharded.shard_stats(),
+            sharded.knn_query(Point::at(0.06, 0.06), 9),
+        )
+    };
+    let a = run();
+    assert!(a.0 >= 1, "hotspot must trigger at least one shard rebuild");
+    assert_eq!(a, run());
+}

@@ -5,6 +5,22 @@
 //! the key mappers of the four base indices, space partitioning, the
 //! mapped-and-sorted storage layout, and block (data page) storage.
 //!
+//! Module → paper concept:
+//!
+//! * [`point`] — points and rectangles of the unit-square data space,
+//!   with the MINDIST lower bound kNN pruning relies on.
+//! * [`curve`] — Z-order and Hilbert encodings behind the *map* step of
+//!   the map-and-sort paradigm (§III); all float→grid conversion goes
+//!   through the checked helpers in `curve::convert`.
+//! * [`mapping`] — the per-index [`KeyMapper`]s (ZM's Morton key, LISA's
+//!   Lebesgue measure, ML-Index's iDistance, …): point → 1-D key in
+//!   `[0, 1]`, the domain on which Def. 2 similarity of two data sets is
+//!   computed (as KS distance between mapped-key CDFs, see `elsi-data`).
+//! * [`partition`] — the quadtree of the RS building method (Alg. 2) and
+//!   the uniform grid of the RL method's state.
+//! * [`sorted`] / [`block`] — the *sort* step: mapped-and-sorted storage
+//!   and the block (data page) layout the predict-and-scan queries hit.
+//!
 //! This crate is dependency-free and deterministic; everything above it
 //! (`elsi-indices`, `elsi` itself) builds on these types.
 
