@@ -54,6 +54,10 @@ fn main() {
     records.extend(elsi_bench::sharded::run(
         &elsi_bench::sharded::default_grids(),
     ));
+    println!("\n################ batch ingestion ################");
+    records.extend(elsi_bench::ingest::run(
+        &elsi_bench::ingest::default_batch_sizes(),
+    ));
     if let Some(path) = &json_path {
         match write_json(path, &records) {
             Ok(()) => eprintln!(

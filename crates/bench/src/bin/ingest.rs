@@ -1,0 +1,55 @@
+//! Batched-vs-sequential ingestion experiment (see `elsi_bench::ingest`).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write the per-variant `{build_secs, query_micros}`
+//!   records to `<path>` (`build_secs` is the ingestion wall-clock,
+//!   `query_micros` the per-update latency).
+//! * `--batches N[,N…]` — chunk sizes to sweep (default `1000,all`; any
+//!   size ≥ the stream length means one-shot ingestion, spelled `all`).
+
+use elsi_bench::json::write_json;
+use std::path::PathBuf;
+
+fn parse_batches(spec: &str) -> Option<Vec<usize>> {
+    spec.split(',')
+        .map(|b| {
+            let b = b.trim();
+            if b == "all" {
+                Some(usize::MAX)
+            } else {
+                b.parse().ok()
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let batches = args
+        .iter()
+        .position(|a| a == "--batches")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| parse_batches(s))
+        .unwrap_or_else(elsi_bench::ingest::default_batch_sizes);
+
+    let records = elsi_bench::ingest::run(&batches);
+    if let Some(path) = &json_path {
+        match write_json(path, &records) {
+            Ok(()) => eprintln!(
+                "[ingest] wrote {} records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("[ingest] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

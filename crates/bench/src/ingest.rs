@@ -1,0 +1,154 @@
+//! Batched vs one-at-a-time update ingestion (`DESIGN.md` §10).
+//!
+//! Builds one `UpdateProcessor<DeltaOverlay<Grid>>` per variant over the
+//! same base data, then drives an identical churn stream (inserts,
+//! overwrites and deletes) through each: the *sequential* variant folds
+//! the stream one `insert`/`delete` at a time, the *batched* variants
+//! feed it through `UpdateProcessor::apply_batch` in chunks of the given
+//! size. The rebuild policy is pinned to `Never` so both paths do exactly
+//! the same index work and the end states can be checked bit-identical
+//! (the bulk merge's equivalence itself is proptest-pinned in
+//! `tests/properties.rs`). Reported `query_micros` is the per-update
+//! ingestion latency; throughput speedups are printed alongside.
+
+use crate::harness::*;
+use crate::json::JsonRecord;
+use elsi::{DeltaOverlay, RebuildFn, RebuildPolicy, UpdateProcessor};
+use elsi_data::stream::{churn, Update};
+use elsi_data::Dataset;
+use elsi_indices::{GridConfig, GridIndex, SpatialIndex};
+use elsi_spatial::{Point, Rect};
+
+/// The default chunk sweep: one-shot ingestion of the whole stream plus a
+/// mid-size chunking, to show the trend against per-update application.
+pub fn default_batch_sizes() -> Vec<usize> {
+    vec![1_000, usize::MAX]
+}
+
+/// Repetitions per variant; the reported wall-clock is the minimum (the
+/// runs are milliseconds-scale, so scheduler noise dominates a single
+/// shot; the minimum is the standard stable estimator).
+const REPS: usize = 3;
+
+/// A fresh update processor over `base` with the Grid base index (cheap,
+/// deterministic — the experiment isolates ingestion, not model training).
+fn processor(base: Vec<Point>, f_u: usize) -> UpdateProcessor<DeltaOverlay<GridIndex>> {
+    let rebuild: RebuildFn<DeltaOverlay<GridIndex>> =
+        Box::new(|pts| DeltaOverlay::new(GridIndex::build(pts, &GridConfig::default())));
+    UpdateProcessor::new(base, rebuild, RebuildPolicy::Never, f_u)
+}
+
+/// Order-insensitive fingerprint of a processor's end state: live size,
+/// delta size, and the canonical full-window result.
+fn fingerprint(proc: &UpdateProcessor<DeltaOverlay<GridIndex>>) -> (usize, usize, Vec<Point>) {
+    (
+        proc.len(),
+        proc.index().delta_len(),
+        proc.window_query(&Rect::unit()),
+    )
+}
+
+/// Runs the ingestion experiment and returns one [`JsonRecord`] per
+/// variant (experiment id `"ingest"`, labels `"sequential"` and
+/// `"batched-<chunk>"`). The stream has `base_n()` updates — ≥10k at the
+/// default scale, per the acceptance bar.
+pub fn run(batch_sizes: &[usize]) -> Vec<JsonRecord> {
+    let n = base_n();
+    let threads = configure_threads();
+    eprintln!("[prep] rayon threads: {threads} (override with ELSI_THREADS)");
+    let base = Dataset::Osm1.generate_scaled(n, 42);
+    let updates: Vec<Update> = churn(&base, n, 0.7, 7);
+    let f_u = (n / 16).max(1);
+
+    struct Measured {
+        label: String,
+        secs: f64,
+        speedup: f64,
+    }
+    let mut measured: Vec<Measured> = Vec::new();
+    let mut records = Vec::new();
+
+    let mut seq_secs = f64::INFINITY;
+    let mut want = (0, 0, Vec::new());
+    for _ in 0..REPS {
+        let mut seq = processor(base.clone(), f_u);
+        let (_, secs) = timed(|| {
+            for &u in &updates {
+                match u {
+                    Update::Insert(p) => {
+                        seq.insert(p);
+                    }
+                    Update::Delete(p) => {
+                        seq.delete(p);
+                    }
+                }
+            }
+        });
+        seq_secs = seq_secs.min(secs);
+        want = fingerprint(&seq);
+    }
+    measured.push(Measured {
+        label: "sequential".to_string(),
+        secs: seq_secs,
+        speedup: 1.0,
+    });
+    records.push(JsonRecord::new(
+        "ingest",
+        "sequential".to_string(),
+        seq_secs,
+        seq_secs * 1e6 / updates.len().max(1) as f64,
+    ));
+
+    for &size in batch_sizes {
+        let label = if size >= updates.len() {
+            "batched-all".to_string()
+        } else {
+            format!("batched-{size}")
+        };
+        let mut secs = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut bat = processor(base.clone(), f_u);
+            let (_, rep_secs) = timed(|| {
+                for chunk in updates.chunks(size.max(1)) {
+                    bat.apply_batch(chunk);
+                }
+            });
+            secs = secs.min(rep_secs);
+            assert_eq!(
+                fingerprint(&bat),
+                want,
+                "batched ingestion diverged from sequential ({label})"
+            );
+        }
+        measured.push(Measured {
+            label: label.clone(),
+            secs,
+            speedup: seq_secs / secs.max(1e-12),
+        });
+        records.push(JsonRecord::new(
+            "ingest",
+            label,
+            secs,
+            secs * 1e6 / updates.len().max(1) as f64,
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.clone(),
+                format!("{}", updates.len()),
+                fmt_secs(m.secs),
+                format!("{:.2}", updates.len() as f64 / m.secs.max(1e-12) / 1e6),
+                format!("{:.2}x", m.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Update ingestion — batched vs one-at-a-time (end states verified equal)",
+        &["variant", "updates", "wall", "Mops/s", "speedup"],
+        &rows,
+    );
+    records
+}

@@ -16,6 +16,7 @@
 #![warn(clippy::all)]
 
 pub mod harness;
+pub mod ingest;
 pub mod json;
 pub mod matrix;
 pub mod sharded;

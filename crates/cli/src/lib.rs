@@ -16,8 +16,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use elsi::{Elsi, ElsiConfig, Method, RebuildPolicy};
-use elsi_data::{dist_from_uniform, io, Dataset};
+use elsi::{DeltaOverlay, Elsi, ElsiConfig, Method, RebuildFn, RebuildPolicy, UpdateProcessor};
+use elsi_data::{dist_from_uniform, io, stream, Dataset};
 use elsi_indices::{
     FloodConfig, FloodIndex, LisaConfig, LisaIndex, MlConfig, MlIndex, ModelBuilder, PwlBuilder,
     RsmiConfig, RsmiIndex, SpatialIndex, ZmConfig, ZmIndex,
@@ -56,6 +56,21 @@ pub enum Command {
         index: IndexChoice,
         /// Building method.
         method: MethodChoice,
+    },
+    /// Ingest a churn update stream in batches and report throughput.
+    Ingest {
+        /// Input path (the base point set).
+        input: String,
+        /// Base index kind.
+        index: IndexChoice,
+        /// Number of stream updates to apply.
+        updates: usize,
+        /// Batch size (`0` = the whole stream in one batch).
+        batch: usize,
+        /// Route through an R×C sharded deployment (`--shards RxC`).
+        shards: Option<(usize, usize)>,
+        /// Stream seed.
+        seed: u64,
     },
     /// Answer one query over a CSV point set.
     Query {
@@ -170,6 +185,20 @@ fn parse_floats(s: &str, want: usize) -> Result<Vec<f64>, String> {
     Ok(vals)
 }
 
+fn parse_shards_spec(spec: &str) -> Result<(usize, usize), String> {
+    let (r, c) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("--shards: bad grid {spec:?} (want RxC)"))?;
+    let parse = |v: &str, what: &str| {
+        v.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--shards: bad {what} in {spec:?}"))
+    };
+    Ok((parse(r, "rows")?, parse(c, "cols")?))
+}
+
 /// Parses command-line arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -228,6 +257,57 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 method,
             })
         }
+        "ingest" => {
+            let input = it.next().ok_or("ingest: missing input path")?.clone();
+            let mut index = IndexChoice::Zm;
+            let mut updates = 1000usize;
+            let mut batch = 0usize;
+            let mut shards = None;
+            let mut seed = 7u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--index" => {
+                        index = IndexChoice::parse(it.next().ok_or("--index needs a value")?)?
+                    }
+                    "--updates" => {
+                        updates = it
+                            .next()
+                            .ok_or("--updates needs a count")?
+                            .parse()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or("--updates: want a positive count")?;
+                    }
+                    "--batch" => {
+                        batch = it
+                            .next()
+                            .ok_or("--batch needs a size (0 = one batch)")?
+                            .parse()
+                            .map_err(|e| format!("bad batch size: {e}"))?;
+                    }
+                    "--shards" => {
+                        let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
+                        shards = Some(parse_shards_spec(spec)?);
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    other => return Err(format!("ingest: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Ingest {
+                input,
+                index,
+                updates,
+                batch,
+                shards,
+                seed,
+            })
+        }
         "query" => {
             let input = it.next().ok_or("query: missing input path")?.clone();
             let mut index = IndexChoice::Zm;
@@ -240,17 +320,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--shards" => {
                         let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
-                        let (r, c) = spec
-                            .split_once(['x', 'X'])
-                            .ok_or_else(|| format!("--shards: bad grid {spec:?} (want RxC)"))?;
-                        let parse = |v: &str, what: &str| {
-                            v.trim()
-                                .parse::<usize>()
-                                .ok()
-                                .filter(|&n| n >= 1)
-                                .ok_or_else(|| format!("--shards: bad {what} in {spec:?}"))
-                        };
-                        shards = Some((parse(r, "rows")?, parse(c, "cols")?));
+                        shards = Some(parse_shards_spec(spec)?);
                     }
                     "--point" => {
                         let v = parse_floats(it.next().ok_or("--point needs X,Y")?, 2)?;
@@ -289,6 +359,7 @@ fn usage() -> String {
      elsi generate <dataset> <n> <out.csv> [--seed S]\n  \
      elsi inspect <in.csv>\n  \
      elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method sp|rsp|cl|mr|rs|rl|og|pwl|elsi]\n  \
+     elsi ingest <in.csv> [--index ...] [--updates N] [--batch SIZE] [--shards RxC] [--seed S]\n  \
      elsi query <in.csv> [--index ...] [--shards RxC] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
         .to_string()
 }
@@ -503,6 +574,87 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let _ = writeln!(out, "probes found:        {found}/{}", probes.len());
             let _ = writeln!(out, "structure depth:     {}", idx.depth());
         }
+        Command::Ingest {
+            input,
+            index,
+            updates,
+            batch,
+            shards,
+            seed,
+        } => {
+            let pts = load_points(&input)?;
+            let base_len = pts.len();
+            let stream = stream::churn(&pts, updates, 0.7, seed);
+            let chunk = if batch == 0 {
+                stream.len().max(1)
+            } else {
+                batch
+            };
+            match shards {
+                Some((rows, cols)) => {
+                    let mut sharded = build_sharded(pts, index, rows, cols);
+                    let t0 = Instant::now();
+                    let mut rebuilds = 0usize;
+                    for c in stream.chunks(chunk) {
+                        rebuilds += sharded.par_apply_updates(c);
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    let _ = writeln!(
+                        out,
+                        "ingested {} updates through {rows}x{cols} shards ({} kind)",
+                        stream.len(),
+                        index.name()
+                    );
+                    let _ = writeln!(out, "batch size:          {chunk}");
+                    let _ = writeln!(
+                        out,
+                        "throughput:          {:.0} updates/s",
+                        stream.len() as f64 / secs.max(1e-12)
+                    );
+                    let _ = writeln!(out, "shard rebuilds:      {rebuilds}");
+                    let _ = writeln!(
+                        out,
+                        "live points:         {} (from {base_len})",
+                        sharded.len()
+                    );
+                }
+                None => {
+                    let elsi = Elsi::new(ElsiConfig::scaled_for(base_len));
+                    let builder = elsi.fixed_builder(Method::Rs);
+                    let builder = Arc::new(if index == IndexChoice::Lisa {
+                        builder.for_lisa()
+                    } else {
+                        builder
+                    });
+                    let rebuild: RebuildFn<DeltaOverlay<BoxedIndex>> = Box::new(move |p| {
+                        DeltaOverlay::new(build_kind(p, index, builder.as_ref()))
+                    });
+                    let mut proc = UpdateProcessor::new(pts, rebuild, RebuildPolicy::Never, 1024);
+                    let t0 = Instant::now();
+                    let (mut applied, mut ignored) = (0usize, 0usize);
+                    for c in stream.chunks(chunk) {
+                        let o = proc.apply_batch(c);
+                        applied += o.applied;
+                        ignored += o.ignored;
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    let _ = writeln!(
+                        out,
+                        "ingested {} updates into a {} monolith",
+                        stream.len(),
+                        index.name()
+                    );
+                    let _ = writeln!(out, "batch size:          {chunk}");
+                    let _ = writeln!(
+                        out,
+                        "throughput:          {:.0} updates/s",
+                        stream.len() as f64 / secs.max(1e-12)
+                    );
+                    let _ = writeln!(out, "applied / ignored:   {applied} / {ignored}");
+                    let _ = writeln!(out, "live points:         {} (from {base_len})", proc.len());
+                }
+            }
+        }
         Command::Query {
             input,
             index,
@@ -624,6 +776,57 @@ mod tests {
         assert!(parse_args(&args("query in.csv --shards 2 --point 0.5,0.5")).is_err());
         assert!(parse_args(&args("query in.csv --shards 0x2 --point 0.5,0.5")).is_err());
         assert!(parse_args(&args("query in.csv --shards axb --point 0.5,0.5")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn parse_ingest() -> Result<(), String> {
+        let cmd = parse_args(&args(
+            "ingest in.csv --updates 500 --batch 100 --shards 2x2 --seed 3",
+        ))?;
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                input: "in.csv".into(),
+                index: IndexChoice::Zm,
+                updates: 500,
+                batch: 100,
+                shards: Some((2, 2)),
+                seed: 3
+            }
+        );
+        // Defaults: whole stream in one batch, monolith, seed 7.
+        let cmd = parse_args(&args("ingest in.csv"))?;
+        assert!(matches!(
+            cmd,
+            Command::Ingest {
+                updates: 1000,
+                batch: 0,
+                shards: None,
+                seed: 7,
+                ..
+            }
+        ));
+        assert!(parse_args(&args("ingest in.csv --updates 0")).is_err());
+        assert!(parse_args(&args("ingest in.csv --bogus")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn ingest_reports_throughput() -> Result<(), String> {
+        let path = temp_csv("ingest", Dataset::Uniform, 800);
+        let report = run(parse_args(&args(&format!(
+            "ingest {path} --updates 400 --batch 100"
+        )))?)?;
+        assert!(report.contains("ingested 400 updates"), "{report}");
+        assert!(report.contains("batch size:          100"), "{report}");
+        assert!(report.contains("live points:"), "{report}");
+        let sharded = run(parse_args(&args(&format!(
+            "ingest {path} --updates 200 --shards 2x2"
+        )))?)?;
+        std::fs::remove_file(&path).ok();
+        assert!(sharded.contains("2x2 shards"), "{sharded}");
+        assert!(sharded.contains("throughput:"), "{sharded}");
         Ok(())
     }
 

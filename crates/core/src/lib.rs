@@ -65,7 +65,10 @@ pub use methods::{Method, MrPool, Reduction};
 pub use rebuild::{RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample};
 pub use scorer::{AltSelector, MethodCosts, MethodScorer, RandomSelector, ScorerSample};
 pub use sync::lock_unpoisoned;
-pub use update::{DeltaOverlay, DriftTracker, RebuildFn, UpdateOutcome, UpdateProcessor};
+pub use update::{
+    ingest_batch_sequential, BatchIngest, BatchOutcome, DeltaOverlay, DriftTracker, RebuildFn,
+    Update, UpdateOutcome, UpdateProcessor,
+};
 
 use std::sync::Arc;
 

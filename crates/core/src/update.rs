@@ -10,12 +10,22 @@
 //!   the base index, tracks the CDF drift `sim(D', D)` with bounded-size
 //!   sketches, runs the rebuild predictor every `f_u` updates, and triggers
 //!   full rebuilds through the build processor.
+//!
+//! Both layers also ingest **batches**: [`DeltaOverlay::apply_batch`]
+//! bulk-merges a whole `&[Update]` into the delta maps with one ordered
+//! splice per map (instead of `n` individual tree inserts), and
+//! [`UpdateProcessor::apply_batch`] updates the drift sketch in a single
+//! pass and consults the rebuild policy **once per batch**. The batched
+//! delta merge is bit-identical to folding the same updates one at a time
+//! (pinned by proptests in `tests/properties.rs`); see `DESIGN.md` §10 for
+//! the merge algorithm and the exact equivalence claim.
 
 use crate::rebuild::{RebuildFeatures, RebuildPolicy};
 use elsi_data::cdf::DEFAULT_SKETCH_BINS;
+pub use elsi_data::stream::Update;
 use elsi_indices::SpatialIndex;
 use elsi_spatial::curve::morton_of;
-use elsi_spatial::{KeyMapper, MortonMapper, Point, Rect};
+use elsi_spatial::{canonical_knn_cmp, KeyMapper, MortonMapper, Point, Rect};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Default update procedures: a delta layer over a static base index.
@@ -93,6 +103,143 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
     pub fn delta_len(&self) -> usize {
         self.inserted.len() + self.deleted.len()
     }
+
+    /// Bulk-merges a whole update batch into the delta maps, bit-identically
+    /// to folding the same updates through [`SpatialIndex::insert`] /
+    /// [`SpatialIndex::delete`] one at a time. Returns one "took effect"
+    /// flag per operation, exactly matching what the sequential calls would
+    /// have reported (inserts always take effect; a delete of an id with no
+    /// live copy does not).
+    ///
+    /// The merge runs in three steps (`DESIGN.md` §10):
+    ///
+    /// 1. *Group*: a stable sort of the operation indices by target id
+    ///    groups each id's operations while preserving their arrival order.
+    /// 2. *Simulate*: each id's group is folded over a two-field state
+    ///    (live delta copy, tombstone) seeded from the current maps —
+    ///    operations on different ids are independent, so this reproduces
+    ///    the sequential outcome per id without touching the trees.
+    /// 3. *Splice*: the surviving net effects are sorted by mapped (Morton)
+    ///    key and merged with **one ordered splice per map**
+    ///    (`BTreeMap::append` / `BTreeSet::append` bulk-merge the staged
+    ///    sorted entries) instead of `n` individual inserts.
+    ///
+    /// Last-write-wins id-collision semantics are preserved exactly: an
+    /// insert of a base id tombstones the base copy, a later delete of the
+    /// delta copy leaves the tombstone in place, and only the final delta
+    /// copy of an id survives the batch.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Vec<bool> {
+        let mut applied = vec![false; updates.len()];
+        if updates.is_empty() {
+            return applied;
+        }
+        // `append` merges in O(delta + batch): a batch much smaller than
+        // the resident delta would pay to retraverse the whole delta maps,
+        // so per-op application wins there. The two paths are bit-identical
+        // (proptest-pinned), so the cutover is purely a cost choice.
+        if updates.len() * 4 < self.delta_len() {
+            for (flag, &u) in applied.iter_mut().zip(updates) {
+                *flag = match u {
+                    Update::Insert(p) => {
+                        self.insert(p);
+                        true
+                    }
+                    Update::Delete(p) => self.delete(p),
+                };
+            }
+            return applied;
+        }
+        // Step 1: group operations by id, arrival order preserved (stable
+        // sort), without building a per-op tree.
+        let mut order: Vec<u32> = (0..updates.len() as u32).collect();
+        order.sort_by_key(|&i| updates[i as usize].point().id);
+
+        // Step 2 output: net per-id effects, staged for the splice.
+        let mut stale_inserted: Vec<u64> = Vec::new(); // ids whose delta copy dies
+        let mut stale_by_key: Vec<(u64, u64)> = Vec::new();
+        let mut add_inserted: Vec<(u64, Point)> = Vec::new(); // ascending id
+        let mut add_by_key: Vec<((u64, u64), Point)> = Vec::new();
+        let mut add_deleted: Vec<u64> = Vec::new(); // ascending id
+
+        let mut g = 0usize;
+        while g < order.len() {
+            let id = updates[order[g] as usize].point().id;
+            let original = self.inserted.get(&id).copied();
+            let was_tombstoned = self.deleted.contains(&id);
+            let in_base = self.base_ids.contains(&id);
+            let mut delta = original;
+            let mut tombstoned = was_tombstoned;
+            while g < order.len() && updates[order[g] as usize].point().id == id {
+                let op = order[g] as usize;
+                applied[op] = match updates[op] {
+                    Update::Insert(p) => {
+                        if in_base {
+                            tombstoned = true;
+                        }
+                        delta = Some(p);
+                        true
+                    }
+                    Update::Delete(p) => {
+                        if delta.take().is_some() {
+                            // The delta copy dies; an insert-time tombstone
+                            // stays, so the id is gone, not resurrected.
+                            true
+                        } else if tombstoned {
+                            false
+                        } else if self.base.point_query(p).is_some() {
+                            tombstoned = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                g += 1;
+            }
+            // Net effect of this id's group on the three maps.
+            let old_key = original.map(|o| (morton_of(o.x, o.y), o.id));
+            let new_key = delta.map(|p| (morton_of(p.x, p.y), p.id));
+            if old_key != new_key {
+                if let Some(k) = old_key {
+                    stale_by_key.push(k);
+                }
+                if let (Some(k), Some(p)) = (new_key, delta) {
+                    add_by_key.push((k, p));
+                }
+            }
+            match (original, delta) {
+                (_, Some(p)) if original != Some(p) => add_inserted.push((id, p)),
+                (Some(_), None) => stale_inserted.push(id),
+                _ => {}
+            }
+            if tombstoned && !was_tombstoned {
+                add_deleted.push(id);
+            }
+        }
+
+        // Step 3: removals of dead entries, then one ordered splice per map.
+        for id in stale_inserted {
+            self.inserted.remove(&id);
+        }
+        for k in stale_by_key {
+            self.inserted_by_key.remove(&k);
+        }
+        if !add_inserted.is_empty() {
+            // Already ascending by id (group order); collect bulk-builds.
+            let mut staged: BTreeMap<u64, Point> = add_inserted.into_iter().collect();
+            self.inserted.append(&mut staged);
+        }
+        if !add_by_key.is_empty() {
+            add_by_key.sort_unstable_by_key(|&(k, _)| k); // Morton-key order
+            let mut staged: BTreeMap<(u64, u64), Point> = add_by_key.into_iter().collect();
+            self.inserted_by_key.append(&mut staged);
+        }
+        if !add_deleted.is_empty() {
+            let mut staged: BTreeSet<u64> = add_deleted.into_iter().collect();
+            self.deleted.append(&mut staged);
+        }
+        applied
+    }
 }
 
 impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
@@ -160,11 +307,11 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
         }
         let mut cands = base_live;
         cands.extend(self.inserted.values().copied());
-        cands.sort_by(|a, b| {
-            q.dist2(a)
-                .partial_cmp(&q.dist2(b))
-                .expect("finite distances")
-        });
+        // Canonical (dist², id, coordinate-bits) total order: distance ties
+        // break by identity rather than by insertion order, so the overlay
+        // returns the same vector as the sharded cross-shard merge (which
+        // sorts with the same comparator) on tied distances.
+        cands.sort_by(|a, b| canonical_knn_cmp(q, a, b));
         cands.dedup_by_key(|p| p.id);
         cands.truncate(k);
         cands
@@ -209,6 +356,54 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
 
     fn depth(&self) -> usize {
         self.base.depth() + 1
+    }
+}
+
+/// Bulk update ingestion: applying a whole `&[Update]` batch at once,
+/// bit-identically to folding the updates one at a time.
+///
+/// [`UpdateProcessor::apply_batch`] requires its wrapped index to implement
+/// this so it can learn which operations took effect without routing them
+/// individually. [`DeltaOverlay`] implements it with the sorted bulk merge
+/// of [`DeltaOverlay::apply_batch`]; [`ingest_batch_sequential`] is the
+/// fallback for indices with built-in (per-op) update procedures.
+pub trait BatchIngest: SpatialIndex {
+    /// Applies `updates` in arrival order. Returns one "took effect" flag
+    /// per operation, exactly matching what sequential
+    /// [`SpatialIndex::insert`] / [`SpatialIndex::delete`] calls would have
+    /// reported: `true` for every insert, `true` for a delete that dropped
+    /// a live copy.
+    fn ingest_batch(&mut self, updates: &[Update]) -> Vec<bool>;
+}
+
+impl<I: SpatialIndex> BatchIngest for DeltaOverlay<I> {
+    fn ingest_batch(&mut self, updates: &[Update]) -> Vec<bool> {
+        self.apply_batch(updates)
+    }
+}
+
+/// The per-op reference path [`BatchIngest`] implementations must match:
+/// routes every update through the index's own insert/delete procedures.
+/// Usable as the `ingest_batch` body for any index without a bulk merge.
+pub fn ingest_batch_sequential<I: SpatialIndex + ?Sized>(
+    index: &mut I,
+    updates: &[Update],
+) -> Vec<bool> {
+    updates
+        .iter()
+        .map(|u| match *u {
+            Update::Insert(p) => {
+                index.insert(p);
+                true
+            }
+            Update::Delete(p) => index.delete(p),
+        })
+        .collect()
+}
+
+impl<T: BatchIngest + ?Sized> BatchIngest for Box<T> {
+    fn ingest_batch(&mut self, updates: &[Update]) -> Vec<bool> {
+        (**self).ingest_batch(updates)
     }
 }
 
@@ -310,6 +505,18 @@ pub enum UpdateOutcome {
     Applied,
     /// The update triggered a full rebuild.
     Rebuilt,
+}
+
+/// Outcome of one batch routed through [`UpdateProcessor::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Operations that took effect (every insert, plus deletes that
+    /// dropped a live copy). Only these count toward the rebuild cadence.
+    pub applied: usize,
+    /// No-op deletes (no live copy to drop) — not counted as updates.
+    pub ignored: usize,
+    /// Whether the end-of-batch policy consultation triggered a rebuild.
+    pub rebuilt: bool,
 }
 
 /// Rebuild callback of an [`UpdateProcessor`] (typically closing over an
@@ -428,13 +635,30 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
         self.after_update()
     }
 
-    /// Deletes a point, possibly triggering a rebuild.
+    /// Deletes a point, possibly triggering a rebuild. No-op deletes (the
+    /// index held no live copy) are not updates: they leave the lifecycle
+    /// counters untouched and never trigger a policy check. Use
+    /// [`UpdateProcessor::delete_checked`] to also learn whether the point
+    /// was actually dropped.
     pub fn delete(&mut self, p: Point) -> UpdateOutcome {
+        self.delete_checked(p).1
+    }
+
+    /// Deletes a point; returns whether the index dropped a live copy and
+    /// the lifecycle outcome.
+    ///
+    /// Only successful deletes count toward `pending_updates` and the
+    /// every-`f_u` policy cadence — a failed delete changes nothing, so
+    /// counting it would skew `update_ratio`/`drift_sim` toward spurious
+    /// rebuild checks under workloads with many missing-id deletes.
+    pub fn delete_checked(&mut self, p: Point) -> (bool, UpdateOutcome) {
         if self.index.delete(p) {
             self.points.remove(&p.id);
             self.drift.remove(MortonMapper.key(p));
+            (true, self.after_update())
+        } else {
+            (false, UpdateOutcome::Applied)
         }
-        self.after_update()
     }
 
     fn after_update(&mut self) -> UpdateOutcome {
@@ -449,6 +673,113 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
             UpdateOutcome::Rebuilt
         } else {
             UpdateOutcome::Applied
+        }
+    }
+
+    /// Applies a whole update batch: one bulk merge into the index
+    /// ([`BatchIngest::ingest_batch`]), one pass over the batch to update
+    /// the live set and the drift sketch, and **one** rebuild-policy
+    /// consultation at the end of the batch (when the effective-update
+    /// counter has crossed `f_u`) instead of one every `f_u` single
+    /// updates.
+    ///
+    /// Ingestion is bit-identical to folding the batch through
+    /// [`UpdateProcessor::insert`] / [`UpdateProcessor::delete`]: the live
+    /// set, drift sketch and counters end up exactly equal, and singleton
+    /// batches reproduce the sequential path including its policy cadence.
+    /// Only the *timing* of policy checks differs on multi-update batches —
+    /// a check that sequential application would have run mid-batch is
+    /// deferred to the batch end, so rebuild decisions see the whole
+    /// batch's drift at once (`DESIGN.md` §10 states the exact equivalence
+    /// claim; `tests/properties.rs` pins it).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> BatchOutcome
+    where
+        I: BatchIngest,
+    {
+        let flags = self.index.ingest_batch(updates);
+        let mut applied = 0usize;
+        if updates.len() * 4 < self.points.len() {
+            // Small batch: a bulk merge would retraverse the whole live
+            // map (`append` is O(live + batch)); per-op updates win. One
+            // pass, in arrival order, so the drift sketch (whose `remove`
+            // saturates at empty bins) evolves exactly as under
+            // sequential application.
+            for (u, ok) in updates.iter().zip(&flags) {
+                match *u {
+                    Update::Insert(p) => {
+                        self.points.insert(p.id, p);
+                        self.drift.add(MortonMapper.key(p));
+                        applied += 1;
+                    }
+                    Update::Delete(p) if *ok => {
+                        self.points.remove(&p.id);
+                        self.drift.remove(MortonMapper.key(p));
+                        applied += 1;
+                    }
+                    Update::Delete(_) => {}
+                }
+            }
+        } else {
+            // Drift replays per-op in arrival order; the live set only
+            // needs each id's *net* effect, staged in ascending-id order
+            // and merged with one ordered splice — the same group-and-
+            // splice discipline as `DeltaOverlay::apply_batch`.
+            for (u, ok) in updates.iter().zip(&flags) {
+                match *u {
+                    Update::Insert(p) => {
+                        self.drift.add(MortonMapper.key(p));
+                        applied += 1;
+                    }
+                    Update::Delete(p) if *ok => {
+                        self.drift.remove(MortonMapper.key(p));
+                        applied += 1;
+                    }
+                    Update::Delete(_) => {}
+                }
+            }
+            let mut order: Vec<u32> = (0..updates.len() as u32).collect();
+            order.sort_by_key(|&i| updates[i as usize].point().id);
+            let mut survivors: Vec<(u64, Point)> = Vec::new(); // ascending id
+            let mut g = 0usize;
+            while g < order.len() {
+                let id = updates[order[g] as usize].point().id;
+                // None = this id's live entry is untouched by the batch.
+                let mut net: Option<Option<Point>> = None;
+                while g < order.len() && updates[order[g] as usize].point().id == id {
+                    let op = order[g] as usize;
+                    match updates[op] {
+                        Update::Insert(p) => net = Some(Some(p)),
+                        Update::Delete(_) if flags[op] => net = Some(None),
+                        Update::Delete(_) => {}
+                    }
+                    g += 1;
+                }
+                match net {
+                    Some(Some(p)) => survivors.push((id, p)),
+                    Some(None) => {
+                        self.points.remove(&id);
+                    }
+                    None => {}
+                }
+            }
+            // Sorted input → linear bulk build, then one splice.
+            let mut staged: BTreeMap<u64, Point> = survivors.into_iter().collect();
+            self.points.append(&mut staged);
+        }
+        self.updates_since_check += applied;
+        self.updates_since_build += applied;
+        let mut rebuilt = false;
+        if self.updates_since_check >= self.f_u {
+            self.updates_since_check = 0;
+            if self.policy.should_rebuild(&self.features()) {
+                self.rebuild();
+                rebuilt = true;
+            }
+        }
+        BatchOutcome {
+            applied,
+            ignored: updates.len() - applied,
+            rebuilt,
         }
     }
 
@@ -486,9 +817,10 @@ impl<I: SpatialIndex> SpatialIndex for UpdateProcessor<I> {
     }
 
     fn delete(&mut self, p: Point) -> bool {
-        let had = self.points.contains_key(&p.id);
-        UpdateProcessor::delete(self, p);
-        had
+        // The wrapped index's own outcome, not a `points`-map guess: the
+        // live set tracks ids while index deletes also match coordinates,
+        // so the two can disagree (e.g. a delete at stale coordinates).
+        self.delete_checked(p).0
     }
 
     fn name(&self) -> &'static str {
@@ -661,5 +993,195 @@ mod tests {
         proc.rebuild();
         assert_eq!(proc.len(), 99);
         assert!(proc.point_query(pts[10]).is_none());
+    }
+
+    #[test]
+    fn noop_deletes_are_not_updates() {
+        // Regression: a failed delete used to run `after_update()`, so
+        // missing-id deletes inflated the counters and triggered spurious
+        // policy checks.
+        let pts = uniform(100, 11);
+        let mut proc =
+            UpdateProcessor::new(pts.clone(), grid_rebuild(), RebuildPolicy::Never, 1000);
+        for i in 0..40u64 {
+            let (had, out) = proc.delete_checked(Point::new(500_000 + i, 0.5, 0.5));
+            assert!(!had);
+            assert_eq!(out, UpdateOutcome::Applied);
+        }
+        assert_eq!(proc.pending_updates(), 0, "no-op deletes counted");
+        // A successful delete still counts.
+        assert!(proc.delete_checked(pts[3]).0);
+        assert_eq!(proc.pending_updates(), 1);
+    }
+
+    #[test]
+    fn noop_deletes_never_trigger_policy_checks() {
+        // With f_u = 1 and a hair-trigger threshold policy, any counted
+        // update runs a policy check that rebuilds. Failed deletes must
+        // not reach it.
+        let policy = RebuildPolicy::Threshold {
+            max_drift: -1.0, // 1 - drift_sim >= 0 always exceeds this
+            max_ratio: 1000.0,
+        };
+        let pts = uniform(50, 12);
+        let mut proc = UpdateProcessor::new(pts.clone(), grid_rebuild(), policy, 1);
+        for i in 0..10u64 {
+            proc.delete(Point::new(700_000 + i, 0.1, 0.1));
+        }
+        assert_eq!(proc.rebuilds(), 0, "no-op deletes reached the policy");
+        proc.delete(pts[0]);
+        assert_eq!(proc.rebuilds(), 1, "real delete must consult the policy");
+    }
+
+    #[test]
+    fn trait_delete_reports_the_index_outcome() {
+        // Regression: the trait impl used to answer from the `points` map,
+        // which can disagree with the wrapped index (deletes match
+        // coordinates, the live set only ids).
+        let pts = uniform(80, 13);
+        let overlay_rebuild: RebuildFn<DeltaOverlay<GridIndex>> = Box::new(|pts| {
+            DeltaOverlay::new(GridIndex::build(pts, &GridConfig { block_size: 20 }))
+        });
+        let mut proc = UpdateProcessor::new(pts.clone(), overlay_rebuild, RebuildPolicy::Never, 64);
+        // Wrong coordinates: the id is live but the index finds nothing.
+        let stale = Point::new(pts[7].id, (pts[7].x + 0.43) % 1.0, (pts[7].y + 0.39) % 1.0);
+        assert!(proc.points.contains_key(&stale.id));
+        let via_trait = SpatialIndex::delete(&mut proc, stale);
+        assert!(!via_trait, "trait delete must report the index outcome");
+        assert!(proc.point_query(pts[7]).is_some(), "live copy untouched");
+        // Trait and inherent paths agree on a real delete.
+        let mut proc2 = UpdateProcessor::new(pts.clone(), grid_rebuild(), RebuildPolicy::Never, 64);
+        assert!(SpatialIndex::delete(&mut proc2, pts[7]));
+        assert!(!SpatialIndex::delete(&mut proc2, pts[7]), "already gone");
+    }
+
+    #[test]
+    fn knn_ties_break_by_canonical_id_order() {
+        // Four stored points exactly equidistant from q, inserted in
+        // shuffled id order, split between base and delta: the overlay
+        // must return the lowest ids first, matching the sharded merge's
+        // canonical (dist², id) order rather than insertion order.
+        let base_pts = vec![
+            Point::new(90, 0.6, 0.5), // tie, base
+            Point::new(10, 0.4, 0.5), // tie, base
+            Point::new(99, 0.9, 0.9), // far away
+        ];
+        let base = GridIndex::build(base_pts, &GridConfig { block_size: 4 });
+        let mut overlay = DeltaOverlay::new(base);
+        overlay.insert(Point::new(70, 0.5, 0.6)); // tie, delta
+        overlay.insert(Point::new(20, 0.5, 0.4)); // tie, delta
+        let q = Point::at(0.5, 0.5);
+        let got: Vec<u64> = overlay.knn_query(q, 3).iter().map(|p| p.id).collect();
+        assert_eq!(got, vec![10, 20, 70], "ties must break by id");
+    }
+
+    #[test]
+    fn overlay_batch_matches_sequential_overwrites_and_deletes() {
+        let pts = uniform(60, 21);
+        let build = || {
+            DeltaOverlay::new(GridIndex::build(
+                uniform(60, 21),
+                &GridConfig { block_size: 16 },
+            ))
+        };
+        // Interleaved inserts/overwrites/deletes, duplicate ids within the
+        // batch, base-id collisions, and no-op deletes.
+        let batch = vec![
+            Update::Insert(Point::new(5, 0.9, 0.1)), // overwrite base id
+            Update::Insert(Point::new(1_000, 0.2, 0.2)), // fresh
+            Update::Delete(Point::new(5, 0.9, 0.1)), // kill the overwrite
+            Update::Insert(Point::new(1_000, 0.3, 0.3)), // move the fresh one
+            Update::Delete(pts[7]),                  // tombstone a base copy
+            Update::Delete(pts[7]),                  // no-op: already gone
+            Update::Delete(Point::new(55_555, 0.5, 0.5)), // no-op: unknown id
+            Update::Insert(Point::new(5, 0.15, 0.85)), // resurrect id 5 in delta
+        ];
+        let mut bulk = build();
+        let got_flags = bulk.apply_batch(&batch);
+        let mut seq = build();
+        let want_flags: Vec<bool> = batch
+            .iter()
+            .map(|u| match *u {
+                Update::Insert(p) => {
+                    seq.insert(p);
+                    true
+                }
+                Update::Delete(p) => seq.delete(p),
+            })
+            .collect();
+        assert_eq!(got_flags, want_flags);
+        assert_eq!(bulk.len(), seq.len());
+        assert_eq!(bulk.delta_len(), seq.delta_len());
+        assert_eq!(
+            bulk.window_query(&Rect::unit()),
+            seq.window_query(&Rect::unit()),
+            "bulk merge must be bit-identical to sequential folding"
+        );
+    }
+
+    #[test]
+    fn processor_batch_consults_policy_once() {
+        let policy = RebuildPolicy::Threshold {
+            max_drift: -1.0, // every consultation rebuilds
+            max_ratio: 1000.0,
+        };
+        let mut proc = UpdateProcessor::new(
+            uniform(200, 22),
+            Box::new(|pts| {
+                DeltaOverlay::new(GridIndex::build(pts, &GridConfig { block_size: 20 }))
+            }),
+            policy,
+            16,
+        );
+        let batch: Vec<Update> = (0..100u64)
+            .map(|i| Update::Insert(Point::new(800_000 + i, 0.25, 0.75)))
+            .collect();
+        let out = proc.apply_batch(&batch);
+        assert_eq!(out.applied, 100);
+        assert_eq!(out.ignored, 0);
+        assert!(out.rebuilt);
+        // Sequential application would have consulted (and rebuilt) every
+        // 16 updates; the batch path consults exactly once at the end.
+        assert_eq!(proc.rebuilds(), 1);
+        assert_eq!(proc.pending_updates(), 0, "rebuild resets the counter");
+        assert_eq!(proc.len(), 300);
+    }
+
+    #[test]
+    fn singleton_batches_reproduce_the_sequential_cadence() {
+        let policy = || RebuildPolicy::Threshold {
+            max_drift: 0.05,
+            max_ratio: 10.0,
+        };
+        let overlay_rebuild = || -> RebuildFn<DeltaOverlay<GridIndex>> {
+            Box::new(|pts| DeltaOverlay::new(GridIndex::build(pts, &GridConfig { block_size: 20 })))
+        };
+        let base = uniform(300, 23);
+        let mut one_at_a_time = UpdateProcessor::new(base.clone(), overlay_rebuild(), policy(), 16);
+        let mut singleton = UpdateProcessor::new(base, overlay_rebuild(), policy(), 16);
+        for i in 0..200u64 {
+            let u = if i % 5 == 4 {
+                Update::Delete(Point::new(i / 5, 0.0, 0.0)) // mostly no-ops
+            } else {
+                Update::Insert(Point::new(900_000 + i, 0.02, 0.02))
+            };
+            match u {
+                Update::Insert(p) => {
+                    one_at_a_time.insert(p);
+                }
+                Update::Delete(p) => {
+                    one_at_a_time.delete(p);
+                }
+            }
+            singleton.apply_batch(&[u]);
+        }
+        assert_eq!(one_at_a_time.rebuilds(), singleton.rebuilds());
+        assert_eq!(one_at_a_time.pending_updates(), singleton.pending_updates());
+        assert_eq!(one_at_a_time.len(), singleton.len());
+        assert_eq!(
+            one_at_a_time.window_query(&Rect::unit()),
+            singleton.window_query(&Rect::unit())
+        );
+        assert!(one_at_a_time.rebuilds() >= 1, "cadence never exercised");
     }
 }

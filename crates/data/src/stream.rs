@@ -19,6 +19,22 @@ pub enum Update {
     Delete(Point),
 }
 
+impl Update {
+    /// The point this update targets, whichever the operation.
+    #[inline]
+    pub fn point(&self) -> Point {
+        match self {
+            Update::Insert(p) | Update::Delete(p) => *p,
+        }
+    }
+
+    /// Whether this is an insertion.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+}
+
 /// Id offset applied to generated insertions so they never collide with
 /// base-set ids.
 pub const INSERT_ID_BASE: u64 = 0x4000_0000;

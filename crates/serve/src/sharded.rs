@@ -99,21 +99,10 @@ pub struct ShardStats {
     pub rebuilds: usize,
 }
 
-/// Canonical identity key of a stored point: id first, then coordinate
-/// bits. Sorting window results by this key makes "the same result set"
-/// mean "bit-identical vectors" across shard layouts and thread counts.
-pub fn canonical_point_key(p: &Point) -> (u64, u64, u64) {
-    (p.id, p.x.to_bits(), p.y.to_bits())
-}
-
-/// Canonical kNN order around `q`: ascending squared distance, ties broken
-/// by [`canonical_point_key`]. Total (uses `total_cmp`), so equal result
-/// *sets* sort into bit-identical vectors.
-pub fn canonical_knn_cmp(q: Point, a: &Point, b: &Point) -> Ordering {
-    q.dist2(a)
-        .total_cmp(&q.dist2(b))
-        .then_with(|| canonical_point_key(a).cmp(&canonical_point_key(b)))
-}
+// The canonical point/kNN orders now live in `elsi_spatial` so the
+// `DeltaOverlay` kNN path can share them; re-exported here because the
+// serving layer is where cross-shard merges make them load-bearing.
+pub use elsi_spatial::{canonical_knn_cmp, canonical_point_key};
 
 /// Max-heap entry for the kNN threshold phase: squared distance under
 /// total order.
@@ -294,16 +283,16 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
 
     /// Applies a batch of updates, fanning the per-shard sub-batches out
     /// on the rayon pool (shard-local arrival order is preserved, so the
-    /// outcome is independent of the thread count). Returns the number of
+    /// outcome is independent of the thread count). Each shard takes the
+    /// bulk ingestion path (`UpdateProcessor::apply_batch`): one ordered
+    /// splice into its delta maps and one rebuild-policy consultation per
+    /// sub-batch, instead of per-update checks. Returns the number of
     /// shard rebuilds the batch triggered.
     pub fn par_apply_updates(&mut self, updates: &[Update]) -> usize {
         let before = self.rebuilds();
         let mut per: Vec<Vec<Update>> = vec![Vec::new(); self.shards.len()];
         for &u in updates {
-            let p = match u {
-                Update::Insert(p) | Update::Delete(p) => p,
-            };
-            per[self.router.shard_of(p)].push(u);
+            per[self.router.shard_of(u.point())].push(u);
         }
         // The vendored rayon has no `par_iter_mut`: move the shards out,
         // run each shard+batch pair to completion, and collect them back
@@ -315,16 +304,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|(mut shard, batch)| {
-                for u in batch {
-                    match u {
-                        Update::Insert(p) => {
-                            shard.insert(p);
-                        }
-                        Update::Delete(p) => {
-                            shard.delete(p);
-                        }
-                    }
-                }
+                shard.apply_batch(&batch);
                 shard
             })
             .collect();

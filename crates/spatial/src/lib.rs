@@ -37,5 +37,5 @@ pub mod sorted;
 pub use block::{Block, BlockStore, DEFAULT_BLOCK_SIZE};
 pub use mapping::{HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper};
 pub use partition::{quadtree_partition, QuadLeaf, UniformGrid};
-pub use point::{Point, Rect};
+pub use point::{canonical_knn_cmp, canonical_point_key, Point, Rect};
 pub use sorted::MappedData;

@@ -15,6 +15,19 @@ use elsi_spatial::{quadtree_partition, Point, Rect};
 use proptest::prelude::*;
 use std::time::Duration;
 
+/// Snaps a raw unit-square coordinate so the boundary values 0.0 and 1.0
+/// occur regularly — the batch-equivalence oracles should exercise points
+/// on shard/grid edges, not just the interior.
+fn snap(v: f64) -> f64 {
+    if v < 0.03 {
+        0.0
+    } else if v > 0.97 {
+        1.0
+    } else {
+        v
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -190,6 +203,152 @@ proptest! {
         for (g, d) in got.iter().zip(&dists) {
             prop_assert!((q.dist(g) - d).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn overlay_batch_ingestion_is_bit_identical_to_sequential(
+        base_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..30, 0.0f64..1.0, 0.0f64..1.0), 0..120
+        )
+    ) {
+        // The tentpole equivalence oracle: `DeltaOverlay::apply_batch` must
+        // be indistinguishable from folding the same updates one at a time
+        // — per-op outcome flags, live size, delta size and the full
+        // canonical window result, under random interleavings of inserts,
+        // overwrites (duplicate ids in the same batch, ids colliding with
+        // base points) and deletes, including boundary coordinates.
+        let points: Vec<Point> = base_pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(i as u64, x, y))
+            .collect();
+        let batch: Vec<elsi::Update> = ops
+            .iter()
+            .map(|&(is_insert, id, x, y)| {
+                let p = Point::new(id, snap(x), snap(y));
+                if is_insert { elsi::Update::Insert(p) } else { elsi::Update::Delete(p) }
+            })
+            .collect();
+        let build = || elsi::DeltaOverlay::new(
+            GridIndex::build(points.clone(), &GridConfig { block_size: 16 })
+        );
+
+        let mut bulk = build();
+        let bulk_flags = bulk.apply_batch(&batch);
+        let mut seq = build();
+        let seq_flags = elsi::ingest_batch_sequential(&mut seq, &batch);
+
+        prop_assert_eq!(bulk_flags, seq_flags);
+        prop_assert_eq!(bulk.len(), seq.len());
+        prop_assert_eq!(bulk.delta_len(), seq.delta_len());
+        prop_assert_eq!(bulk.window_query(&Rect::unit()), seq.window_query(&Rect::unit()));
+        // Random-probe agreement on point queries (delete/insert of the
+        // same id inside one batch must resolve identically).
+        for &(_, id, x, y) in ops.iter().take(20) {
+            let p = Point::new(id, snap(x), snap(y));
+            prop_assert_eq!(bulk.point_query(p), seq.point_query(p));
+        }
+    }
+
+    #[test]
+    fn processor_batch_ingestion_matches_sequential_under_never(
+        base_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..50),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..25, 0.0f64..1.0, 0.0f64..1.0), 0..100
+        ),
+        chunk in 1usize..17
+    ) {
+        // At the lifecycle level (live set, drift sketch, counters) the
+        // batch path must match per-op application exactly when the policy
+        // never fires, for every chunking of the stream.
+        let points: Vec<Point> = base_pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(i as u64, x, y))
+            .collect();
+        let stream: Vec<elsi::Update> = ops
+            .iter()
+            .map(|&(is_insert, id, x, y)| {
+                let p = Point::new(id, snap(x), snap(y));
+                if is_insert { elsi::Update::Insert(p) } else { elsi::Update::Delete(p) }
+            })
+            .collect();
+        let make = || {
+            let pts = points.clone();
+            let rebuild: elsi::RebuildFn<elsi::DeltaOverlay<GridIndex>> = Box::new(|p| {
+                elsi::DeltaOverlay::new(GridIndex::build(p, &GridConfig { block_size: 16 }))
+            });
+            elsi::UpdateProcessor::new(pts, rebuild, elsi::RebuildPolicy::Never, 8)
+        };
+
+        let mut batched = make();
+        let mut applied = 0usize;
+        for c in stream.chunks(chunk) {
+            applied += batched.apply_batch(c).applied;
+        }
+        let mut seq = make();
+        let mut seq_applied = 0usize;
+        for &u in &stream {
+            match u {
+                elsi::Update::Insert(p) => {
+                    seq.insert(p);
+                    seq_applied += 1;
+                }
+                elsi::Update::Delete(p) => {
+                    if SpatialIndex::delete(&mut seq, p) {
+                        seq_applied += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(applied, seq_applied);
+        prop_assert_eq!(batched.len(), seq.len());
+        prop_assert_eq!(batched.pending_updates(), seq.pending_updates());
+        prop_assert_eq!(batched.window_query(&Rect::unit()), seq.window_query(&Rect::unit()));
+    }
+
+    #[test]
+    fn aligned_batches_reproduce_sequential_rebuild_cadence(
+        base_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..40),
+        inserts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80),
+        f_u in 1usize..12
+    ) {
+        // When batch boundaries align with the policy cadence (insert-only
+        // chunks of exactly f_u), once-per-batch checking is bit-identical
+        // to per-f_u checking: same rebuild count, same post-rebuild index.
+        let points: Vec<Point> = base_pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(i as u64, x, y))
+            .collect();
+        let stream: Vec<elsi::Update> = inserts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| elsi::Update::Insert(Point::new(1_000 + i as u64, snap(x), snap(y))))
+            .collect();
+        let make = || {
+            let pts = points.clone();
+            let rebuild: elsi::RebuildFn<elsi::DeltaOverlay<GridIndex>> = Box::new(|p| {
+                elsi::DeltaOverlay::new(GridIndex::build(p, &GridConfig { block_size: 16 }))
+            });
+            let policy = elsi::RebuildPolicy::Threshold { max_drift: 0.2, max_ratio: 4.0 };
+            elsi::UpdateProcessor::new(pts, rebuild, policy, f_u)
+        };
+
+        let mut batched = make();
+        for c in stream.chunks(f_u) {
+            batched.apply_batch(c);
+        }
+        let mut seq = make();
+        for &u in &stream {
+            if let elsi::Update::Insert(p) = u {
+                seq.insert(p);
+            }
+        }
+        prop_assert_eq!(batched.rebuilds(), seq.rebuilds());
+        prop_assert_eq!(batched.pending_updates(), seq.pending_updates());
+        prop_assert_eq!(batched.window_query(&Rect::unit()), seq.window_query(&Rect::unit()));
     }
 
     #[test]
