@@ -1,0 +1,398 @@
+//! Machine-readable reports and the ratcheted baseline.
+//!
+//! `--format json` serialises the full [`Report`] for CI artifacts; the
+//! committed `crates/analysis/baseline.json` pins the counts that must
+//! only ratchet *down* (suppressions, panic-path sites, per-crate panic
+//! budgets). Both sides are dependency-free: the writer emits JSON by
+//! hand, and the reader is a minimal recursive-descent parser that
+//! understands exactly the subset the baseline uses.
+
+use crate::engine::Report;
+use std::collections::BTreeMap;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a full report as pretty-printed JSON (the `--format json`
+/// output and the CI artifact).
+pub fn report_to_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in r.violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&v.file),
+            v.line,
+            v.rule,
+            esc(&v.message),
+            if i + 1 < r.violations.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"suppressed\": [\n");
+    for (i, sp) in r.suppressed.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}{}\n",
+            esc(&sp.finding.file),
+            sp.finding.line,
+            sp.finding.rule,
+            esc(&sp.reason),
+            if i + 1 < r.suppressed.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"budgets\": {\n");
+    for (i, b) in r.budgets.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"ceiling\": {}}}{}\n",
+            esc(&b.group),
+            b.count,
+            b.ceiling,
+            if i + 1 < r.budgets.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"panic_path\": {{\"roots\": {}, \"reachable_fns\": {}, \"sites\": {}, \"ceiling\": {}}},\n",
+        r.panic_path.roots, r.panic_path.reachable_fns, r.panic_path.sites, r.panic_path.ceiling
+    ));
+    s.push_str("  \"panic_path_sites\": [\n");
+    for (i, v) in r.panic_path_sites.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            esc(&v.file),
+            v.line,
+            esc(&v.message),
+            if i + 1 < r.panic_path_sites.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    let roots: Vec<String> = r
+        .hot_paths
+        .roots
+        .iter()
+        .map(|n| format!("\"{}\"", esc(n)))
+        .collect();
+    s.push_str(&format!(
+        "  \"hot_paths\": {{\"roots\": [{}], \"checked_fns\": {}}}\n",
+        roots.join(", "),
+        r.hot_paths.checked_fns
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// The counts the committed baseline pins. Everything here may only move
+/// down (or stay put) between commits; any increase is a regression.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Total violations (0 on a green tree; pinned so a rule that starts
+    /// failing open cannot hide behind an already-red report).
+    pub violations: usize,
+    /// Total `lint:allow` suppressions across the workspace.
+    pub suppressed: usize,
+    /// `panic_path` reachable-site count.
+    pub panic_path_sites: usize,
+    /// Per-group panic-budget counts, keyed by group prefix.
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Extracts the ratcheted counts from a report.
+    pub fn from_report(r: &Report) -> Self {
+        Self {
+            violations: r.violations.len(),
+            suppressed: r.suppressed.len(),
+            panic_path_sites: r.panic_path.sites,
+            budgets: r
+                .budgets
+                .iter()
+                .map(|b| (b.group.clone(), b.count))
+                .collect(),
+        }
+    }
+
+    /// Serialises the baseline (the format `baseline.json` is committed in).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"violations\": {},\n", self.violations));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str(&format!(
+            "  \"panic_path_sites\": {},\n",
+            self.panic_path_sites
+        ));
+        s.push_str("  \"budgets\": {\n");
+        let n = self.budgets.len();
+        for (i, (g, c)) in self.budgets.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                esc(g),
+                c,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  }\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a committed baseline file. Accepts exactly the shape
+    /// [`Baseline::to_json`] writes (an object of numbers plus one nested
+    /// object of numbers); anything else is an error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let mut b = Baseline::default();
+        p.eat('{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.eat(':')?;
+            match key.as_str() {
+                "violations" => b.violations = p.number()?,
+                "suppressed" => b.suppressed = p.number()?,
+                "panic_path_sites" => b.panic_path_sites = p.number()?,
+                "budgets" => {
+                    p.eat('{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.peek() == Some('}') {
+                            p.pos += 1;
+                            break;
+                        }
+                        let g = p.string()?;
+                        p.eat(':')?;
+                        let c = p.number()?;
+                        b.budgets.insert(g, c);
+                        p.skip_ws();
+                        if p.peek() == Some(',') {
+                            p.pos += 1;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown baseline key `{other}`")),
+            }
+            p.skip_ws();
+            if p.peek() == Some(',') {
+                p.pos += 1;
+            }
+        }
+        Ok(b)
+    }
+
+    /// Compares a fresh report against this (committed) baseline. Returns
+    /// one line per regression; empty means the ratchet held.
+    pub fn regressions(&self, r: &Report) -> Vec<String> {
+        let current = Baseline::from_report(r);
+        let mut out = Vec::new();
+        if current.violations > self.violations {
+            out.push(format!(
+                "violations: {} > baseline {}",
+                current.violations, self.violations
+            ));
+        }
+        if current.suppressed > self.suppressed {
+            out.push(format!(
+                "suppressed findings: {} > baseline {} (new lint:allow waivers \
+                 need a baseline update in the same commit)",
+                current.suppressed, self.suppressed
+            ));
+        }
+        if current.panic_path_sites > self.panic_path_sites {
+            out.push(format!(
+                "panic_path sites: {} > baseline {}",
+                current.panic_path_sites, self.panic_path_sites
+            ));
+        }
+        for (g, c) in &current.budgets {
+            let base = self.budgets.get(g).copied().unwrap_or(0);
+            if *c > base {
+                out.push(format!("panic budget {g}: {c} > baseline {base}"));
+            }
+        }
+        out
+    }
+}
+
+/// Minimal recursive-descent parser over the baseline subset of JSON.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at byte {} of baseline JSON",
+                self.pos
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string in baseline JSON".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Baseline keys are paths and rule names: the only
+                    // escapes that can occur are \\ and \".
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(&b) => out.push(b as char),
+                        None => return Err("dangling escape in baseline JSON".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!(
+                "expected a number at byte {start} of baseline JSON"
+            ));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "bad number in baseline JSON".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{scan_files, Policy};
+
+    fn policy() -> Policy {
+        Policy {
+            determinism_allowed: vec![],
+            lock_allowed: vec![],
+            cast_scope: "crates/spatial/src/curve/".into(),
+            cast_allowed: vec![],
+            panic_budgets: vec![("crates/core/".into(), 5)],
+            panic_path_ceiling: 5,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let files = vec![(
+            "crates/core/src/x.rs".to_string(),
+            "// lint:serving_root\nfn serve() { a.unwrap(); }\n".to_string(),
+        )];
+        let r = scan_files(&files, &policy());
+        let b = Baseline::from_report(&r);
+        let parsed = Baseline::parse(&b.to_json());
+        assert_eq!(parsed, Ok(b.clone()));
+        assert_eq!(b.panic_path_sites, 1);
+        assert_eq!(b.budgets.get("crates/core/"), Some(&1));
+    }
+
+    #[test]
+    fn regressions_fire_only_on_increases() {
+        let files = vec![(
+            "crates/core/src/x.rs".to_string(),
+            "fn f() { a.unwrap(); }\n".to_string(),
+        )];
+        let r = scan_files(&files, &policy());
+        let base = Baseline::from_report(&r);
+        assert!(base.regressions(&r).is_empty(), "self-compare is clean");
+
+        let worse = vec![(
+            "crates/core/src/x.rs".to_string(),
+            "fn f() { a.unwrap(); b.unwrap(); }\n".to_string(),
+        )];
+        let rw = scan_files(&worse, &policy());
+        let regs = base.regressions(&rw);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("panic budget crates/core/"));
+    }
+
+    #[test]
+    fn report_json_contains_all_sections() {
+        let files = vec![(
+            "crates/core/src/x.rs".to_string(),
+            "fn f() { let t = Instant::now(); }\n".to_string(),
+        )];
+        let r = scan_files(&files, &policy());
+        let j = report_to_json(&r);
+        for key in [
+            "\"files_scanned\"",
+            "\"violations\"",
+            "\"suppressed\"",
+            "\"budgets\"",
+            "\"panic_path\"",
+            "\"hot_paths\"",
+            "\"determinism\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys() {
+        assert!(Baseline::parse("{\"bogus\": 1}").is_err());
+    }
+}

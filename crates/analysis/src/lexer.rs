@@ -57,6 +57,28 @@ pub struct Allow {
     pub own_line: bool,
 }
 
+/// What a root-marker comment designates the next function as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `// lint:hot_path` — the next `fn` is an allocation-free hot-path
+    /// root for the `alloc_hot_path` rule.
+    HotPath,
+    /// `// lint:serving_root` — the next `fn` is a serving entry point for
+    /// the `panic_path` reachability budget.
+    ServingRoot,
+}
+
+/// A parsed `// lint:hot_path` / `// lint:serving_root` marker comment.
+/// Markers attach to the next `fn` item at or below their line (see
+/// [`crate::parse`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Marker {
+    /// Which root set the marked function joins.
+    pub kind: MarkerKind,
+    /// Line the marker is written on.
+    pub line: u32,
+}
+
 /// The result of lexing one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -64,6 +86,8 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// All `lint:allow` annotations found in line comments.
     pub allows: Vec<Allow>,
+    /// All root markers (`lint:hot_path`, `lint:serving_root`).
+    pub markers: Vec<Marker>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -91,6 +115,20 @@ fn parse_allow(comment: &str, line: u32, own_line: bool) -> Option<Allow> {
         line,
         own_line,
     })
+}
+
+/// Parses a line comment's text for a root marker
+/// (`lint:hot_path` / `lint:serving_root`).
+fn parse_marker(comment: &str, line: u32) -> Option<Marker> {
+    let body = comment.trim_start_matches('/').trim();
+    let kind = if body.starts_with("lint:hot_path") {
+        MarkerKind::HotPath
+    } else if body.starts_with("lint:serving_root") {
+        MarkerKind::ServingRoot
+    } else {
+        return None;
+    };
+    Some(Marker { kind, line })
 }
 
 /// Tokenizes `src`. Never fails: unrecognised bytes become punctuation.
@@ -122,6 +160,8 @@ pub fn lex(src: &str) -> Lexed {
             let text: String = cs[start..i].iter().collect();
             if let Some(a) = parse_allow(&text, line, last_token_line != line) {
                 out.allows.push(a);
+            } else if let Some(m) = parse_marker(&text, line) {
+                out.markers.push(m);
             }
             continue;
         }
@@ -450,5 +490,18 @@ mod tests {
     fn allow_without_reason_has_empty_reason() {
         let l = lex("// lint:allow(determinism)\n");
         assert_eq!(l.allows[0].reason, "");
+    }
+
+    #[test]
+    fn markers_parse_with_lines() {
+        let l = lex("// lint:hot_path\nfn f() {}\n// lint:serving_root\nfn g() {}\n");
+        assert_eq!(l.markers.len(), 2);
+        assert_eq!(l.markers[0].kind, MarkerKind::HotPath);
+        assert_eq!(l.markers[0].line, 1);
+        assert_eq!(l.markers[1].kind, MarkerKind::ServingRoot);
+        assert_eq!(l.markers[1].line, 3);
+        // Markers inside string literals are invisible.
+        let l = lex(r#"let s = "// lint:hot_path";"#);
+        assert!(l.markers.is_empty());
     }
 }

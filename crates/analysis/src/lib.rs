@@ -1,9 +1,10 @@
-//! Workspace invariant linter.
+//! Workspace static analyzer.
 //!
-//! A dependency-free static-analysis pass over every `.rs` file in the
-//! workspace. It tokenizes each file with a hand-rolled lexer (so banned
-//! names inside string literals and comments are invisible) and enforces
-//! five rules:
+//! A dependency-free analysis pass over every `.rs` file in the workspace.
+//! It tokenizes each file with a hand-rolled lexer (so banned names inside
+//! string literals and comments are invisible), then parses items and links
+//! a workspace call graph for the cross-function rules. Nine rules are
+//! enforced:
 //!
 //! | rule              | invariant                                                        |
 //! |-------------------|------------------------------------------------------------------|
@@ -12,18 +13,32 @@
 //! | `par_reduction`   | no order-dependent float reductions in `par_iter` chains          |
 //! | `truncating_cast` | no raw `as <int>` casts in `crates/spatial/src/curve/`            |
 //! | `panic_budget`    | per-crate `unwrap`/`expect`/`panic!` ceilings that ratchet down   |
+//! | `float_order`     | no NaN-unsafe `.partial_cmp()` — use `f64::total_cmp` / `order`   |
+//! | `lock_order`      | no lock-order cycles; no locks held across rayon boundaries       |
+//! | `alloc_hot_path`  | no allocation reachable from `// lint:hot_path` roots             |
+//! | `panic_path`      | ratcheted panic-site count reachable from serving roots           |
 //!
-//! Run it with `cargo run -p analysis` (exits non-zero on violations); the
-//! self-scan test in `tests/workspace.rs` runs the same pass under
-//! `cargo test`. Individual findings can be waived with
+//! The first six are per-file token rules; the last three run on the
+//! workspace call graph (see [`parse`] and [`graph`]). Run the analyzer
+//! with `cargo run -p analysis` (exits non-zero on violations); add
+//! `--format json` for the machine-readable report CI archives, and
+//! `--baseline crates/analysis/baseline.json` to enforce the ratchet (see
+//! [`json`]). The self-scan test in `tests/workspace.rs` runs the same
+//! pass under `cargo test`. Individual findings can be waived with
 //! `// lint:allow(rule): reason` — the reason is mandatory and every
 //! suppression is listed in the report.
 
+#![warn(missing_docs)]
+
 pub mod engine;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use engine::{collect_rs_files, scan_files, scan_workspace, Finding, Policy, Report};
+pub use json::{report_to_json, Baseline};
 
 use std::path::PathBuf;
 

@@ -1,11 +1,27 @@
 //! CLI entry point: scan the workspace, print the report, exit non-zero on
-//! violations. Pass `-q` to print violations only.
+//! violations or baseline regressions.
+//!
+//! Flags:
+//! - `-q` / `--quiet`          print violations only
+//! - `--format json`           emit the machine-readable report on stdout
+//! - `--baseline <path>`       compare against a committed baseline and
+//!   fail on any ratchet regression
+//! - `--write-baseline <path>` write the current counts as the new
+//!   baseline (used when a PR legitimately ratchets a count down)
 
-use analysis::{scan_workspace, workspace_root, Policy};
+use analysis::{report_to_json, scan_workspace, workspace_root, Baseline, Policy};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let quiet = std::env::args().any(|a| a == "-q" || a == "--quiet");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let json = args
+        .windows(2)
+        .any(|w| w[0] == "--format" && w[1] == "json");
+    let flag_value = |name: &str| args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone());
+    let baseline_path = flag_value("--baseline");
+    let write_baseline = flag_value("--write-baseline");
+
     let root = workspace_root();
     let report = match scan_workspace(&root, &Policy::workspace()) {
         Ok(r) => r,
@@ -18,30 +34,80 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{v}");
+    if let Some(path) = write_baseline {
+        let b = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("analysis: failed to write baseline {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("analysis: wrote baseline to {path}");
     }
 
-    if !quiet {
-        if !report.suppressed.is_empty() {
-            println!("\nsuppressed ({}):", report.suppressed.len());
-            for s in &report.suppressed {
-                println!("  {}  [{}]", s.finding, s.reason);
+    let mut regressions = Vec::new();
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("analysis: failed to read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => regressions = b.regressions(&report),
+            Err(e) => {
+                eprintln!("analysis: bad baseline {path}: {e}");
+                return ExitCode::from(2);
             }
         }
-        println!("\npanic budget (count/ceiling):");
-        for b in &report.budgets {
-            println!("  {:<20} {:>3}/{}", b.group, b.count, b.ceiling);
-        }
-        println!(
-            "\n{} files scanned, {} violations, {} suppressed",
-            report.files_scanned,
-            report.violations.len(),
-            report.suppressed.len()
-        );
     }
 
-    if report.violations.is_empty() {
+    if json {
+        print!("{}", report_to_json(&report));
+        for r in &regressions {
+            eprintln!("baseline regression: {r}");
+        }
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        for r in &regressions {
+            println!("baseline regression: {r}");
+        }
+
+        if !quiet {
+            if !report.suppressed.is_empty() {
+                println!("\nsuppressed ({}):", report.suppressed.len());
+                for s in &report.suppressed {
+                    println!("  {}  [{}]", s.finding, s.reason);
+                }
+            }
+            println!("\npanic budget (count/ceiling):");
+            for b in &report.budgets {
+                println!("  {:<20} {:>3}/{}", b.group, b.count, b.ceiling);
+            }
+            println!(
+                "\npanic_path: {} sites reachable from {} serving roots \
+                 across {} fns (ceiling {})",
+                report.panic_path.sites,
+                report.panic_path.roots,
+                report.panic_path.reachable_fns,
+                report.panic_path.ceiling
+            );
+            println!(
+                "alloc_hot_path: {} fns checked from roots [{}]",
+                report.hot_paths.checked_fns,
+                report.hot_paths.roots.join(", ")
+            );
+            println!(
+                "\n{} files scanned, {} violations, {} suppressed",
+                report.files_scanned,
+                report.violations.len(),
+                report.suppressed.len()
+            );
+        }
+    }
+
+    if report.violations.is_empty() && regressions.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -10,12 +10,19 @@
 use crate::lexer::{Token, TokenKind};
 
 /// Names of every rule, used to validate `lint:allow(rule)` annotations.
-pub const RULE_NAMES: [&str; 5] = [
+/// The first five are the per-file token rules of PR 2; `float_order` is
+/// token-level too; the last three run on the workspace call graph (see
+/// [`crate::graph`]).
+pub const RULE_NAMES: [&str; 9] = [
     "determinism",
     "lock_hygiene",
     "par_reduction",
     "truncating_cast",
     "panic_budget",
+    "float_order",
+    "lock_order",
+    "alloc_hot_path",
+    "panic_path",
 ];
 
 /// A rule finding before suppression handling: line plus message.
@@ -180,6 +187,34 @@ pub fn truncating_cast(tokens: &[Token]) -> Vec<RuleFinding> {
     out
 }
 
+/// Rule `float_order`: `.partial_cmp()` calls are banned workspace-wide.
+///
+/// Every `partial_cmp` in this codebase compares `f64` keys, and
+/// `partial_cmp(..).unwrap()` / `.expect(..)` turns a single NaN — one bad
+/// coordinate, one 0/0 in a distance — into a panic inside a sort, which
+/// under rayon poisons shared state on every worker. The canonical
+/// alternatives are total: `f64::total_cmp` for bare keys and the
+/// `(dist², id)` comparators in `elsi_spatial::order` for points (the PR 6
+/// kNN fix). Definitions of `PartialOrd::partial_cmp` are not flagged —
+/// only calls (`.partial_cmp(`).
+pub fn float_order(tokens: &[Token]) -> Vec<RuleFinding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if punct_at(tokens, i, ".")
+            && ident_at(tokens, i + 1, "partial_cmp")
+            && punct_at(tokens, i + 2, "(")
+        {
+            out.push(RuleFinding {
+                line: tokens[i + 1].line,
+                message: "NaN-unsafe `.partial_cmp()`: use `f64::total_cmp` or the \
+                          canonical comparators in `elsi_spatial::order`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Rule `panic_budget` support: every `unwrap()` / `expect(` / `panic!`
 /// site in a file. The engine aggregates these per crate against the
 /// ratcheting ceilings in the policy.
@@ -247,6 +282,22 @@ mod tests {
         assert!(truncating_cast(&lex("x as f64").tokens).is_empty());
         // `as` in a string or comment is invisible.
         assert!(truncating_cast(&lex(r#"let s = "x as u32";"#).tokens).is_empty());
+    }
+
+    #[test]
+    fn float_order_flags_calls_not_definitions() {
+        assert_eq!(
+            float_order(&lex("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());").tokens).len(),
+            1
+        );
+        // An `impl PartialOrd` definition is not a call.
+        assert!(float_order(
+            &lex("fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }")
+                .tokens
+        )
+        .is_empty());
+        // total_cmp is the sanctioned form.
+        assert!(float_order(&lex("xs.sort_by(f64::total_cmp);").tokens).is_empty());
     }
 
     #[test]

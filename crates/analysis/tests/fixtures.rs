@@ -19,6 +19,7 @@ fn fixture_policy() -> Policy {
         cast_scope: "crates/spatial/src/curve/".into(),
         cast_allowed: vec!["crates/spatial/src/curve/convert.rs".into()],
         panic_budgets: vec![("crates/core/".into(), 0)],
+        panic_path_ceiling: 0,
     }
 }
 
@@ -226,6 +227,309 @@ fn f(m: &M) { m.lock(); } // lint:allow(lock_hygiene): fixture
     let r = scan_one("crates/core/src/x.rs", src);
     assert!(r.violations.is_empty(), "got: {:?}", diagnostics(&r));
     assert_eq!(r.suppressed.len(), 1);
+}
+
+#[test]
+fn float_order_bad_fixture() {
+    let src = r#"
+fn rank(xs: &mut Vec<(f64, u32)>) {
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+"#;
+    let r = scan_one("crates/core/src/scorer.rs", src);
+    let floats: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":float_order:"))
+        .collect();
+    assert_eq!(
+        floats,
+        vec![
+            "crates/core/src/scorer.rs:3:float_order: NaN-unsafe `.partial_cmp()`: \
+             use `f64::total_cmp` or the canonical comparators in \
+             `elsi_spatial::order`"
+        ]
+    );
+}
+
+#[test]
+fn float_order_allowed_fixture() {
+    let src = r#"
+fn rank(xs: &mut Vec<Version>) {
+    // lint:allow(float_order): Version ordering is total; these are not floats
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}
+"#;
+    let r = scan_one("crates/core/src/scorer.rs", src);
+    assert!(
+        diagnostics(&r).iter().all(|d| !d.contains(":float_order:")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+    let sup: Vec<_> = r
+        .suppressed
+        .iter()
+        .filter(|s| s.finding.rule == "float_order")
+        .collect();
+    assert_eq!(sup.len(), 1);
+    assert_eq!(
+        sup[0].reason,
+        "Version ordering is total; these are not floats"
+    );
+}
+
+#[test]
+fn lock_order_two_mutex_cycle_fixture() {
+    // The seeded deadlock: `transfer` takes a then b, `audit` takes b then
+    // a. One thread in each and both block forever.
+    let src = r#"
+fn transfer(&self) {
+    let a = lock_unpoisoned(&self.accounts);
+    let b = lock_unpoisoned(&self.ledger);
+    a.apply(&b);
+}
+
+fn audit(&self) {
+    let b = lock_unpoisoned(&self.ledger);
+    let a = lock_unpoisoned(&self.accounts);
+    b.check(&a);
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    let locks: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":lock_order:"))
+        .collect();
+    assert_eq!(
+        locks,
+        vec![
+            "crates/core/src/build.rs:4:lock_order: lock-order cycle \
+             {accounts <-> ledger} (deadlock risk): `ledger` acquired while \
+             `accounts` is held in `transfer`; acquire locks in one global order"
+        ]
+    );
+}
+
+#[test]
+fn lock_order_cycle_through_a_call_is_found() {
+    // The same cycle, but one arm acquires its second lock in a callee.
+    let src = r#"
+fn transfer(&self) {
+    let a = lock_unpoisoned(&self.accounts);
+    self.log_into_ledger();
+}
+
+fn log_into_ledger(&self) {
+    let b = lock_unpoisoned(&self.ledger);
+    b.append();
+}
+
+fn audit(&self) {
+    let b = lock_unpoisoned(&self.ledger);
+    let a = lock_unpoisoned(&self.accounts);
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    assert!(
+        diagnostics(&r)
+            .iter()
+            .any(|d| d.contains(":lock_order:") && d.contains("accounts <-> ledger")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+}
+
+#[test]
+fn lock_order_across_rayon_fixture() {
+    let src = r#"
+fn rebuild(&self) {
+    let chosen = lock_unpoisoned(&self.chosen);
+    self.blocks.par_iter().for_each(|b| b.refresh(&chosen));
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    let locks: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":lock_order:"))
+        .collect();
+    assert_eq!(
+        locks,
+        vec![
+            "crates/core/src/build.rs:4:lock_order: lock `chosen` held across a \
+             rayon boundary in `rebuild`: a worker that takes the same lock \
+             deadlocks the pool; drop the guard before going parallel"
+        ]
+    );
+}
+
+#[test]
+fn lock_order_allowed_fixture() {
+    let src = r#"
+fn rebuild(&self) {
+    let chosen = lock_unpoisoned(&self.chosen);
+    // lint:allow(lock_order): workers never touch self.chosen (read-only config)
+    self.blocks.par_iter().for_each(|b| b.refresh(&chosen));
+}
+"#;
+    let r = scan_one("crates/core/src/build.rs", src);
+    assert!(
+        diagnostics(&r).iter().all(|d| !d.contains(":lock_order:")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+    let sup: Vec<_> = r
+        .suppressed
+        .iter()
+        .filter(|s| s.finding.rule == "lock_order")
+        .collect();
+    assert_eq!(sup.len(), 1);
+    assert_eq!(
+        sup[0].reason,
+        "workers never touch self.chosen (read-only config)"
+    );
+}
+
+#[test]
+fn alloc_hot_path_bad_fixture() {
+    // The allocation hides one call deep: the rule must traverse the graph.
+    let src = r#"
+// lint:hot_path
+fn point_query(&self, key: u64) -> Option<u32> {
+    self.probe(key)
+}
+
+fn probe(&self, key: u64) -> Option<u32> {
+    let scratch = Vec::new();
+    self.search(key, scratch)
+}
+"#;
+    let r = scan_one("crates/core/src/grid.rs", src);
+    let allocs: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":alloc_hot_path:"))
+        .collect();
+    assert_eq!(
+        allocs,
+        vec![
+            "crates/core/src/grid.rs:8:alloc_hot_path: allocating construct \
+             `Vec::new` in `probe`, reachable from hot-path root `point_query`: \
+             hot paths must not allocate (hoist the buffer, or mark a genuinely \
+             cold fallback `#[cold]`)"
+        ]
+    );
+}
+
+#[test]
+fn alloc_hot_path_cold_fallback_is_exempt() {
+    let src = r#"
+// lint:hot_path
+fn predict(&self, x: f64) -> f64 {
+    self.fast(x)
+}
+
+fn fast(&self, x: f64) -> f64 {
+    x * self.w
+}
+
+#[cold]
+fn slow(&self, x: f64) -> f64 {
+    let buf = vec![x];
+    self.forward(&buf)
+}
+"#;
+    let r = scan_one("crates/core/src/grid.rs", src);
+    assert!(
+        diagnostics(&r)
+            .iter()
+            .all(|d| !d.contains(":alloc_hot_path:")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+}
+
+#[test]
+fn alloc_hot_path_allowed_fixture() {
+    let src = r#"
+// lint:hot_path
+fn window_query(&self, w: &Rect) -> usize {
+    // lint:allow(alloc_hot_path): result set is unbounded; callers own the Vec
+    let mut out = Vec::new();
+    self.visit(w, &mut out);
+    out.len()
+}
+"#;
+    let r = scan_one("crates/core/src/grid.rs", src);
+    assert!(
+        diagnostics(&r)
+            .iter()
+            .all(|d| !d.contains(":alloc_hot_path:")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+    let sup: Vec<_> = r
+        .suppressed
+        .iter()
+        .filter(|s| s.finding.rule == "alloc_hot_path")
+        .collect();
+    assert_eq!(sup.len(), 1);
+    assert_eq!(
+        sup[0].reason,
+        "result set is unbounded; callers own the Vec"
+    );
+}
+
+#[test]
+fn panic_path_bad_fixture() {
+    let src = r#"
+// lint:serving_root
+fn handle(&self, q: Query) -> Reply {
+    self.dispatch(q)
+}
+
+fn dispatch(&self, q: Query) -> Reply {
+    self.shards[q.shard].answer(q)
+}
+"#;
+    let r = scan_one("crates/core/src/serve.rs", src);
+    let panics: Vec<_> = diagnostics(&r)
+        .into_iter()
+        .filter(|d| d.contains(":panic_path:"))
+        .collect();
+    assert_eq!(
+        panics,
+        vec![
+            "workspace:1:panic_path: 1 panic-capable sites \
+             (unwrap/expect/panic!/[]-indexing) reachable from the 1 serving \
+             roots exceed the ceiling of 0; recover the error, or annotate the \
+             site with `// lint:allow(panic_path): reason`"
+        ]
+    );
+    assert_eq!(r.panic_path.sites, 1);
+    assert_eq!(r.panic_path.reachable_fns, 2);
+}
+
+#[test]
+fn panic_path_allowed_fixture() {
+    let src = r#"
+// lint:serving_root
+fn handle(&self, q: Query) -> Reply {
+    // lint:allow(panic_path): shard id is validated by the router above
+    self.shards[q.shard].answer(q)
+}
+"#;
+    let r = scan_one("crates/core/src/serve.rs", src);
+    assert!(
+        diagnostics(&r).iter().all(|d| !d.contains(":panic_path:")),
+        "got: {:?}",
+        diagnostics(&r)
+    );
+    let sup: Vec<_> = r
+        .suppressed
+        .iter()
+        .filter(|s| s.finding.rule == "panic_path")
+        .collect();
+    assert_eq!(sup.len(), 1);
+    assert_eq!(sup[0].reason, "shard id is validated by the router above");
+    assert_eq!(r.panic_path.sites, 0);
 }
 
 #[test]

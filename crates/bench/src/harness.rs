@@ -324,7 +324,7 @@ pub fn knn_query_stats(
     let mut total = 0usize;
     for (q, ans) in queries.iter().zip(&answers) {
         let mut d: Vec<f64> = pts.iter().map(|p| q.dist2(p)).collect();
-        d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        d.sort_by(|a, b| a.total_cmp(b));
         let radius = d[(k - 1).min(d.len() - 1)].sqrt() + 1e-12;
         total += k.min(pts.len());
         hit += ans.iter().filter(|p| q.dist(p) <= radius).count().min(k);

@@ -200,6 +200,7 @@ fn parse_shards_spec(spec: &str) -> Result<(usize, usize), String> {
 }
 
 /// Parses command-line arguments (without the program name).
+// lint:serving_root
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
@@ -509,6 +510,7 @@ fn render_query(idx: &dyn SpatialIndex, query: QuerySpec, out: &mut String) {
 }
 
 /// Executes a command, returning the text to print.
+// lint:serving_root
 pub fn run(cmd: Command) -> Result<String, String> {
     let mut out = String::new();
     match cmd {
@@ -526,7 +528,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let pts = load_points(&input)?;
             let bbox = Rect::mbr_of(&pts);
             let mut keys = MortonMapper.keys(&pts);
-            keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+            keys.sort_unstable_by(|a, b| a.total_cmp(b));
             let dist_u = dist_from_uniform(&keys);
             let _ = writeln!(out, "points:              {}", pts.len());
             let _ = writeln!(

@@ -25,7 +25,7 @@ pub fn centroids(input: &BuildInput<'_>, cfg: &ElsiConfig) -> Vec<f64> {
         .iter()
         .map(|&(x, y)| input.mapper.key(Point::at(x, y)))
         .collect();
-    keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    keys.sort_unstable_by(|a, b| a.total_cmp(b));
     keys
 }
 

@@ -131,7 +131,7 @@ fn synthetic_keys(g: f64, mirrored: bool, m: usize) -> Vec<f64> {
             }
         })
         .collect();
-    keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    keys.sort_unstable_by(|a, b| a.total_cmp(b));
     keys
 }
 

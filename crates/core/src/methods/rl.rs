@@ -40,7 +40,7 @@ pub fn rl_set(input: &BuildInput<'_>, cfg: &ElsiConfig) -> Vec<f64> {
             input.mapper.key(p)
         })
         .collect();
-    cells.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    cells.sort_unstable_by(|a, b| a.total_cmp(b));
 
     let n_cells = cells.len();
     let mut state = vec![1.0f64; n_cells]; // s_0: every cell active
@@ -167,7 +167,7 @@ mod tests {
                 MortonMapper.key(p)
             })
             .collect();
-        all_cells.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        all_cells.sort_unstable_by(|a, b| a.total_cmp(b));
         let initial = ks_distance(&all_cells, data.keys());
 
         let keys = rl_set(&input, &cfg);

@@ -28,7 +28,7 @@ pub fn representative_set(input: &BuildInput<'_>, cfg: &ElsiConfig) -> Vec<f64> 
             input.keys[mid]
         })
         .collect();
-    keys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    keys.sort_unstable_by(|a, b| a.total_cmp(b));
     keys
 }
 

@@ -137,7 +137,7 @@ impl MethodScorer {
             .min_by(|a, b| {
                 let ca = self.combined(**a, n, dist_u, lambda, w_q);
                 let cb = self.combined(**b, n, dist_u, lambda, w_q);
-                ca.partial_cmp(&cb).expect("finite scores")
+                ca.total_cmp(&cb)
             })
             .expect("non-empty allowed set")
     }
@@ -365,7 +365,7 @@ pub fn ground_truth_best(
                 let q_rel = (c.query_micros.max(1e-3) / og.query_micros.max(1e-3)).log10();
                 lambda * b_rel + (1.0 - lambda) * w_q * q_rel
             };
-            score(**a).partial_cmp(&score(**b)).expect("finite scores")
+            score(**a).total_cmp(&score(**b))
         })
         .expect("non-empty allowed set")
 }
@@ -488,7 +488,7 @@ impl AltSelector {
                         let f = features(m, n, dist_u);
                         lambda * build.predict(&f) + (1.0 - lambda) * w_q * query.predict(&f)
                     };
-                    s(**a).partial_cmp(&s(**b)).expect("finite scores")
+                    s(**a).total_cmp(&s(**b))
                 })
                 .expect("non-empty"),
             AltSelector::Dtr { build, query } => *allowed
@@ -498,7 +498,7 @@ impl AltSelector {
                         let f = features(m, n, dist_u);
                         lambda * build.predict(&f) + (1.0 - lambda) * w_q * query.predict(&f)
                     };
-                    s(**a).partial_cmp(&s(**b)).expect("finite scores")
+                    s(**a).total_cmp(&s(**b))
                 })
                 .expect("non-empty"),
             AltSelector::Rfc(f) => {

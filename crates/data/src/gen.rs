@@ -235,7 +235,7 @@ mod tests {
 
     fn mapped_dist_from_uniform(pts: &[Point]) -> f64 {
         let mut keys = MortonMapper.keys(pts);
-        keys.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_unstable_by(|a, b| a.total_cmp(b));
         dist_from_uniform(&keys)
     }
 

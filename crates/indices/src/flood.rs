@@ -76,7 +76,7 @@ impl FloodIndex {
         let c = cfg.columns.min(n.max(1));
 
         // Equal-frequency column boundaries over x.
-        points.sort_unstable_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+        points.sort_unstable_by(|a, b| a.x.total_cmp(&b.x));
         let mut bounds = Vec::with_capacity(c + 1);
         bounds.push(f64::NEG_INFINITY);
         for i in 1..c {
@@ -97,7 +97,7 @@ impl FloodIndex {
         let mut columns = Vec::with_capacity(c);
         let mut stats = Vec::new();
         for (ci, mut pts) in buckets.into_iter().enumerate() {
-            pts.sort_unstable_by(|a, b| a.y.partial_cmp(&b.y).expect("finite coordinates"));
+            pts.sort_unstable_by(|a, b| a.y.total_cmp(&b.y));
             let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
             let built = builder.build_model(&BuildInput {
                 points: &pts,
@@ -137,7 +137,7 @@ impl FloodIndex {
         let n = points.len().max(1);
         // x-quantiles once (256-bin histogram stands in for the data CDF).
         let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        xs.sort_unstable_by(|a, b| a.total_cmp(b));
 
         let mut best = candidates[0];
         let mut best_cost = f64::INFINITY;
@@ -396,7 +396,7 @@ mod tests {
         let q = Point::at(0.62, 0.37);
         let got = idx.knn_query(q, 10);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 10);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

@@ -191,7 +191,7 @@ mod tests {
         let q = Point::at(0.2, 0.9);
         let got = idx.knn_query(q, 9);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 9);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

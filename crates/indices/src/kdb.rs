@@ -66,11 +66,7 @@ impl KdNode {
             return KdNode::Leaf { mbr, points };
         }
         let mid = points.len() / 2;
-        points.select_nth_unstable_by(mid, |a, b| {
-            coord(a, axis)
-                .partial_cmp(&coord(b, axis))
-                .expect("finite coordinates")
-        });
+        points.select_nth_unstable_by(mid, |a, b| coord(a, axis).total_cmp(&coord(b, axis)));
         let split = coord(&points[mid], axis);
         let right_pts = points.split_off(mid);
         let next = 1 - axis;
@@ -244,7 +240,7 @@ struct Entry<'a> {
 }
 impl PartialEq for Entry<'_> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist2 == other.dist2
+        self.dist2.total_cmp(&other.dist2) == Ordering::Equal
     }
 }
 impl Eq for Entry<'_> {}
@@ -255,10 +251,7 @@ impl PartialOrd for Entry<'_> {
 }
 impl Ord for Entry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist2
-            .partial_cmp(&self.dist2)
-            .unwrap_or(Ordering::Equal)
+        other.dist2.total_cmp(&self.dist2)
     }
 }
 
@@ -378,7 +371,7 @@ mod tests {
         let q = Point::at(0.4, 0.05);
         let got = idx.knn_query(q, 15);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 15);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

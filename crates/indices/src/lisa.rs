@@ -415,7 +415,7 @@ mod tests {
         let got = idx.knn_query(q, 5);
         assert_eq!(got.len(), 5);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         let exact_r = q.dist(&want[4]);
         assert!(got.iter().all(|p| q.dist(p) <= exact_r * 3.0 + 1e-9));
     }

@@ -185,7 +185,7 @@ fn build_node(
         .drain(..)
         .map(|p| (local_key(p, &bounds), p))
         .collect();
-    keyed.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
     let keys: Vec<f64> = keyed.iter().map(|(k, _)| *k).collect();
     let pts: Vec<Point> = keyed.into_iter().map(|(_, p)| p).collect();
     let n = pts.len();
@@ -581,7 +581,7 @@ mod tests {
         assert_eq!(got.len(), 10);
         // Approximate: allow slack vs brute force, but results must be close.
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         let exact_r = q.dist(&want[9]);
         assert!(got.iter().all(|p| q.dist(p) <= exact_r * 3.0 + 1e-9));
     }

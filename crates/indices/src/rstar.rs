@@ -157,7 +157,7 @@ where
         items.sort_by(|a, b| {
             let ca = center_on(&mbr_of(a), axis);
             let cb = center_on(&mbr_of(b), axis);
-            ca.partial_cmp(&cb).expect("finite coordinates")
+            ca.total_cmp(&cb)
         });
         // Prefix/suffix MBRs.
         let mut prefix = Vec::with_capacity(m);
@@ -313,7 +313,7 @@ mod tests {
         let q = Point::at(0.77, 0.33);
         let got = idx.knn_query(q, 25);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 25);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

@@ -161,7 +161,7 @@ enum HeapItem<'a> {
 
 impl PartialEq for HeapEntry<'_> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist2 == other.dist2
+        self.dist2.total_cmp(&other.dist2) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry<'_> {}
@@ -173,10 +173,7 @@ impl PartialOrd for HeapEntry<'_> {
 impl Ord for HeapEntry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller distance = greater priority.
-        other
-            .dist2
-            .partial_cmp(&self.dist2)
-            .unwrap_or(Ordering::Equal)
+        other.dist2.total_cmp(&self.dist2)
     }
 }
 
@@ -271,7 +268,7 @@ mod tests {
         let q = Point::at(0.37, 0.61);
         let got = knn_best_first(&root, q, 8);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 8);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

@@ -168,11 +168,7 @@ where
             q.y + side / 2.0,
         );
         let mut cands = window_fn(&w);
-        cands.sort_by(|a, b| {
-            q.dist2(a)
-                .partial_cmp(&q.dist2(b))
-                .expect("finite distances")
-        });
+        cands.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         cands.truncate(k);
         let safe_radius = side / 2.0;
         if cands.len() == k && q.dist(&cands[k - 1]) <= safe_radius {
@@ -192,7 +188,7 @@ mod tests {
 
     fn brute_knn(data: &[Point], q: Point, k: usize) -> Vec<Point> {
         let mut pts = data.to_vec();
-        pts.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        pts.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         pts.truncate(k);
         pts
     }

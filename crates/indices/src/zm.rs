@@ -371,7 +371,7 @@ mod tests {
         let q = Point::at(0.41, 0.39);
         let got = idx.knn_query(q, 7);
         let mut want = pts.clone();
-        want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+        want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
         assert_eq!(got.len(), 7);
         for (g, w) in got.iter().zip(&want) {
             assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);

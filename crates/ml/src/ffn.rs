@@ -100,7 +100,7 @@ impl Layer {
     /// (`fan_in == 1`, the first layer of every rank model) take a fused
     /// single loop instead of per-row kernel calls.
     #[inline]
-    fn forward_into(&self, params: &[f64], x: &[f64], out: &mut [f64]) {
+    fn affine_into(&self, params: &[f64], x: &[f64], out: &mut [f64]) {
         debug_assert_eq!(x.len(), self.fan_in);
         debug_assert_eq!(out.len(), self.fan_out);
         let w = self.w(params);
@@ -274,7 +274,7 @@ impl Ffn {
         let (mut cur, mut nxt) = (&mut a, &mut b);
         let last = self.layers.len() - 1;
         for (l, layer) in self.layers.iter().enumerate() {
-            layer.forward_into(
+            layer.affine_into(
                 &self.params,
                 &cur[..layer.fan_in],
                 &mut nxt[..layer.fan_out],
@@ -304,11 +304,12 @@ impl Ffn {
     /// This is the general-depth counterpart of [`Ffn::predict1`], used by
     /// the method scorer and the rebuild predictor whose inputs are feature
     /// vectors rather than single keys.
+    // lint:hot_path
     pub fn predict_scalar(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.input_dim());
         debug_assert_eq!(self.output_dim(), 1);
         if self.max_width > SCALAR_PATH_MAX_WIDTH {
-            return self.forward(x)[0];
+            return self.predict_scalar_wide(x);
         }
         let mut a = [0.0f64; SCALAR_PATH_MAX_WIDTH];
         let mut b = [0.0f64; SCALAR_PATH_MAX_WIDTH];
@@ -316,7 +317,7 @@ impl Ffn {
         let (mut cur, mut nxt) = (&mut a, &mut b);
         let last = self.layers.len() - 1;
         for (l, layer) in self.layers.iter().enumerate() {
-            layer.forward_into(
+            layer.affine_into(
                 &self.params,
                 &cur[..layer.fan_in],
                 &mut nxt[..layer.fan_out],
@@ -331,10 +332,20 @@ impl Ffn {
         cur[0]
     }
 
+    /// Allocating fallback of [`Ffn::predict_scalar`] for networks wider
+    /// than the stack buffers. Cold: no rank or rebuild-cost model in the
+    /// workspace exceeds 128-wide layers; hitting this path means a caller
+    /// built an unusual network, and the one-off allocation is acceptable.
+    #[cold]
+    fn predict_scalar_wide(&self, x: &[f64]) -> f64 {
+        self.forward(x)[0]
+    }
+
     /// Scalar convenience for `1 → … → 1` rank models: the hot path of
     /// predict-and-scan (cost `M(1)` in the paper's analysis).
     /// Allocation-free at every depth (≤ 128-wide layers).
     #[inline]
+    // lint:hot_path
     pub fn predict1(&self, x: f64) -> f64 {
         debug_assert_eq!(self.input_dim(), 1);
         debug_assert_eq!(self.output_dim(), 1);
@@ -372,7 +383,7 @@ impl Ffn {
         cache.act[0].copy_from_slice(x);
         for (l, layer) in self.layers.iter().enumerate() {
             // `act` and `pre` are disjoint fields, so the borrows are fine.
-            layer.forward_into(&self.params, &cache.act[l], &mut cache.pre[l]);
+            layer.affine_into(&self.params, &cache.act[l], &mut cache.pre[l]);
             if l != last {
                 for (a, &p) in cache.act[l + 1].iter_mut().zip(&cache.pre[l]) {
                     *a = p.max(0.0);

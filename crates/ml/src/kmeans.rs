@@ -83,7 +83,7 @@ pub fn kmeans(points: &[(f64, f64)], k: usize, max_iter: usize, seed: u64) -> KM
                     .iter()
                     .enumerate()
                     .map(|(i, p)| (i, dist2(*p, centroids[assignment[i]])))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                 {
                     centroids[ci] = points[wi];
                     changed = true;
@@ -150,7 +150,7 @@ mod tests {
         assert_eq!(r.centroids.len(), 2);
         // One centroid near (0.125, 0.125), the other near (0.875, 0.875).
         let mut cs = r.centroids.clone();
-        cs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        cs.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert!((cs[0].0 - 0.125).abs() < 0.05, "{:?}", cs);
         assert!((cs[1].0 - 0.875).abs() < 0.05, "{:?}", cs);
         // All points in a blob share an assignment.

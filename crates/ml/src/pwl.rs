@@ -231,7 +231,7 @@ mod tests {
             })
             .collect();
         let mut sorted = keys.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let tight = PwlModel::fit(&sorted, 2).num_segments();
         let loose = PwlModel::fit(&sorted, 32).num_segments();
         assert!(loose <= tight, "loose {loose} vs tight {tight}");

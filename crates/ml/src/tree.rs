@@ -195,11 +195,7 @@ impl DecisionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut sorted = idx.clone();
         for &f in &features {
-            sorted.sort_unstable_by(|&a, &b| {
-                xs[a * self.dim + f]
-                    .partial_cmp(&xs[b * self.dim + f])
-                    .expect("finite features")
-            });
+            sorted.sort_unstable_by(|&a, &b| xs[a * self.dim + f].total_cmp(&xs[b * self.dim + f]));
             // Scan split positions between distinct feature values.
             for cut in cfg.min_leaf.max(1)..=(sorted.len() - cfg.min_leaf.max(1)) {
                 if cut == sorted.len() {

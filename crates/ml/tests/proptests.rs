@@ -9,7 +9,7 @@ proptest! {
     /// PWL guarantee: lower-bound rank error ≤ ε for every fitted key.
     #[test]
     fn pwl_guarantee(mut keys in prop::collection::vec(0.0f64..1.0, 1..300), eps in 1usize..32) {
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(|a, b| a.total_cmp(b));
         let m = PwlModel::fit(&keys, eps);
         for &k in &keys {
             let lb = keys.partition_point(|&x| x < k) as i64;

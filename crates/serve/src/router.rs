@@ -91,6 +91,7 @@ impl Router for GridRouter {
         self.rows * self.cols
     }
 
+    // lint:hot_path
     fn shard_of(&self, p: Point) -> usize {
         Self::cell_of(p.y, self.rows) * self.cols + Self::cell_of(p.x, self.cols)
     }

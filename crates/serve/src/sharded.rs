@@ -270,12 +270,14 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
 
     /// Routes one insert to its owning shard; `Rebuilt` if it tripped that
     /// shard's rebuild policy.
+    // lint:serving_root
     pub fn insert_routed(&mut self, p: Point) -> UpdateOutcome {
         let s = self.router.shard_of(p);
         self.shards[s].insert(p)
     }
 
     /// Routes one delete to its owning shard.
+    // lint:serving_root
     pub fn delete_routed(&mut self, p: Point) -> UpdateOutcome {
         let s = self.router.shard_of(p);
         self.shards[s].delete(p)
@@ -288,6 +290,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
     /// splice into its delta maps and one rebuild-policy consultation per
     /// sub-batch, instead of per-update checks. Returns the number of
     /// shard rebuilds the batch triggered.
+    // lint:serving_root
     pub fn par_apply_updates(&mut self, updates: &[Update]) -> usize {
         let before = self.rebuilds();
         let mut per: Vec<Vec<Update>> = vec![Vec::new(); self.shards.len()];
@@ -336,14 +339,14 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
 
         let mut heap: BinaryHeap<HeapDist> = BinaryHeap::new();
         for &(min_d2, s) in &order {
-            if heap.len() == k && min_d2 > heap.peek().expect("non-empty heap").0 {
+            if heap.len() == k && heap.peek().is_some_and(|kth| min_d2 > kth.0) {
                 break;
             }
             for p in self.shards[s].knn_query(q, k) {
                 let d2 = q.dist2(&p);
                 if heap.len() < k {
                     heap.push(HeapDist(d2));
-                } else if d2 < heap.peek().expect("non-empty heap").0 {
+                } else if heap.peek().is_some_and(|kth| d2 < kth.0) {
                     heap.pop();
                     heap.push(HeapDist(d2));
                 }
@@ -352,10 +355,9 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
         // r² = the k-th smallest candidate distance; ∞ when fewer than k
         // points exist in total (then the "ball" is the whole plane and
         // every shard is gathered).
-        let r2 = if heap.len() == k {
-            heap.peek().expect("k > 0").0
-        } else {
-            f64::INFINITY
+        let r2 = match heap.peek() {
+            Some(kth) if heap.len() == k => kth.0,
+            _ => f64::INFINITY,
         };
         let r = r2.sqrt();
         let ball = Rect::new(q.x - r, q.y - r, q.x + r, q.y + r);
@@ -384,6 +386,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
     }
 
     /// Routed to the single owning shard in O(1).
+    // lint:serving_root
     fn point_query(&self, q: Point) -> Option<Point> {
         self.shards[self.router.shard_of(q)].point_query(q)
     }
@@ -391,6 +394,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
     /// Gathered from the overlapping shards, in canonical
     /// ([`canonical_point_key`]) order — equal result sets are
     /// bit-identical regardless of the shard layout.
+    // lint:serving_root
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out: Vec<Point> = Vec::new();
         for s in self.router.shards_for_window(w) {
@@ -400,6 +404,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
         out
     }
 
+    // lint:serving_root
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         self.knn_merged(q, k)
     }
@@ -422,14 +427,17 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
         1 + self.shards.iter().map(|s| s.depth()).max().unwrap_or(0)
     }
 
+    // lint:serving_root
     fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
         par_point_queries_of(self, queries)
     }
 
+    // lint:serving_root
     fn par_window_queries(&self, windows: &[Rect]) -> Vec<Vec<Point>> {
         par_window_queries_of(self, windows)
     }
 
+    // lint:serving_root
     fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
         par_knn_queries_of(self, queries, k)
     }

@@ -167,7 +167,7 @@ impl BlockStore {
         self.len += 1;
         if self.blocks[idx].len() > self.capacity {
             let mut pts = std::mem::take(&mut self.blocks[idx]).points;
-            pts.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"));
+            pts.sort_by(|a, b| key(a).total_cmp(&key(b)));
             let right = pts.split_off(pts.len() / 2);
             self.blocks[idx] = Block::from_points(pts);
             self.blocks.insert(idx + 1, Block::from_points(right));

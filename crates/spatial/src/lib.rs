@@ -20,6 +20,8 @@
 //!   the uniform grid of the RL method's state.
 //! * [`sorted`] / [`block`] — the *sort* step: mapped-and-sorted storage
 //!   and the block (data page) layout the predict-and-scan queries hit.
+//! * [`order`] — total orderings for float keys: NaN-safe sort comparators
+//!   and the canonical `(dist², id)` kNN order every producer shares.
 //!
 //! This crate is dependency-free and deterministic; everything above it
 //! (`elsi-indices`, `elsi` itself) builds on these types.
@@ -30,12 +32,14 @@
 pub mod block;
 pub mod curve;
 pub mod mapping;
+pub mod order;
 pub mod partition;
 pub mod point;
 pub mod sorted;
 
 pub use block::{Block, BlockStore, DEFAULT_BLOCK_SIZE};
 pub use mapping::{HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper};
+pub use order::{by_f64_key, canonical_knn_cmp, canonical_point_key};
 pub use partition::{quadtree_partition, QuadLeaf, UniformGrid};
-pub use point::{canonical_knn_cmp, canonical_point_key, Point, Rect};
+pub use point::{Point, Rect};
 pub use sorted::MappedData;

@@ -145,7 +145,7 @@ impl LisaMapper {
         assert!(g > 0, "grid resolution must be positive");
         assert!(!points.is_empty(), "LISA grid needs data");
         let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        xs.sort_unstable_by(|a, b| a.total_cmp(b));
         let cols = quantile_boundaries(&xs, g);
 
         // Partition points into columns, then fit per-column y boundaries.
@@ -161,7 +161,7 @@ impl LisaMapper {
                     // Empty column: fall back to uniform boundaries.
                     (0..=g).map(|i| i as f64 / g as f64).collect()
                 } else {
-                    ys.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+                    ys.sort_unstable_by(|a, b| a.total_cmp(b));
                     quantile_boundaries(&ys, g)
                 }
             })

@@ -1,0 +1,89 @@
+//! Total orderings for floating-point keys.
+//!
+//! Every comparison of `f64` keys in the workspace must be *total*:
+//! `partial_cmp(..).unwrap()` turns a single NaN — one bad coordinate, one
+//! 0/0 in a distance ratio — into a panic inside a sort, and under rayon
+//! that poisons shared state on every worker. The `float_order` rule in
+//! `crates/analysis` bans `.partial_cmp()` workspace-wide; these helpers
+//! are the sanctioned replacements.
+//!
+//! `total_cmp` implements the IEEE 754 `totalOrder` predicate: NaNs sort
+//! to the ends (negative NaN first, positive NaN last) instead of
+//! panicking or silently equating, and `-0.0 < +0.0`. For point results
+//! the canonical `(dist², id)` comparator additionally pins tie order, so
+//! "the same result set" means "bit-identical vectors" across index
+//! structures, shard layouts and thread counts.
+
+use crate::point::Point;
+use std::cmp::Ordering;
+
+/// Total order on `f64` keys of `T`: `xs.sort_by(by_f64_key(|t| t.cost))`,
+/// `it.max_by(by_f64_key(|t| t.gain))`. NaN keys sort high instead of
+/// panicking.
+#[inline]
+pub fn by_f64_key<T, F: Fn(&T) -> f64>(key: F) -> impl Fn(&T, &T) -> Ordering {
+    move |a, b| key(a).total_cmp(&key(b))
+}
+
+/// Canonical identity key of a stored point: id first, then coordinate
+/// bits. Sorting result sets by this key makes "the same result set" mean
+/// "bit-identical vectors" across index structures, shard layouts and
+/// thread counts.
+#[inline]
+pub fn canonical_point_key(p: &Point) -> (u64, u64, u64) {
+    (p.id, p.x.to_bits(), p.y.to_bits())
+}
+
+/// Canonical kNN order around `q`: ascending squared distance, ties broken
+/// by [`canonical_point_key`]. Total (uses `total_cmp`), so equal result
+/// *sets* sort into bit-identical vectors. Every kNN producer in the
+/// workspace — the delta overlay, the per-index queries it merges, and the
+/// cross-shard merge in `elsi-serve` — must break distance ties with this
+/// order so monolith and sharded answers stay comparable.
+#[inline]
+pub fn canonical_knn_cmp(q: Point, a: &Point, b: &Point) -> Ordering {
+    q.dist2(a)
+        .total_cmp(&q.dist2(b))
+        .then_with(|| canonical_point_key(a).cmp(&canonical_point_key(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_f64_key_is_total_under_nan() {
+        let mut xs = [(2.0, 'b'), (f64::NAN, 'n'), (1.0, 'a')];
+        xs.sort_by(by_f64_key(|t: &(f64, char)| t.0));
+        assert_eq!(xs[0].1, 'a');
+        assert_eq!(xs[1].1, 'b');
+        assert!(xs[2].0.is_nan(), "NaN sorts last, no panic");
+    }
+
+    #[test]
+    fn by_f64_key_orders_negative_zero_first() {
+        let mut xs = [0.0_f64, -0.0];
+        xs.sort_by(by_f64_key(|x: &f64| *x));
+        assert!(xs[0].is_sign_negative());
+    }
+
+    #[test]
+    fn knn_cmp_breaks_distance_ties_by_identity() {
+        let q = Point::at(0.0, 0.0);
+        let a = Point::new(2, 1.0, 0.0);
+        let b = Point::new(1, 0.0, 1.0); // same distance, smaller id
+        assert_eq!(canonical_knn_cmp(q, &a, &b), Ordering::Greater);
+        assert_eq!(canonical_knn_cmp(q, &b, &a), Ordering::Less);
+        let c = Point::new(9, 0.5, 0.0); // closer beats any id
+        assert_eq!(canonical_knn_cmp(q, &c, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn knn_cmp_tolerates_nan_coordinates() {
+        let q = Point::at(0.0, 0.0);
+        let bad = Point::new(1, f64::NAN, 0.0);
+        let good = Point::new(2, 0.5, 0.0);
+        // NaN distance sorts after every finite distance — and never panics.
+        assert_eq!(canonical_knn_cmp(q, &bad, &good), Ordering::Greater);
+    }
+}

@@ -61,27 +61,9 @@ impl fmt::Display for Point {
     }
 }
 
-/// Canonical identity key of a stored point: id first, then coordinate
-/// bits. Sorting result sets by this key makes "the same result set" mean
-/// "bit-identical vectors" across index structures, shard layouts and
-/// thread counts.
-#[inline]
-pub fn canonical_point_key(p: &Point) -> (u64, u64, u64) {
-    (p.id, p.x.to_bits(), p.y.to_bits())
-}
-
-/// Canonical kNN order around `q`: ascending squared distance, ties broken
-/// by [`canonical_point_key`]. Total (uses `total_cmp`), so equal result
-/// *sets* sort into bit-identical vectors. Every kNN producer in the
-/// workspace — the delta overlay, the per-index queries it merges, and the
-/// cross-shard merge in `elsi-serve` — must break distance ties with this
-/// order so monolith and sharded answers stay comparable.
-#[inline]
-pub fn canonical_knn_cmp(q: Point, a: &Point, b: &Point) -> std::cmp::Ordering {
-    q.dist2(a)
-        .total_cmp(&q.dist2(b))
-        .then_with(|| canonical_point_key(a).cmp(&canonical_point_key(b)))
-}
+// The canonical comparators moved to `crate::order` (PR 7); re-exported
+// here so existing `point::canonical_*` paths keep working.
+pub use crate::order::{canonical_knn_cmp, canonical_point_key};
 
 /// An axis-aligned rectangle `[lo_x, hi_x] × [lo_y, hi_y]`.
 ///

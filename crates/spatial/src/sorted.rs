@@ -30,7 +30,7 @@ impl MappedData {
     pub fn from_pairs(points: Vec<Point>, keys: Vec<f64>) -> Self {
         assert_eq!(points.len(), keys.len());
         let mut order: Vec<usize> = (0..points.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("finite keys"));
+        order.sort_unstable_by(|&a, &b| keys[a].total_cmp(&keys[b]));
         let points = order.iter().map(|&i| points[i]).collect();
         let keys = order.iter().map(|&i| keys[i]).collect();
         Self { points, keys }

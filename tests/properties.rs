@@ -56,7 +56,7 @@ proptest! {
 
     #[test]
     fn ks_distance_bounded_and_zero_on_self(mut keys in prop::collection::vec(0.0f64..1.0, 1..200)) {
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(|a, b| a.total_cmp(b));
         let d = cdf::ks_distance(&keys, &keys);
         prop_assert!((0.0..1e-9).contains(&d));
         let uniform: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
@@ -100,7 +100,7 @@ proptest! {
         raw in prop::collection::vec(0.0f64..1.0, 2..150)
     ) {
         let mut keys = raw;
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(|a, b| a.total_cmp(b));
         // A deliberately under-trained model: bounds must still guarantee
         // containment because they are derived empirically.
         let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
@@ -199,7 +199,7 @@ proptest! {
         let got = overlay.knn_query(q, 5);
         prop_assert_eq!(got.len(), 5usize.min(live.len()));
         let mut dists: Vec<f64> = live.values().map(|p| q.dist(p)).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| a.total_cmp(b));
         for (g, d) in got.iter().zip(&dists) {
             prop_assert!((q.dist(g) - d).abs() < 1e-12);
         }

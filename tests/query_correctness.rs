@@ -35,7 +35,7 @@ fn brute_window(pts: &[Point], w: &Rect) -> Vec<u64> {
 
 fn brute_knn_radius(pts: &[Point], q: Point, k: usize) -> f64 {
     let mut d: Vec<f64> = pts.iter().map(|p| q.dist2(p)).collect();
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.sort_by(|a, b| a.total_cmp(b));
     d[k - 1].sqrt()
 }
 

@@ -92,7 +92,7 @@ fn delta_overlay_equivalent_to_rebuilt_ground_truth() {
     let q = Point::at(0.33, 0.66);
     let got = overlay.knn_query(q, 5);
     let mut want = live.clone();
-    want.sort_by(|a, b| q.dist2(a).partial_cmp(&q.dist2(b)).unwrap());
+    want.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
     for (g, w) in got.iter().zip(&want) {
         assert!((q.dist(g) - q.dist(w)).abs() < 1e-12);
     }
