@@ -162,7 +162,7 @@ impl Policy {
             // (`ShardedIndex` queries/updates + CLI command dispatch). The
             // residue is almost entirely `[]`-indexing in slice kernels.
             // Ratchets down, never up.
-            panic_path_ceiling: 261,
+            panic_path_ceiling: 182,
         }
     }
 

@@ -56,12 +56,17 @@ fn lock_order_reports_no_findings_on_the_real_workspace() {
 #[test]
 fn hot_path_roots_are_annotated_and_checked() {
     let report = scan();
-    // The three roots the counting-allocator test exercises; losing one
-    // silently would hollow out the alloc_hot_path rule.
+    // The roots the counting-allocator tests exercise: the FFN inference
+    // kernels, the shard router, and the three SoA scan kernels every
+    // leaf-level query funnels through. Losing one silently would hollow
+    // out the alloc_hot_path rule.
     for root in [
         "Ffn::predict1",
         "Ffn::predict_scalar",
         "GridRouter::shard_of",
+        "contains_scan",
+        "knn_scan",
+        "range_scan_into",
     ] {
         assert!(
             report.hot_paths.roots.iter().any(|r| r == root),

@@ -25,7 +25,7 @@ use elsi_data::cdf::DEFAULT_SKETCH_BINS;
 pub use elsi_data::stream::Update;
 use elsi_indices::SpatialIndex;
 use elsi_spatial::curve::morton_of;
-use elsi_spatial::{canonical_knn_cmp, KeyMapper, MortonMapper, Point, Rect};
+use elsi_spatial::{canonical_knn_cmp, KeyMapper, MortonMapper, Point, Rect, ScanScratch};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Default update procedures: a delta layer over a static base index.
@@ -151,8 +151,12 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
         }
         // Step 1: group operations by id, arrival order preserved (stable
         // sort), without building a per-op tree.
-        let mut order: Vec<u32> = (0..updates.len() as u32).collect();
-        order.sort_by_key(|&i| updates[i as usize].point().id);
+        let mut order: Vec<(u64, u32)> = updates
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.point().id, i as u32))
+            .collect();
+        order.sort_by_key(|&(id, _)| id);
 
         // Step 2 output: net per-id effects, staged for the splice.
         let mut stale_inserted: Vec<u64> = Vec::new(); // ids whose delta copy dies
@@ -161,25 +165,27 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
         let mut add_by_key: Vec<((u64, u64), Point)> = Vec::new();
         let mut add_deleted: Vec<u64> = Vec::new(); // ascending id
 
-        let mut g = 0usize;
-        while g < order.len() {
-            let id = updates[order[g] as usize].point().id;
+        let mut rest: &[(u64, u32)] = &order;
+        while let Some(&(id, _)) = rest.first() {
+            let group_len = rest.iter().take_while(|&&(gid, _)| gid == id).count();
+            let (group, tail) = rest.split_at(group_len);
+            rest = tail;
             let original = self.inserted.get(&id).copied();
             let was_tombstoned = self.deleted.contains(&id);
             let in_base = self.base_ids.contains(&id);
             let mut delta = original;
             let mut tombstoned = was_tombstoned;
-            while g < order.len() && updates[order[g] as usize].point().id == id {
-                let op = order[g] as usize;
-                applied[op] = match updates[op] {
-                    Update::Insert(p) => {
+            for &(_, op) in group {
+                let op = op as usize;
+                let flag = match updates.get(op).copied() {
+                    Some(Update::Insert(p)) => {
                         if in_base {
                             tombstoned = true;
                         }
                         delta = Some(p);
                         true
                     }
-                    Update::Delete(p) => {
+                    Some(Update::Delete(p)) => {
                         if delta.take().is_some() {
                             // The delta copy dies; an insert-time tombstone
                             // stays, so the id is gone, not resurrected.
@@ -193,8 +199,11 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
                             false
                         }
                     }
+                    None => false,
                 };
-                g += 1;
+                if let Some(slot) = applied.get_mut(op) {
+                    *slot = flag;
+                }
             }
             // Net effect of this id's group on the three maps.
             let old_key = original.map(|o| (morton_of(o.x, o.y), o.id));
@@ -267,12 +276,19 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
-        let mut out: Vec<Point> = self
-            .base
-            .window_query(w)
-            .into_iter()
-            .filter(|p| !self.deleted.contains(&p.id))
-            .collect();
+        let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        // Base hits land through the base's own scan kernels; tombstone
+        // filtering preserves their order, so the merged result matches
+        // the alloc-per-query path bit for bit.
+        self.base.window_query_into(w, scratch, out);
+        if !self.deleted.is_empty() {
+            out.retain(|p| !self.deleted.contains(&p.id));
+        }
         // Delta points in the window all have Morton codes between the
         // window corners' codes (Z-order dominance).
         let lo = (morton_of(w.lo_x, w.lo_y), 0u64);
@@ -284,37 +300,41 @@ impl<I: SpatialIndex> SpatialIndex for DeltaOverlay<I> {
                 .filter(|p| w.contains(p))
                 .copied(),
         );
-        out
     }
 
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
         // Merge base kNN with the delta, growing the over-fetch until k
         // live base candidates are found (tombstones may blanket the
         // nearest neighbourhood) or the base index is exhausted.
+        out.clear();
+        if k == 0 {
+            return;
+        }
         let mut overfetch = k + self.deleted.len().min(k);
-        let mut base_live: Vec<Point>;
         loop {
-            base_live = self
-                .base
-                .knn_query(q, overfetch)
-                .into_iter()
-                .filter(|p| !self.deleted.contains(&p.id))
-                .collect();
-            if base_live.len() >= k || overfetch >= self.base.len() {
+            self.base.knn_query_into(q, overfetch, scratch, out);
+            if !self.deleted.is_empty() {
+                out.retain(|p| !self.deleted.contains(&p.id));
+            }
+            if out.len() >= k || overfetch >= self.base.len() {
                 break;
             }
             overfetch = (overfetch * 2).max(k + 1);
         }
-        let mut cands = base_live;
-        cands.extend(self.inserted.values().copied());
+        out.extend(self.inserted.values().copied());
         // Canonical (dist², id, coordinate-bits) total order: distance ties
         // break by identity rather than by insertion order, so the overlay
         // returns the same vector as the sharded cross-shard merge (which
         // sorts with the same comparator) on tied distances.
-        cands.sort_by(|a, b| canonical_knn_cmp(q, a, b));
-        cands.dedup_by_key(|p| p.id);
-        cands.truncate(k);
-        cands
+        out.sort_unstable_by(|a, b| canonical_knn_cmp(q, a, b));
+        out.dedup_by_key(|p| p.id);
+        out.truncate(k);
     }
 
     fn insert(&mut self, p: Point) {
@@ -424,7 +444,9 @@ impl DriftTracker {
         let mut base = vec![0.0; bins];
         let mut total = 0.0;
         for k in keys {
-            base[Self::bin_of(k, bins)] += 1.0;
+            if let Some(bin) = base.get_mut(Self::bin_of(k, bins)) {
+                *bin += 1.0;
+            }
             total += 1.0;
         }
         Self {
@@ -443,16 +465,20 @@ impl DriftTracker {
     /// Records an insertion.
     pub fn add(&mut self, key: f64) {
         let b = Self::bin_of(key, self.current.len());
-        self.current[b] += 1.0;
-        self.current_total += 1.0;
+        if let Some(bin) = self.current.get_mut(b) {
+            *bin += 1.0;
+            self.current_total += 1.0;
+        }
     }
 
     /// Records a deletion.
     pub fn remove(&mut self, key: f64) {
         let b = Self::bin_of(key, self.current.len());
-        if self.current[b] > 0.0 {
-            self.current[b] -= 1.0;
-            self.current_total -= 1.0;
+        if let Some(bin) = self.current.get_mut(b) {
+            if *bin > 0.0 {
+                *bin -= 1.0;
+                self.current_total -= 1.0;
+            }
         }
     }
 
@@ -737,22 +763,27 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
                     Update::Delete(_) => {}
                 }
             }
-            let mut order: Vec<u32> = (0..updates.len() as u32).collect();
-            order.sort_by_key(|&i| updates[i as usize].point().id);
+            let mut order: Vec<(u64, u32)> = updates
+                .iter()
+                .enumerate()
+                .map(|(i, u)| (u.point().id, i as u32))
+                .collect();
+            order.sort_by_key(|&(id, _)| id);
             let mut survivors: Vec<(u64, Point)> = Vec::new(); // ascending id
-            let mut g = 0usize;
-            while g < order.len() {
-                let id = updates[order[g] as usize].point().id;
+            let mut rest: &[(u64, u32)] = &order;
+            while let Some(&(id, _)) = rest.first() {
+                let group_len = rest.iter().take_while(|&&(gid, _)| gid == id).count();
+                let (group, tail) = rest.split_at(group_len);
+                rest = tail;
                 // None = this id's live entry is untouched by the batch.
                 let mut net: Option<Option<Point>> = None;
-                while g < order.len() && updates[order[g] as usize].point().id == id {
-                    let op = order[g] as usize;
-                    match updates[op] {
-                        Update::Insert(p) => net = Some(Some(p)),
-                        Update::Delete(_) if flags[op] => net = Some(None),
-                        Update::Delete(_) => {}
+                for &(_, op) in group {
+                    let op = op as usize;
+                    match (updates.get(op).copied(), flags.get(op).copied()) {
+                        (Some(Update::Insert(p)), _) => net = Some(Some(p)),
+                        (Some(Update::Delete(_)), Some(true)) => net = Some(None),
+                        _ => {}
                     }
-                    g += 1;
                 }
                 match net {
                     Some(Some(p)) => survivors.push((id, p)),
@@ -808,8 +839,16 @@ impl<I: SpatialIndex> SpatialIndex for UpdateProcessor<I> {
         self.index.window_query(w)
     }
 
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        self.index.window_query_into(w, scratch, out);
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         self.index.knn_query(q, k)
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        self.index.knn_query_into(q, k, scratch, out);
     }
 
     fn insert(&mut self, p: Point) {

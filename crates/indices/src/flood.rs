@@ -21,8 +21,8 @@
 //! locate covers every stored point.
 
 use crate::model::{locate_lower, BuildInput, BuildStats, ModelBuilder, RankModel};
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
-use elsi_spatial::{KeyMapper, Point, Rect};
+use crate::traits::{knn_by_expanding_window_into, SpatialIndex};
+use elsi_spatial::{scan, KeyMapper, Point, Rect, ScanScratch};
 use std::collections::HashSet;
 
 /// Flood configuration.
@@ -42,8 +42,11 @@ impl Default for FloodConfig {
 struct Column {
     /// Points sorted by y.
     points: Vec<Point>,
-    /// The y keys (sort keys) of `points`.
+    /// SoA mirrors of `points` (same y-sorted order) for the scan kernels;
+    /// `ys` doubles as the sort-key array the models predict over.
+    xs: Vec<f64>,
     ys: Vec<f64>,
+    ids: Vec<u64>,
     model: RankModel,
     /// Inserted points, scanned at query time.
     overflow: Vec<Point>,
@@ -80,25 +83,33 @@ impl FloodIndex {
         let mut bounds = Vec::with_capacity(c + 1);
         bounds.push(f64::NEG_INFINITY);
         for i in 1..c {
-            bounds.push(points[i * n / c].x);
+            if let Some(p) = points.get(i * n / c) {
+                bounds.push(p.x);
+            }
         }
         bounds.push(f64::INFINITY);
-        for i in 1..bounds.len() {
-            if bounds[i] < bounds[i - 1] {
-                bounds[i] = bounds[i - 1];
+        let mut floor = f64::NEG_INFINITY;
+        for b in bounds.iter_mut() {
+            if *b < floor {
+                *b = floor;
             }
+            floor = *b;
         }
 
         // Partition, sort each column by y, and learn the y-rank function.
         let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); c];
         for p in points {
-            buckets[locate_column(&bounds, p.x)].push(p);
+            if let Some(bucket) = buckets.get_mut(locate_column(&bounds, p.x)) {
+                bucket.push(p);
+            }
         }
         let mut columns = Vec::with_capacity(c);
         let mut stats = Vec::new();
         for (ci, mut pts) in buckets.into_iter().enumerate() {
             pts.sort_unstable_by(|a, b| a.y.total_cmp(&b.y));
             let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+            let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            let ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
             let built = builder.build_model(&BuildInput {
                 points: &pts,
                 keys: &ys,
@@ -108,7 +119,9 @@ impl FloodIndex {
             stats.push(built.stats);
             columns.push(Column {
                 points: pts,
+                xs,
                 ys,
+                ids,
                 model: built.model,
                 overflow: Vec::new(),
             });
@@ -198,13 +211,17 @@ impl SpatialIndex for FloodIndex {
         if self.columns.is_empty() {
             return None;
         }
-        let col = &self.columns[locate_column(&self.bounds, q.x)];
+        let col = self.columns.get(locate_column(&self.bounds, q.x))?;
         if !col.points.is_empty() {
             let (lo, hi) = col.model.search_range(q.y);
-            for p in &col.points[lo.min(col.points.len())..hi.min(col.points.len())] {
-                if p.x == q.x && p.y == q.y && self.live(p) {
-                    return Some(*p);
-                }
+            let lo = lo.min(col.points.len());
+            let hi = hi.min(col.points.len());
+            let (xs, ys, ids) = scan::soa_span(&col.xs, &col.ys, &col.ids, lo, hi);
+            // Kernel finds coordinate matches; step past tombstoned ids.
+            let hit =
+                scan::contains_scan_live(xs, ys, ids, q.x, q.y, |id| !self.deleted.contains(&id));
+            if hit.is_some() {
+                return hit;
             }
         }
         col.overflow
@@ -215,21 +232,34 @@ impl SpatialIndex for FloodIndex {
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         if self.columns.is_empty() {
-            return out;
+            return;
         }
         let first = locate_column(&self.bounds, w.lo_x);
         let last = locate_column(&self.bounds, w.hi_x);
-        for col in &self.columns[first..=last] {
+        for col in self.columns.get(first..=last).unwrap_or(&[]) {
             if !col.points.is_empty() {
                 let lo = locate_lower(&col.ys, col.model.search_range(w.lo_y), w.lo_y);
                 let hi = locate_lower(&col.ys, col.model.search_range(w.hi_y), w.hi_y.next_up());
-                out.extend(
-                    col.points[lo..hi]
-                        .iter()
-                        .filter(|p| w.contains(p) && self.live(p))
-                        .copied(),
-                );
+                let (sx, sy, si) = scan::soa_span(&col.xs, &col.ys, &col.ids, lo, hi);
+                let m = scan::range_scan_into(sx, sy, si, w, scratch.hits_slot(sx.len()));
+                if self.deleted.is_empty() {
+                    out.extend_from_slice(scratch.hits_upto(m));
+                } else {
+                    out.extend(
+                        scratch
+                            .hits_upto(m)
+                            .iter()
+                            .filter(|p| self.live(p))
+                            .copied(),
+                    );
+                }
             }
             out.extend(
                 col.overflow
@@ -238,11 +268,18 @@ impl SpatialIndex for FloodIndex {
                     .copied(),
             );
         }
-        out
     }
 
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {
@@ -252,18 +289,22 @@ impl SpatialIndex for FloodIndex {
             self.n_live += 1;
         }
         let c = locate_column(&self.bounds, p.x);
-        self.columns[c].overflow.push(p);
+        if let Some(col) = self.columns.get_mut(c) {
+            col.overflow.push(p);
+        }
     }
 
     fn delete(&mut self, p: Point) -> bool {
         let c = locate_column(&self.bounds, p.x);
-        if let Some(pos) = self.columns[c]
-            .overflow
-            .iter()
-            .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
-        {
-            self.columns[c].overflow.swap_remove(pos);
-            return true;
+        if let Some(col) = self.columns.get_mut(c) {
+            if let Some(pos) = col
+                .overflow
+                .iter()
+                .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+            {
+                col.overflow.swap_remove(pos);
+                return true;
+            }
         }
         if self.point_query(p).is_some() {
             self.deleted.insert(p.id);

@@ -8,8 +8,8 @@
 //! exactly the procedure the paper blames for Grid's slow build on the
 //! heavily skewed NYC data (dense cells accumulate many blocks).
 
-use crate::traits::{knn_by_expanding_window, SpatialIndex};
-use elsi_spatial::{Block, Point, Rect, UniformGrid, DEFAULT_BLOCK_SIZE};
+use crate::traits::{knn_by_expanding_window_into, SpatialIndex};
+use elsi_spatial::{Block, Point, Rect, ScanScratch, UniformGrid, DEFAULT_BLOCK_SIZE};
 
 /// Grid configuration.
 #[derive(Debug, Clone, Copy)]
@@ -93,8 +93,8 @@ impl SpatialIndex for GridIndex {
             if !b.mbr().contains(&q) {
                 continue;
             }
-            if let Some(p) = b.points().iter().find(|p| p.x == q.x && p.y == q.y) {
-                return Some(*p);
+            if let Some(p) = b.find_exact(q.x, q.y) {
+                return Some(p);
             }
         }
         None
@@ -102,23 +102,29 @@ impl SpatialIndex for GridIndex {
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
-        for cell in self.grid.cells_overlapping(w) {
-            for b in &self.cells[cell] {
-                if b.is_empty() || !w.intersects(&b.mbr()) {
-                    continue;
-                }
-                if w.contains_rect(&b.mbr()) {
-                    out.extend_from_slice(b.points());
-                } else {
-                    out.extend(b.points().iter().filter(|p| w.contains(p)).copied());
-                }
-            }
-        }
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
         out
     }
 
+    fn window_query_into(&self, w: &Rect, _scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        for cell in self.grid.cells_overlapping(w) {
+            for b in &self.cells[cell] {
+                b.window_scan_into(w, out);
+            }
+        }
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {
@@ -132,11 +138,7 @@ impl SpatialIndex for GridIndex {
         let (ix, iy) = self.grid.cell_of(p);
         let cell = self.grid.index_of(ix, iy);
         for b in &mut self.cells[cell] {
-            let matches = b
-                .points()
-                .iter()
-                .any(|s| s.id == p.id && s.x == p.x && s.y == p.y);
-            if matches && b.remove(p.id) {
+            if b.remove_exact(&p) {
                 self.n -= 1;
                 return true;
             }

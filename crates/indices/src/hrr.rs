@@ -7,9 +7,9 @@
 //! overflowing leaves by Hilbert order (HRR is primarily a static,
 //! bulk-loaded index; dynamic updates are provided for completeness).
 
-use crate::rtree::{knn_best_first, RNode};
+use crate::rtree::{knn_best_first, knn_best_first_into, RNode};
 use crate::traits::SpatialIndex;
-use elsi_spatial::{Point, Rect};
+use elsi_spatial::{Point, Rect, ScanScratch};
 
 /// HRR configuration.
 #[derive(Debug, Clone, Copy)]
@@ -62,14 +62,14 @@ impl HrrIndex {
 
     fn insert_node(node: &mut RNode, p: Point, cfg: &HrrConfig) -> Option<RNode> {
         match node {
-            RNode::Leaf { mbr, points } => {
-                mbr.expand(&p);
-                points.push(p);
-                if points.len() > cfg.leaf_capacity {
+            RNode::Leaf { block } => {
+                block.push(p);
+                if block.len() > cfg.leaf_capacity {
                     // Split by Hilbert order (one encoding per point).
-                    points.sort_by_cached_key(|p| elsi_spatial::curve::hilbert_of(p.x, p.y));
-                    let right = points.split_off(points.len() / 2);
-                    *mbr = Rect::mbr_of(points);
+                    let mut pts = std::mem::take(block).to_points();
+                    pts.sort_by_cached_key(|p| elsi_spatial::curve::hilbert_of(p.x, p.y));
+                    let right = pts.split_off(pts.len() / 2);
+                    *block = elsi_spatial::Block::from_points(pts);
                     Some(RNode::new_leaf(right))
                 } else {
                     None
@@ -129,8 +129,17 @@ impl SpatialIndex for HrrIndex {
         out
     }
 
+    fn window_query_into(&self, w: &Rect, _scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        self.root.window_into(w, out);
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         knn_best_first(&self.root, q, k)
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_best_first_into(&self.root, q, k, scratch, out);
     }
 
     fn insert(&mut self, p: Point) {

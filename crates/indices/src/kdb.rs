@@ -6,7 +6,7 @@
 //! window queries prune and kNN runs best-first over MINDISTs.
 
 use crate::traits::SpatialIndex;
-use elsi_spatial::{Point, Rect, DEFAULT_BLOCK_SIZE};
+use elsi_spatial::{Block, Point, Rect, ScanScratch, DEFAULT_BLOCK_SIZE};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -34,21 +34,22 @@ enum KdNode {
         right: Box<KdNode>,
     },
     Leaf {
-        mbr: Rect,
-        points: Vec<Point>,
+        /// SoA data page; maintains its own MBR.
+        block: Block,
     },
 }
 
 impl KdNode {
     fn mbr(&self) -> Rect {
         match self {
-            KdNode::Internal { mbr, .. } | KdNode::Leaf { mbr, .. } => *mbr,
+            KdNode::Internal { mbr, .. } => *mbr,
+            KdNode::Leaf { block } => block.mbr(),
         }
     }
 
     fn len(&self) -> usize {
         match self {
-            KdNode::Leaf { points, .. } => points.len(),
+            KdNode::Leaf { block } => block.len(),
             KdNode::Internal { left, right, .. } => left.len() + right.len(),
         }
     }
@@ -61,10 +62,12 @@ impl KdNode {
     }
 
     fn build(mut points: Vec<Point>, axis: u8, capacity: usize) -> KdNode {
-        let mbr = Rect::mbr_of(&points);
         if points.len() <= capacity {
-            return KdNode::Leaf { mbr, points };
+            return KdNode::Leaf {
+                block: Block::from_points(points),
+            };
         }
+        let mbr = Rect::mbr_of(&points);
         let mid = points.len() / 2;
         points.select_nth_unstable_by(mid, |a, b| coord(a, axis).total_cmp(&coord(b, axis)));
         let split = coord(&points[mid], axis);
@@ -81,11 +84,11 @@ impl KdNode {
 
     fn find(&self, q: Point) -> Option<Point> {
         match self {
-            KdNode::Leaf { mbr, points } => {
-                if !mbr.contains(&q) {
+            KdNode::Leaf { block } => {
+                if !block.mbr().contains(&q) {
                     return None;
                 }
-                points.iter().find(|p| p.x == q.x && p.y == q.y).copied()
+                block.find_exact(q.x, q.y)
             }
             KdNode::Internal {
                 axis,
@@ -110,16 +113,7 @@ impl KdNode {
 
     fn window_into(&self, w: &Rect, out: &mut Vec<Point>) {
         match self {
-            KdNode::Leaf { mbr, points } => {
-                if !w.intersects(mbr) {
-                    return;
-                }
-                if w.contains_rect(mbr) {
-                    out.extend_from_slice(points);
-                } else {
-                    out.extend(points.iter().filter(|p| w.contains(p)).copied());
-                }
-            }
+            KdNode::Leaf { block } => block.window_scan_into(w, out),
             KdNode::Internal {
                 mbr, left, right, ..
             } => {
@@ -134,17 +128,17 @@ impl KdNode {
 
     fn insert(&mut self, p: Point, capacity: usize) {
         match self {
-            KdNode::Leaf { mbr, points } => {
-                mbr.expand(&p);
-                points.push(p);
-                if points.len() > 2 * capacity {
+            KdNode::Leaf { block } => {
+                block.push(p);
+                if block.len() > 2 * capacity {
                     // Split the leaf at the median of its longer MBR axis.
+                    let mbr = block.mbr();
                     let axis = if mbr.hi_x - mbr.lo_x >= mbr.hi_y - mbr.lo_y {
                         0
                     } else {
                         1
                     };
-                    *self = KdNode::build(std::mem::take(points), axis, capacity);
+                    *self = KdNode::build(std::mem::take(block).to_points(), axis, capacity);
                 }
             }
             KdNode::Internal {
@@ -166,20 +160,11 @@ impl KdNode {
 
     fn remove(&mut self, p: Point) -> bool {
         match self {
-            KdNode::Leaf { mbr, points } => {
-                if !mbr.contains(&p) {
+            KdNode::Leaf { block } => {
+                if !block.mbr().contains(&p) {
                     return false;
                 }
-                if let Some(pos) = points
-                    .iter()
-                    .position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
-                {
-                    points.swap_remove(pos);
-                    *mbr = Rect::mbr_of(points);
-                    true
-                } else {
-                    false
-                }
+                block.remove_exact(&p)
             }
             KdNode::Internal {
                 mbr,
@@ -234,9 +219,11 @@ impl KdbIndex {
     }
 }
 
+/// Frontier entry of the best-first search: a node keyed by the MINDIST of
+/// its MBR (min-heap via reversed `Ord`).
 struct Entry<'a> {
     dist2: f64,
-    item: Result<&'a KdNode, Point>,
+    node: &'a KdNode,
 }
 impl PartialEq for Entry<'_> {
     fn eq(&self, other: &Self) -> bool {
@@ -270,45 +257,53 @@ impl SpatialIndex for KdbIndex {
         out
     }
 
+    fn window_query_into(&self, w: &Rect, _scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        self.root.window_into(w, out);
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         let mut out = Vec::with_capacity(k);
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    /// Best-first search over node MINDISTs; leaf pages stream through the
+    /// branchless [`elsi_spatial::scan::knn_scan`] kernel into the scratch
+    /// heap, which admits and orders candidates canonically.
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         if k == 0 || self.n == 0 {
-            return out;
+            return;
         }
-        let mut heap = BinaryHeap::new();
-        heap.push(Entry {
+        let best = scratch.heap_for(k);
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Entry {
             dist2: self.root.mbr().min_dist2(&q),
-            item: Ok(&self.root),
+            node: &self.root,
         });
-        while let Some(e) = heap.pop() {
-            match e.item {
-                Err(p) => {
-                    out.push(p);
-                    if out.len() == k {
-                        break;
-                    }
-                }
-                Ok(KdNode::Leaf { points, .. }) => {
-                    for p in points {
-                        heap.push(Entry {
-                            dist2: q.dist2(p),
-                            item: Err(*p),
-                        });
-                    }
-                }
-                Ok(KdNode::Internal { left, right, .. }) => {
+        while let Some(e) = frontier.pop() {
+            // Strictly worse than the current k-th best: nothing in this
+            // node (or any later frontier entry) can improve the result.
+            // Ties keep exploring so canonical id order settles them.
+            if e.dist2 > best.worst_dist2() {
+                break;
+            }
+            match e.node {
+                KdNode::Leaf { block } => block.knn_into(q.x, q.y, best),
+                KdNode::Internal { left, right, .. } => {
                     for c in [left.as_ref(), right.as_ref()] {
                         if c.len() > 0 {
-                            heap.push(Entry {
-                                dist2: c.mbr().min_dist2(&q),
-                                item: Ok(c),
-                            });
+                            let d = c.mbr().min_dist2(&q);
+                            if d <= best.worst_dist2() {
+                                frontier.push(Entry { dist2: d, node: c });
+                            }
                         }
                     }
                 }
             }
         }
-        out
+        out.extend(best.finish().iter().map(|e| e.point()));
     }
 
     fn insert(&mut self, p: Point) {

@@ -19,10 +19,10 @@
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    knn_by_expanding_window_into, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
-use elsi_spatial::{BlockStore, KeyMapper, LisaMapper, MappedData, Point, Rect};
+use elsi_spatial::{scan, BlockStore, KeyMapper, LisaMapper, MappedData, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashSet};
 
@@ -207,14 +207,21 @@ impl SpatialIndex for LisaIndex {
         let key = self.mapper.key(q);
         let (lo, hi) = self.shard_range(key);
         for shard in &self.shards[lo..=hi] {
-            for block in shard.blocks() {
-                if !block.mbr().contains(&q) {
+            for block in shard.views() {
+                if !block.mbr.contains(&q) {
                     continue;
                 }
-                for p in block.points() {
-                    if p.x == q.x && p.y == q.y && self.live(p) {
-                        return Some(*p);
+                // The kernel finds the first coordinate match; step past
+                // tombstoned ids (same coords, deleted point) if needed.
+                let mut base = 0usize;
+                while let Some(i) =
+                    scan::contains_scan(&block.xs[base..], &block.ys[base..], q.x, q.y)
+                {
+                    let p = block.point(base + i);
+                    if self.live(&p) {
+                        return Some(p);
                     }
+                    base += i + 1;
                 }
             }
         }
@@ -223,8 +230,14 @@ impl SpatialIndex for LisaIndex {
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         if self.n_live == 0 {
-            return out;
+            return;
         }
         // Candidate shards: per overlapping grid cell, the mapped-key range
         // of the window's y-extent inside that cell (keys are monotone in y
@@ -249,16 +262,46 @@ impl SpatialIndex for LisaIndex {
                 candidates.extend(lo..=hi);
             }
         }
-        for s in candidates {
-            let mut hits = Vec::new();
-            self.shards[s].window_scan(w, &mut hits);
-            out.extend(hits.into_iter().filter(|p| self.live(p)));
+        if self.deleted.is_empty() {
+            // No tombstones: the kernels compress-store straight into `out`.
+            for s in candidates {
+                self.shards[s].window_scan(w, out);
+            }
+            return;
         }
-        out
+        // Tombstones present: stage block scans in the scratch hit buffer,
+        // then copy the live survivors.
+        for s in candidates {
+            for block in self.shards[s].views() {
+                if block.is_empty() || !w.intersects(&block.mbr) {
+                    continue;
+                }
+                let m = scan::range_scan_into(
+                    block.xs,
+                    block.ys,
+                    block.ids,
+                    w,
+                    scratch.hits_slot(block.len()),
+                );
+                for p in &scratch.hits()[..m] {
+                    if self.live(p) {
+                        out.push(*p);
+                    }
+                }
+            }
+        }
     }
 
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {

@@ -17,11 +17,11 @@
 
 use crate::model::{locate_lower, BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    knn_by_expanding_window_into, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
 use elsi_ml::kmeans;
-use elsi_spatial::{IDistanceMapper, MappedData, Point, Rect};
+use elsi_spatial::{scan, IDistanceMapper, MappedData, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -90,8 +90,8 @@ impl MlIndex {
                     data.lower_bound((i + 1) as f64 / k as f64)
                 };
                 let built = builder.build_model(&BuildInput {
-                    points: &data.points()[lo..hi],
-                    keys: &data.keys()[lo..hi],
+                    points: data.points().get(lo..hi).unwrap_or(&[]),
+                    keys: data.keys().get(lo..hi).unwrap_or(&[]),
                     mapper: &mapper,
                     seed: 0x31 + i as u64,
                 });
@@ -148,30 +148,43 @@ impl MlIndex {
         !self.deleted.contains(&p.id)
     }
 
-    /// Scans the key range `[key_lo, key_hi]` of partition `i` into `out`,
-    /// filtering by `w` and liveness.
+    /// Scans the key range `[key_lo, key_hi]` of partition `i` into `out`
+    /// through the branchless window kernel, filtering by `w` and liveness.
     fn scan_partition_range(
         &self,
         i: usize,
         key_lo: f64,
         key_hi: f64,
         w: &Rect,
+        scratch: &mut ScanScratch,
         out: &mut Vec<Point>,
     ) {
-        let part = &self.partitions[i];
-        if part.len == 0 {
-            return;
-        }
-        let keys = &self.data.keys()[part.offset..part.offset + part.len];
-        let pts = &self.data.points()[part.offset..part.offset + part.len];
+        let part = match self.partitions.get(i) {
+            Some(part) if part.len > 0 => part,
+            _ => return,
+        };
+        let keys = self
+            .data
+            .keys()
+            .get(part.offset..part.offset + part.len)
+            .unwrap_or(&[]);
         let lo = locate_lower(keys, part.model.search_range(key_lo), key_lo);
         let hi = locate_lower(keys, part.model.search_range(key_hi), key_hi.next_up());
-        out.extend(
-            pts[lo..hi]
-                .iter()
-                .filter(|p| w.contains(p) && self.live(p))
-                .copied(),
-        );
+        let (xs, ys, ids) = self
+            .data
+            .soa_range((part.offset + lo) as isize, (part.offset + hi) as isize);
+        let m = scan::range_scan_into(xs, ys, ids, w, scratch.hits_slot(xs.len()));
+        if self.deleted.is_empty() {
+            out.extend_from_slice(scratch.hits_upto(m));
+        } else {
+            out.extend(
+                scratch
+                    .hits_upto(m)
+                    .iter()
+                    .filter(|p| self.live(p))
+                    .copied(),
+            );
+        }
     }
 }
 
@@ -183,24 +196,39 @@ impl SpatialIndex for MlIndex {
     fn point_query(&self, q: Point) -> Option<Point> {
         let (i, d) = self.mapper.nearest_pivot(q);
         let key = self.mapper.key_of(i, d);
-        let part = &self.partitions[i];
-        if part.len > 0 {
-            let (lo, hi) = part.model.search_range(key);
-            let pts = &self.data.points()[part.offset..part.offset + part.len];
-            for p in &pts[lo.min(part.len)..hi.min(part.len)] {
-                if p.x == q.x && p.y == q.y && self.live(p) {
-                    return Some(*p);
+        if let Some(part) = self.partitions.get(i) {
+            if part.len > 0 {
+                let (lo, hi) = part.model.search_range(key);
+                let (xs, ys, ids) = self.data.soa_range(
+                    (part.offset + lo.min(part.len)) as isize,
+                    (part.offset + hi.min(part.len)) as isize,
+                );
+                // Kernel finds coordinate matches; step past tombstoned ids.
+                let hit = scan::contains_scan_live(xs, ys, ids, q.x, q.y, |id| {
+                    !self.deleted.contains(&id)
+                });
+                if hit.is_some() {
+                    return hit;
                 }
             }
         }
-        self.overflow[i]
-            .iter()
-            .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+        self.overflow
+            .get(i)
+            .and_then(|ovf| {
+                ovf.iter()
+                    .find(|p| p.x == q.x && p.y == q.y && self.live(p))
+            })
             .copied()
     }
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         let corners = [
             Point::at(w.lo_x, w.lo_y),
             Point::at(w.lo_x, w.hi_y),
@@ -212,35 +240,47 @@ impl SpatialIndex for MlIndex {
             let d_max = corners.iter().map(|c| pivot.dist(c)).fold(0.0f64, f64::max);
             let key_lo = self.mapper.key_of(i, d_min);
             let key_hi = self.mapper.key_of(i, d_max);
-            self.scan_partition_range(i, key_lo, key_hi, w, &mut out);
-            out.extend(
-                self.overflow[i]
-                    .iter()
-                    .filter(|p| w.contains(p) && self.live(p))
-                    .copied(),
-            );
+            self.scan_partition_range(i, key_lo, key_hi, w, scratch, out);
+            if let Some(ovf) = self.overflow.get(i) {
+                out.extend(
+                    ovf.iter()
+                        .filter(|p| w.contains(p) && self.live(p))
+                        .copied(),
+                );
+            }
         }
-        out
     }
 
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {
         self.deleted.remove(&p.id);
         let (i, _) = self.mapper.nearest_pivot(p);
-        self.overflow[i].push(p);
+        if let Some(ovf) = self.overflow.get_mut(i) {
+            ovf.push(p);
+        }
     }
 
     fn delete(&mut self, p: Point) -> bool {
         let (i, _) = self.mapper.nearest_pivot(p);
-        if let Some(pos) = self.overflow[i]
-            .iter()
-            .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
-        {
-            self.overflow[i].swap_remove(pos);
-            return true;
+        if let Some(ovf) = self.overflow.get_mut(i) {
+            if let Some(pos) = ovf
+                .iter()
+                .position(|b| b.id == p.id && b.x == p.x && b.y == p.y)
+            {
+                ovf.swap_remove(pos);
+                return true;
+            }
         }
         if self.point_query(p).is_some() {
             self.deleted.insert(p.id);

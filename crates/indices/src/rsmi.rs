@@ -20,10 +20,10 @@
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    knn_by_expanding_window_into, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
-use elsi_spatial::{HilbertMapper, KeyMapper, Point, Rect};
+use elsi_spatial::{scan, Block, HilbertMapper, KeyMapper, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -76,7 +76,9 @@ enum Node {
         model: RankModel,
         bounds: Rect,
         mbr: Rect,
-        points: Vec<Point>,
+        /// Rank-ordered points in SoA layout; `keys[i]` is the local
+        /// Hilbert key of `block.point(i)`.
+        block: Block,
         keys: Vec<f64>,
         overflow: Vec<Point>,
     },
@@ -87,8 +89,8 @@ impl Node {
         match self {
             Node::Internal { n, .. } => *n,
             Node::Leaf {
-                points, overflow, ..
-            } => points.len() + overflow.len(),
+                block, overflow, ..
+            } => block.len() + overflow.len(),
         }
     }
 
@@ -205,7 +207,7 @@ fn build_node(
             model,
             bounds,
             mbr,
-            points: pts,
+            block: Block::from_points(pts),
             keys,
             overflow: Vec::new(),
         };
@@ -221,7 +223,7 @@ fn build_node(
         .map(|c| {
             let lo = c * n / f;
             let hi = (c + 1) * n / f;
-            let slice: Vec<Point> = pts[lo..hi].to_vec();
+            let slice: Vec<Point> = pts.get(lo..hi).unwrap_or(&[]).to_vec();
             let child_bounds = if slice.is_empty() {
                 bounds
             } else {
@@ -309,20 +311,21 @@ impl RsmiIndex {
             Node::Leaf {
                 model,
                 bounds,
-                points,
-                keys,
+                block,
                 overflow,
                 ..
             } => {
                 let key = local_key(q, bounds);
                 let (lo, hi) = model.search_range(key);
-                for (p, _) in points[lo..hi.min(points.len())]
-                    .iter()
-                    .zip(&keys[lo..hi.min(keys.len())])
-                {
-                    if p.x == q.x && p.y == q.y && self.live(p) {
-                        return Some(*p);
-                    }
+                let lo = lo.min(block.len());
+                let hi = hi.min(block.len());
+                let (xs, ys, ids) = scan::soa_span(block.xs(), block.ys(), block.ids(), lo, hi);
+                // Kernel finds coordinate matches; step past tombstoned ids.
+                let hit = scan::contains_scan_live(xs, ys, ids, q.x, q.y, |id| {
+                    !self.deleted.contains(&id)
+                });
+                if hit.is_some() {
+                    return hit;
                 }
                 overflow
                     .iter()
@@ -342,7 +345,7 @@ impl RsmiIndex {
                 let c = route_child(model, key, *n_route, children.len()) as i64;
                 let lo = (c + route_lo).clamp(0, children.len() as i64 - 1) as usize;
                 let hi = (c + route_hi).clamp(0, children.len() as i64 - 1) as usize;
-                for child in &children[lo..=hi] {
+                for child in children.get(lo..=hi).unwrap_or(&[]) {
                     if let Some(found) = self.point_query_node(child, q) {
                         return Some(found);
                     }
@@ -352,17 +355,23 @@ impl RsmiIndex {
         }
     }
 
-    fn window_query_node(&self, node: &Node, w: &Rect, out: &mut Vec<Point>) {
+    fn window_query_node(
+        &self,
+        node: &Node,
+        w: &Rect,
+        scratch: &mut ScanScratch,
+        out: &mut Vec<Point>,
+    ) {
         match node {
             Node::Leaf {
                 model,
                 bounds,
                 mbr,
-                points,
+                block,
                 keys,
                 overflow,
             } => {
-                if points.is_empty() && overflow.is_empty() {
+                if block.is_empty() && overflow.is_empty() {
                     return;
                 }
                 let clipped = Rect::new(
@@ -378,7 +387,7 @@ impl RsmiIndex {
                     1.0
                 };
                 let (lo, hi) = if coverage >= 0.3 {
-                    (0, points.len())
+                    (0, block.len())
                 } else {
                     // Probe the window's corners, edge midpoints and centre
                     // in the leaf's rank space; scan the spanned rank range.
@@ -403,15 +412,22 @@ impl RsmiIndex {
                         lo = lo.min(l);
                         hi = hi.max(h);
                     }
-                    (lo.min(points.len()), hi.min(points.len()))
+                    (lo.min(block.len()), hi.min(block.len()))
                 };
                 let _ = keys;
-                out.extend(
-                    points[lo..hi]
-                        .iter()
-                        .filter(|p| w.contains(p) && self.live(p))
-                        .copied(),
-                );
+                let (sx, sy, si) = scan::soa_span(block.xs(), block.ys(), block.ids(), lo, hi);
+                let m = scan::range_scan_into(sx, sy, si, w, scratch.hits_slot(sx.len()));
+                if self.deleted.is_empty() {
+                    out.extend_from_slice(scratch.hits_upto(m));
+                } else {
+                    out.extend(
+                        scratch
+                            .hits_upto(m)
+                            .iter()
+                            .filter(|p| self.live(p))
+                            .copied(),
+                    );
+                }
                 out.extend(
                     overflow
                         .iter()
@@ -422,7 +438,7 @@ impl RsmiIndex {
             Node::Internal { children, .. } => {
                 for child in children {
                     if child.n() > 0 && w.intersects(&child.mbr()) {
-                        self.window_query_node(child, w, out);
+                        self.window_query_node(child, w, scratch, out);
                     }
                 }
             }
@@ -434,16 +450,16 @@ impl RsmiIndex {
             Node::Leaf {
                 mbr,
                 overflow,
-                points,
+                block,
                 ..
             } => {
                 mbr.expand(&p);
                 overflow.push(p);
-                let trigger = ((points.len() as f64 * cfg.overflow_fraction) as usize).max(8);
+                let trigger = ((block.len() as f64 * cfg.overflow_fraction) as usize).max(8);
                 if overflow.len() > trigger {
                     // Local rebuild (Fig. 1): merge buffered points and
                     // relearn; an oversized leaf deepens into a subtree.
-                    let mut all = std::mem::take(points);
+                    let mut all = std::mem::take(block).to_points();
                     all.append(overflow);
                     let bounds = Rect::mbr_of(&all);
                     let mut local_stats = Vec::new();
@@ -463,7 +479,9 @@ impl RsmiIndex {
                 *n += 1;
                 let key = local_key(p, bounds);
                 let c = route_child(model, key, *n_route, children.len());
-                Self::insert_into(&mut children[c], p, cfg, builder);
+                if let Some(child) = children.get_mut(c) {
+                    Self::insert_into(child, p, cfg, builder);
+                }
             }
         }
     }
@@ -480,12 +498,25 @@ impl SpatialIndex for RsmiIndex {
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
-        self.window_query_node(&self.root, w, &mut out);
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
         out
     }
 
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        self.window_query_node(&self.root, w, scratch, out);
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {

@@ -8,9 +8,9 @@
 //! reinsertion is omitted (RR* replaces it with better split/choose
 //! heuristics). Queries reuse the exact shared R-tree algorithms.
 
-use crate::rtree::{knn_best_first, RNode};
+use crate::rtree::{knn_best_first, knn_best_first_into, RNode};
 use crate::traits::SpatialIndex;
-use elsi_spatial::{Point, Rect};
+use elsi_spatial::{Point, Rect, ScanScratch};
 
 /// RR* configuration.
 #[derive(Debug, Clone, Copy)]
@@ -60,14 +60,12 @@ impl RStarIndex {
 
     fn insert_node(node: &mut RNode, p: Point, cfg: &RStarConfig) -> Option<RNode> {
         match node {
-            RNode::Leaf { mbr, points } => {
-                mbr.expand(&p);
-                points.push(p);
-                if points.len() > cfg.leaf_capacity {
+            RNode::Leaf { block } => {
+                block.push(p);
+                if block.len() > cfg.leaf_capacity {
                     let (left, right) =
-                        rstar_split(std::mem::take(points), point_rect, cfg.min_fill);
-                    *points = left;
-                    *mbr = Rect::mbr_of(points);
+                        rstar_split(std::mem::take(block).to_points(), point_rect, cfg.min_fill);
+                    *block = elsi_spatial::Block::from_points(left);
                     Some(RNode::new_leaf(right))
                 } else {
                     None
@@ -229,8 +227,17 @@ impl SpatialIndex for RStarIndex {
         out
     }
 
+    fn window_query_into(&self, w: &Rect, _scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        self.root.window_into(w, out);
+    }
+
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         knn_best_first(&self.root, q, k)
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_best_first_into(&self.root, q, k, scratch, out);
     }
 
     fn insert(&mut self, p: Point) {

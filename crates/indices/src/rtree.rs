@@ -6,19 +6,17 @@
 //! (Beckmann & Seeger, SIGMOD 2009). Queries — window recursion and
 //! best-first kNN over MBRs — are identical and live here.
 
-use elsi_spatial::{Point, Rect};
+use elsi_spatial::{Block, Point, Rect, ScanScratch};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// An R-tree node. Leaves hold points; internal nodes hold children.
 #[derive(Debug, Clone)]
 pub(crate) enum RNode {
-    /// A leaf page.
+    /// A leaf page: an SoA data page that maintains its own MBR.
     Leaf {
-        /// MBR of the stored points.
-        mbr: Rect,
-        /// The stored points.
-        points: Vec<Point>,
+        /// The stored points in structure-of-arrays layout.
+        block: Block,
     },
     /// An internal node.
     Internal {
@@ -31,8 +29,9 @@ pub(crate) enum RNode {
 
 impl RNode {
     pub(crate) fn new_leaf(points: Vec<Point>) -> Self {
-        let mbr = Rect::mbr_of(&points);
-        RNode::Leaf { mbr, points }
+        RNode::Leaf {
+            block: Block::from_points(points),
+        }
     }
 
     pub(crate) fn new_internal(children: Vec<RNode>) -> Self {
@@ -46,13 +45,14 @@ impl RNode {
     #[inline]
     pub(crate) fn mbr(&self) -> Rect {
         match self {
-            RNode::Leaf { mbr, .. } | RNode::Internal { mbr, .. } => *mbr,
+            RNode::Leaf { block } => block.mbr(),
+            RNode::Internal { mbr, .. } => *mbr,
         }
     }
 
     pub(crate) fn len(&self) -> usize {
         match self {
-            RNode::Leaf { points, .. } => points.len(),
+            RNode::Leaf { block } => block.len(),
             RNode::Internal { children, .. } => children.iter().map(RNode::len).sum(),
         }
     }
@@ -69,16 +69,7 @@ impl RNode {
     /// Collects all points in `w` (exact).
     pub(crate) fn window_into(&self, w: &Rect, out: &mut Vec<Point>) {
         match self {
-            RNode::Leaf { mbr, points } => {
-                if !w.intersects(mbr) {
-                    return;
-                }
-                if w.contains_rect(mbr) {
-                    out.extend_from_slice(points);
-                } else {
-                    out.extend(points.iter().filter(|p| w.contains(p)).copied());
-                }
-            }
+            RNode::Leaf { block } => block.window_scan_into(w, out),
             RNode::Internal { mbr, children } => {
                 if !w.intersects(mbr) {
                     return;
@@ -93,11 +84,11 @@ impl RNode {
     /// Finds a stored point with the coordinates of `q`.
     pub(crate) fn find(&self, q: Point) -> Option<Point> {
         match self {
-            RNode::Leaf { mbr, points } => {
-                if !mbr.contains(&q) {
+            RNode::Leaf { block } => {
+                if !block.mbr().contains(&q) {
                     return None;
                 }
-                points.iter().find(|p| p.x == q.x && p.y == q.y).copied()
+                block.find_exact(q.x, q.y)
             }
             RNode::Internal { mbr, children } => {
                 if !mbr.contains(&q) {
@@ -112,20 +103,11 @@ impl RNode {
     /// along the path. Returns whether it was removed.
     pub(crate) fn remove(&mut self, p: Point) -> bool {
         match self {
-            RNode::Leaf { mbr, points } => {
-                if !mbr.contains(&p) {
+            RNode::Leaf { block } => {
+                if !block.mbr().contains(&p) {
                     return false;
                 }
-                if let Some(pos) = points
-                    .iter()
-                    .position(|s| s.id == p.id && s.x == p.x && s.y == p.y)
-                {
-                    points.swap_remove(pos);
-                    *mbr = Rect::mbr_of(points);
-                    true
-                } else {
-                    false
-                }
+                block.remove_exact(&p)
             }
             RNode::Internal { mbr, children } => {
                 if !mbr.contains(&p) {
@@ -151,12 +133,7 @@ impl RNode {
 /// A heap entry ordered by *ascending* distance (min-heap via reversed Ord).
 struct HeapEntry<'a> {
     dist2: f64,
-    item: HeapItem<'a>,
-}
-
-enum HeapItem<'a> {
-    Node(&'a RNode),
-    Point(Point),
+    node: &'a RNode,
 }
 
 impl PartialEq for HeapEntry<'_> {
@@ -178,45 +155,58 @@ impl Ord for HeapEntry<'_> {
 }
 
 /// Exact best-first kNN search (Hjaltason & Samet) over node MINDISTs.
+///
+/// Convenience wrapper that allocates fresh scratch; hot paths should call
+/// [`knn_best_first_into`] with a reused [`ScanScratch`].
 pub(crate) fn knn_best_first(root: &RNode, q: Point, k: usize) -> Vec<Point> {
     let mut out = Vec::with_capacity(k);
+    knn_best_first_into(root, q, k, &mut ScanScratch::new(), &mut out);
+    out
+}
+
+/// Exact best-first kNN over node MINDISTs, streaming leaf pages through the
+/// branchless [`elsi_spatial::scan::knn_scan`] kernel into the scratch heap.
+///
+/// Results land in `out` (cleared first) in the canonical `(dist², id)`
+/// order. Pruning compares MINDIST against the heap's current k-th best
+/// *strictly*, so tied candidates are still visited and the canonical order
+/// settles ties exactly.
+pub(crate) fn knn_best_first_into(
+    root: &RNode,
+    q: Point,
+    k: usize,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<Point>,
+) {
+    out.clear();
     if k == 0 || root.len() == 0 {
-        return out;
+        return;
     }
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry {
+    let best = scratch.heap_for(k);
+    let mut frontier = BinaryHeap::new();
+    frontier.push(HeapEntry {
         dist2: root.mbr().min_dist2(&q),
-        item: HeapItem::Node(root),
+        node: root,
     });
-    while let Some(entry) = heap.pop() {
-        match entry.item {
-            HeapItem::Point(p) => {
-                out.push(p);
-                if out.len() == k {
-                    return out;
-                }
-            }
-            HeapItem::Node(RNode::Leaf { points, .. }) => {
-                for p in points {
-                    heap.push(HeapEntry {
-                        dist2: q.dist2(p),
-                        item: HeapItem::Point(*p),
-                    });
-                }
-            }
-            HeapItem::Node(RNode::Internal { children, .. }) => {
+    while let Some(entry) = frontier.pop() {
+        if entry.dist2 > best.worst_dist2() {
+            break;
+        }
+        match entry.node {
+            RNode::Leaf { block } => block.knn_into(q.x, q.y, best),
+            RNode::Internal { children, .. } => {
                 for c in children {
                     if c.len() > 0 {
-                        heap.push(HeapEntry {
-                            dist2: c.mbr().min_dist2(&q),
-                            item: HeapItem::Node(c),
-                        });
+                        let d = c.mbr().min_dist2(&q);
+                        if d <= best.worst_dist2() {
+                            frontier.push(HeapEntry { dist2: d, node: c });
+                        }
                     }
                 }
             }
         }
     }
-    out
+    out.extend(best.finish().iter().map(|e| e.point()));
 }
 
 #[cfg(test)]

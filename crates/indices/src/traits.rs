@@ -1,6 +1,6 @@
 //! The common query interface of all eight spatial indices.
 
-use elsi_spatial::{Point, Rect};
+use elsi_spatial::{canonical_knn_cmp, Point, Rect, ScanScratch};
 
 /// Point, window and kNN queries plus updates: the operations the paper
 /// evaluates (§VII-G, §VII-H). All indices — learned and traditional —
@@ -27,6 +27,29 @@ pub trait SpatialIndex {
     /// The `k` nearest stored points to `q`, sorted by distance. May be
     /// approximate for the indices whose window queries are approximate.
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point>;
+
+    /// [`SpatialIndex::window_query`] into a caller-provided buffer,
+    /// reusing `scratch` across calls: `out` is cleared and refilled, and
+    /// steady-state queries perform no allocations once both buffers have
+    /// grown to their high-water marks.
+    ///
+    /// The default wraps `window_query` (for implementors outside the SoA
+    /// substrate); the eight paper indices override it with the branchless
+    /// kernel path and implement `window_query` on top.
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.window_query(w));
+    }
+
+    /// [`SpatialIndex::knn_query`] into a caller-provided buffer, reusing
+    /// `scratch` (hit buffer + bounded best-k heap) across calls; `out` is
+    /// cleared and refilled in canonical `(dist², id)` order.
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.knn_query(q, k));
+    }
 
     /// Inserts a point.
     ///
@@ -85,26 +108,68 @@ pub fn par_point_queries_of<I: SpatialIndex + Sync + ?Sized>(
     queries.par_iter().map(|&q| index.point_query(q)).collect()
 }
 
+/// Contiguous query ranges for scratch-sharing workers: a few chunks per
+/// thread keeps the load balanced while amortising one [`ScanScratch`]
+/// (and its allocations) over many queries.
+fn scratch_chunks(n: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    (0..n.div_ceil(chunk).max(1))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+        .collect()
+}
+
 /// Thread-parallel batch window queries over any `Sync` index (see
-/// [`par_point_queries_of`]).
+/// [`par_point_queries_of`]). Each worker range reuses one
+/// [`ScanScratch`], so per-query allocations are limited to the result
+/// vectors themselves.
 pub fn par_window_queries_of<I: SpatialIndex + Sync + ?Sized>(
     index: &I,
     windows: &[Rect],
 ) -> Vec<Vec<Point>> {
     use rayon::prelude::*;
-    windows.par_iter().map(|w| index.window_query(w)).collect()
+    let ranges = scratch_chunks(windows.len());
+    let per_range: Vec<Vec<Vec<Point>>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut scratch = ScanScratch::new();
+            windows[lo..hi]
+                .iter()
+                .map(|w| {
+                    let mut out = Vec::new();
+                    index.window_query_into(w, &mut scratch, &mut out);
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    per_range.into_iter().flatten().collect()
 }
 
 /// Thread-parallel batch kNN queries over any `Sync` index (see
 /// [`par_point_queries_of`]). Results come back in query order regardless
-/// of the thread count.
+/// of the thread count; each worker range reuses one [`ScanScratch`].
 pub fn par_knn_queries_of<I: SpatialIndex + Sync + ?Sized>(
     index: &I,
     queries: &[Point],
     k: usize,
 ) -> Vec<Vec<Point>> {
     use rayon::prelude::*;
-    queries.par_iter().map(|&q| index.knn_query(q, k)).collect()
+    let ranges = scratch_chunks(queries.len());
+    let per_range: Vec<Vec<Vec<Point>>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut scratch = ScanScratch::new();
+            queries[lo..hi]
+                .iter()
+                .map(|&q| {
+                    let mut out = Vec::new();
+                    index.knn_query_into(q, k, &mut scratch, &mut out);
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    per_range.into_iter().flatten().collect()
 }
 
 impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
@@ -141,6 +206,12 @@ impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
     fn par_knn_queries(&self, queries: &[Point], k: usize) -> Vec<Vec<Point>> {
         (**self).par_knn_queries(queries, k)
     }
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        (**self).window_query_into(w, scratch, out)
+    }
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        (**self).knn_query_into(q, k, scratch, out)
+    }
 }
 
 /// Shared kNN fallback: expanding window search over any window-query
@@ -155,8 +226,36 @@ pub fn knn_by_expanding_window<F>(q: Point, k: usize, n: usize, mut window_fn: F
 where
     F: FnMut(&Rect) -> Vec<Point>,
 {
+    let mut scratch = ScanScratch::new();
+    let mut out = Vec::new();
+    knn_by_expanding_window_into(q, k, n, &mut scratch, &mut out, |w, _, buf| {
+        buf.clear();
+        buf.extend(window_fn(w));
+    });
+    out
+}
+
+/// Allocation-amortised twin of [`knn_by_expanding_window`]: the window
+/// results accumulate in `out` (doubling the side until `k` results lie
+/// within the safe radius), which is then sorted canonically and truncated
+/// in place. `window_into` must *replace* the contents of its output
+/// buffer, matching the [`SpatialIndex::window_query_into`] contract.
+///
+/// Results come back in canonical `(dist², id)` order, so every
+/// expanding-window kNN producer breaks distance ties identically.
+pub fn knn_by_expanding_window_into<F>(
+    q: Point,
+    k: usize,
+    n: usize,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<Point>,
+    mut window_into: F,
+) where
+    F: FnMut(&Rect, &mut ScanScratch, &mut Vec<Point>),
+{
+    out.clear();
     if k == 0 || n == 0 {
-        return Vec::new();
+        return;
     }
     // Expected-density start: a window that would hold ~4k uniform points.
     let mut side = ((4 * k) as f64 / n as f64).sqrt().clamp(1e-4, 2.0);
@@ -167,16 +266,16 @@ where
             q.x + side / 2.0,
             q.y + side / 2.0,
         );
-        let mut cands = window_fn(&w);
-        cands.sort_by(|a, b| q.dist2(a).total_cmp(&q.dist2(b)));
-        cands.truncate(k);
+        window_into(&w, scratch, out);
+        out.sort_unstable_by(|a, b| canonical_knn_cmp(q, a, b));
+        out.truncate(k);
         let safe_radius = side / 2.0;
-        if cands.len() == k && q.dist(&cands[k - 1]) <= safe_radius {
-            return cands;
+        if out.len() == k && q.dist(&out[k - 1]) <= safe_radius {
+            return;
         }
         if side >= 2.0 {
             // Window covers the whole unit square: return what exists.
-            return cands;
+            return;
         }
         side = (side * 2.0).min(2.0);
     }

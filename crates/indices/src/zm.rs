@@ -14,10 +14,10 @@
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
 use crate::traits::{
-    knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
+    knn_by_expanding_window_into, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
-use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
+use elsi_spatial::{scan, KeyMapper, MappedData, MortonMapper, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -101,8 +101,8 @@ impl ZmIndex {
                 let lo = j * n / s;
                 let hi = (j + 1) * n / s;
                 let built = builder.build_model(&BuildInput {
-                    points: &data.points()[lo..hi],
-                    keys: &data.keys()[lo..hi],
+                    points: data.points().get(lo..hi).unwrap_or(&[]),
+                    keys: data.keys().get(lo..hi).unwrap_or(&[]),
                     mapper: &MortonMapper,
                     seed: 0xD01 + j as u64,
                 });
@@ -151,12 +151,15 @@ impl ZmIndex {
             .into_par_iter()
             .map(|start| {
                 let mut bounds = vec![(0i64, 0i64); s];
-                for i in start..(start + chunk).min(n) {
-                    let key = this.data.keys()[i];
+                let span = this.data.keys().get(start..(start + chunk).min(n));
+                for (off, &key) in span.unwrap_or(&[]).iter().enumerate() {
+                    let i = start + off;
                     let j = this.route(key);
                     let err = i as i64 - this.predict_global(j, key);
-                    bounds[j].0 = bounds[j].0.min(err);
-                    bounds[j].1 = bounds[j].1.max(err);
+                    if let Some(b) = bounds.get_mut(j) {
+                        b.0 = b.0.min(err);
+                        b.1 = b.1.max(err);
+                    }
                 }
                 bounds
             })
@@ -181,8 +184,10 @@ impl ZmIndex {
     /// Global rank predicted by leaf `j` for `key`.
     #[inline]
     fn predict_global(&self, j: usize, key: f64) -> i64 {
-        let leaf = &self.leaves[j];
-        leaf.model.predict(key) + leaf.offset as i64
+        match self.leaves.get(j) {
+            Some(leaf) => leaf.model.predict(key) + leaf.offset as i64,
+            None => 0,
+        }
     }
 
     /// Guaranteed search range for a stored point with this key.
@@ -191,11 +196,14 @@ impl ZmIndex {
             return (0, 0);
         }
         let j = self.route(key);
-        let leaf = &self.leaves[j];
+        let (err_lo, err_hi) = match self.leaves.get(j) {
+            Some(leaf) => (leaf.err_lo, leaf.err_hi),
+            None => (0, 0),
+        };
         let pred = self.predict_global(j, key);
         let n = self.data.len() as i64;
-        let lo = (pred + leaf.err_lo).clamp(0, n) as usize;
-        let hi = (pred + leaf.err_hi + 1).clamp(0, n) as usize;
+        let lo = (pred + err_lo).clamp(0, n) as usize;
+        let hi = (pred + err_hi + 1).clamp(0, n) as usize;
         (lo, hi)
     }
 
@@ -236,10 +244,11 @@ impl SpatialIndex for ZmIndex {
     fn point_query(&self, q: Point) -> Option<Point> {
         let key = MortonMapper.key(q);
         let (lo, hi) = self.search_range(key);
-        for p in &self.data.points()[lo..hi] {
-            if p.x == q.x && p.y == q.y && self.live(p) {
-                return Some(*p);
-            }
+        let (xs, ys, ids) = self.data.soa_range(lo as isize, hi as isize);
+        // Kernel finds coordinate matches; step past tombstoned ids.
+        let hit = scan::contains_scan_live(xs, ys, ids, q.x, q.y, |id| !self.deleted.contains(&id));
+        if hit.is_some() {
+            return hit;
         }
         self.buffer
             .iter()
@@ -249,17 +258,30 @@ impl SpatialIndex for ZmIndex {
 
     fn window_query(&self, w: &Rect) -> Vec<Point> {
         let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         if !self.data.is_empty() {
             let z_lo = MortonMapper.key(Point::at(w.lo_x, w.lo_y));
             let z_hi = MortonMapper.key(Point::at(w.hi_x, w.hi_y));
             let lo = self.locate_lower(z_lo);
             let hi = self.locate_lower(z_hi.next_up());
-            out.extend(
-                self.data.points()[lo..hi]
-                    .iter()
-                    .filter(|p| w.contains(p) && self.live(p))
-                    .copied(),
-            );
+            let (xs, ys, ids) = self.data.soa_range(lo as isize, hi as isize);
+            let m = scan::range_scan_into(xs, ys, ids, w, scratch.hits_slot(xs.len()));
+            if self.deleted.is_empty() {
+                out.extend_from_slice(scratch.hits_upto(m));
+            } else {
+                out.extend(
+                    scratch
+                        .hits_upto(m)
+                        .iter()
+                        .filter(|p| self.live(p))
+                        .copied(),
+                );
+            }
         }
         out.extend(
             self.buffer
@@ -267,11 +289,18 @@ impl SpatialIndex for ZmIndex {
                 .filter(|p| w.contains(p) && self.live(p))
                 .copied(),
         );
-        out
     }
 
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
-        knn_by_expanding_window(q, k, self.len().max(1), |w| self.window_query(w))
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        knn_by_expanding_window_into(q, k, self.len().max(1), scratch, out, |w, s, buf| {
+            self.window_query_into(w, s, buf)
+        });
     }
 
     fn insert(&mut self, p: Point) {

@@ -20,7 +20,7 @@ use elsi_indices::{
     par_knn_queries_of, par_point_queries_of, par_window_queries_of, SpatialIndex, ZmConfig,
     ZmIndex,
 };
-use elsi_spatial::{Point, Rect};
+use elsi_spatial::{KnnEntry, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 
 use crate::router::{GridRouter, Router};
@@ -203,7 +203,9 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
         let n = router.num_shards();
         let mut parts: Vec<Vec<Point>> = vec![Vec::new(); n];
         for p in points {
-            parts[router.shard_of(p)].push(p);
+            if let Some(part) = parts.get_mut(router.shard_of(p)) {
+                part.push(p);
+            }
         }
         let builder = Arc::new(shard_builder);
         let work: Vec<(usize, Vec<Point>, RebuildPolicy)> = parts
@@ -273,14 +275,20 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
     // lint:serving_root
     pub fn insert_routed(&mut self, p: Point) -> UpdateOutcome {
         let s = self.router.shard_of(p);
-        self.shards[s].insert(p)
+        match self.shards.get_mut(s) {
+            Some(shard) => shard.insert(p),
+            None => UpdateOutcome::Applied,
+        }
     }
 
     /// Routes one delete to its owning shard.
     // lint:serving_root
     pub fn delete_routed(&mut self, p: Point) -> UpdateOutcome {
         let s = self.router.shard_of(p);
-        self.shards[s].delete(p)
+        match self.shards.get_mut(s) {
+            Some(shard) => shard.delete(p),
+            None => UpdateOutcome::Applied,
+        }
     }
 
     /// Applies a batch of updates, fanning the per-shard sub-batches out
@@ -295,7 +303,9 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
         let before = self.rebuilds();
         let mut per: Vec<Vec<Update>> = vec![Vec::new(); self.shards.len()];
         for &u in updates {
-            per[self.router.shard_of(u.point())].push(u);
+            if let Some(sub) = per.get_mut(self.router.shard_of(u.point())) {
+                sub.push(u);
+            }
         }
         // The vendored rayon has no `par_iter_mut`: move the shards out,
         // run each shard+batch pair to completion, and collect them back
@@ -329,21 +339,38 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
     /// window queries — RSMI, LISA — give approximate merges, same as the
     /// monolith).
     fn knn_merged(&self, q: Point, k: usize) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.knn_merged_into(q, k, &mut ScanScratch::new(), &mut out);
+        out
+    }
+
+    /// [`ShardedIndex::knn_merged`] with caller-provided scratch: per-shard
+    /// results stream through each shard's own scan kernels, the final
+    /// candidate set runs through the scratch's bounded best-k heap, and the
+    /// staging buffer is pooled across queries — steady state allocates only
+    /// the node frontier.
+    fn knn_merged_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
         if k == 0 || self.shards.is_empty() {
-            return Vec::new();
+            return;
         }
         let mut order: Vec<(f64, usize)> = (0..self.shards.len())
             .map(|s| (self.router.shard_rect(s).min_dist2(&q), s))
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
 
+        let mut buf = scratch.stage_take();
         let mut heap: BinaryHeap<HeapDist> = BinaryHeap::new();
         for &(min_d2, s) in &order {
             if heap.len() == k && heap.peek().is_some_and(|kth| min_d2 > kth.0) {
                 break;
             }
-            for p in self.shards[s].knn_query(q, k) {
-                let d2 = q.dist2(&p);
+            let Some(shard) = self.shards.get(s) else {
+                continue;
+            };
+            shard.knn_query_into(q, k, scratch, &mut buf);
+            for p in &buf {
+                let d2 = q.dist2(p);
                 if heap.len() < k {
                     heap.push(HeapDist(d2));
                 } else if heap.peek().is_some_and(|kth| d2 < kth.0) {
@@ -361,21 +388,32 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
         };
         let r = r2.sqrt();
         let ball = Rect::new(q.x - r, q.y - r, q.x + r, q.y + r);
-        let mut cands: Vec<Point> = Vec::new();
+        // Gather the closed ball into `out`, then distil the k best through
+        // the bounded heap — same result as the canonical sort + truncate
+        // (the heap admits and orders with the same comparator).
         for &(min_d2, s) in &order {
             if min_d2 > r2 {
                 break;
             }
-            cands.extend(
-                self.shards[s]
-                    .window_query(&ball)
-                    .into_iter()
-                    .filter(|p| q.dist2(p) <= r2),
-            );
+            let Some(shard) = self.shards.get(s) else {
+                continue;
+            };
+            shard.window_query_into(&ball, scratch, &mut buf);
+            out.extend(buf.iter().filter(|p| q.dist2(p) <= r2));
         }
-        cands.sort_by(|a, b| canonical_knn_cmp(q, a, b));
-        cands.truncate(k);
-        cands
+        scratch.stage_put(buf);
+        let best = scratch.heap_for(k);
+        for p in out.iter() {
+            best.offer(KnnEntry {
+                dist2: q.dist2(p),
+                id: p.id,
+                x: p.x,
+                y: p.y,
+            });
+        }
+        let ranked = best.finish();
+        out.clear();
+        out.extend(ranked.iter().map(|e| e.point()));
     }
 }
 
@@ -388,7 +426,7 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
     /// Routed to the single owning shard in O(1).
     // lint:serving_root
     fn point_query(&self, q: Point) -> Option<Point> {
-        self.shards[self.router.shard_of(q)].point_query(q)
+        self.shards.get(self.router.shard_of(q))?.point_query(q)
     }
 
     /// Gathered from the overlapping shards, in canonical
@@ -396,17 +434,32 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
     /// bit-identical regardless of the shard layout.
     // lint:serving_root
     fn window_query(&self, w: &Rect) -> Vec<Point> {
-        let mut out: Vec<Point> = Vec::new();
-        for s in self.router.shards_for_window(w) {
-            out.extend(self.shards[s].window_query(w));
-        }
-        out.sort_by_key(canonical_point_key);
+        let mut out = Vec::new();
+        self.window_query_into(w, &mut ScanScratch::new(), &mut out);
         out
+    }
+
+    fn window_query_into(&self, w: &Rect, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        out.clear();
+        let mut buf = scratch.stage_take();
+        for s in self.router.shards_for_window(w) {
+            let Some(shard) = self.shards.get(s) else {
+                continue;
+            };
+            shard.window_query_into(w, scratch, &mut buf);
+            out.extend_from_slice(&buf);
+        }
+        scratch.stage_put(buf);
+        out.sort_by_key(canonical_point_key);
     }
 
     // lint:serving_root
     fn knn_query(&self, q: Point, k: usize) -> Vec<Point> {
         self.knn_merged(q, k)
+    }
+
+    fn knn_query_into(&self, q: Point, k: usize, scratch: &mut ScanScratch, out: &mut Vec<Point>) {
+        self.knn_merged_into(q, k, scratch, out);
     }
 
     fn insert(&mut self, p: Point) {
@@ -415,7 +468,10 @@ impl<I: SpatialIndex + Send + Sync, R: Router> SpatialIndex for ShardedIndex<I, 
 
     fn delete(&mut self, p: Point) -> bool {
         let s = self.router.shard_of(p);
-        SpatialIndex::delete(&mut self.shards[s], p)
+        match self.shards.get_mut(s) {
+            Some(shard) => SpatialIndex::delete(shard, p),
+            None => false,
+        }
     }
 
     fn name(&self) -> &'static str {

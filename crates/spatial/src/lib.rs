@@ -22,6 +22,8 @@
 //!   and the block (data page) layout the predict-and-scan queries hit.
 //! * [`order`] — total orderings for float keys: NaN-safe sort comparators
 //!   and the canonical `(dist², id)` kNN order every producer shares.
+//! * [`scan`] — branchless 4-wide SoA scan kernels (window, exact lookup,
+//!   bounded best-k) behind every predict-and-scan query hot path.
 //!
 //! This crate is dependency-free and deterministic; everything above it
 //! (`elsi-indices`, `elsi` itself) builds on these types.
@@ -35,11 +37,15 @@ pub mod mapping;
 pub mod order;
 pub mod partition;
 pub mod point;
+pub mod scan;
 pub mod sorted;
 
-pub use block::{Block, BlockStore, DEFAULT_BLOCK_SIZE};
+pub use block::{Block, BlockStore, BlockView, DEFAULT_BLOCK_SIZE};
 pub use mapping::{HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper};
 pub use order::{by_f64_key, canonical_knn_cmp, canonical_point_key};
 pub use partition::{quadtree_partition, QuadLeaf, UniformGrid};
 pub use point::{Point, Rect};
+pub use scan::{
+    contains_scan, knn_scan, knn_select_into, range_scan_into, KnnEntry, KnnHeap, ScanScratch,
+};
 pub use sorted::MappedData;

@@ -143,6 +143,14 @@ impl Rect {
         p.x >= self.lo_x && p.x <= self.hi_x && p.y >= self.lo_y && p.y <= self.hi_y
     }
 
+    /// Whether `(x, y)` lies *strictly* inside the rectangle, touching no
+    /// edge. A strictly interior point cannot define any MBR edge, which
+    /// is what lets block removals skip the O(n) MBR recompute.
+    #[inline]
+    pub fn strictly_inside(&self, x: f64, y: f64) -> bool {
+        x > self.lo_x && x < self.hi_x && y > self.lo_y && y < self.hi_y
+    }
+
     /// Whether `other` lies fully inside this rectangle.
     #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {

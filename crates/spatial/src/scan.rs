@@ -1,0 +1,757 @@
+//! Branchless SoA scan kernels: the query-side hot paths.
+//!
+//! Every index in this reproduction funnels point, window and kNN queries
+//! into scans over data pages, so leaf-scan cost dominates query latency —
+//! exactly as "The Case for Learned Spatial Indexes" (Pandey et al.)
+//! reports. This module is the query-side counterpart of the training
+//! kernels in `elsi-ml`: pages store coordinates as structure-of-arrays
+//! (`xs`/`ys`/`ids` slices, see [`crate::block`]) and the kernels below
+//! walk them four lanes at a time with branch-free predicates, writing
+//! results into caller-provided scratch — zero allocations per query.
+//!
+//! Three kernels cover the three query shapes:
+//!
+//! * [`range_scan_into`] — window predicate, compress-store of matches;
+//! * [`contains_scan`] — exact coordinate lookup (point queries);
+//! * [`knn_scan`] — dist²-accumulating bounded best-k (no square roots).
+//!
+//! All three carry `// lint:hot_path` markers, so `cargo run -p analysis`
+//! proves the closure reachable from them allocation-free (see the
+//! `alloc_hot_path` rule in `crates/analysis`). Callers own the buffers:
+//! [`ScanScratch`] holds a reusable hit buffer and a bounded [`KnnHeap`];
+//! sizing them (the only allocating step, amortised across queries)
+//! happens outside the kernels.
+//!
+//! kNN results obey the canonical `(dist², id)` order of
+//! [`crate::order::canonical_knn_cmp`]: ascending squared distance, ties
+//! broken by `(id, x bits, y bits)`. Equal result sets are therefore
+//! bit-identical vectors regardless of which index, shard layout or thread
+//! count produced them.
+
+use crate::point::{Point, Rect};
+
+/// Number of lanes the kernels process per unrolled iteration.
+const LANES: usize = 4;
+
+/// Points per stripe of the two-phase window kernel: the predicate pass
+/// evaluates this many lanes branch-free into one `u64` hit mask before
+/// the compress pass stores the matches.
+const STRIPE: usize = 64;
+
+/// Collects the points of `(xs, ys, ids)` inside `w` into `out`;
+/// returns the number of matches written to `out[..m]`.
+///
+/// Two phases per 64-point stripe. The predicate pass is branch-free —
+/// every lane evaluates the full window test (no short-circuit) and its
+/// 0/1 outcome is OR-ed into a `u64` bit mask, a reduction the compiler
+/// turns into packed compares plus a movemask. The compress pass then
+/// iterates the *set bits only* (`trailing_zeros` + clear-lowest), so
+/// both the predicate work and the three-word point stores are paid
+/// exactly once per lane and once per hit respectively — misses cost no
+/// branches and no stores. `out` must hold at least `xs.len()` slots (get
+/// one from [`ScanScratch::hits_slot`] or size an output vector's tail;
+/// matches past the end of an undersized `out` are dropped); empty and
+/// single-point slices take the same path, they just fill one short
+/// stripe.
+// lint:hot_path
+pub fn range_scan_into(xs: &[f64], ys: &[f64], ids: &[u64], w: &Rect, out: &mut [Point]) -> usize {
+    let n = xs.len();
+    debug_assert!(ys.len() == n && ids.len() == n && out.len() >= n);
+    let mut m = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let hi = if n - base > STRIPE { base + STRIPE } else { n };
+        let (sx, sy, si) = soa_span(xs, ys, ids, base, hi);
+        let mut bits: u64 = 0;
+        for (j, (&x, &y)) in core::iter::zip(sx, sy).enumerate() {
+            let hit = (x >= w.lo_x) & (x <= w.hi_x) & (y >= w.lo_y) & (y <= w.hi_y);
+            bits |= (hit as u64) << j;
+        }
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if let (Some(&x), Some(&y), Some(&id)) = (sx.get(j), sy.get(j), si.get(j)) {
+                if let Some(slot) = out.get_mut(m) {
+                    *slot = Point { id, x, y };
+                }
+                m += 1;
+            }
+        }
+        base = hi;
+    }
+    m
+}
+
+/// Position of the first point with exactly the coordinates `(x, y)`.
+///
+/// Four lanes of equality tests are OR-combined into one branch per
+/// stripe, so the common miss case runs branch-free; slices of length 0
+/// or 1 never enter the unrolled loop.
+// lint:hot_path
+pub fn contains_scan(xs: &[f64], ys: &[f64], x: f64, y: f64) -> Option<usize> {
+    let n = xs.len();
+    debug_assert!(ys.len() == n);
+    let head = n - (n % LANES);
+    let (xh, xt) = xs.split_at(head);
+    let (yh, yt) = ys.split_at(head);
+    let mut i = 0usize;
+    for (cx, cy) in xh.chunks_exact(LANES).zip(yh.chunks_exact(LANES)) {
+        if let (&[x0, x1, x2, x3], &[y0, y1, y2, y3]) = (cx, cy) {
+            let m0 = (x0 == x) & (y0 == y);
+            let m1 = (x1 == x) & (y1 == y);
+            let m2 = (x2 == x) & (y2 == y);
+            let m3 = (x3 == x) & (y3 == y);
+            if m0 | m1 | m2 | m3 {
+                let off = (!m0) as usize + (!m0 & !m1) as usize + (!m0 & !m1 & !m2) as usize;
+                return Some(i + off);
+            }
+        }
+        i += LANES;
+    }
+    for (&px, &py) in core::iter::zip(xt, yt) {
+        if (px == x) & (py == y) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Offers every point of `(xs, ys, ids)` to the bounded best-k heap,
+/// accumulating squared distances to `(qx, qy)` — no square roots.
+///
+/// Two phases per 64-point stripe, mirroring [`range_scan_into`]: the
+/// distance pass evaluates every lane branch-free against a snapshot of
+/// the heap's current k-th-best distance, packing survivors into a `u64`
+/// bit mask; only surviving lanes reach [`KnnHeap::offer`] (which settles
+/// ties with the full canonical comparator). Once the heap is warm,
+/// pruned lanes — the vast majority in a multi-block scan — cost a couple
+/// of packed ALU ops and no branches. The heap must be sized first with
+/// [`KnnHeap::reset`] (reachable via [`ScanScratch::heap_for`]); empty
+/// and single-point slices take the same path through one short stripe.
+// lint:hot_path
+// `!(d > wd)` is deliberate NaN handling (see the phase-1 comment), and
+// clippy's suggested `partial_cmp` is banned workspace-wide (float_order).
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn knn_scan(qx: f64, qy: f64, xs: &[f64], ys: &[f64], ids: &[u64], heap: &mut KnnHeap) {
+    let n = xs.len();
+    debug_assert!(ys.len() == n && ids.len() == n);
+    let mut base = 0usize;
+    while base < n {
+        let hi = if n - base > STRIPE { base + STRIPE } else { n };
+        let (sx, sy, si) = soa_span(xs, ys, ids, base, hi);
+        // Phase 1, branch-free: a lane survives unless its distance is
+        // strictly worse than the current k-th best. `worst_dist2` only
+        // shrinks as candidates are admitted, so a snapshot taken at
+        // stripe entry is a conservative (never over-pruning) filter; the
+        // `!(d > wd)` form also keeps NaN distances flowing to the heap's
+        // canonical comparator instead of silently dropping them. The
+        // reduction compiles to packed compares plus a movemask — pruned
+        // lanes cost no branch and no heap call.
+        let wd = heap.worst_dist2();
+        let mut bits: u64 = 0;
+        for (j, (&x, &y)) in core::iter::zip(sx, sy).enumerate() {
+            let (dx, dy) = (x - qx, y - qy);
+            let d = dx * dx + dy * dy;
+            bits |= (!(d > wd) as u64) << j;
+        }
+        // Phase 2: offer the surviving lanes only, in ascending position
+        // (admission order does not affect the result — the heap keeps
+        // the canonical best k whatever the arrival order).
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if let (Some(&x), Some(&y), Some(&id)) = (sx.get(j), sy.get(j), si.get(j)) {
+                let (dx, dy) = (x - qx, y - qy);
+                heap.offer(KnnEntry {
+                    dist2: dx * dx + dy * dy,
+                    id,
+                    x,
+                    y,
+                });
+            }
+        }
+        base = hi;
+    }
+}
+
+/// A kNN candidate: squared distance plus the point it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnEntry {
+    /// Squared distance to the query point.
+    pub dist2: f64,
+    /// Stable identifier of the candidate point.
+    pub id: u64,
+    /// First coordinate.
+    pub x: f64,
+    /// Second coordinate.
+    pub y: f64,
+}
+
+impl KnnEntry {
+    /// The candidate as a [`Point`] (drops the distance).
+    #[inline]
+    pub fn point(&self) -> Point {
+        Point {
+            id: self.id,
+            x: self.x,
+            y: self.y,
+        }
+    }
+}
+
+/// `a` strictly before `b` in the canonical kNN order: ascending `dist²`
+/// (IEEE 754 total order), ties broken by `(id, x bits, y bits)` — the
+/// entry-level twin of [`crate::order::canonical_knn_cmp`].
+#[inline]
+fn ent_before(a: &KnnEntry, b: &KnnEntry) -> bool {
+    match a.dist2.total_cmp(&b.dist2) {
+        core::cmp::Ordering::Less => true,
+        core::cmp::Ordering::Greater => false,
+        core::cmp::Ordering::Equal => {
+            (a.id, a.x.to_bits(), a.y.to_bits()) < (b.id, b.x.to_bits(), b.y.to_bits())
+        }
+    }
+}
+
+/// A bounded best-k max-heap over [`KnnEntry`] in canonical kNN order.
+///
+/// The root is the *worst* of the k best candidates seen so far, so
+/// admission is a single comparison against it. Storage is sized once by
+/// [`KnnHeap::reset`] and reused across scans; [`KnnHeap::offer`] (the
+/// kernel-side entry point) never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct KnnHeap {
+    entries: Vec<KnnEntry>,
+    filled: usize,
+    k: usize,
+}
+
+impl KnnHeap {
+    /// An empty heap; size it with [`KnnHeap::reset`] before scanning.
+    pub fn with_bound(k: usize) -> Self {
+        let mut h = Self::default();
+        h.reset(k);
+        h
+    }
+
+    /// Clears the heap and (re)sizes its storage for `k` results. The only
+    /// allocating step of the kNN scan path; amortised across queries when
+    /// the heap is reused.
+    pub fn reset(&mut self, k: usize) {
+        let zero = KnnEntry {
+            dist2: 0.0,
+            id: 0,
+            x: 0.0,
+            y: 0.0,
+        };
+        self.entries.resize(k, zero);
+        self.filled = 0;
+        self.k = k;
+    }
+
+    /// Number of candidates currently held (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether the heap holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// The bound `k` the heap was last [`KnnHeap::reset`] with.
+    #[inline]
+    pub fn bound(&self) -> usize {
+        self.k
+    }
+
+    /// Squared distance of the current k-th best candidate, or infinity
+    /// while fewer than `k` candidates have been admitted. The expanding
+    /// search radius of best-first traversals.
+    #[inline]
+    pub fn worst_dist2(&self) -> f64 {
+        if self.filled < self.k {
+            return f64::INFINITY;
+        }
+        match self.entries.first() {
+            Some(root) => root.dist2,
+            // k == 0: the best zero candidates reject everything.
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Admits a candidate, evicting the current worst when full.
+    /// Allocation-free; reachable from the [`knn_scan`] hot path.
+    #[inline]
+    pub fn offer(&mut self, e: KnnEntry) {
+        if self.filled < self.k {
+            if let Some(slot) = self.entries.get_mut(self.filled) {
+                *slot = e;
+            }
+            self.filled += 1;
+            self.heap_sift_up(self.filled - 1);
+        } else if let Some(root) = self.entries.first() {
+            if ent_before(&e, root) {
+                if let Some(slot) = self.entries.first_mut() {
+                    *slot = e;
+                }
+                self.heap_sift_down();
+            }
+        }
+    }
+
+    /// Whether entry `a` sorts strictly before entry `b` (canonical order);
+    /// out-of-range positions never swap.
+    #[inline]
+    fn ent_lt(&self, a: usize, b: usize) -> bool {
+        match (self.entries.get(a), self.entries.get(b)) {
+            (Some(ea), Some(eb)) => ent_before(ea, eb),
+            _ => false,
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.ent_lt(parent, i) {
+                self.entries.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self) {
+        let mut i = 0usize;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.filled && self.ent_lt(largest, l) {
+                largest = l;
+            }
+            if r < self.filled && self.ent_lt(largest, r) {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.entries.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Sorts the held candidates into ascending canonical order and
+    /// returns them. Call once per query, after all scans.
+    pub fn finish(&mut self) -> &[KnnEntry] {
+        let (held, _) = self.entries.split_at_mut(self.filled);
+        held.sort_unstable_by(|a, b| {
+            if ent_before(a, b) {
+                core::cmp::Ordering::Less
+            } else if ent_before(b, a) {
+                core::cmp::Ordering::Greater
+            } else {
+                core::cmp::Ordering::Equal
+            }
+        });
+        held
+    }
+}
+
+/// Selects the `k` canonically-best candidates of `cands` around `q` into
+/// `out` (appended in canonical order) via the scratch heap: the shared
+/// merge step of the delta overlay and the sharded serving layer.
+pub fn knn_select_into(
+    q: Point,
+    cands: &[Point],
+    k: usize,
+    heap: &mut KnnHeap,
+    out: &mut Vec<Point>,
+) {
+    heap.reset(k);
+    for p in cands {
+        let (dx, dy) = (p.x - q.x, p.y - q.y);
+        heap.offer(KnnEntry {
+            dist2: dx * dx + dy * dy,
+            id: p.id,
+            x: p.x,
+            y: p.y,
+        });
+    }
+    out.extend(heap.finish().iter().map(KnnEntry::point));
+}
+
+/// First *live* stored point with exactly the coordinates `(x, y)`:
+/// repeated [`contains_scan`] probes that step past entries whose id fails
+/// the `live` predicate (tombstoned deletes). The shared point-query tail
+/// of every mapped-and-sorted index.
+pub fn contains_scan_live(
+    xs: &[f64],
+    ys: &[f64],
+    ids: &[u64],
+    x: f64,
+    y: f64,
+    live: impl Fn(u64) -> bool,
+) -> Option<Point> {
+    let mut base = 0usize;
+    loop {
+        let (sx, sy, _) = soa_span(xs, ys, ids, base, xs.len());
+        let i = contains_scan(sx, sy, x, y)?;
+        let pos = base + i;
+        if let (Some(&id), Some(&px), Some(&py)) = (ids.get(pos), xs.get(pos), ys.get(pos)) {
+            if live(id) {
+                return Some(Point { id, x: px, y: py });
+            }
+        }
+        base = pos + 1;
+    }
+}
+
+/// The `lo..hi` span of three parallel SoA arrays as kernel-ready slices.
+/// Out-of-range or inverted spans yield empty slices instead of panicking,
+/// so callers clamp once and slice freely.
+#[inline]
+pub fn soa_span<'a>(
+    xs: &'a [f64],
+    ys: &'a [f64],
+    ids: &'a [u64],
+    lo: usize,
+    hi: usize,
+) -> (&'a [f64], &'a [f64], &'a [u64]) {
+    match (xs.get(lo..hi), ys.get(lo..hi), ids.get(lo..hi)) {
+        (Some(sx), Some(sy), Some(si)) => (sx, sy, si),
+        _ => (&[], &[], &[]),
+    }
+}
+
+/// Appends the points of `(xs, ys, ids)` matching `w` to `out` by sizing
+/// the tail of `out` and compress-storing through [`range_scan_into`].
+/// The convenience wrapper indices use when no post-filtering is needed.
+pub fn range_scan_append(xs: &[f64], ys: &[f64], ids: &[u64], w: &Rect, out: &mut Vec<Point>) {
+    let base = out.len();
+    out.resize(
+        base + xs.len(),
+        Point {
+            id: 0,
+            x: 0.0,
+            y: 0.0,
+        },
+    );
+    let (_, tail) = out.split_at_mut(base);
+    let m = range_scan_into(xs, ys, ids, w, tail);
+    out.truncate(base + m);
+}
+
+/// Appends every point of `(xs, ys, ids)` to `out` — the fast path when a
+/// window fully contains a block's MBR.
+pub fn append_all(xs: &[f64], ys: &[f64], ids: &[u64], out: &mut Vec<Point>) {
+    out.extend(
+        ids.iter()
+            .zip(xs)
+            .zip(ys)
+            .map(|((&id, &x), &y)| Point { id, x, y }),
+    );
+}
+
+/// Reusable per-query buffers: a hit buffer for staged range scans and a
+/// bounded best-k heap for kNN scans.
+///
+/// Lifecycle: construct once (or once per worker thread), then thread
+/// through `window_query_into` / `knn_query_into` calls. The buffers grow
+/// to the high-water mark of the queries they serve and are never shrunk,
+/// so steady-state queries perform no allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ScanScratch {
+    hits: Vec<Point>,
+    heap: KnnHeap,
+    stage: Vec<Point>,
+}
+
+impl ScanScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A hit slot of at least `n` points for [`range_scan_into`]; read the
+    /// matches back through [`ScanScratch::hits`].
+    pub fn hits_slot(&mut self, n: usize) -> &mut [Point] {
+        if self.hits.len() < n {
+            self.hits.resize(
+                n,
+                Point {
+                    id: 0,
+                    x: 0.0,
+                    y: 0.0,
+                },
+            );
+        }
+        let (slot, _) = self.hits.split_at_mut(n);
+        slot
+    }
+
+    /// The hit buffer (valid up to the count the last kernel returned).
+    #[inline]
+    pub fn hits(&self) -> &[Point] {
+        &self.hits
+    }
+
+    /// The first `m` hits — the matches a kernel reported. `m` past the
+    /// buffer's end yields the whole buffer instead of panicking.
+    #[inline]
+    pub fn hits_upto(&self, m: usize) -> &[Point] {
+        match self.hits.get(..m) {
+            Some(h) => h,
+            None => &self.hits,
+        }
+    }
+
+    /// The kNN heap, cleared and sized for `k` results.
+    pub fn heap_for(&mut self, k: usize) -> &mut KnnHeap {
+        self.heap.reset(k);
+        &mut self.heap
+    }
+
+    /// The kNN heap as last sized; use to keep accumulating across blocks.
+    #[inline]
+    pub fn heap(&mut self) -> &mut KnnHeap {
+        &mut self.heap
+    }
+
+    /// Moves the staging buffer out of the scratch. Merge layers that fan a
+    /// query out over sub-indices need a second reusable buffer alongside
+    /// the scratch itself (which the sub-indices borrow during their scans);
+    /// taking it sidesteps the double-borrow while keeping its capacity
+    /// pooled across queries. Pair with [`ScanScratch::stage_put`].
+    #[inline]
+    pub fn stage_take(&mut self) -> Vec<Point> {
+        std::mem::take(&mut self.stage)
+    }
+
+    /// Returns a buffer taken with [`ScanScratch::stage_take`] so its
+    /// capacity is reused by the next query.
+    #[inline]
+    pub fn stage_put(&mut self, buf: Vec<Point>) {
+        self.stage = buf;
+    }
+}
+
+/// Scalar reference of [`range_scan_into`]: the pre-SoA AoS filter loop.
+/// Kept as the proptest oracle and the criterion baseline.
+pub fn range_scan_scalar(xs: &[f64], ys: &[f64], ids: &[u64], w: &Rect, out: &mut Vec<Point>) {
+    for ((&x, &y), &id) in core::iter::zip(core::iter::zip(xs, ys), ids) {
+        let p = Point { id, x, y };
+        if w.contains(&p) {
+            out.push(p);
+        }
+    }
+}
+
+/// Scalar reference of [`contains_scan`]: short-circuit find loop.
+pub fn contains_scan_scalar(xs: &[f64], ys: &[f64], x: f64, y: f64) -> Option<usize> {
+    core::iter::zip(xs, ys).position(|(&px, &py)| px == x && py == y)
+}
+
+/// Scalar reference of [`knn_scan`]: computes every distance, sorts the
+/// full candidate set canonically and truncates to `k`. The proptest
+/// oracle and the criterion baseline.
+pub fn knn_scan_scalar(
+    qx: f64,
+    qy: f64,
+    xs: &[f64],
+    ys: &[f64],
+    ids: &[u64],
+    k: usize,
+    out: &mut Vec<KnnEntry>,
+) {
+    for ((&x, &y), &id) in core::iter::zip(core::iter::zip(xs, ys), ids) {
+        let (dx, dy) = (x - qx, y - qy);
+        out.push(KnnEntry {
+            dist2: dx * dx + dy * dy,
+            id,
+            x,
+            y,
+        });
+    }
+    out.sort_unstable_by(|a, b| {
+        if ent_before(a, b) {
+            core::cmp::Ordering::Less
+        } else if ent_before(b, a) {
+            core::cmp::Ordering::Greater
+        } else {
+            core::cmp::Ordering::Equal
+        }
+    });
+    out.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soa(n: usize) -> (Vec<f64>, Vec<f64>, Vec<u64>) {
+        // Deterministic scattered coordinates in the unit square.
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 53) % 97) as f64 / 97.0).collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        (xs, ys, ids)
+    }
+
+    const EDGE_LENS: [usize; 6] = [0, 1, 2, 3, 5, 100];
+
+    #[test]
+    fn range_scan_matches_scalar_at_edge_lengths() {
+        let w = Rect::new(0.2, 0.1, 0.7, 0.8);
+        for n in EDGE_LENS {
+            let (xs, ys, ids) = soa(n);
+            let mut slot = vec![Point::at(0.0, 0.0); n];
+            let m = range_scan_into(&xs, &ys, &ids, &w, &mut slot);
+            let mut want = Vec::new();
+            range_scan_scalar(&xs, &ys, &ids, &w, &mut want);
+            assert_eq!(&slot[..m], &want[..], "len {n}");
+        }
+    }
+
+    #[test]
+    fn contains_scan_matches_scalar_at_edge_lengths() {
+        for n in EDGE_LENS {
+            let (xs, ys, _) = soa(n);
+            // Probe every stored position plus a guaranteed miss.
+            for i in 0..n {
+                assert_eq!(
+                    contains_scan(&xs, &ys, xs[i], ys[i]),
+                    contains_scan_scalar(&xs, &ys, xs[i], ys[i]),
+                    "len {n} probe {i}"
+                );
+            }
+            assert_eq!(contains_scan(&xs, &ys, 2.0, 2.0), None, "len {n} miss");
+        }
+    }
+
+    #[test]
+    fn contains_scan_returns_first_match_within_a_stripe() {
+        // Duplicates inside one 4-lane stripe: position matters.
+        let xs = [0.5, 0.5, 0.5, 0.5, 0.1];
+        let ys = [0.5, 0.5, 0.5, 0.5, 0.1];
+        assert_eq!(contains_scan(&xs, &ys, 0.5, 0.5), Some(0));
+        let xs = [0.1, 0.5, 0.5, 0.2, 0.1];
+        assert_eq!(contains_scan(&xs, &ys[..5], 0.5, 0.5), Some(1));
+        let xs = [0.1, 0.2, 0.3, 0.5, 0.1];
+        assert_eq!(contains_scan(&xs, &ys[..5], 0.5, 0.5), Some(3));
+    }
+
+    #[test]
+    fn knn_scan_matches_scalar_at_edge_lengths() {
+        for n in EDGE_LENS {
+            let (xs, ys, ids) = soa(n);
+            for k in [0usize, 1, 3, 10] {
+                let mut heap = KnnHeap::with_bound(k);
+                knn_scan(0.4, 0.6, &xs, &ys, &ids, &mut heap);
+                let mut want = Vec::new();
+                knn_scan_scalar(0.4, 0.6, &xs, &ys, &ids, k, &mut want);
+                assert_eq!(heap.finish(), &want[..], "len {n} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_ties_break_canonically_by_id() {
+        // Four points at identical distance from the origin query.
+        let xs = [1.0, 0.0, -1.0, 0.0];
+        let ys = [0.0, 1.0, 0.0, -1.0];
+        let ids = [7u64, 3, 9, 1];
+        let mut heap = KnnHeap::with_bound(2);
+        knn_scan(0.0, 0.0, &xs, &ys, &ids, &mut heap);
+        let got: Vec<u64> = heap.finish().iter().map(|e| e.id).collect();
+        assert_eq!(got, vec![1, 3], "smallest ids win distance ties");
+    }
+
+    #[test]
+    fn knn_heap_worst_dist2_tracks_admission_bound() {
+        let mut heap = KnnHeap::with_bound(2);
+        assert_eq!(heap.worst_dist2(), f64::INFINITY);
+        heap.offer(KnnEntry {
+            dist2: 4.0,
+            id: 0,
+            x: 2.0,
+            y: 0.0,
+        });
+        assert_eq!(heap.worst_dist2(), f64::INFINITY, "not full yet");
+        heap.offer(KnnEntry {
+            dist2: 1.0,
+            id: 1,
+            x: 1.0,
+            y: 0.0,
+        });
+        assert_eq!(heap.worst_dist2(), 4.0);
+        heap.offer(KnnEntry {
+            dist2: 2.0,
+            id: 2,
+            x: 0.0,
+            y: 2.0f64.sqrt(),
+        });
+        assert_eq!(heap.worst_dist2(), 2.0, "worse entry evicted");
+        assert_eq!(heap.len(), 2);
+        assert!(!heap.is_empty());
+        assert_eq!(heap.bound(), 2);
+    }
+
+    #[test]
+    fn knn_select_into_appends_canonical_order() {
+        let q = Point::at(0.0, 0.0);
+        let cands = [
+            Point::new(5, 0.0, 1.0),
+            Point::new(2, 1.0, 0.0),
+            Point::new(9, 0.1, 0.0),
+        ];
+        let mut heap = KnnHeap::default();
+        let mut out = vec![Point::new(42, 0.0, 0.0)];
+        knn_select_into(q, &cands, 2, &mut heap, &mut out);
+        assert_eq!(out.len(), 3, "appends after existing content");
+        assert_eq!(out[1].id, 9);
+        assert_eq!(out[2].id, 2, "distance tie broken by id");
+    }
+
+    #[test]
+    fn range_scan_append_sizes_and_truncates() {
+        let (xs, ys, ids) = soa(100);
+        let w = Rect::new(0.0, 0.0, 0.5, 0.5);
+        let mut out = vec![Point::new(999, 0.9, 0.9)];
+        range_scan_append(&xs, &ys, &ids, &w, &mut out);
+        assert_eq!(out[0].id, 999, "existing content preserved");
+        let mut want = Vec::new();
+        range_scan_scalar(&xs, &ys, &ids, &w, &mut want);
+        assert_eq!(&out[1..], &want[..]);
+    }
+
+    #[test]
+    fn append_all_reconstructs_points() {
+        let (xs, ys, ids) = soa(7);
+        let mut out = Vec::new();
+        append_all(&xs, &ys, &ids, &mut out);
+        assert_eq!(out.len(), 7);
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p.id, ids[i]);
+            assert_eq!(p.x, xs[i]);
+            assert_eq!(p.y, ys[i]);
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_are_reusable() {
+        let mut scratch = ScanScratch::new();
+        let (xs, ys, ids) = soa(50);
+        let w = Rect::new(0.1, 0.1, 0.9, 0.9);
+        let m1 = range_scan_into(&xs, &ys, &ids, &w, scratch.hits_slot(50));
+        assert!(m1 > 0);
+        let narrow = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let m2 = range_scan_into(&xs, &ys, &ids, &narrow, scratch.hits_slot(50));
+        assert_eq!(m2, 0);
+        let heap = scratch.heap_for(3);
+        knn_scan(0.5, 0.5, &xs, &ys, &ids, heap);
+        assert_eq!(scratch.heap().finish().len(), 3);
+    }
+}

@@ -13,10 +13,18 @@ use crate::point::Point;
 /// Invariant: `keys` is sorted ascending and `keys[i]` is the mapped key of
 /// `points[i]`. The rank of a point is its position in this order — the
 /// quantity an index model learns to predict.
+///
+/// Alongside the array-of-structs `points`, the same data is mirrored in
+/// structure-of-arrays columns (`xs`/`ys`/`ids`, same rank order) so the
+/// predict-and-scan hot paths can run the branchless kernels in
+/// [`crate::scan`] directly over contiguous coordinate slices.
 #[derive(Debug, Clone, Default)]
 pub struct MappedData {
     points: Vec<Point>,
     keys: Vec<f64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ids: Vec<u64>,
 }
 
 impl MappedData {
@@ -29,11 +37,11 @@ impl MappedData {
     /// Builds from pre-computed `(point, key)` pairs (sorts them).
     pub fn from_pairs(points: Vec<Point>, keys: Vec<f64>) -> Self {
         assert_eq!(points.len(), keys.len());
-        let mut order: Vec<usize> = (0..points.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].total_cmp(&keys[b]));
-        let points = order.iter().map(|&i| points[i]).collect();
-        let keys = order.iter().map(|&i| keys[i]).collect();
-        Self { points, keys }
+        let mut pairs: Vec<(f64, Point)> = core::iter::zip(keys, points).collect();
+        pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let points = pairs.iter().map(|&(_, p)| p).collect();
+        let keys = pairs.iter().map(|&(k, _)| k).collect();
+        Self::with_soa(points, keys)
     }
 
     /// Builds from pairs already sorted by key.
@@ -43,7 +51,21 @@ impl MappedData {
     pub fn from_sorted_pairs(points: Vec<Point>, keys: Vec<f64>) -> Self {
         assert_eq!(points.len(), keys.len());
         debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
-        Self { points, keys }
+        Self::with_soa(points, keys)
+    }
+
+    /// Builds the SoA coordinate mirror from the sorted AoS points.
+    fn with_soa(points: Vec<Point>, keys: Vec<f64>) -> Self {
+        let xs = points.iter().map(|p| p.x).collect();
+        let ys = points.iter().map(|p| p.y).collect();
+        let ids = points.iter().map(|p| p.id).collect();
+        Self {
+            points,
+            keys,
+            xs,
+            ys,
+            ids,
+        }
     }
 
     /// Number of points.
@@ -70,10 +92,47 @@ impl MappedData {
         &self.keys
     }
 
-    /// Point at rank `i`.
+    /// X coordinates in rank order (SoA mirror of [`Self::points`]).
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y coordinates in rank order (SoA mirror of [`Self::points`]).
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Point ids in rank order (SoA mirror of [`Self::points`]).
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The SoA columns for ranks `[lo, hi)`, clamped to the valid range:
+    /// `(xs, ys, ids)` slices ready for the [`crate::scan`] kernels.
+    #[inline]
+    pub fn soa_range(&self, lo: isize, hi: isize) -> (&[f64], &[f64], &[u64]) {
+        let n = self.len() as isize;
+        let lo = lo.clamp(0, n) as usize;
+        let hi = hi.clamp(0, n) as usize;
+        crate::scan::soa_span(&self.xs, &self.ys, &self.ids, lo, hi)
+    }
+
+    /// Point at rank `i`. Out-of-range ranks yield a NaN-coordinate
+    /// sentinel.
     #[inline]
     pub fn get(&self, i: usize) -> Point {
-        self.points[i]
+        debug_assert!(i < self.len());
+        match self.points.get(i) {
+            Some(&p) => p,
+            None => Point {
+                id: u64::MAX,
+                x: f64::NAN,
+                y: f64::NAN,
+            },
+        }
     }
 
     /// Rank of the first point whose key is `≥ key` (lower bound).
@@ -104,10 +163,9 @@ impl MappedData {
         let n = self.len() as isize;
         let lo = lo.clamp(0, n) as usize;
         let hi = hi.clamp(0, n) as usize;
-        if lo >= hi {
-            &[]
-        } else {
-            &self.points[lo..hi]
+        match self.points.get(lo..hi) {
+            Some(r) => r,
+            None => &[],
         }
     }
 

@@ -1,7 +1,8 @@
 //! Property tests over the spatial substrate.
 
 use elsi_spatial::{
-    BlockStore, HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper, Point, Rect,
+    scan, BlockStore, HilbertMapper, IDistanceMapper, KeyMapper, LisaMapper, MortonMapper, Point,
+    Rect,
 };
 use proptest::prelude::*;
 
@@ -56,14 +57,69 @@ proptest! {
         let store = BlockStore::bulk_load(&points, cap);
         prop_assert_eq!(store.len(), points.len());
         let mut seen = 0usize;
-        for b in store.blocks() {
+        for b in store.views() {
             prop_assert!(b.len() <= cap);
-            for p in b.points() {
-                prop_assert!(b.mbr().contains(p));
+            for i in 0..b.len() {
+                prop_assert!(b.mbr.contains(&b.point(i)));
                 seen += 1;
             }
         }
         prop_assert_eq!(seen, points.len());
+    }
+
+    /// The branchless SoA kernels are bit-equivalent to the scalar
+    /// reference scans on arbitrary inputs, windows and k.
+    #[test]
+    fn scan_kernels_match_scalar_reference(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..220),
+        (wx, wy, ww, wh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.6, 0.0f64..0.6),
+        (qx, qy) in (0.0f64..1.0, 0.0f64..1.0),
+        k in 0usize..24
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+        let ids: Vec<u64> = (0..pts.len() as u64).collect();
+        let w = Rect::new(wx, wy, wx + ww, wy + wh);
+
+        let mut slot = vec![Point::at(0.0, 0.0); xs.len()];
+        let m = scan::range_scan_into(&xs, &ys, &ids, &w, &mut slot);
+        let mut want = Vec::new();
+        scan::range_scan_scalar(&xs, &ys, &ids, &w, &mut want);
+        prop_assert_eq!(&slot[..m], &want[..]);
+
+        prop_assert_eq!(
+            scan::contains_scan(&xs, &ys, qx, qy),
+            scan::contains_scan_scalar(&xs, &ys, qx, qy)
+        );
+        if let Some(&(sx, sy)) = pts.first() {
+            prop_assert_eq!(
+                scan::contains_scan(&xs, &ys, sx, sy),
+                scan::contains_scan_scalar(&xs, &ys, sx, sy)
+            );
+        }
+
+        let mut heap = scan::KnnHeap::with_bound(k);
+        scan::knn_scan(qx, qy, &xs, &ys, &ids, &mut heap);
+        let mut knn_want = Vec::new();
+        scan::knn_scan_scalar(qx, qy, &xs, &ys, &ids, k, &mut knn_want);
+        prop_assert_eq!(heap.finish(), &knn_want[..]);
+    }
+
+    /// Removing any point leaves the maintained MBR equal to a from-scratch
+    /// recompute — the interior fast path takes no shortcuts it shouldn't.
+    #[test]
+    fn block_remove_preserves_exact_mbr(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60),
+        victim in 0usize..60
+    ) {
+        let points: Vec<Point> =
+            pts.iter().enumerate().map(|(i, &(x, y))| Point::new(i as u64, x, y)).collect();
+        let mut b = elsi_spatial::Block::from_points(points.clone());
+        let victim = victim % points.len();
+        prop_assert!(b.remove(victim as u64));
+        let survivors: Vec<Point> =
+            points.iter().filter(|p| p.id != victim as u64).copied().collect();
+        prop_assert_eq!(b.mbr(), Rect::mbr_of(&survivors));
     }
 
     /// iDistance keys of points assigned to pivot i sort before keys of

@@ -4,7 +4,7 @@
 use elsi::{Elsi, ElsiConfig, Method, Reduction};
 use elsi_data::Dataset;
 use elsi_indices::{BuildInput, ModelBuilder, SpatialIndex, ZmConfig, ZmIndex};
-use elsi_spatial::{MappedData, MortonMapper, Rect};
+use elsi_spatial::{MappedData, MortonMapper, Point, Rect};
 
 #[test]
 fn datasets_are_reproducible() {
@@ -218,6 +218,206 @@ fn random_builder_is_schedule_independent() {
         .num_threads(0)
         .build_global()
         .unwrap();
+}
+
+/// Builds all eight index structures over `pts` and hands each to `f`,
+/// together with whether its window queries are exact (RSMI and LISA are
+/// approximate by design, paper §VII-G2).
+fn for_all_eight_indices(pts: &[Point], mut f: impl FnMut(&str, bool, &dyn SpatialIndex)) {
+    use elsi_indices::{
+        GridConfig, GridIndex, HrrConfig, HrrIndex, KdbConfig, KdbIndex, LisaConfig, LisaIndex,
+        MlConfig, MlIndex, RStarConfig, RStarIndex, RsmiConfig, RsmiIndex,
+    };
+    let elsi = Elsi::new(ElsiConfig::fast_test());
+    f(
+        "Grid",
+        true,
+        &GridIndex::build(pts.to_vec(), &GridConfig { block_size: 64 }),
+    );
+    f(
+        "KDB",
+        true,
+        &KdbIndex::build(pts.to_vec(), &KdbConfig { leaf_capacity: 64 }),
+    );
+    f(
+        "HRR",
+        true,
+        &HrrIndex::build(
+            pts.to_vec(),
+            &HrrConfig {
+                leaf_capacity: 64,
+                fanout: 8,
+            },
+        ),
+    );
+    f(
+        "R*",
+        true,
+        &RStarIndex::build(
+            pts.to_vec(),
+            &RStarConfig {
+                leaf_capacity: 64,
+                fanout: 8,
+                min_fill: 0.4,
+            },
+        ),
+    );
+    f(
+        "ZM",
+        true,
+        &ZmIndex::build(pts.to_vec(), &ZmConfig { fanout: 4 }, &elsi.builder()),
+    );
+    f(
+        "ML",
+        true,
+        &MlIndex::build(
+            pts.to_vec(),
+            &MlConfig {
+                pivots: 4,
+                ..MlConfig::default()
+            },
+            &elsi.builder(),
+        ),
+    );
+    f(
+        "RSMI",
+        false,
+        &RsmiIndex::build(
+            pts.to_vec(),
+            &RsmiConfig {
+                leaf_capacity: 256,
+                fanout: 4,
+                ..RsmiConfig::default()
+            },
+            &elsi.builder(),
+        ),
+    );
+    f(
+        "LISA",
+        false,
+        &LisaIndex::build(
+            pts.to_vec(),
+            &LisaConfig {
+                grid: 8,
+                shard_size: 200,
+                block_size: 50,
+            },
+            &elsi.builder().for_lisa(),
+        ),
+    );
+}
+
+/// Everything a query hands back, reduced to bits: id plus the raw
+/// coordinate bit patterns, in returned order.
+fn point_bits(p: &Point) -> (u64, u64, u64) {
+    (p.id, p.x.to_bits(), p.y.to_bits())
+}
+
+/// One index's full query fingerprint: batch point-query results, window
+/// results in returned order, kNN results in returned order.
+type PointBits = (u64, u64, u64);
+type QueryFp = (
+    String,
+    Vec<Option<PointBits>>,
+    Vec<Vec<PointBits>>,
+    Vec<Vec<PointBits>>,
+);
+
+/// Runs one shared point/window/kNN workload through all eight indices and
+/// captures the results bit-for-bit in returned order. Any scheduling
+/// dependence in the batched query fan-out or the scan kernels shows up as
+/// a fingerprint mismatch across thread counts.
+fn query_fingerprints_all_eight() -> Vec<QueryFp> {
+    let pts = Dataset::Skewed.generate(1500, 23);
+    let probes: Vec<Point> = pts.iter().step_by(11).copied().collect();
+    let windows = [
+        Rect::new(0.05, 0.05, 0.35, 0.3),
+        Rect::new(0.4, 0.1, 0.9, 0.55),
+        Rect::unit(),
+    ];
+    let knn_qs: Vec<Point> = pts.iter().step_by(97).copied().collect();
+    let mut out: Vec<QueryFp> = Vec::new();
+    for_all_eight_indices(&pts, |name, _exact, idx| {
+        let point_fp = idx
+            .par_point_queries(&probes)
+            .iter()
+            .map(|r| r.as_ref().map(point_bits))
+            .collect();
+        let window_fp = idx
+            .par_window_queries(&windows)
+            .iter()
+            .map(|v| v.iter().map(point_bits).collect())
+            .collect();
+        let knn_fp = idx
+            .par_knn_queries(&knn_qs, 7)
+            .iter()
+            .map(|v| v.iter().map(point_bits).collect())
+            .collect();
+        out.push((name.to_string(), point_fp, window_fp, knn_fp));
+    });
+    out
+}
+
+#[test]
+fn queries_are_bit_identical_across_thread_counts() {
+    // The vendored pool is re-callable (last call wins); nothing to unwrap.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global();
+    let single = query_fingerprints_all_eight();
+    for threads in [2, 8] {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+        let multi = query_fingerprints_all_eight();
+        assert_eq!(single, multi, "query divergence at {threads} threads");
+    }
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global();
+}
+
+#[test]
+fn window_oracle_and_canonical_knn_order_hold_for_every_index() {
+    let pts = Dataset::Nyc.generate(2000, 41);
+    let windows = [
+        Rect::new(0.1, 0.1, 0.45, 0.4),
+        Rect::new(0.3, 0.5, 0.8, 0.95),
+        Rect::unit(),
+    ];
+    let knn_qs: Vec<Point> = pts.iter().step_by(131).copied().collect();
+    for_all_eight_indices(&pts, |name, exact, idx| {
+        for w in &windows {
+            let got = idx.window_query(w);
+            assert!(
+                got.iter().all(|p| w.contains(p)),
+                "{name}: window false positive"
+            );
+            if exact {
+                let mut got_ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+                got_ids.sort_unstable();
+                got_ids.dedup();
+                let mut want: Vec<u64> =
+                    pts.iter().filter(|p| w.contains(p)).map(|p| p.id).collect();
+                want.sort_unstable();
+                assert_eq!(got_ids, want, "{name}: window vs brute force");
+            }
+        }
+        // kNN responses come back in the canonical order the scan kernels
+        // promise: ascending squared distance, ties by (id, x bits, y bits).
+        // dist2 is non-negative, so its bit pattern orders like total_cmp.
+        for &q in &knn_qs {
+            let got = idx.knn_query(q, 9);
+            let keys: Vec<(u64, u64, u64, u64)> = got
+                .iter()
+                .map(|p| (q.dist2(p).to_bits(), p.id, p.x.to_bits(), p.y.to_bits()))
+                .collect();
+            assert!(
+                keys.windows(2).all(|w| w.first() <= w.last()),
+                "{name}: kNN result out of canonical order"
+            );
+        }
+    });
 }
 
 #[test]

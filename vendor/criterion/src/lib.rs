@@ -51,14 +51,20 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     // Calibrate the per-sample iteration count so one sample costs
     // roughly `TARGET`, then keep it fixed across samples.
     const TARGET: Duration = Duration::from_millis(20);
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let iters = (TARGET.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
 
     let mut times: Vec<Duration> = (0..samples.max(3))
         .map(|_| {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             b.elapsed / (iters as u32)
         })
@@ -127,7 +133,11 @@ impl Criterion {
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.as_ref().to_string(), samples: self.samples, _parent: self }
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            samples: self.samples,
+            _parent: self,
+        }
     }
 }
 
@@ -170,7 +180,8 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| count += 1));
         assert!(count > 0);
         let mut g = c.benchmark_group("grp");
-        g.sample_size(3).bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        g.sample_size(3)
+            .bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
         g.finish();
     }
 }

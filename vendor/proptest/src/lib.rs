@@ -241,7 +241,11 @@ pub mod collection {
     pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
         let (len_lo, len_hi) = len.bounds();
         assert!(len_lo < len_hi, "empty length range for collection::vec");
-        VecStrategy { element, len_lo, len_hi }
+        VecStrategy {
+            element,
+            len_lo,
+            len_hi,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -37,10 +37,7 @@ pub mod rngs {
         /// Advance the generator and return the next 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -167,7 +164,10 @@ impl<T: RangeInt> SampleRange<T> for core::ops::RangeInclusive<T> {
 
 impl SampleRange<f64> for core::ops::Range<f64> {
     fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
-        assert!(self.start < self.end, "gen_range called with an empty range");
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
         self.start + f64::sample_standard(rng) * (self.end - self.start)
     }
 }

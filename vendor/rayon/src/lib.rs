@@ -26,7 +26,11 @@ fn default_threads() -> usize {
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// The number of threads parallel operations will use.
@@ -137,7 +141,10 @@ pub struct ParIter<T: Send> {
 impl<T: Send> ParIter<T> {
     /// Apply `f` to every item in parallel, preserving order.
     pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 
     /// Run `f` on every item in parallel.
@@ -204,14 +211,18 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<u64> {
     type Item = u64;
     fn into_par_iter(self) -> ParIter<u64> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -226,14 +237,18 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -252,11 +267,17 @@ mod tests {
         let input: Vec<u64> = (0..997).collect();
         let expect: Vec<u64> = input.iter().map(|x| x * x).collect();
         for t in [1, 2, 3, 8] {
-            ThreadPoolBuilder::new().num_threads(t).build_global().unwrap();
+            ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build_global()
+                .unwrap();
             let got: Vec<u64> = input.clone().into_par_iter().map(|x| x * x).collect();
             assert_eq!(got, expect, "thread count {t}");
         }
-        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
     }
 
     #[test]
