@@ -1,10 +1,16 @@
-//! Sharded-vs-monolith serving experiment (see `elsi_bench::sharded`).
+//! Sharded serving experiments (see `elsi_bench::sharded`).
 //!
-//! Flags:
+//! Runs the sharded-vs-monolith sweep and the grid-vs-learned routing
+//! experiment, concatenating their records. Flags:
 //!
 //! * `--json <path>` — write the per-configuration
-//!   `{build_secs, query_micros}` records to `<path>`.
+//!   `{build_secs, query_micros, …}` records to `<path>` (routing records
+//!   carry `shard_occupancy` / `occupancy_max_mean` / `matches_monolith`
+//!   extras).
 //! * `--grids RxC[,RxC…]` — shard grids to sweep (default `2x2,4x4`).
+//! * `--routing-only` — skip the sharded-vs-monolith sweep (the routing
+//!   acceptance artifact is produced with this).
+//! * `--skip-routing` — run only the sharded-vs-monolith sweep.
 
 use elsi_bench::json::write_json;
 use std::path::PathBuf;
@@ -31,8 +37,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| parse_grids(s))
         .unwrap_or_else(elsi_bench::sharded::default_grids);
+    let routing_only = args.iter().any(|a| a == "--routing-only");
+    let skip_routing = args.iter().any(|a| a == "--skip-routing");
 
-    let records = elsi_bench::sharded::run(&grids);
+    let mut records = Vec::new();
+    if !routing_only {
+        records.extend(elsi_bench::sharded::run(&grids));
+    }
+    if !skip_routing {
+        records.extend(elsi_bench::sharded::run_routing());
+    }
     if let Some(path) = &json_path {
         match write_json(path, &records) {
             Ok(()) => eprintln!(

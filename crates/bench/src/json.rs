@@ -22,6 +22,11 @@ pub struct JsonRecord {
     /// Average point-query latency in microseconds (`NaN` when the run did
     /// not measure queries; emitted as JSON `null`).
     pub query_micros: f64,
+    /// Extra experiment-specific fields appended to the record as
+    /// `"key": value` pairs, where the value is a pre-rendered JSON
+    /// fragment (e.g. a number, `true`, or a `[…]` histogram). Callers own
+    /// the fragment's validity; keys are escaped like the string fields.
+    pub extras: Vec<(String, String)>,
 }
 
 impl JsonRecord {
@@ -32,8 +37,23 @@ impl JsonRecord {
             label,
             build_secs,
             query_micros,
+            extras: Vec::new(),
         }
     }
+
+    /// Appends one extra `"key": value` field (`value` is a raw JSON
+    /// fragment; see [`JsonRecord::extras`]).
+    pub fn with_extra(mut self, key: &str, value: String) -> Self {
+        self.extras.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Renders a `usize` slice as a JSON array fragment for
+/// [`JsonRecord::with_extra`] (shard-occupancy histograms).
+pub fn usize_array(values: &[usize]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
 }
 
 /// JSON string escaping for the label fields.
@@ -66,8 +86,12 @@ pub fn to_json(records: &[JsonRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
+        let mut extras = String::new();
+        for (k, v) in &r.extras {
+            extras.push_str(&format!(", \"{}\": {v}", esc(k)));
+        }
         out.push_str(&format!(
-            "  {{\"experiment\": \"{}\", \"label\": \"{}\", \"build_secs\": {}, \"query_micros\": {}}}{sep}\n",
+            "  {{\"experiment\": \"{}\", \"label\": \"{}\", \"build_secs\": {}, \"query_micros\": {}{extras}}}{sep}\n",
             esc(&r.experiment),
             esc(&r.label),
             num(r.build_secs),
@@ -111,6 +135,23 @@ mod tests {
     #[test]
     fn empty_record_set_is_valid_json() {
         assert_eq!(to_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn extras_append_raw_json_fields() {
+        let rec = JsonRecord::new("routing", "Skewed/learned-8x8/ZM".to_string(), 0.2, 1.1)
+            .with_extra("shard_occupancy", usize_array(&[3, 1, 2]))
+            .with_extra("occupancy_max_mean", "1.500000".to_string())
+            .with_extra("matches_monolith", "true".to_string());
+        let json = to_json(&[rec]);
+        assert!(
+            json.contains("\"shard_occupancy\": [3,1,2]"),
+            "json: {json}"
+        );
+        assert!(json.contains("\"occupancy_max_mean\": 1.500000"), "{json}");
+        assert!(json.contains("\"matches_monolith\": true"), "{json}");
+        // Extras come after the fixed fields, inside the object.
+        assert!(json.contains("\"query_micros\": 1.100000, \"shard_occupancy\""));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   reduced alike, as in the paper). Default 50.
 
 #![warn(clippy::all)]
+#![warn(missing_docs)]
 
 pub mod harness;
 pub mod ingest;

@@ -10,6 +10,10 @@
 //! elsi query <in.csv> --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K
 //! ```
 //!
+//! Sharded serving (`--shards RxC`) accepts `--router grid|learned` to
+//! pick the shard-boundary policy: uniform grid cells, or equi-mass
+//! quantile cuts learned from the data's empirical CDFs (`elsi-serve`).
+//!
 //! Command logic lives here so it is unit-testable; `main.rs` only parses
 //! `std::env::args` and prints.
 
@@ -22,7 +26,7 @@ use elsi_indices::{
     FloodConfig, FloodIndex, LisaConfig, LisaIndex, MlConfig, MlIndex, ModelBuilder, PwlBuilder,
     RsmiConfig, RsmiIndex, SpatialIndex, ZmConfig, ZmIndex,
 };
-use elsi_serve::{ShardedConfig, ShardedIndex};
+use elsi_serve::{GridRouter, LearnedRouter, Router, ShardedConfig, ShardedIndex};
 use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -69,6 +73,8 @@ pub enum Command {
         batch: usize,
         /// Route through an R×C sharded deployment (`--shards RxC`).
         shards: Option<(usize, usize)>,
+        /// Shard-boundary policy for `--shards` (`--router grid|learned`).
+        router: RouterChoice,
         /// Stream seed.
         seed: u64,
     },
@@ -83,17 +89,23 @@ pub enum Command {
         /// Serve through an R×C sharded deployment instead of a monolith
         /// (`--shards RxC`; see `elsi-serve`).
         shards: Option<(usize, usize)>,
+        /// Shard-boundary policy for `--shards` (`--router grid|learned`).
+        router: RouterChoice,
     },
 }
 
 /// Base index selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
 pub enum IndexChoice {
+    /// ZM: the Z-order model index (the workhorse).
     Zm,
+    /// ML-Index: iDistance keys over pivot distances.
     Ml,
+    /// RSMI: the recursive spatial model index.
     Rsmi,
+    /// LISA: learned mapped-cell shards.
     Lisa,
+    /// Flood: a query-aware learned multi-dimensional index.
     Flood,
 }
 
@@ -118,6 +130,34 @@ impl IndexChoice {
             Self::Rsmi => "RSMI",
             Self::Lisa => "LISA",
             Self::Flood => "Flood",
+        }
+    }
+}
+
+/// Shard-routing policy selection (`--router`, only with `--shards`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterChoice {
+    /// Uniform R×C grid cells (`elsi_serve::GridRouter`).
+    #[default]
+    Grid,
+    /// Equi-mass quantile cuts learned from the data's empirical CDFs
+    /// (`elsi_serve::LearnedRouter`) — balances shard load under skew.
+    Learned,
+}
+
+impl RouterChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" => Ok(Self::Grid),
+            "learned" => Ok(Self::Learned),
+            other => Err(format!("unknown router {other:?} (expected grid|learned)")),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Grid => "grid",
+            Self::Learned => "learned",
         }
     }
 }
@@ -264,6 +304,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut updates = 1000usize;
             let mut batch = 0usize;
             let mut shards = None;
+            let mut router = None;
             let mut seed = 7u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -290,6 +331,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
                         shards = Some(parse_shards_spec(spec)?);
                     }
+                    "--router" => {
+                        router = Some(RouterChoice::parse(
+                            it.next().ok_or("--router needs grid|learned")?,
+                        )?);
+                    }
                     "--seed" => {
                         seed = it
                             .next()
@@ -300,12 +346,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("ingest: unknown flag {other:?}")),
                 }
             }
+            if router.is_some() && shards.is_none() {
+                return Err("ingest: --router requires --shards".into());
+            }
             Ok(Command::Ingest {
                 input,
                 index,
                 updates,
                 batch,
                 shards,
+                router: router.unwrap_or_default(),
                 seed,
             })
         }
@@ -314,6 +364,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut index = IndexChoice::Zm;
             let mut query = None;
             let mut shards = None;
+            let mut router = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--index" => {
@@ -322,6 +373,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--shards" => {
                         let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
                         shards = Some(parse_shards_spec(spec)?);
+                    }
+                    "--router" => {
+                        router = Some(RouterChoice::parse(
+                            it.next().ok_or("--router needs grid|learned")?,
+                        )?);
                     }
                     "--point" => {
                         let v = parse_floats(it.next().ok_or("--point needs X,Y")?, 2)?;
@@ -343,11 +399,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             let query = query.ok_or("query: one of --point/--window/--knn is required")?;
+            if router.is_some() && shards.is_none() {
+                return Err("query: --router requires --shards".into());
+            }
             Ok(Command::Query {
                 input,
                 index,
                 query,
                 shards,
+                router: router.unwrap_or_default(),
             })
         }
         "help" | "--help" | "-h" => Err(usage()),
@@ -360,8 +420,8 @@ fn usage() -> String {
      elsi generate <dataset> <n> <out.csv> [--seed S]\n  \
      elsi inspect <in.csv>\n  \
      elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method sp|rsp|cl|mr|rs|rl|og|pwl|elsi]\n  \
-     elsi ingest <in.csv> [--index ...] [--updates N] [--batch SIZE] [--shards RxC] [--seed S]\n  \
-     elsi query <in.csv> [--index ...] [--shards RxC] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
+     elsi ingest <in.csv> [--index ...] [--updates N] [--batch SIZE] [--shards RxC] [--router grid|learned] [--seed S]\n  \
+     elsi query <in.csv> [--index ...] [--shards RxC] [--router grid|learned] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
         .to_string()
 }
 
@@ -450,13 +510,19 @@ fn build_kind(pts: Vec<Point>, index: IndexChoice, b: &dyn ModelBuilder) -> Boxe
 
 /// An R×C sharded deployment over the CLI's boxed indices: every shard is
 /// a full ELSI update lifecycle around one `build_kind` index (queries in
-/// the CLI are one-shot, so the rebuild policy is `Never`).
+/// the CLI are one-shot, so the rebuild policy is `Never`). The routing
+/// policy is boxed so grid and learned deployments share one type.
 fn build_sharded(
     pts: Vec<Point>,
     index: IndexChoice,
     rows: usize,
     cols: usize,
-) -> ShardedIndex<BoxedIndex> {
+    router: RouterChoice,
+) -> ShardedIndex<BoxedIndex, Box<dyn Router>> {
+    let routing: Box<dyn Router> = match router {
+        RouterChoice::Grid => Box::new(GridRouter::new(rows, cols)),
+        RouterChoice::Learned => Box::new(LearnedRouter::fit_sampled(&pts, rows, cols)),
+    };
     let elsi = Elsi::new(ElsiConfig::scaled_for(pts.len()));
     let builder = elsi.fixed_builder(Method::Rs);
     let builder = Arc::new(if index == IndexChoice::Lisa {
@@ -464,8 +530,9 @@ fn build_sharded(
     } else {
         builder
     });
-    ShardedIndex::build_grid(
+    ShardedIndex::build(
         pts,
+        routing,
         &ShardedConfig::grid(rows, cols),
         move |_ctx, shard_pts| build_kind(shard_pts, index, builder.as_ref()),
         |_shard| RebuildPolicy::Never,
@@ -582,6 +649,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             updates,
             batch,
             shards,
+            router,
             seed,
         } => {
             let pts = load_points(&input)?;
@@ -594,7 +662,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             };
             match shards {
                 Some((rows, cols)) => {
-                    let mut sharded = build_sharded(pts, index, rows, cols);
+                    let mut sharded = build_sharded(pts, index, rows, cols, router);
                     let t0 = Instant::now();
                     let mut rebuilds = 0usize;
                     for c in stream.chunks(chunk) {
@@ -603,9 +671,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     let secs = t0.elapsed().as_secs_f64();
                     let _ = writeln!(
                         out,
-                        "ingested {} updates through {rows}x{cols} shards ({} kind)",
+                        "ingested {} updates through {rows}x{cols} shards ({} kind, {} router)",
                         stream.len(),
-                        index.name()
+                        index.name(),
+                        router.name()
                     );
                     let _ = writeln!(out, "batch size:          {chunk}");
                     let _ = writeln!(
@@ -662,15 +731,17 @@ pub fn run(cmd: Command) -> Result<String, String> {
             index,
             query,
             shards,
+            router,
         } => {
             let pts = load_points(&input)?;
             match shards {
                 Some((rows, cols)) => {
-                    let sharded = build_sharded(pts, index, rows, cols);
+                    let sharded = build_sharded(pts, index, rows, cols, router);
                     let _ = writeln!(
                         out,
-                        "serving through {rows}x{cols} shards ({} kind)",
-                        index.name()
+                        "serving through {rows}x{cols} shards ({} kind, {} router)",
+                        index.name(),
+                        router.name()
                     );
                     render_query(&sharded, query, &mut out);
                 }
@@ -782,6 +853,48 @@ mod tests {
     }
 
     #[test]
+    fn parse_router() -> Result<(), String> {
+        let cmd = parse_args(&args(
+            "query in.csv --shards 2x2 --router learned --point 0.5,0.5",
+        ))?;
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                shards: Some((2, 2)),
+                router: RouterChoice::Learned,
+                ..
+            }
+        ));
+        // Default policy is the grid; explicit `grid` parses too.
+        let cmd = parse_args(&args("query in.csv --shards 2x2 --point 0.5,0.5"))?;
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                router: RouterChoice::Grid,
+                ..
+            }
+        ));
+        let cmd = parse_args(&args(
+            "ingest in.csv --shards 2x2 --router grid --updates 10",
+        ))?;
+        assert!(matches!(
+            cmd,
+            Command::Ingest {
+                router: RouterChoice::Grid,
+                ..
+            }
+        ));
+        // --router without --shards, and unknown policies, are rejected.
+        assert!(parse_args(&args("query in.csv --router learned --point 0.5,0.5")).is_err());
+        assert!(parse_args(&args("ingest in.csv --router learned")).is_err());
+        assert!(parse_args(&args(
+            "query in.csv --shards 2x2 --router rr --point 0.5,0.5"
+        ))
+        .is_err());
+        Ok(())
+    }
+
+    #[test]
     fn parse_ingest() -> Result<(), String> {
         let cmd = parse_args(&args(
             "ingest in.csv --updates 500 --batch 100 --shards 2x2 --seed 3",
@@ -794,6 +907,7 @@ mod tests {
                 updates: 500,
                 batch: 100,
                 shards: Some((2, 2)),
+                router: RouterChoice::Grid,
                 seed: 3
             }
         );
@@ -919,21 +1033,31 @@ mod tests {
 
     #[test]
     fn sharded_queries_match_the_monolith() -> Result<(), String> {
-        let path = temp_csv("sharded", Dataset::Uniform, 1000);
+        let path = temp_csv("sharded", Dataset::Skewed, 1000);
         for q in ["--knn 0.5,0.5,5", "--window 0.2,0.2,0.4,0.4"] {
             let mono = run(parse_args(&args(&format!("query {path} {q}")))?)?;
-            let sharded = run(parse_args(&args(&format!(
-                "query {path} --shards 2x2 {q}"
-            )))?)?;
-            assert!(sharded.contains("serving through 2x2 shards"), "{sharded}");
-            // Same hit counts (ZM is exact, and so is the sharded merge).
-            let tail = |s: &str| {
-                s.lines()
-                    .find(|l| l.contains("points in window") || l.contains("nearest neighbours"))
-                    .map(str::to_owned)
-            };
-            assert!(tail(&mono).is_some(), "{q}: no hit line in {mono}");
-            assert_eq!(tail(&mono), tail(&sharded), "{q}");
+            for router in ["grid", "learned"] {
+                let sharded = run(parse_args(&args(&format!(
+                    "query {path} --shards 2x2 --router {router} {q}"
+                )))?)?;
+                assert!(
+                    sharded.contains(&format!(
+                        "serving through 2x2 shards (ZM kind, {router} router)"
+                    )),
+                    "{sharded}"
+                );
+                // Same hit counts (ZM is exact, and so is the sharded
+                // merge — under either routing policy).
+                let tail = |s: &str| {
+                    s.lines()
+                        .find(|l| {
+                            l.contains("points in window") || l.contains("nearest neighbours")
+                        })
+                        .map(str::to_owned)
+                };
+                assert!(tail(&mono).is_some(), "{q}: no hit line in {mono}");
+                assert_eq!(tail(&mono), tail(&sharded), "{q} via {router}");
+            }
         }
         std::fs::remove_file(&path).ok();
         Ok(())

@@ -160,6 +160,44 @@ impl PwlModel {
         let hi = (pred + eps + 1).clamp(0, self.n as i64) as usize;
         (lo, hi)
     }
+
+    /// The key at which the model's predicted rank reaches `target_rank` —
+    /// the piecewise-linear inverse of the fitted CDF, used to derive
+    /// equi-mass quantile cuts (e.g. learned shard boundaries).
+    ///
+    /// Segment intercepts are true first-occurrence ranks, so they are
+    /// non-decreasing across segments; routing by intercept and clamping
+    /// the in-segment solution to `[start_key, next_start_key]` makes the
+    /// result non-decreasing in `target_rank`. The returned key inherits
+    /// the fit's rank guarantee: for targets hit by a fitted key,
+    /// `predict(quantile_key(t))` is within ±(ε + 1) of `t` (the +1 covers
+    /// `predict`'s rounding). Returns `0.0` on an empty model.
+    pub fn quantile_key(&self, target_rank: f64) -> f64 {
+        let Some(first) = self.segments.first() else {
+            return 0.0;
+        };
+        let t = target_rank.clamp(0.0, self.n.saturating_sub(1) as f64);
+        let idx = self
+            .segments
+            .partition_point(|s| s.intercept <= t)
+            .saturating_sub(1);
+        let Some(s) = self.segments.get(idx) else {
+            return first.start_key;
+        };
+        let next_start = self
+            .boundaries
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        let raw = if s.slope > 0.0 {
+            s.start_key + (t - s.intercept) / s.slope
+        } else {
+            // Flat segment (duplicate run / single point): every target in
+            // its rank span maps to the segment's key.
+            s.start_key
+        };
+        raw.clamp(s.start_key, next_start)
+    }
 }
 
 /// Closes a segment starting at distinct-key index `start` using the
@@ -278,6 +316,60 @@ mod tests {
         let m = PwlModel::fit(&[0.3], 1);
         assert_eq!(m.predict(0.3), 0);
         assert_eq!(m.search_range(0.3), (0, 1));
+    }
+
+    #[test]
+    fn quantile_key_roundtrips_within_epsilon() {
+        let keys: Vec<f64> = (0..5000).map(|i| (i as f64 / 4999.0).powi(4)).collect();
+        for eps in [4usize, 32] {
+            let m = PwlModel::fit(&keys, eps);
+            for j in 1..16 {
+                let t = j as f64 * keys.len() as f64 / 16.0;
+                let k = m.quantile_key(t);
+                // The true rank of the returned key stays within the
+                // model's bound of the target (ε for the fit, +1 rounding,
+                // +1 target-vs-fitted-key discretization).
+                let lb = keys.partition_point(|&x| x < k) as f64;
+                assert!(
+                    (lb - t).abs() <= (eps + 2) as f64,
+                    "eps {eps} target {t}: key {k} has rank {lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_key_is_monotone_in_target() {
+        let keys: Vec<f64> = (0..3000)
+            .map(|i| {
+                let x = i as f64 / 2999.0;
+                0.5 * x + 0.5 * x.powi(6)
+            })
+            .collect();
+        let m = PwlModel::fit(&keys, 8);
+        let mut prev = f64::NEG_INFINITY;
+        for j in 0..=300 {
+            let k = m.quantile_key(j as f64 * 10.0);
+            assert!(k >= prev, "target {j}: {k} < {prev}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn quantile_key_on_duplicates_returns_the_run_key() {
+        // All-duplicate model: every target maps to the single fitted key.
+        let m = PwlModel::fit(&vec![0.5; 100], 3);
+        assert_eq!(m.quantile_key(0.0), 0.5);
+        assert_eq!(m.quantile_key(50.0), 0.5);
+        assert_eq!(m.quantile_key(1e9), 0.5);
+    }
+
+    #[test]
+    fn quantile_key_degenerate_models() {
+        assert_eq!(PwlModel::fit(&[], 4).quantile_key(10.0), 0.0);
+        let m = PwlModel::fit(&[0.3], 1);
+        assert_eq!(m.quantile_key(0.0), 0.3);
+        assert_eq!(m.quantile_key(5.0), 0.3);
     }
 
     #[test]

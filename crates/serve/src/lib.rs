@@ -12,9 +12,13 @@
 //! Mapping to paper concepts:
 //!
 //! * [`router`] — query routing. The paper's indices answer a query by
-//!   *predict-and-scan* inside one model; the grid router is the layer
-//!   above, choosing which shard's model predicts (O(1) for points, an
-//!   overlap set for windows, a MINDIST-pruned frontier for kNN).
+//!   *predict-and-scan* inside one model; the router is the layer above,
+//!   choosing which shard's model predicts (O(1) for points, an overlap
+//!   set for windows, a MINDIST-pruned frontier for kNN). Two policies
+//!   ship: the uniform [`GridRouter`] and the [`LearnedRouter`], whose
+//!   shard boundaries are equi-mass quantile cuts read off per-axis
+//!   empirical CDF models (`elsi_ml::PwlModel`), keeping shard occupancy
+//!   balanced under skew (`DESIGN.md` §13).
 //! * [`sharded`] — [`sharded::ShardedIndex`] owns the per-shard update
 //!   processors, builds them in parallel on the rayon pool with per-shard
 //!   deterministic seeds (the same seeding discipline as the method
@@ -48,7 +52,7 @@
 pub mod router;
 pub mod sharded;
 
-pub use router::{GridRouter, Router};
+pub use router::{shard_occupancy, GridRouter, LearnedRouter, Router};
 pub use sharded::{
     canonical_knn_cmp, canonical_point_key, ShardContext, ShardStats, ShardedConfig, ShardedIndex,
 };

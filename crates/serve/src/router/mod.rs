@@ -4,6 +4,15 @@
 //! it owns no data and takes no locks, so the query hot path can consult
 //! it freely while shards are being updated elsewhere. Correctness of the
 //! serving layer rests on two contracts spelled out on the trait.
+//!
+//! Two implementations ship: [`GridRouter`] (uniform R×C cells, zero
+//! per-deployment state) and [`LearnedRouter`] (equi-mass quantile cuts
+//! derived from per-axis empirical CDF models, `DESIGN.md` §13), which
+//! keeps shard occupancy balanced under skew.
+
+mod learned;
+
+pub use learned::LearnedRouter;
 
 use elsi_spatial::{Point, Rect};
 
@@ -43,6 +52,41 @@ pub trait Router: Send + Sync {
             .filter(|&s| self.shard_rect(s).intersects(w))
             .collect()
     }
+}
+
+/// Any boxed router routes like its contents — lets callers pick a
+/// routing policy at runtime (`Box<dyn Router>`) and still use the
+/// generic `ShardedIndex` machinery.
+impl<R: Router + ?Sized> Router for Box<R> {
+    fn num_shards(&self) -> usize {
+        (**self).num_shards()
+    }
+
+    fn shard_of(&self, p: Point) -> usize {
+        (**self).shard_of(p)
+    }
+
+    fn shard_rect(&self, shard: usize) -> Rect {
+        (**self).shard_rect(shard)
+    }
+
+    fn shards_for_window(&self, w: &Rect) -> Vec<usize> {
+        (**self).shards_for_window(w)
+    }
+}
+
+/// Per-shard ownership counts of `points` under `router` — the
+/// load-balance diagnostic behind the routing experiment
+/// (`elsi-bench --bin sharded`): a balanced router keeps
+/// `max(count) / mean(count)` near 1 regardless of data skew.
+pub fn shard_occupancy<R: Router + ?Sized>(router: &R, points: &[Point]) -> Vec<usize> {
+    let mut counts = vec![0usize; router.num_shards()];
+    for p in points {
+        if let Some(c) = counts.get_mut(router.shard_of(*p)) {
+            *c += 1;
+        }
+    }
+    counts
 }
 
 /// The R×C uniform grid partition of the unit square.

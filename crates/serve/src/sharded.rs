@@ -23,7 +23,7 @@ use elsi_indices::{
 use elsi_spatial::{KnnEntry, Point, Rect, ScanScratch};
 use rayon::prelude::*;
 
-use crate::router::{GridRouter, Router};
+use crate::router::{GridRouter, LearnedRouter, Router};
 
 /// Shape and seeding of a sharded deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,23 +160,63 @@ impl<I: SpatialIndex + Send + Sync> ShardedIndex<I, GridRouter> {
     }
 }
 
+impl<I: SpatialIndex + Send + Sync> ShardedIndex<I, LearnedRouter> {
+    /// Builds a deployment routed by a [`LearnedRouter`] fitted to the
+    /// build points themselves (via [`LearnedRouter::fit_sampled`], a
+    /// deterministic stride subsample), so shard boundaries sit at
+    /// equi-mass quantiles of the actual data. See [`ShardedIndex::build`]
+    /// for the builder/policy contract.
+    pub fn build_learned<B, P>(
+        points: Vec<Point>,
+        cfg: &ShardedConfig,
+        shard_builder: B,
+        policy: P,
+    ) -> Self
+    where
+        B: Fn(&ShardContext, Vec<Point>) -> I + Send + Sync + 'static,
+        P: Fn(usize) -> RebuildPolicy,
+    {
+        let router = LearnedRouter::fit_sampled(&points, cfg.rows, cfg.cols);
+        Self::build(points, router, cfg, shard_builder, policy)
+    }
+}
+
 impl ShardedIndex<ZmIndex, GridRouter> {
     /// The workhorse deployment: ZM-F shards built through a shared ELSI
     /// build processor, with the threshold rebuild policy of the update
     /// experiments (`max_drift` 0.15, `max_ratio` 10.0) on every shard.
     pub fn zm(points: Vec<Point>, cfg: &ShardedConfig, elsi: &Elsi) -> Self {
-        let builder = Arc::new(elsi.builder());
-        Self::build_grid(
-            points,
-            cfg,
-            move |_ctx: &ShardContext, pts: Vec<Point>| {
-                ZmIndex::build(pts, &ZmConfig::default(), builder.as_ref())
-            },
-            |_shard| RebuildPolicy::Threshold {
-                max_drift: 0.15,
-                max_ratio: 10.0,
-            },
-        )
+        Self::build_grid(points, cfg, zm_shard_builder(elsi), zm_policy)
+    }
+}
+
+impl ShardedIndex<ZmIndex, LearnedRouter> {
+    /// [`ShardedIndex::zm`] behind a fitted [`LearnedRouter`] instead of
+    /// the uniform grid: same shards, same rebuild policy, equi-mass
+    /// boundaries.
+    pub fn zm_learned(points: Vec<Point>, cfg: &ShardedConfig, elsi: &Elsi) -> Self {
+        Self::build_learned(points, cfg, zm_shard_builder(elsi), zm_policy)
+    }
+}
+
+/// The shared ZM-F shard builder of [`ShardedIndex::zm`] /
+/// [`ShardedIndex::zm_learned`]: every shard builds through one ELSI
+/// build processor.
+fn zm_shard_builder(
+    elsi: &Elsi,
+) -> impl Fn(&ShardContext, Vec<Point>) -> ZmIndex + Send + Sync + 'static {
+    let builder = Arc::new(elsi.builder());
+    move |_ctx: &ShardContext, pts: Vec<Point>| {
+        ZmIndex::build(pts, &ZmConfig::default(), builder.as_ref())
+    }
+}
+
+/// The threshold rebuild policy of the update experiments, applied
+/// uniformly to every shard.
+fn zm_policy(_shard: usize) -> RebuildPolicy {
+    RebuildPolicy::Threshold {
+        max_drift: 0.15,
+        max_ratio: 10.0,
     }
 }
 

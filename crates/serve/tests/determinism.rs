@@ -4,8 +4,8 @@
 
 use elsi::{Elsi, ElsiConfig};
 use elsi_data::stream::Update;
-use elsi_indices::SpatialIndex;
-use elsi_serve::{ShardStats, ShardedConfig, ShardedIndex};
+use elsi_indices::{SpatialIndex, ZmIndex};
+use elsi_serve::{Router, ShardStats, ShardedConfig, ShardedIndex};
 use elsi_spatial::{Point, Rect};
 
 type Fingerprint = (
@@ -16,13 +16,9 @@ type Fingerprint = (
     Vec<ShardStats>, // stats after the update batch
 );
 
-/// One full serve lifecycle: parallel ZM-F shard build, batched queries,
-/// one batched update wave, queries again.
-fn serve_lifecycle() -> Fingerprint {
-    let elsi = Elsi::new(ElsiConfig::fast_test());
-    let points = elsi_data::gen::osm1_like(2_000, 33);
-    let mut sharded = ShardedIndex::zm(points, &ShardedConfig::grid(2, 2), &elsi);
-
+/// One full serve lifecycle over an already-built deployment: batched
+/// queries, one batched update wave, queries again.
+fn lifecycle<R: Router>(mut sharded: ShardedIndex<ZmIndex, R>) -> Fingerprint {
     let stats_before = sharded.shard_stats();
     let window = sharded.window_query(&Rect::new(0.25, 0.25, 0.75, 0.75));
     let queries: Vec<Point> = elsi_data::gen::uniform(32, 77);
@@ -40,6 +36,23 @@ fn serve_lifecycle() -> Fingerprint {
     (stats_before, window, knn, rebuilds, sharded.shard_stats())
 }
 
+/// Runs the lifecycle for both routing policies — grid and learned — over
+/// the same data. The learned deployment re-fits its CDF router from the
+/// points on every call, so router fitting is inside the fingerprint too.
+fn serve_lifecycle() -> (Fingerprint, Fingerprint) {
+    let cfg = ShardedConfig::grid(2, 2);
+    let points = elsi_data::gen::osm1_like(2_000, 33);
+    let grid = {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        ShardedIndex::zm(points.clone(), &cfg, &elsi)
+    };
+    let learned = {
+        let elsi = Elsi::new(ElsiConfig::fast_test());
+        ShardedIndex::zm_learned(points, &cfg, &elsi)
+    };
+    (lifecycle(grid), lifecycle(learned))
+}
+
 #[test]
 fn sharded_serving_is_bit_identical_across_thread_counts() {
     // The vendored rayon pool is re-callable (last call wins).
@@ -47,6 +60,10 @@ fn sharded_serving_is_bit_identical_across_thread_counts() {
         .num_threads(1)
         .build_global();
     let reference = serve_lifecycle();
+    // Grid and learned deployments partition differently (their stats and
+    // rebuild counts may differ) but must answer queries identically.
+    assert_eq!(reference.0 .1, reference.1 .1, "window answers diverge");
+    assert_eq!(reference.0 .2, reference.1 .2, "kNN answers diverge");
     for threads in [2, 8] {
         let _ = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)

@@ -1,0 +1,176 @@
+//! `LearnedRouter` contract invariants pinned by proptest.
+//!
+//! The serving layer's correctness proof (`DESIGN.md` §9, §13) rests only
+//! on the `Router` contract — ownership is a pure function of coordinates
+//! and closed rectangles cover it — so these tests pin exactly that, on
+//! adversarial samples: boundary-snapped coordinates, duplicate-heavy
+//! runs (degenerate axes that exercise the grid-cut fallback), and every
+//! grid shape up to 5×5. A second suite pins that swapping the grid
+//! router for the learned one changes *nothing* about query answers.
+
+use elsi::RebuildPolicy;
+use elsi_indices::{GridConfig, GridIndex, SpatialIndex};
+use elsi_serve::{LearnedRouter, Router, ShardedConfig, ShardedIndex};
+use elsi_spatial::{Point, Rect};
+use proptest::prelude::*;
+
+/// Mixed workload points: continuous coordinates plus grid-snapped ones
+/// (multiples of 1/8 land exactly on uniform-cut boundaries — the learned
+/// fallback's cut positions), with ids folded so they repeat.
+fn assemble(continuous: &[(f64, f64)], snapped: &[(u32, u32)], id_modulus: u64) -> Vec<Point> {
+    continuous
+        .iter()
+        .copied()
+        .chain(
+            snapped
+                .iter()
+                .map(|&(i, j)| (f64::from(i) / 8.0, f64::from(j) / 8.0)),
+        )
+        .enumerate()
+        .map(|(i, (x, y))| Point::new(i as u64 % id_modulus, x, y))
+        .collect()
+}
+
+/// A 17×17 probe lattice over the closed unit square (includes 0.0, 1.0
+/// and the 1/8 multiples the snapped points sit on).
+fn lattice() -> Vec<Point> {
+    let mut out = Vec::new();
+    for i in 0..=16 {
+        for j in 0..=16 {
+            out.push(Point::at(i as f64 / 16.0, j as f64 / 16.0));
+        }
+    }
+    out
+}
+
+fn grid_index_builder() -> impl Fn(&elsi_serve::ShardContext, Vec<Point>) -> GridIndex {
+    |_ctx, pts| GridIndex::build(pts, &GridConfig { block_size: 8 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn learned_router_upholds_the_router_contract(
+        continuous in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 0..200),
+        snapped in prop::collection::vec((0u32..=8, 0u32..=8), 0..60),
+        dup_run in 0usize..48,
+        rows in 1usize..6,
+        cols in 1usize..6,
+    ) {
+        let mut points = assemble(&continuous, &snapped, u64::MAX);
+        // A duplicate-heavy atom: pushes one column's (or the whole
+        // sample's) mass onto a single coordinate so quantile cuts
+        // collapse and the grid-cut fallback must kick in.
+        points.extend((0..dup_run).map(|i| Point::new(900_000 + i as u64, 0.375, 0.625)));
+        let r = LearnedRouter::fit(&points, rows, cols);
+
+        // Well-formed cuts: strictly increasing, anchored at 0 and 1 —
+        // no empty or inverted cells even on fully degenerate samples.
+        prop_assert_eq!(r.x_cuts().len(), cols + 1);
+        prop_assert_eq!(r.x_cuts().first().copied(), Some(0.0));
+        prop_assert_eq!(r.x_cuts().last().copied(), Some(1.0));
+        prop_assert!(r.x_cuts().iter().zip(r.x_cuts().iter().skip(1)).all(|(a, b)| a < b));
+        for c in 0..cols {
+            let cuts = r.y_cuts(c).unwrap_or(&[]);
+            prop_assert_eq!(cuts.len(), rows + 1, "col {}", c);
+            prop_assert_eq!(cuts.first().copied(), Some(0.0));
+            prop_assert_eq!(cuts.last().copied(), Some(1.0));
+            prop_assert!(cuts.iter().zip(cuts.iter().skip(1)).all(|(a, b)| a < b));
+        }
+
+        // Contract 1 + 2: ownership is total and the owner's closed rect
+        // contains the point — for every training point and for a lattice
+        // covering [0,1]² (which also shows the rects cover the square).
+        for p in points.iter().chain(lattice().iter()) {
+            let s = r.shard_of(*p);
+            prop_assert!(s < r.num_shards());
+            prop_assert!(r.shard_rect(s).contains(p), "rect must cover owner of {:?}", p);
+        }
+
+        // Tie rule: a coordinate exactly on an interior cut belongs to
+        // the *higher* cell. Column c starts at x_cuts[c]; row rr of
+        // column c starts at y_cuts(c)[rr].
+        for c in 1..cols {
+            let cut = r.x_cuts().get(c).copied().unwrap_or(0.0);
+            prop_assert_eq!(r.shard_of(Point::at(cut, 0.0)) % cols, c, "x cut {}", c);
+        }
+        for c in 0..cols {
+            let lo = r.x_cuts().get(c).copied().unwrap_or(0.0);
+            let hi = r.x_cuts().get(c + 1).copied().unwrap_or(1.0);
+            let x = (lo + hi) / 2.0;
+            let cuts = r.y_cuts(c).unwrap_or(&[]);
+            for rr in 1..rows {
+                let cut = cuts.get(rr).copied().unwrap_or(0.0);
+                let s = r.shard_of(Point::at(x, cut));
+                prop_assert_eq!(s / cols, rr, "col {} y cut {}", c, rr);
+            }
+        }
+
+        // Window routing covers ownership: any point of the window routes
+        // to a listed shard, and the listing is ascending.
+        let w = Rect::new(0.1, 0.05, 0.8, 0.7);
+        let shards = r.shards_for_window(&w);
+        prop_assert!(shards.iter().zip(shards.iter().skip(1)).all(|(a, b)| a < b));
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = Point::at(
+                    w.lo_x + (w.hi_x - w.lo_x) * i as f64 / 10.0,
+                    w.lo_y + (w.hi_y - w.lo_y) * j as f64 / 10.0,
+                );
+                prop_assert!(shards.contains(&r.shard_of(p)), "window point {:?}", p);
+            }
+        }
+        prop_assert!(r.shards_for_window(&Rect::empty()).is_empty());
+    }
+
+    #[test]
+    fn grid_and_learned_answers_are_bit_identical(
+        continuous in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 0..150),
+        snapped in prop::collection::vec((0u32..=8, 0u32..=8), 0..40),
+        id_modulus in 1u64..60,
+        rows in 1usize..5,
+        cols in 1usize..5,
+        q in (0.0f64..=1.0, 0.0f64..=1.0),
+        k in 0usize..20,
+    ) {
+        let points = assemble(&continuous, &snapped, id_modulus);
+        let cfg = ShardedConfig::grid(rows, cols);
+        let grid = ShardedIndex::build_grid(
+            points.clone(), &cfg, grid_index_builder(), |_s| RebuildPolicy::Never);
+        let learned = ShardedIndex::build_learned(
+            points.clone(), &cfg, grid_index_builder(), |_s| RebuildPolicy::Never);
+
+        // Windows and kNN are canonically ordered, so equal sets are
+        // bit-identical regardless of how points were sharded.
+        let qp = Point::at(q.0, q.1);
+        let windows = [
+            Rect::window_around(qp, 0.1),
+            Rect::new(0.25, 0.125, 0.75, 0.5),
+            Rect::unit(),
+        ];
+        for w in &windows {
+            prop_assert_eq!(grid.window_query(w), learned.window_query(w), "{:?}", w);
+        }
+        prop_assert_eq!(grid.knn_query(qp, k), learned.knn_query(qp, k));
+        let qs: Vec<Point> = points.iter().take(16).copied().chain([qp]).collect();
+        prop_assert_eq!(grid.par_knn_queries(&qs, k), learned.par_knn_queries(&qs, k));
+
+        // Point lookups return *a* stored point at the queried
+        // coordinates; with coordinate duplicates which copy surfaces
+        // first is the inner index's layout choice, so compare by
+        // coordinate bits.
+        let coords = |o: Option<Point>| o.map(|p| (p.x.to_bits(), p.y.to_bits()));
+        for p in points.iter().take(40) {
+            prop_assert_eq!(
+                coords(grid.point_query(*p)),
+                coords(learned.point_query(*p)),
+                "{:?}", p
+            );
+        }
+        prop_assert_eq!(
+            grid.point_query(Point::at(0.123456789, 0.987654321)),
+            learned.point_query(Point::at(0.123456789, 0.987654321))
+        );
+    }
+}
