@@ -3,29 +3,14 @@
 //! `--format json` serialises the full [`Report`] for CI artifacts; the
 //! committed `crates/analysis/baseline.json` pins the counts that must
 //! only ratchet *down* (suppressions, panic-path sites, per-crate panic
-//! budgets). Both sides are dependency-free: the writer emits JSON by
-//! hand, and the reader is a minimal recursive-descent parser that
-//! understands exactly the subset the baseline uses.
+//! budgets). Escaping and parsing come from the workspace's one shared
+//! JSON implementation, [`elsi_store::json`] (this module used to carry
+//! its own recursive-descent parser); only the report/baseline layouts
+//! live here.
 
 use crate::engine::Report;
+use elsi_store::json::{esc, Json};
 use std::collections::BTreeMap;
-
-/// Escapes a string for a JSON string literal.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 /// Serialises a full report as pretty-printed JSON (the `--format json`
 /// output and the CI artifact).
@@ -161,46 +146,29 @@ impl Baseline {
     /// [`Baseline::to_json`] writes (an object of numbers plus one nested
     /// object of numbers); anything else is an error.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let pairs = doc
+            .as_obj()
+            .ok_or_else(|| "baseline must be a JSON object".to_string())?;
+        let count = |v: &Json, key: &str| {
+            v.as_usize()
+                .ok_or_else(|| format!("baseline key `{key}` must be a non-negative integer"))
         };
         let mut b = Baseline::default();
-        p.eat('{')?;
-        loop {
-            p.skip_ws();
-            if p.peek() == Some('}') {
-                break;
-            }
-            let key = p.string()?;
-            p.eat(':')?;
+        for (key, value) in pairs {
             match key.as_str() {
-                "violations" => b.violations = p.number()?,
-                "suppressed" => b.suppressed = p.number()?,
-                "panic_path_sites" => b.panic_path_sites = p.number()?,
+                "violations" => b.violations = count(value, key)?,
+                "suppressed" => b.suppressed = count(value, key)?,
+                "panic_path_sites" => b.panic_path_sites = count(value, key)?,
                 "budgets" => {
-                    p.eat('{')?;
-                    loop {
-                        p.skip_ws();
-                        if p.peek() == Some('}') {
-                            p.pos += 1;
-                            break;
-                        }
-                        let g = p.string()?;
-                        p.eat(':')?;
-                        let c = p.number()?;
-                        b.budgets.insert(g, c);
-                        p.skip_ws();
-                        if p.peek() == Some(',') {
-                            p.pos += 1;
-                        }
+                    let groups = value
+                        .as_obj()
+                        .ok_or_else(|| "baseline `budgets` must be an object".to_string())?;
+                    for (g, c) in groups {
+                        b.budgets.insert(g.clone(), count(c, g)?);
                     }
                 }
                 other => return Err(format!("unknown baseline key `{other}`")),
-            }
-            p.skip_ws();
-            if p.peek() == Some(',') {
-                p.pos += 1;
             }
         }
         Ok(b)
@@ -237,86 +205,6 @@ impl Baseline {
             }
         }
         out
-    }
-}
-
-/// Minimal recursive-descent parser over the baseline subset of JSON.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn peek(&self) -> Option<char> {
-        self.bytes.get(self.pos).map(|&b| b as char)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, c: char) -> Result<(), String> {
-        self.skip_ws();
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{c}` at byte {} of baseline JSON",
-                self.pos
-            ))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string in baseline JSON".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // Baseline keys are paths and rule names: the only
-                    // escapes that can occur are \\ and \".
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(&b) => out.push(b as char),
-                        None => return Err("dangling escape in baseline JSON".into()),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<usize, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(format!(
-                "expected a number at byte {start} of baseline JSON"
-            ));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| "bad number in baseline JSON".into())
     }
 }
 

@@ -1,0 +1,60 @@
+//! Crash-recovery experiment (see `elsi_bench::recovery`).
+//!
+//! Measures cold build vs snapshot-open vs snapshot+WAL-replay on one
+//! sharded ZM deployment, verifying every recovery bit-identical to the
+//! pre-crash state. Flags:
+//!
+//! * `--json <path>` — write the per-phase records to `<path>` (the
+//!   committed artifact is `results/BENCH_recovery.json`, produced at
+//!   `ELSI_BENCH_N=100000`).
+//! * `--min-speedup <x>` — exit non-zero unless snapshot-open beats the
+//!   cold build by at least `x`× (the acceptance bar is 5).
+
+use elsi_bench::json::write_json;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+
+    let (records, snap_speedup) = elsi_bench::recovery::run();
+    if records.iter().any(|r| {
+        r.extras
+            .iter()
+            .any(|(k, v)| k == "matches_live" && v == "false")
+    }) {
+        eprintln!("[recovery] FAIL: a recovered deployment diverged from the live state");
+        std::process::exit(1);
+    }
+    if let Some(path) = &json_path {
+        match write_json(path, &records) {
+            Ok(()) => eprintln!(
+                "[recovery] wrote {} records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("[recovery] failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(min) = min_speedup {
+        if snap_speedup < min {
+            eprintln!(
+                "[recovery] FAIL: snapshot-open speedup {snap_speedup:.2}x is below the {min:.2}x bar"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[recovery] snapshot-open speedup {snap_speedup:.2}x (bar: {min:.2}x)");
+    }
+}

@@ -1,11 +1,14 @@
 //! Machine-readable benchmark results.
 //!
-//! A minimal hand-rolled JSON emitter (the workspace is dependency-free by
-//! design — no serde) for the `--json <path>` flag of the `all` binary:
-//! each record carries the experiment id, a human label (`dataset/variant`)
-//! and the two headline measurements, so perf trajectories can be tracked
-//! as `results/BENCH_*.json` artifacts across commits.
+//! A minimal JSON emitter (the workspace is dependency-free by design —
+//! no serde) for the `--json <path>` flag of the `all` binary: each
+//! record carries the experiment id, a human label (`dataset/variant`)
+//! and the two headline measurements, so perf trajectories can be
+//! tracked as `results/BENCH_*.json` artifacts across commits. String
+//! escaping comes from the workspace's one shared JSON implementation,
+//! [`elsi_store::json`]; only the record layout lives here.
 
+use elsi_store::json::esc;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -54,22 +57,6 @@ impl JsonRecord {
 pub fn usize_array(values: &[usize]) -> String {
     let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
     format!("[{}]", items.join(","))
-}
-
-/// JSON string escaping for the label fields.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// A JSON number, or `null` for non-finite values (JSON has no NaN/inf).
@@ -152,6 +139,37 @@ mod tests {
         assert!(json.contains("\"matches_monolith\": true"), "{json}");
         // Extras come after the fixed fields, inside the object.
         assert!(json.contains("\"query_micros\": 1.100000, \"shard_occupancy\""));
+    }
+
+    #[test]
+    fn emitted_json_parses_with_the_shared_parser() {
+        // The emitter and the workspace's shared parser must agree: CI
+        // consumers read these artifacts back with `elsi_store::Json`.
+        let records = [
+            JsonRecord::new("matrix", "odd\"label\\".to_string(), 0.125, f64::NAN),
+            JsonRecord::new("routing", "Skewed/ZM".to_string(), 0.5, 2.0)
+                .with_extra("shard_occupancy", usize_array(&[3, 1]))
+                .with_extra("matches_monolith", "true".to_string()),
+        ];
+        let doc = elsi_store::Json::parse(&to_json(&records)).expect("emitted JSON must parse");
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("label").and_then(|v| v.as_str()),
+            Some("odd\"label\\")
+        );
+        assert_eq!(arr[0].get("query_micros"), Some(&elsi_store::Json::Null));
+        assert_eq!(
+            arr[1]
+                .get("shard_occupancy")
+                .and_then(|v| v.as_arr())
+                .map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            arr[1].get("matches_monolith").and_then(|v| v.as_bool()),
+            Some(true)
+        );
     }
 
     #[test]

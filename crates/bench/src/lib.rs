@@ -20,6 +20,7 @@ pub mod harness;
 pub mod ingest;
 pub mod json;
 pub mod matrix;
+pub mod recovery;
 pub mod sharded;
 pub mod updates;
 

@@ -8,11 +8,21 @@
 //! elsi inspect <in.csv>
 //! elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method rs|sp|cl|mr|rl|og|pwl|elsi]
 //! elsi query <in.csv> --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K
+//! elsi save <in.csv> <dir> [--shards RxC] [--router grid|learned] [--seed S]
+//! elsi load <dir>
 //! ```
 //!
 //! Sharded serving (`--shards RxC`) accepts `--router grid|learned` to
 //! pick the shard-boundary policy: uniform grid cells, or equi-mass
 //! quantile cuts learned from the data's empirical CDFs (`elsi-serve`).
+//!
+//! Durability (`DESIGN.md` §14): `save` persists a ZM sharded deployment
+//! into a serving directory, `load` recovers one and reports what came
+//! back, and `--persist <dir>` on `query`/`ingest` serves from the
+//! directory when it exists (crash recovery: snapshots + journaled WAL
+//! tails) or builds from the CSV and persists on first use. The persisted
+//! paths are ZM-only — that is the index kind with an exact state codec,
+//! so recovery decodes shard state instead of retraining models.
 //!
 //! Command logic lives here so it is unit-testable; `main.rs` only parses
 //! `std::env::args` and prints.
@@ -26,7 +36,10 @@ use elsi_indices::{
     FloodConfig, FloodIndex, LisaConfig, LisaIndex, MlConfig, MlIndex, ModelBuilder, PwlBuilder,
     RsmiConfig, RsmiIndex, SpatialIndex, ZmConfig, ZmIndex,
 };
-use elsi_serve::{GridRouter, LearnedRouter, Router, ShardedConfig, ShardedIndex};
+use elsi_serve::{
+    read_manifest, zm_codec, GridRouter, LearnedRouter, Router, ShardedConfig, ShardedIndex,
+    MANIFEST_NAME,
+};
 use elsi_spatial::{KeyMapper, MappedData, MortonMapper, Point, Rect};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -75,6 +88,9 @@ pub enum Command {
         shards: Option<(usize, usize)>,
         /// Shard-boundary policy for `--shards` (`--router grid|learned`).
         router: RouterChoice,
+        /// Serve from (and checkpoint into) a durable serving directory
+        /// (`--persist <dir>`; ZM only).
+        persist: Option<String>,
         /// Stream seed.
         seed: u64,
     },
@@ -91,6 +107,27 @@ pub enum Command {
         shards: Option<(usize, usize)>,
         /// Shard-boundary policy for `--shards` (`--router grid|learned`).
         router: RouterChoice,
+        /// Serve from a durable serving directory, building and saving it
+        /// on first use (`--persist <dir>`; ZM only).
+        persist: Option<String>,
+    },
+    /// Build a ZM sharded deployment and persist it into a directory.
+    Save {
+        /// Input path (the base point set).
+        input: String,
+        /// Serving directory to write.
+        dir: String,
+        /// Deployment shape (`--shards RxC`).
+        shards: (usize, usize),
+        /// Shard-boundary policy (`--router grid|learned`).
+        router: RouterChoice,
+        /// Deployment root seed.
+        seed: u64,
+    },
+    /// Recover a persisted deployment and report what came back.
+    Load {
+        /// Serving directory to read.
+        dir: String,
     },
 }
 
@@ -305,6 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut batch = 0usize;
             let mut shards = None;
             let mut router = None;
+            let mut persist = None;
             let mut seed = 7u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -336,6 +374,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             it.next().ok_or("--router needs grid|learned")?,
                         )?);
                     }
+                    "--persist" => {
+                        persist = Some(it.next().ok_or("--persist needs a directory")?.clone());
+                    }
                     "--seed" => {
                         seed = it
                             .next()
@@ -346,8 +387,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("ingest: unknown flag {other:?}")),
                 }
             }
-            if router.is_some() && shards.is_none() {
-                return Err("ingest: --router requires --shards".into());
+            if router.is_some() && shards.is_none() && persist.is_none() {
+                return Err("ingest: --router requires --shards or --persist".into());
             }
             Ok(Command::Ingest {
                 input,
@@ -356,6 +397,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 batch,
                 shards,
                 router: router.unwrap_or_default(),
+                persist,
                 seed,
             })
         }
@@ -365,6 +407,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut query = None;
             let mut shards = None;
             let mut router = None;
+            let mut persist = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--index" => {
@@ -395,12 +438,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         query = Some(QuerySpec::Knn(Point::at(v[0], v[1]), v[2] as usize));
                     }
+                    "--persist" => {
+                        persist = Some(it.next().ok_or("--persist needs a directory")?.clone());
+                    }
                     other => return Err(format!("query: unknown flag {other:?}")),
                 }
             }
             let query = query.ok_or("query: one of --point/--window/--knn is required")?;
-            if router.is_some() && shards.is_none() {
-                return Err("query: --router requires --shards".into());
+            if router.is_some() && shards.is_none() && persist.is_none() {
+                return Err("query: --router requires --shards or --persist".into());
             }
             Ok(Command::Query {
                 input,
@@ -408,7 +454,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 query,
                 shards,
                 router: router.unwrap_or_default(),
+                persist,
             })
+        }
+        "save" => {
+            let input = it.next().ok_or("save: missing input path")?.clone();
+            let dir = it.next().ok_or("save: missing serving directory")?.clone();
+            let mut shards = (2usize, 2usize);
+            let mut router = RouterChoice::default();
+            let mut seed = 42u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--shards" => {
+                        let spec = it.next().ok_or("--shards needs RxC (e.g. 2x2)")?;
+                        shards = parse_shards_spec(spec)?;
+                    }
+                    "--router" => {
+                        router =
+                            RouterChoice::parse(it.next().ok_or("--router needs grid|learned")?)?;
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    other => return Err(format!("save: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Save {
+                input,
+                dir,
+                shards,
+                router,
+                seed,
+            })
+        }
+        "load" => {
+            let dir = it.next().ok_or("load: missing serving directory")?.clone();
+            Ok(Command::Load { dir })
         }
         "help" | "--help" | "-h" => Err(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -420,8 +505,10 @@ fn usage() -> String {
      elsi generate <dataset> <n> <out.csv> [--seed S]\n  \
      elsi inspect <in.csv>\n  \
      elsi build <in.csv> [--index zm|ml|rsmi|lisa|flood] [--method sp|rsp|cl|mr|rs|rl|og|pwl|elsi]\n  \
-     elsi ingest <in.csv> [--index ...] [--updates N] [--batch SIZE] [--shards RxC] [--router grid|learned] [--seed S]\n  \
-     elsi query <in.csv> [--index ...] [--shards RxC] [--router grid|learned] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K"
+     elsi ingest <in.csv> [--index ...] [--updates N] [--batch SIZE] [--shards RxC] [--router grid|learned] [--persist DIR] [--seed S]\n  \
+     elsi query <in.csv> [--index ...] [--shards RxC] [--router grid|learned] [--persist DIR] --point X,Y | --window LOX,LOY,HIX,HIY | --knn X,Y,K\n  \
+     elsi save <in.csv> <dir> [--shards RxC] [--router grid|learned] [--seed S]\n  \
+     elsi load <dir>"
         .to_string()
 }
 
@@ -539,6 +626,72 @@ fn build_sharded(
     )
 }
 
+/// The durable serving deployment behind `save`/`load`/`--persist`: ZM
+/// shards (the index kind with an exact state codec, so recovery decodes
+/// rather than retrains) under either persistable router, behind one enum
+/// so the commands share code (`elsi-serve`'s persistence is generic over
+/// the concrete router type).
+enum ZmDeployment {
+    /// Uniform grid routing.
+    Grid(ShardedIndex<ZmIndex, GridRouter>),
+    /// Learned equi-mass routing.
+    Learned(ShardedIndex<ZmIndex, LearnedRouter>),
+}
+
+impl ZmDeployment {
+    fn build(pts: Vec<Point>, cfg: &ShardedConfig, router: RouterChoice, elsi: &Elsi) -> Self {
+        match router {
+            RouterChoice::Grid => Self::Grid(ShardedIndex::zm(pts, cfg, elsi)),
+            RouterChoice::Learned => Self::Learned(ShardedIndex::zm_learned(pts, cfg, elsi)),
+        }
+    }
+
+    /// Recovers from a serving directory, dispatching on the manifest's
+    /// router kind.
+    fn open(dir: &Path, elsi: &Elsi) -> Result<Self, String> {
+        let manifest = read_manifest(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        match manifest.router_kind.as_str() {
+            "grid" => Ok(Self::Grid(
+                ShardedIndex::open_zm(dir, elsi).map_err(|e| e.to_string())?,
+            )),
+            "learned" => Ok(Self::Learned(
+                ShardedIndex::open_zm_learned(dir, elsi).map_err(|e| e.to_string())?,
+            )),
+            other => Err(format!("{}: unknown router kind {other:?}", dir.display())),
+        }
+    }
+
+    /// Persists the next generation and rotates the shard journals.
+    fn save(&mut self, dir: &Path) -> Result<u64, String> {
+        match self {
+            Self::Grid(s) => s.save(dir, &zm_codec()),
+            Self::Learned(s) => s.save(dir, &zm_codec()),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn as_index(&self) -> &dyn SpatialIndex {
+        match self {
+            Self::Grid(s) => s,
+            Self::Learned(s) => s,
+        }
+    }
+
+    fn par_apply_updates(&mut self, updates: &[stream::Update]) -> usize {
+        match self {
+            Self::Grid(s) => s.par_apply_updates(updates),
+            Self::Learned(s) => s.par_apply_updates(updates),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            Self::Grid(s) => s.num_shards(),
+            Self::Learned(s) => s.num_shards(),
+        }
+    }
+}
+
 /// Renders one query answer (shared by the monolith and sharded paths).
 fn render_query(idx: &dyn SpatialIndex, query: QuerySpec, out: &mut String) {
     match query {
@@ -650,6 +803,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             batch,
             shards,
             router,
+            persist,
             seed,
         } => {
             let pts = load_points(&input)?;
@@ -660,6 +814,68 @@ pub fn run(cmd: Command) -> Result<String, String> {
             } else {
                 batch
             };
+            if let Some(dir_str) = persist {
+                if index != IndexChoice::Zm {
+                    return Err(
+                        "ingest: --persist serves ZM deployments only (the exact snapshot \
+                         codec); use --index zm"
+                            .into(),
+                    );
+                }
+                let dir = Path::new(&dir_str);
+                let mut dep = if dir.join(MANIFEST_NAME).exists() {
+                    let manifest = read_manifest(dir).map_err(|e| format!("{dir_str}: {e}"))?;
+                    let t0 = Instant::now();
+                    let dep = ZmDeployment::open(dir, &Elsi::new(ElsiConfig::default()))?;
+                    let _ = writeln!(
+                        out,
+                        "recovered generation {} from {dir_str} in {:?}",
+                        manifest.generation,
+                        t0.elapsed()
+                    );
+                    dep
+                } else {
+                    let (rows, cols) = shards.unwrap_or((2, 2));
+                    let mut cfg = ShardedConfig::grid(rows, cols);
+                    cfg.seed = seed;
+                    let elsi = Elsi::new(ElsiConfig::scaled_for(base_len));
+                    let mut dep = ZmDeployment::build(pts, &cfg, router, &elsi);
+                    let g = dep.save(dir)?;
+                    let _ = writeln!(
+                        out,
+                        "persisted generation {g} to {dir_str} ({rows}x{cols} ZM shards, {} router)",
+                        router.name()
+                    );
+                    dep
+                };
+                let t0 = Instant::now();
+                let mut rebuilds = 0usize;
+                for c in stream.chunks(chunk) {
+                    rebuilds += dep.par_apply_updates(c);
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                // Checkpoint: the new generation's snapshots absorb the
+                // tail just journaled into the per-shard WALs.
+                let generation = dep.save(dir)?;
+                let _ = writeln!(
+                    out,
+                    "ingested {} updates (journaled per shard, checkpointed as generation {generation})",
+                    stream.len()
+                );
+                let _ = writeln!(out, "batch size:          {chunk}");
+                let _ = writeln!(
+                    out,
+                    "throughput:          {:.0} updates/s",
+                    stream.len() as f64 / secs.max(1e-12)
+                );
+                let _ = writeln!(out, "shard rebuilds:      {rebuilds}");
+                let _ = writeln!(
+                    out,
+                    "live points:         {} (from {base_len})",
+                    dep.as_index().len()
+                );
+                return Ok(out);
+            }
             match shards {
                 Some((rows, cols)) => {
                     let mut sharded = build_sharded(pts, index, rows, cols, router);
@@ -732,7 +948,47 @@ pub fn run(cmd: Command) -> Result<String, String> {
             query,
             shards,
             router,
+            persist,
         } => {
+            if let Some(dir_str) = persist {
+                if index != IndexChoice::Zm {
+                    return Err(
+                        "query: --persist serves ZM deployments only (the exact snapshot \
+                         codec); use --index zm"
+                            .into(),
+                    );
+                }
+                let dir = Path::new(&dir_str);
+                let dep = if dir.join(MANIFEST_NAME).exists() {
+                    let manifest = read_manifest(dir).map_err(|e| format!("{dir_str}: {e}"))?;
+                    let t0 = Instant::now();
+                    let dep = ZmDeployment::open(dir, &Elsi::new(ElsiConfig::default()))?;
+                    let _ = writeln!(
+                        out,
+                        "recovered generation {} from {dir_str} ({} shards, {} router) in {:?}",
+                        manifest.generation,
+                        dep.num_shards(),
+                        manifest.router_kind,
+                        t0.elapsed()
+                    );
+                    dep
+                } else {
+                    let pts = load_points(&input)?;
+                    let (rows, cols) = shards.unwrap_or((2, 2));
+                    let elsi = Elsi::new(ElsiConfig::scaled_for(pts.len()));
+                    let mut dep =
+                        ZmDeployment::build(pts, &ShardedConfig::grid(rows, cols), router, &elsi);
+                    let generation = dep.save(dir)?;
+                    let _ = writeln!(
+                        out,
+                        "persisted generation {generation} to {dir_str} ({rows}x{cols} ZM shards, {} router)",
+                        router.name()
+                    );
+                    dep
+                };
+                render_query(dep.as_index(), query, &mut out);
+                return Ok(out);
+            }
             let pts = load_points(&input)?;
             match shards {
                 Some((rows, cols)) => {
@@ -750,6 +1006,50 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     render_query(idx.as_ref(), query, &mut out);
                 }
             }
+        }
+        Command::Save {
+            input,
+            dir,
+            shards: (rows, cols),
+            router,
+            seed,
+        } => {
+            let pts = load_points(&input)?;
+            let n = pts.len();
+            let mut cfg = ShardedConfig::grid(rows, cols);
+            cfg.seed = seed;
+            let elsi = Elsi::new(ElsiConfig::scaled_for(n));
+            let t0 = Instant::now();
+            let mut dep = ZmDeployment::build(pts, &cfg, router, &elsi);
+            let build = t0.elapsed();
+            let t1 = Instant::now();
+            let generation = dep.save(Path::new(&dir))?;
+            let save_time = t1.elapsed();
+            let _ = writeln!(
+                out,
+                "persisted {n} points as {rows}x{cols} ZM shards ({} router)",
+                router.name()
+            );
+            let _ = writeln!(out, "directory:           {dir}");
+            let _ = writeln!(out, "generation:          {generation}");
+            let _ = writeln!(out, "build time:          {build:?}");
+            let _ = writeln!(out, "save time:           {save_time:?}");
+        }
+        Command::Load { dir } => {
+            let path = Path::new(&dir);
+            let manifest = read_manifest(path).map_err(|e| format!("{dir}: {e}"))?;
+            let t0 = Instant::now();
+            let dep = ZmDeployment::open(path, &Elsi::new(ElsiConfig::default()))?;
+            let took = t0.elapsed();
+            let _ = writeln!(
+                out,
+                "recovered generation {} from {dir}",
+                manifest.generation
+            );
+            let _ = writeln!(out, "router:              {}", manifest.router_kind);
+            let _ = writeln!(out, "shards:              {}", dep.num_shards());
+            let _ = writeln!(out, "live points:         {}", dep.as_index().len());
+            let _ = writeln!(out, "recovery time:       {took:?}");
         }
     }
     Ok(out)
@@ -908,6 +1208,7 @@ mod tests {
                 batch: 100,
                 shards: Some((2, 2)),
                 router: RouterChoice::Grid,
+                persist: None,
                 seed: 3
             }
         );
@@ -1029,6 +1330,152 @@ mod tests {
         let report = run(cmd).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(report.contains("5 nearest neighbours"), "{report}");
+    }
+
+    #[test]
+    fn parse_save_and_load() -> Result<(), String> {
+        let cmd = parse_args(&args(
+            "save in.csv /tmp/deploy --shards 2x3 --router learned --seed 9",
+        ))?;
+        assert_eq!(
+            cmd,
+            Command::Save {
+                input: "in.csv".into(),
+                dir: "/tmp/deploy".into(),
+                shards: (2, 3),
+                router: RouterChoice::Learned,
+                seed: 9
+            }
+        );
+        // Defaults.
+        let cmd = parse_args(&args("save in.csv d"))?;
+        assert!(matches!(
+            cmd,
+            Command::Save {
+                shards: (2, 2),
+                router: RouterChoice::Grid,
+                seed: 42,
+                ..
+            }
+        ));
+        assert_eq!(
+            parse_args(&args("load /tmp/deploy"))?,
+            Command::Load {
+                dir: "/tmp/deploy".into()
+            }
+        );
+        assert!(parse_args(&args("save in.csv")).is_err());
+        assert!(parse_args(&args("load")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn parse_persist_flag() -> Result<(), String> {
+        let cmd = parse_args(&args("query in.csv --persist d --point 0.5,0.5"))?;
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                persist: Some(_),
+                shards: None,
+                ..
+            }
+        ));
+        // --router without --shards is fine when --persist supplies the
+        // deployment (it picks the policy for the first-use build).
+        assert!(parse_args(&args(
+            "query in.csv --persist d --router learned --point 0.5,0.5"
+        ))
+        .is_ok());
+        let cmd = parse_args(&args("ingest in.csv --persist d --updates 10"))?;
+        assert!(matches!(
+            cmd,
+            Command::Ingest {
+                persist: Some(_),
+                ..
+            }
+        ));
+        assert!(parse_args(&args("query in.csv --persist --point 0.5,0.5")).is_err());
+        Ok(())
+    }
+
+    fn temp_dir(name: &str) -> String {
+        let d = std::env::temp_dir().join(format!("elsi_cli_deploy_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn save_then_load_round_trips() -> Result<(), String> {
+        let path = temp_csv("save_load", Dataset::Uniform, 900);
+        let dir = temp_dir("save_load");
+        let saved = run(parse_args(&args(&format!(
+            "save {path} {dir} --shards 2x2 --router learned"
+        )))?)?;
+        assert!(saved.contains("generation:          1"), "{saved}");
+        let loaded = run(parse_args(&args(&format!("load {dir}")))?)?;
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(loaded.contains("recovered generation 1"), "{loaded}");
+        assert!(loaded.contains("router:              learned"), "{loaded}");
+        assert!(loaded.contains("live points:         900"), "{loaded}");
+        Ok(())
+    }
+
+    #[test]
+    fn query_persist_builds_once_then_recovers() -> Result<(), String> {
+        let path = temp_csv("persist_q", Dataset::Skewed, 800);
+        let dir = temp_dir("persist_q");
+        let q = format!("query {path} --persist {dir} --window 0.1,0.1,0.5,0.5");
+        let first = run(parse_args(&args(&q))?)?;
+        assert!(first.contains("persisted generation 1"), "{first}");
+        let second = run(parse_args(&args(&q))?)?;
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(second.contains("recovered generation 1"), "{second}");
+        let hits = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("points in window"))
+                .map(str::to_owned)
+        };
+        assert!(hits(&first).is_some(), "{first}");
+        assert_eq!(hits(&first), hits(&second), "recovery changed the answer");
+        // Non-ZM kinds are rejected up front.
+        let err = run(parse_args(&args(&format!(
+            "query {path} --persist {dir} --index lisa --point 0.5,0.5"
+        )))?)
+        .unwrap_err();
+        assert!(err.contains("ZM deployments only"), "{err}");
+        Ok(())
+    }
+
+    #[test]
+    fn ingest_persist_checkpoints_and_reloads() -> Result<(), String> {
+        let path = temp_csv("persist_i", Dataset::Uniform, 700);
+        let dir = temp_dir("persist_i");
+        let report = run(parse_args(&args(&format!(
+            "ingest {path} --updates 300 --batch 50 --persist {dir}"
+        )))?)?;
+        assert!(report.contains("persisted generation 1"), "{report}");
+        assert!(report.contains("checkpointed as generation 2"), "{report}");
+        let live = report
+            .lines()
+            .find(|l| l.starts_with("live points:"))
+            .map(str::to_owned)
+            .ok_or("no live points line")?;
+        // The checkpoint holds the post-ingest state.
+        let loaded = run(parse_args(&args(&format!("load {dir}")))?)?;
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        let live_count = live
+            .split_whitespace()
+            .nth(2)
+            .ok_or("bad live points line")?
+            .to_string();
+        assert!(
+            loaded.contains(&format!("live points:         {live_count}")),
+            "{loaded}\nvs ingest: {live}"
+        );
+        Ok(())
     }
 
     #[test]

@@ -40,6 +40,9 @@
 //! * [`rebuild`] — the rebuild predictor (§IV-B2): FFN (or threshold)
 //!   policies over drift/ratio/depth features.
 //! * [`cost`] — the build-cost decomposition of §VI (Table I).
+//! * [`persist`] — durable snapshots and WAL replay for the update
+//!   lifecycle (`DESIGN.md` §14): crash recovery restores a processor
+//!   from its last snapshot plus the journaled update tail.
 //! * [`config`] / [`sync`] — tuning knobs and the workspace's sanctioned
 //!   lock helper (`lock_unpoisoned`; see `DESIGN.md` §7).
 //!
@@ -53,6 +56,7 @@ pub mod build;
 pub mod config;
 pub mod cost;
 pub mod methods;
+pub mod persist;
 pub mod rebuild;
 pub mod scorer;
 pub mod sync;
@@ -62,6 +66,7 @@ pub use build::{ElsiBuilder, MethodChoice};
 pub use config::ElsiConfig;
 pub use cost::CostDecomposition;
 pub use methods::{Method, MrPool, Reduction};
+pub use persist::{decode_updates, encode_updates, recover, OverlayCodec};
 pub use rebuild::{RebuildFeatures, RebuildPolicy, RebuildPredictor, RebuildSample};
 pub use scorer::{AltSelector, MethodCosts, MethodScorer, RandomSelector, ScorerSample};
 pub use sync::lock_unpoisoned;

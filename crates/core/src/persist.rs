@@ -1,0 +1,663 @@
+//! Durable snapshots and write-ahead logging for the update lifecycle
+//! (`DESIGN.md` §14).
+//!
+//! A processor snapshot is an `elsi-store` sectioned container holding:
+//!
+//! * [`SEC_META`] — the lifecycle counters (`n_at_build`, the `f_u`
+//!   cadence, pending-update and rebuild counts);
+//! * [`SEC_DRIFT`] — the CDF drift sketch, so recovery resumes rebuild
+//!   decisions exactly where the crash interrupted them;
+//! * [`SEC_POINTS`] — the live point set in ascending-id order (the same
+//!   sequence a rebuild feeds to the build processor);
+//! * [`SEC_INDEX`] — optionally, the built index state captured by an
+//!   [`IndexCodec`]. When present, recovery decodes it and skips model
+//!   training entirely; when absent (or the codec declines), recovery
+//!   rebuilds from the live points through the rebuild callback — the
+//!   same deterministic path as [`UpdateProcessor::rebuild`].
+//!
+//! The WAL records update *batches*: every [`UpdateProcessor::insert`],
+//! [`UpdateProcessor::delete`] and [`UpdateProcessor::apply_batch`] call
+//! appends one record before mutating, and replaying records in order
+//! through `apply_batch` reproduces the post-crash state bit-identically
+//! (singleton batches are proptest-pinned equivalent to the sequential
+//! path, including the policy cadence). [`recover`] composes the pieces:
+//! newest snapshot, WAL tail replay, fresh journaling.
+
+use crate::rebuild::RebuildPolicy;
+use crate::update::{
+    BatchIngest, DeltaOverlay, DriftTracker, LifecycleCounters, RebuildFn, Update, UpdateProcessor,
+};
+use elsi_indices::persist::{decode_points, encode_points};
+use elsi_indices::SpatialIndex;
+use elsi_spatial::Point;
+use elsi_store::{
+    read_wal, ByteReader, ByteWriter, IndexCodec, Snapshot, SnapshotWriter, StoreError, WalReplay,
+    WalWriter,
+};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Snapshot section tag: lifecycle counters.
+pub const SEC_META: u32 = u32::from_le_bytes(*b"META");
+/// Snapshot section tag: the drift sketch.
+pub const SEC_DRIFT: u32 = u32::from_le_bytes(*b"DRFT");
+/// Snapshot section tag: the live point set.
+pub const SEC_POINTS: u32 = u32::from_le_bytes(*b"PNTS");
+/// Snapshot section tag: the encoded index blob (optional).
+pub const SEC_INDEX: u32 = u32::from_le_bytes(*b"INDX");
+
+/// Layout version of the meta section.
+pub const META_VERSION: u32 = 1;
+
+/// Layout version of the overlay state blob ([`OverlayCodec`]).
+pub const OVERLAY_STATE_VERSION: u32 = 1;
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+/// Encoded size of one update op: tag + id + x + y.
+const OP_SIZE: usize = 1 + 8 + 8 + 8;
+
+/// Serialises one update batch as a WAL record payload.
+pub fn encode_updates(updates: &[Update]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(updates.len());
+    for u in updates {
+        let (tag, p) = match u {
+            Update::Insert(p) => (OP_INSERT, p),
+            Update::Delete(p) => (OP_DELETE, p),
+        };
+        w.put_u8(tag);
+        w.put_u64(p.id);
+        w.put_f64(p.x);
+        w.put_f64(p.y);
+    }
+    w.into_vec()
+}
+
+/// Decodes a WAL record payload back into its update batch. Never panics
+/// on damaged input.
+pub fn decode_updates(bytes: &[u8]) -> Result<Vec<Update>, StoreError> {
+    let mut r = ByteReader::new(bytes, "update batch");
+    let n = r.get_len(OP_SIZE)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = r.get_u8()?;
+        let p = Point::new(r.get_u64()?, r.get_f64()?, r.get_f64()?);
+        out.push(match tag {
+            OP_INSERT => Update::Insert(p),
+            OP_DELETE => Update::Delete(p),
+            other => {
+                return Err(StoreError::corrupt(
+                    "update batch",
+                    format!("unknown op tag {other}"),
+                ))
+            }
+        });
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+fn encode_meta(c: &LifecycleCounters) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(META_VERSION);
+    w.put_usize(c.n_at_build);
+    w.put_usize(c.updates_since_check);
+    w.put_usize(c.updates_since_build);
+    w.put_usize(c.f_u);
+    w.put_usize(c.rebuilds);
+    w.into_vec()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<LifecycleCounters, StoreError> {
+    let mut r = ByteReader::new(bytes, "processor meta");
+    let found = r.get_u32()?;
+    if found != META_VERSION {
+        return Err(StoreError::BadVersion {
+            found,
+            expected: META_VERSION,
+        });
+    }
+    let c = LifecycleCounters {
+        n_at_build: r.get_usize()?,
+        updates_since_check: r.get_usize()?,
+        updates_since_build: r.get_usize()?,
+        f_u: r.get_usize()?,
+        rebuilds: r.get_usize()?,
+    };
+    r.expect_end()?;
+    Ok(c)
+}
+
+fn encode_drift(d: &DriftTracker) -> Vec<u8> {
+    let (base, current, base_total, current_total) = d.parts();
+    let mut w = ByteWriter::new();
+    w.put_f64s(base);
+    w.put_f64s(current);
+    w.put_f64(base_total);
+    w.put_f64(current_total);
+    w.into_vec()
+}
+
+fn decode_drift(bytes: &[u8]) -> Result<DriftTracker, StoreError> {
+    let mut r = ByteReader::new(bytes, "drift sketch");
+    let base = r.get_f64s()?;
+    let current = r.get_f64s()?;
+    let base_total = r.get_f64()?;
+    let current_total = r.get_f64()?;
+    r.expect_end()?;
+    DriftTracker::from_parts(base, current, base_total, current_total)
+        .ok_or_else(|| StoreError::corrupt("drift sketch", "empty or mismatched histograms"))
+}
+
+/// [`IndexCodec`] for a [`DeltaOverlay`], layered over a codec for its
+/// base index: the base blob plus the overlay's three delta structures
+/// (wrap-time id snapshot, delta points, tombstones). The Morton-ordered
+/// secondary map is recomputed on decode, not persisted.
+///
+/// With this, an `UpdateProcessor<DeltaOverlay<ZmIndex>>` snapshot
+/// restores the *exact* pre-crash state — base models untrained-for,
+/// pending deltas intact — which is what makes sharded recovery faster
+/// than a cold build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlayCodec<C> {
+    inner: C,
+}
+
+impl<C> OverlayCodec<C> {
+    /// Wraps a codec for the overlay's base index.
+    pub fn new(inner: C) -> Self {
+        Self { inner }
+    }
+
+    /// The base-index codec.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<I, C> IndexCodec<DeltaOverlay<I>> for OverlayCodec<C>
+where
+    I: SpatialIndex,
+    C: IndexCodec<I>,
+{
+    fn encode(&self, overlay: &DeltaOverlay<I>) -> Option<Vec<u8>> {
+        let base = self.inner.encode(overlay.base())?;
+        let mut w = ByteWriter::new();
+        w.put_u32(OVERLAY_STATE_VERSION);
+        w.put_bytes(&base);
+        let base_ids: Vec<u64> = overlay.base_ids().iter().copied().collect();
+        w.put_u64s(&base_ids);
+        let inserted: Vec<Point> = overlay.inserted_points().copied().collect();
+        encode_points(&mut w, &inserted);
+        let deleted: Vec<u64> = overlay.deleted_ids().iter().copied().collect();
+        w.put_u64s(&deleted);
+        Some(w.into_vec())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<DeltaOverlay<I>, StoreError> {
+        let mut r = ByteReader::new(bytes, "overlay state");
+        let found = r.get_u32()?;
+        if found != OVERLAY_STATE_VERSION {
+            return Err(StoreError::BadVersion {
+                found,
+                expected: OVERLAY_STATE_VERSION,
+            });
+        }
+        let base_blob = r.get_bytes()?;
+        let base = self.inner.decode(base_blob)?;
+        let base_ids: BTreeSet<u64> = r.get_u64s()?.into_iter().collect();
+        let inserted = decode_points(&mut r)?;
+        let deleted: BTreeSet<u64> = r.get_u64s()?.into_iter().collect();
+        r.expect_end()?;
+        DeltaOverlay::from_restored(base, base_ids, inserted, deleted).ok_or_else(|| {
+            StoreError::corrupt("overlay state", "delta parts violate overlay invariants")
+        })
+    }
+}
+
+impl<I: SpatialIndex> UpdateProcessor<I> {
+    /// Assembles this processor's snapshot image. Exposed (rather than
+    /// only [`UpdateProcessor::save_snapshot`]) so crash tests can stream
+    /// it through a fault-injecting writer and callers can batch several
+    /// shards into one directory sync.
+    pub fn snapshot_writer<C: IndexCodec<I>>(&self, codec: &C) -> SnapshotWriter {
+        let mut w = SnapshotWriter::new();
+        w.add_section(SEC_META, encode_meta(&self.persist_counters()));
+        w.add_section(SEC_DRIFT, encode_drift(self.drift_tracker()));
+        let mut pw = ByteWriter::new();
+        encode_points(&mut pw, &self.live_points());
+        w.add_section(SEC_POINTS, pw.into_vec());
+        if let Some(blob) = codec.encode(self.index()) {
+            w.add_section(SEC_INDEX, blob);
+        }
+        w
+    }
+
+    /// Durably writes this processor's state to `path` (temp file +
+    /// atomic rename). The attached WAL, if any, is untouched — callers
+    /// that snapshot to absorb a WAL should detach/retire it themselves
+    /// (or use the serving layer, which rotates generations).
+    pub fn save_snapshot<C: IndexCodec<I>>(
+        &self,
+        path: &Path,
+        codec: &C,
+    ) -> Result<(), StoreError> {
+        self.snapshot_writer(codec).write_file(path)
+    }
+
+    /// Restores a processor from a verified snapshot. The index comes
+    /// from the encoded blob when one is present (fast path — no
+    /// training), else from `rebuild_fn` over the live points (the
+    /// deterministic rebuild path).
+    pub fn from_snapshot<C: IndexCodec<I>>(
+        snap: &Snapshot,
+        rebuild_fn: RebuildFn<I>,
+        policy: RebuildPolicy,
+        codec: &C,
+    ) -> Result<Self, StoreError> {
+        let missing =
+            |what: &str| StoreError::corrupt("snapshot", format!("missing {what} section"));
+        let counters = decode_meta(snap.section(SEC_META).ok_or_else(|| missing("meta"))?)?;
+        let drift = decode_drift(snap.section(SEC_DRIFT).ok_or_else(|| missing("drift"))?)?;
+        let mut r = ByteReader::new(
+            snap.section(SEC_POINTS).ok_or_else(|| missing("points"))?,
+            "live points",
+        );
+        let points = decode_points(&mut r)?;
+        r.expect_end()?;
+        if points.windows(2).any(|w| w[0].id >= w[1].id) {
+            return Err(StoreError::corrupt(
+                "live points",
+                "ids are not strictly ascending",
+            ));
+        }
+        let index = match snap.section(SEC_INDEX) {
+            Some(blob) => codec.decode(blob)?,
+            None => rebuild_fn(points.clone()),
+        };
+        let points = points.into_iter().map(|p| (p.id, p)).collect();
+        Ok(Self::restore(
+            index, rebuild_fn, policy, points, drift, counters,
+        ))
+    }
+
+    /// Reads, verifies and restores a snapshot file.
+    pub fn open_snapshot<C: IndexCodec<I>>(
+        path: &Path,
+        rebuild_fn: RebuildFn<I>,
+        policy: RebuildPolicy,
+        codec: &C,
+    ) -> Result<Self, StoreError> {
+        let snap = Snapshot::read_file(path)?;
+        Self::from_snapshot(&snap, rebuild_fn, policy, codec)
+    }
+
+    /// Replays a scanned WAL tail into this processor, one batch per
+    /// record, through the (proptest-pinned) batch path — reproducing the
+    /// pre-crash state including the rebuild cadence. Returns the number
+    /// of records replayed.
+    ///
+    /// Must run *before* a WAL is attached: replaying into a journaling
+    /// processor would re-append every record it reads.
+    pub fn replay_wal(&mut self, replay: &WalReplay) -> Result<usize, StoreError>
+    where
+        I: BatchIngest,
+    {
+        if self.wal_attached() {
+            return Err(StoreError::Unsupported {
+                what: "replaying a WAL into a processor that is already journaling".to_string(),
+            });
+        }
+        for record in &replay.records {
+            let updates = decode_updates(record)?;
+            self.apply_batch(&updates);
+        }
+        Ok(replay.records.len())
+    }
+}
+
+/// One-call crash recovery for a single processor: restore the snapshot,
+/// replay the WAL's intact tail (dropping a torn final record), truncate
+/// the tear away, and resume journaling on the same WAL.
+///
+/// The WAL file must exist — pair every snapshot with a (possibly empty)
+/// WAL, as [`UpdateProcessor::save_snapshot`] plus [`WalWriter::create`]
+/// does. Damage anywhere surfaces as a clean [`StoreError`]; nothing on
+/// this path panics.
+pub fn recover<I, C>(
+    snapshot_path: &Path,
+    wal_path: &Path,
+    rebuild_fn: RebuildFn<I>,
+    policy: RebuildPolicy,
+    codec: &C,
+) -> Result<UpdateProcessor<I>, StoreError>
+where
+    I: SpatialIndex + BatchIngest,
+    C: IndexCodec<I>,
+{
+    let mut proc = UpdateProcessor::open_snapshot(snapshot_path, rebuild_fn, policy, codec)?;
+    let replay = read_wal(wal_path)?;
+    proc.replay_wal(&replay)?;
+    let wal = WalWriter::open_append(wal_path, &replay)?;
+    proc.attach_wal(wal);
+    Ok(proc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateOutcome;
+    use elsi_data::gen::uniform;
+    use elsi_indices::{
+        GridConfig, GridIndex, PwlBuilder, SpatialIndex, ZmConfig, ZmIndex, ZmStateCodec,
+    };
+    use elsi_spatial::Rect;
+    use elsi_store::NoCodec;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("elsi_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn grid_rebuild() -> RebuildFn<GridIndex> {
+        Box::new(|pts| GridIndex::build(pts, &GridConfig { block_size: 20 }))
+    }
+
+    /// Batch-capable processor target: grid behind a delta overlay.
+    fn overlay_grid_rebuild() -> RebuildFn<DeltaOverlay<GridIndex>> {
+        Box::new(|pts| DeltaOverlay::new(GridIndex::build(pts, &GridConfig { block_size: 20 })))
+    }
+
+    fn zm_overlay_rebuild() -> RebuildFn<DeltaOverlay<ZmIndex>> {
+        Box::new(|pts| {
+            DeltaOverlay::new(ZmIndex::build(
+                pts,
+                &ZmConfig { fanout: 4 },
+                &PwlBuilder { epsilon: 8 },
+            ))
+        })
+    }
+
+    /// Query fingerprint that is robust to result *order* (the rebuild
+    /// recovery path may lay blocks out differently than a processor that
+    /// grew by in-place inserts): canonically sorted window results plus
+    /// kNN (already canonical).
+    fn fingerprint<I: SpatialIndex>(index: &I) -> (Vec<u64>, Vec<u64>) {
+        let mut window: Vec<u64> = index
+            .window_query(&Rect::new(0.2, 0.2, 0.7, 0.7))
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        window.sort_unstable();
+        let knn: Vec<u64> = index
+            .knn_query(Point::at(0.4, 0.6), 12)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        (window, knn)
+    }
+
+    fn assert_processors_match<I: SpatialIndex>(a: &UpdateProcessor<I>, b: &UpdateProcessor<I>) {
+        assert_eq!(a.live_len(), b.live_len());
+        assert_eq!(a.n_at_build(), b.n_at_build());
+        assert_eq!(a.pending_updates(), b.pending_updates());
+        assert_eq!(a.rebuilds(), b.rebuilds());
+        assert_eq!(a.live_points(), b.live_points());
+        let (fa, fb) = (a.features(), b.features());
+        assert_eq!(fa.dist_u.to_bits(), fb.dist_u.to_bits());
+        assert_eq!(fa.drift_sim.to_bits(), fb.drift_sim.to_bits());
+        assert_eq!(fingerprint(a.index()), fingerprint(b.index()));
+    }
+
+    #[test]
+    fn update_batches_round_trip_and_reject_damage() {
+        let ops = vec![
+            Update::Insert(Point::new(u64::MAX, -0.0, 0.25)),
+            Update::Delete(Point::new(7, 0.5, 0.5)),
+            Update::Insert(Point::new(0, 1.0, 0.0)),
+        ];
+        let bytes = encode_updates(&ops);
+        assert_eq!(decode_updates(&bytes).unwrap(), ops);
+        assert_eq!(decode_updates(&encode_updates(&[])).unwrap(), vec![]);
+        for cut in 0..bytes.len() {
+            assert!(decode_updates(&bytes[..cut]).is_err(), "cut {cut} decoded");
+        }
+        // An unknown op tag is corrupt, not a guess. Ops start after the
+        // 8-byte count; the tag is the first byte of each op.
+        let mut bad = bytes.clone();
+        bad[8] = 9;
+        assert!(matches!(
+            decode_updates(&bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_updates(&long).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips_by_rebuild_with_no_codec() {
+        let mut proc =
+            UpdateProcessor::new(uniform(400, 11), grid_rebuild(), RebuildPolicy::Never, 16);
+        for i in 0..60u64 {
+            proc.insert(Point::new(50_000 + i, 0.3 + (i as f64) * 0.005, 0.4));
+        }
+        let victims = uniform(400, 11);
+        for p in victims.iter().take(25) {
+            proc.delete(*p);
+        }
+        let path = tmp("grid.snap");
+        proc.save_snapshot(&path, &NoCodec).unwrap();
+        let opened =
+            UpdateProcessor::open_snapshot(&path, grid_rebuild(), RebuildPolicy::Never, &NoCodec)
+                .unwrap();
+        assert_processors_match(&proc, &opened);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlay_codec_restores_exact_delta_state() {
+        let mut proc = UpdateProcessor::new(
+            uniform(500, 21),
+            zm_overlay_rebuild(),
+            RebuildPolicy::Never,
+            1000,
+        );
+        for i in 0..40u64 {
+            proc.insert(Point::new(80_000 + i, 0.1 + (i as f64) * 0.01, 0.9));
+        }
+        for p in uniform(500, 21).iter().take(15) {
+            proc.delete(*p);
+        }
+        let codec = OverlayCodec::new(ZmStateCodec);
+        let snap_bytes = proc.snapshot_writer(&codec).to_bytes();
+        let snap = Snapshot::from_bytes(&snap_bytes, &PathBuf::from("mem")).unwrap();
+        assert!(snap.section(SEC_INDEX).is_some(), "fast path not taken");
+        let opened = UpdateProcessor::from_snapshot(
+            &snap,
+            zm_overlay_rebuild(),
+            RebuildPolicy::Never,
+            &codec,
+        )
+        .unwrap();
+        assert_processors_match(&proc, &opened);
+        // Exact state: the delta maps survive, not just the merged view,
+        // and even *unsorted* window results align bit-for-bit.
+        assert_eq!(proc.index().delta_len(), opened.index().delta_len());
+        let w = Rect::new(0.0, 0.85, 1.0, 1.0);
+        assert_eq!(
+            proc.index().window_query(&w),
+            opened.index().window_query(&w)
+        );
+    }
+
+    #[test]
+    fn wal_replay_reproduces_the_journaled_tail() {
+        let snap_path = tmp("replay.snap");
+        let wal_path = tmp("replay.wal");
+        let f_u = 8;
+        let policy = || RebuildPolicy::Threshold {
+            max_drift: 2.0, // never trips on drift; ratio does the work
+            max_ratio: 0.2,
+        };
+        let mut journaled =
+            UpdateProcessor::new(uniform(300, 31), overlay_grid_rebuild(), policy(), f_u);
+        journaled.save_snapshot(&snap_path, &NoCodec).unwrap();
+        journaled.attach_wal(WalWriter::create(&wal_path).unwrap());
+        // Mixed singleton and batched traffic, enough to cross the
+        // rebuild threshold so the cadence itself is exercised.
+        let mut outcomes = Vec::new();
+        for i in 0..70u64 {
+            let out = journaled.insert(Point::new(90_000 + i, 0.25, 0.75));
+            outcomes.push(out == UpdateOutcome::Rebuilt);
+        }
+        let batch: Vec<Update> = (0..30u64)
+            .map(|i| Update::Insert(Point::new(91_000 + i, 0.6, 0.6)))
+            .collect();
+        journaled.apply_batch(&batch);
+        journaled.delete(uniform(300, 31)[0]);
+        journaled.sync_wal().unwrap();
+        assert!(journaled.wal_error().is_none());
+        assert!(outcomes.iter().any(|&r| r), "threshold never crossed");
+        drop(journaled.detach_wal());
+
+        // "Crash": recover from the snapshot + WAL alone.
+        let recovered = recover(
+            &snap_path,
+            &wal_path,
+            overlay_grid_rebuild(),
+            policy(),
+            &NoCodec,
+        )
+        .unwrap();
+        assert_eq!(recovered.live_len(), 300 + 70 + 30 - 1);
+        assert!(recovered.rebuilds() > 0);
+        assert!(recovered.wal_attached());
+
+        // Reference: the same stream with no WAL involved at all.
+        let mut reference =
+            UpdateProcessor::new(uniform(300, 31), overlay_grid_rebuild(), policy(), f_u);
+        for i in 0..70u64 {
+            reference.insert(Point::new(90_000 + i, 0.25, 0.75));
+        }
+        reference.apply_batch(&batch);
+        reference.delete(uniform(300, 31)[0]);
+        assert_processors_match(&reference, &recovered);
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_the_prefix() {
+        let snap_path = tmp("torn.snap");
+        let wal_path = tmp("torn.wal");
+        let mut proc = UpdateProcessor::new(
+            uniform(100, 41),
+            overlay_grid_rebuild(),
+            RebuildPolicy::Never,
+            1000,
+        );
+        proc.save_snapshot(&snap_path, &NoCodec).unwrap();
+        proc.attach_wal(WalWriter::create(&wal_path).unwrap());
+        proc.insert(Point::new(70_001, 0.1, 0.1));
+        proc.insert(Point::new(70_002, 0.2, 0.2));
+        drop(proc.detach_wal());
+        // Crash mid-append: chop bytes off the final record.
+        let full = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &full[..full.len() - 5]).unwrap();
+        let recovered = recover(
+            &snap_path,
+            &wal_path,
+            overlay_grid_rebuild(),
+            RebuildPolicy::Never,
+            &NoCodec,
+        )
+        .unwrap();
+        // The torn second insert is gone; the first survived.
+        assert_eq!(recovered.live_len(), 101);
+        assert!(recovered
+            .index()
+            .point_query(Point::new(70_001, 0.1, 0.1))
+            .is_some());
+        assert!(recovered
+            .index()
+            .point_query(Point::new(70_002, 0.2, 0.2))
+            .is_none());
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn replay_into_a_journaling_processor_is_refused() {
+        let wal_path = tmp("refused.wal");
+        let mut proc = UpdateProcessor::new(
+            uniform(50, 51),
+            overlay_grid_rebuild(),
+            RebuildPolicy::Never,
+            1000,
+        );
+        proc.attach_wal(WalWriter::create(&wal_path).unwrap());
+        let empty = WalReplay {
+            records: Vec::new(),
+            valid_len: elsi_store::WAL_HEADER_LEN,
+            torn: false,
+        };
+        assert!(matches!(
+            proc.replay_wal(&empty),
+            Err(StoreError::Unsupported { .. })
+        ));
+        drop(proc.detach_wal());
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn damaged_snapshot_sections_are_clean_errors() {
+        let proc = UpdateProcessor::new(uniform(80, 61), grid_rebuild(), RebuildPolicy::Never, 4);
+        let image = proc.snapshot_writer(&NoCodec).to_bytes();
+        // A snapshot missing its points section is corrupt, not a panic.
+        let mut only_meta = SnapshotWriter::new();
+        only_meta.add_section(SEC_META, encode_meta(&proc.persist_counters()));
+        let snap = Snapshot::from_bytes(&only_meta.to_bytes(), &PathBuf::from("mem")).unwrap();
+        assert!(matches!(
+            UpdateProcessor::from_snapshot(&snap, grid_rebuild(), RebuildPolicy::Never, &NoCodec),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Any truncation of the full image fails to parse at all.
+        for cut in [0, 10, image.len() / 2, image.len() - 1] {
+            assert!(Snapshot::from_bytes(&image[..cut], &PathBuf::from("mem")).is_err());
+        }
+    }
+
+    #[test]
+    fn drift_and_meta_sections_reject_damage() {
+        let proc = UpdateProcessor::new(uniform(60, 71), grid_rebuild(), RebuildPolicy::Never, 4);
+        let meta = encode_meta(&proc.persist_counters());
+        for cut in 0..meta.len() {
+            assert!(decode_meta(&meta[..cut]).is_err());
+        }
+        let mut wrong_version = meta.clone();
+        wrong_version[0] = 99;
+        assert!(matches!(
+            decode_meta(&wrong_version),
+            Err(StoreError::BadVersion { found: 99, .. })
+        ));
+        let drift = encode_drift(proc.drift_tracker());
+        for cut in 0..drift.len() {
+            assert!(decode_drift(&drift[..cut]).is_err());
+        }
+        // Empty histograms would break the binning arithmetic downstream.
+        let mut w = ByteWriter::new();
+        w.put_f64s(&[]);
+        w.put_f64s(&[]);
+        w.put_f64(0.0);
+        w.put_f64(0.0);
+        assert!(matches!(
+            decode_drift(&w.into_vec()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

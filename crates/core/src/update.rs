@@ -26,6 +26,7 @@ pub use elsi_data::stream::Update;
 use elsi_indices::SpatialIndex;
 use elsi_spatial::curve::morton_of;
 use elsi_spatial::{canonical_knn_cmp, KeyMapper, MortonMapper, Point, Rect, ScanScratch};
+use elsi_store::{StoreError, WalWriter};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Default update procedures: a delta layer over a static base index.
@@ -102,6 +103,58 @@ impl<I: SpatialIndex> DeltaOverlay<I> {
     /// track their length, so this is safe on hot load-probing paths.
     pub fn delta_len(&self) -> usize {
         self.inserted.len() + self.deleted.len()
+    }
+
+    /// Ids the base index held at wrap time (the collision-resolution
+    /// snapshot). Persisted verbatim by the overlay codec so a restored
+    /// overlay resolves id collisions exactly as the original did.
+    pub fn base_ids(&self) -> &BTreeSet<u64> {
+        &self.base_ids
+    }
+
+    /// The buffered delta points, in ascending-id order.
+    pub fn inserted_points(&self) -> impl Iterator<Item = &Point> {
+        self.inserted.values()
+    }
+
+    /// Tombstoned base ids.
+    pub fn deleted_ids(&self) -> &BTreeSet<u64> {
+        &self.deleted
+    }
+
+    /// Reassembles an overlay from persisted parts: the restored base,
+    /// the wrap-time id snapshot, the delta points (ascending id, one
+    /// copy per id) and the tombstone set. The Morton-ordered secondary
+    /// map is recomputed rather than persisted — it is a pure function of
+    /// the delta points.
+    ///
+    /// Returns `None` when the parts violate the overlay's invariants
+    /// (a duplicated delta id, or a tombstone for an id the base never
+    /// held) — the codec layer turns that into a clean corruption error.
+    pub fn from_restored(
+        base: I,
+        base_ids: BTreeSet<u64>,
+        inserted: Vec<Point>,
+        deleted: BTreeSet<u64>,
+    ) -> Option<Self> {
+        if !deleted.is_subset(&base_ids) {
+            return None;
+        }
+        let by_id: BTreeMap<u64, Point> = inserted.iter().map(|p| (p.id, *p)).collect();
+        if by_id.len() != inserted.len() {
+            return None;
+        }
+        let inserted_by_key = by_id
+            .values()
+            .map(|p| ((morton_of(p.x, p.y), p.id), *p))
+            .collect();
+        Some(Self {
+            base,
+            base_ids,
+            inserted: by_id,
+            inserted_by_key,
+            deleted,
+        })
     }
 
     /// Bulk-merges a whole update batch into the delta maps, bit-identically
@@ -522,6 +575,39 @@ impl DriftTracker {
         self.base = self.current.clone();
         self.base_total = self.current_total;
     }
+
+    /// The sketch's raw state, for the snapshot writer:
+    /// `(base bins, current bins, base total, current total)`.
+    pub fn parts(&self) -> (&[f64], &[f64], f64, f64) {
+        (
+            &self.base,
+            &self.current,
+            self.base_total,
+            self.current_total,
+        )
+    }
+
+    /// Rebuilds a tracker from persisted [`DriftTracker::parts`].
+    ///
+    /// Returns `None` when the histograms are empty or their lengths
+    /// disagree — both break the binning arithmetic, so a corrupted
+    /// snapshot must not get this far.
+    pub fn from_parts(
+        base: Vec<f64>,
+        current: Vec<f64>,
+        base_total: f64,
+        current_total: f64,
+    ) -> Option<Self> {
+        if base.is_empty() || base.len() != current.len() {
+            return None;
+        }
+        Some(Self {
+            base,
+            current,
+            base_total,
+            current_total,
+        })
+    }
 }
 
 /// Outcome of one update routed through the processor.
@@ -570,6 +656,21 @@ pub struct UpdateProcessor<I: SpatialIndex> {
     updates_since_build: usize,
     f_u: usize,
     rebuilds: usize,
+    /// Attached write-ahead log: every mutation is appended (and flushed)
+    /// here *before* it touches the index, so a crash can lose at most
+    /// the in-flight operation. `None` = not journaling.
+    wal: Option<WalWriter>,
+    /// The error that detached the WAL, when journaling has degraded.
+    wal_error: Option<StoreError>,
+}
+
+/// The lifecycle counters a snapshot's meta section persists.
+pub(crate) struct LifecycleCounters {
+    pub n_at_build: usize,
+    pub updates_since_check: usize,
+    pub updates_since_build: usize,
+    pub f_u: usize,
+    pub rebuilds: usize,
 }
 
 impl<I: SpatialIndex> UpdateProcessor<I> {
@@ -599,7 +700,56 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
             updates_since_build: 0,
             f_u: f_u.max(1),
             rebuilds: 0,
+            wal: None,
+            wal_error: None,
         }
+    }
+
+    /// Reassembles a processor from snapshot parts (`persist` module).
+    pub(crate) fn restore(
+        index: I,
+        rebuild_fn: RebuildFn<I>,
+        policy: RebuildPolicy,
+        points: BTreeMap<u64, Point>,
+        drift: DriftTracker,
+        c: LifecycleCounters,
+    ) -> Self {
+        Self {
+            index,
+            rebuild_fn,
+            policy,
+            points,
+            drift,
+            n_at_build: c.n_at_build,
+            updates_since_check: c.updates_since_check,
+            updates_since_build: c.updates_since_build,
+            f_u: c.f_u.max(1),
+            rebuilds: c.rebuilds,
+            wal: None,
+            wal_error: None,
+        }
+    }
+
+    pub(crate) fn persist_counters(&self) -> LifecycleCounters {
+        LifecycleCounters {
+            n_at_build: self.n_at_build,
+            updates_since_check: self.updates_since_check,
+            updates_since_build: self.updates_since_build,
+            f_u: self.f_u,
+            rebuilds: self.rebuilds,
+        }
+    }
+
+    /// The drift sketch (read-only; the snapshot writer persists it).
+    pub fn drift_tracker(&self) -> &DriftTracker {
+        &self.drift
+    }
+
+    /// The live point set in ascending-id order — the exact sequence a
+    /// rebuild (and therefore snapshot recovery without an index codec)
+    /// feeds to the build processor.
+    pub fn live_points(&self) -> Vec<Point> {
+        self.points.values().copied().collect()
     }
 
     /// The wrapped index.
@@ -653,8 +803,64 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
         }
     }
 
+    /// Attaches a write-ahead log. Every subsequent mutation is appended
+    /// to it before the in-memory state changes, so a crash can be
+    /// replayed from the last snapshot ([`UpdateProcessor::replay_wal`]).
+    /// Clears any previous journaling failure.
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+        self.wal_error = None;
+    }
+
+    /// Detaches the write-ahead log (e.g. right after a snapshot absorbed
+    /// it), returning the writer so the caller can sync or retire it.
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// Whether a write-ahead log is currently attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The error that degraded journaling, if an append ever failed.
+    ///
+    /// An append failure must not poison serving: the processor drops the
+    /// WAL, keeps applying updates in memory, and parks the error here so
+    /// the operator layer can notice and re-establish durability (snapshot
+    /// + fresh WAL).
+    pub fn wal_error(&self) -> Option<&StoreError> {
+        self.wal_error.as_ref()
+    }
+
+    /// Forces appended WAL records to stable storage. A no-op without an
+    /// attached WAL.
+    pub fn sync_wal(&mut self) -> Result<(), StoreError> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends one update batch to the WAL (when attached) before the
+    /// mutation it describes. On failure, degrades: detaches the WAL,
+    /// records the error, and lets the mutation proceed in memory.
+    fn log_updates(&mut self, updates: &[Update]) {
+        if updates.is_empty() {
+            return;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            let payload = crate::persist::encode_updates(updates);
+            if let Err(e) = wal.append(&payload) {
+                self.wal = None;
+                self.wal_error = Some(e);
+            }
+        }
+    }
+
     /// Inserts a point, possibly triggering a rebuild.
     pub fn insert(&mut self, p: Point) -> UpdateOutcome {
+        self.log_updates(&[Update::Insert(p)]);
         self.index.insert(p);
         self.points.insert(p.id, p);
         self.drift.add(MortonMapper.key(p));
@@ -678,6 +884,11 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
     /// counting it would skew `update_ratio`/`drift_sim` toward spurious
     /// rebuild checks under workloads with many missing-id deletes.
     pub fn delete_checked(&mut self, p: Point) -> (bool, UpdateOutcome) {
+        // Logged before the effect is known: a no-op delete replays as a
+        // no-op (the batch path computes effects itself), so journaling it
+        // is harmless — and waiting until after `index.delete` would leave
+        // a window where a crash loses an applied delete.
+        self.log_updates(&[Update::Delete(p)]);
         if self.index.delete(p) {
             self.points.remove(&p.id);
             self.drift.remove(MortonMapper.key(p));
@@ -722,6 +933,7 @@ impl<I: SpatialIndex> UpdateProcessor<I> {
     where
         I: BatchIngest,
     {
+        self.log_updates(updates);
         let flags = self.index.ingest_batch(updates);
         let mut applied = 0usize;
         if updates.len() * 4 < self.points.len() {

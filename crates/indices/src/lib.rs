@@ -23,6 +23,7 @@ pub mod kdb;
 pub mod lisa;
 pub mod mlindex;
 pub mod model;
+pub mod persist;
 pub mod rsmi;
 pub mod rstar;
 pub(crate) mod rtree;
@@ -47,4 +48,4 @@ pub use traits::{
     knn_by_expanding_window, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
-pub use zm::{ZmConfig, ZmIndex};
+pub use zm::{ZmConfig, ZmIndex, ZmStateCodec};

@@ -170,6 +170,21 @@ impl RankModel {
         &self.f
     }
 
+    /// Rebuilds a model from persisted parts, skipping the `M(n)`
+    /// bound-derivation pass — the persistence decode path. The caller
+    /// owns the invariant that the bounds were derived over the same
+    /// partition the model will serve; snapshot codecs store exactly the
+    /// values a build recorded, so the rebuilt model answers queries
+    /// bit-identically to the one that was saved.
+    pub fn from_parts(f: RankFn, n: usize, err_lo: i64, err_hi: i64) -> Self {
+        Self {
+            f,
+            n,
+            err_lo,
+            err_hi,
+        }
+    }
+
     /// A trivial model for an empty partition.
     pub fn empty(seed: u64) -> Self {
         Self {

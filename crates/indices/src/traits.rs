@@ -72,6 +72,15 @@ pub trait SpatialIndex {
         1
     }
 
+    /// The concrete index behind the trait object, for consumers that
+    /// need a type-specific capability (the persistence layer downcasts
+    /// `Box<dyn SpatialIndex>` to attach an index-state codec). Defaults
+    /// to `None`; indices with such capabilities override it with
+    /// `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Answers a batch of point queries, one result per query, in query
     /// order.
     ///
@@ -196,6 +205,9 @@ impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
     }
     fn depth(&self) -> usize {
         (**self).depth()
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
     }
     fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
         (**self).par_point_queries(queries)

@@ -13,11 +13,13 @@
 //! have Z-values between the window corners' Z-values).
 
 use crate::model::{BuildInput, BuildStats, ModelBuilder, RankModel};
+use crate::persist::{decode_points, decode_rank_model, encode_points, encode_rank_model};
 use crate::traits::{
     knn_by_expanding_window_into, par_knn_queries_of, par_point_queries_of, par_window_queries_of,
     SpatialIndex,
 };
 use elsi_spatial::{scan, KeyMapper, MappedData, MortonMapper, Point, Rect, ScanScratch};
+use elsi_store::{ByteReader, ByteWriter, IndexCodec, StoreError};
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -234,6 +236,105 @@ impl ZmIndex {
     fn live(&self, p: &Point) -> bool {
         !self.deleted.contains(&p.id)
     }
+
+    /// Serialises the built state — sorted columns, trained rank models,
+    /// composed error bounds, buffered inserts and tombstones — so
+    /// [`ZmIndex::decode_state`] can reconstruct the index without
+    /// re-training. Build statistics are diagnostics of the build that
+    /// produced them and are not persisted. Tombstone ids are written in
+    /// sorted order, so the encoding of a given index is deterministic
+    /// byte-for-byte regardless of hash-set iteration order.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(ZM_STATE_VERSION);
+        encode_points(&mut w, self.data.points());
+        w.put_f64s(self.data.keys());
+        encode_rank_model(&mut w, &self.root);
+        w.put_usize(self.leaves.len());
+        for leaf in &self.leaves {
+            encode_rank_model(&mut w, &leaf.model);
+            w.put_usize(leaf.offset);
+            w.put_i64(leaf.err_lo);
+            w.put_i64(leaf.err_hi);
+        }
+        encode_points(&mut w, &self.buffer);
+        let mut deleted: Vec<u64> = self.deleted.iter().copied().collect();
+        deleted.sort_unstable();
+        w.put_u64s(&deleted);
+        w.into_vec()
+    }
+
+    /// Reconstructs an index from [`ZmIndex::encode_state`] output — the
+    /// snapshot fast path that skips model training entirely. All model
+    /// parameters and error bounds round-trip bit-exactly, so the decoded
+    /// index answers every query identically to the encoded one. Any
+    /// malformed input yields a clean [`StoreError`], never a panic.
+    pub fn decode_state(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes, "zm state");
+        let version = r.get_u32()?;
+        if version != ZM_STATE_VERSION {
+            return Err(StoreError::BadVersion {
+                found: version,
+                expected: ZM_STATE_VERSION,
+            });
+        }
+        let points = decode_points(&mut r)?;
+        let keys = r.get_f64s()?;
+        if keys.len() != points.len() {
+            return Err(StoreError::corrupt(
+                "zm state",
+                "key column length disagrees with point columns",
+            ));
+        }
+        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(StoreError::corrupt("zm state", "keys are not sorted"));
+        }
+        let data = MappedData::from_sorted_pairs(points, keys);
+        let root = decode_rank_model(&mut r)?;
+        let n_leaves = r.get_len(1)?;
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            let model = decode_rank_model(&mut r)?;
+            let offset = r.get_usize()?;
+            let err_lo = r.get_i64()?;
+            let err_hi = r.get_i64()?;
+            leaves.push(Leaf {
+                model,
+                offset,
+                err_lo,
+                err_hi,
+            });
+        }
+        let buffer = decode_points(&mut r)?;
+        let deleted: HashSet<u64> = r.get_u64s()?.into_iter().collect();
+        r.expect_end()?;
+        Ok(Self {
+            data,
+            root,
+            leaves,
+            buffer,
+            deleted,
+            stats: Vec::new(),
+        })
+    }
+}
+
+/// Version of the [`ZmIndex::encode_state`] layout.
+pub const ZM_STATE_VERSION: u32 = 1;
+
+/// The [`IndexCodec`] that persists a built [`ZmIndex`] — the snapshot
+/// fast path that makes recovery skip FFN training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZmStateCodec;
+
+impl IndexCodec<ZmIndex> for ZmStateCodec {
+    fn encode(&self, index: &ZmIndex) -> Option<Vec<u8>> {
+        Some(index.encode_state())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<ZmIndex, StoreError> {
+        ZmIndex::decode_state(bytes)
+    }
 }
 
 impl SpatialIndex for ZmIndex {
@@ -331,6 +432,10 @@ impl SpatialIndex for ZmIndex {
 
     fn depth(&self) -> usize {
         2
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn par_point_queries(&self, queries: &[Point]) -> Vec<Option<Point>> {
@@ -475,5 +580,111 @@ mod tests {
         // Root + 4 leaves.
         assert_eq!(idx.build_stats().len(), 5);
         assert!(idx.build_stats().iter().all(|s| s.method == "OG"));
+    }
+
+    #[test]
+    fn encoded_state_round_trips_queries_bit_identically() {
+        let (pts, mut idx) = build_small(400);
+        // Exercise the mutable state too: buffered inserts + tombstones.
+        idx.insert(Point::new(9001, 0.111, 0.222));
+        idx.insert(Point::new(9002, 0.333, 0.444));
+        assert!(idx.delete(pts[17]));
+
+        let back = ZmIndex::decode_state(&idx.encode_state()).unwrap();
+        assert_eq!(back.len(), idx.len());
+        for p in pts.iter().step_by(7) {
+            assert_eq!(back.point_query(*p), idx.point_query(*p));
+        }
+        assert_eq!(
+            back.point_query(Point::at(0.111, 0.222)),
+            idx.point_query(Point::at(0.111, 0.222))
+        );
+        for w in [
+            Rect::new(0.1, 0.1, 0.4, 0.9),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.7, 0.2, 0.72, 0.25),
+        ] {
+            assert_eq!(back.window_query(&w), idx.window_query(&w));
+        }
+        for q in [Point::at(0.3, 0.3), Point::at(0.91, 0.13)] {
+            assert_eq!(back.knn_query(q, 9), idx.knn_query(q, 9));
+        }
+        // The error bounds — the part that costs an O(n·M(1)) pass to
+        // recompute — are restored, not re-derived.
+        assert_eq!(back.total_err_span(), idx.total_err_span());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_bytes() {
+        let (pts, mut idx) = build_small(150);
+        for p in pts.iter().take(20) {
+            idx.delete(*p); // populate the hash set
+        }
+        let a = idx.encode_state();
+        let b = idx.encode_state();
+        assert_eq!(a, b);
+        // And the re-encoded decode matches too.
+        let back = ZmIndex::decode_state(&a).unwrap();
+        assert_eq!(back.encode_state(), a);
+    }
+
+    #[test]
+    fn empty_index_state_round_trips() {
+        let idx = ZmIndex::build(
+            Vec::new(),
+            &ZmConfig::default(),
+            &OgBuilder::with_epochs(10),
+        );
+        let back = ZmIndex::decode_state(&idx.encode_state()).unwrap();
+        assert!(back.is_empty());
+        assert!(back.point_query(Point::at(0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn damaged_state_is_a_clean_error() {
+        let (_, idx) = build_small(120);
+        let clean = idx.encode_state();
+        for cut in 0..clean.len().min(400) {
+            assert!(
+                ZmIndex::decode_state(&clean[..cut]).is_err(),
+                "cut {cut} decoded"
+            );
+        }
+        // Unsorted key column is caught even when lengths line up.
+        let mut r = elsi_store::ByteReader::new(&clean, "probe");
+        r.get_u32().unwrap();
+        crate::persist::decode_points(&mut r).unwrap();
+        let keys_len_at = r.pos();
+        let mut swapped = clean.clone();
+        // Overwrite the first two keys with a descending pair.
+        swapped[keys_len_at + 8..keys_len_at + 16].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        swapped[keys_len_at + 16..keys_len_at + 24]
+            .copy_from_slice(&0.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            ZmIndex::decode_state(&swapped),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Wrong layout version is refused up front.
+        let mut versioned = clean.clone();
+        versioned[0..4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ZmIndex::decode_state(&versioned),
+            Err(StoreError::BadVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn codec_trait_wires_encode_to_decode() {
+        let (pts, idx) = build_small(100);
+        let codec = ZmStateCodec;
+        let bytes = IndexCodec::encode(&codec, &idx).expect("ZM always has a fast path");
+        let back = IndexCodec::decode(&codec, &bytes).unwrap();
+        assert_eq!(back.point_query(pts[3]), idx.point_query(pts[3]));
+        // The trait object is reachable back out through `as_any`.
+        let boxed: Box<dyn SpatialIndex + Send + Sync> = Box::new(idx);
+        assert!(boxed
+            .as_any()
+            .and_then(|a| a.downcast_ref::<ZmIndex>())
+            .is_some());
     }
 }

@@ -116,6 +116,39 @@ impl PwlModel {
         }
     }
 
+    /// The fitted segments as `(start_key, slope, intercept)` triples in
+    /// routing order — the raw parts a persistence codec stores.
+    pub fn segment_parts(&self) -> Vec<(f64, f64, f64)> {
+        self.segments
+            .iter()
+            .map(|s| (s.start_key, s.slope, s.intercept))
+            .collect()
+    }
+
+    /// Rebuilds a fitted model from [`PwlModel::segment_parts`] output
+    /// plus the ε and key count it was fitted with; the boundary routing
+    /// table is derived from the segments. No refitting happens and no
+    /// invariants are asserted — decoding codecs verify payload integrity
+    /// (checksums) before calling this, and a structurally odd model still
+    /// predicts without panicking (it just predicts badly).
+    pub fn from_parts(parts: &[(f64, f64, f64)], epsilon: usize, n: usize) -> Self {
+        let segments: Vec<Segment> = parts
+            .iter()
+            .map(|&(start_key, slope, intercept)| Segment {
+                start_key,
+                slope,
+                intercept,
+            })
+            .collect();
+        let boundaries = segments.iter().map(|s| s.start_key).collect();
+        Self {
+            segments,
+            boundaries,
+            epsilon,
+            n,
+        }
+    }
+
     /// Number of segments.
     pub fn num_segments(&self) -> usize {
         self.segments.len()
@@ -370,6 +403,25 @@ mod tests {
         let m = PwlModel::fit(&[0.3], 1);
         assert_eq!(m.quantile_key(0.0), 0.3);
         assert_eq!(m.quantile_key(5.0), 0.3);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_predictions() {
+        let keys: Vec<f64> = (0..2000).map(|i| (i as f64 / 1999.0).powi(4)).collect();
+        let m = PwlModel::fit(&keys, 8);
+        let rebuilt = PwlModel::from_parts(&m.segment_parts(), m.epsilon(), m.len());
+        assert_eq!(rebuilt.num_segments(), m.num_segments());
+        assert_eq!(rebuilt.epsilon(), m.epsilon());
+        assert_eq!(rebuilt.len(), m.len());
+        for &k in keys.iter().step_by(13) {
+            assert_eq!(rebuilt.predict(k), m.predict(k));
+            assert_eq!(rebuilt.search_range(k), m.search_range(k));
+        }
+        // Empty model round-trips too.
+        let empty = PwlModel::fit(&[], 4);
+        let back = PwlModel::from_parts(&empty.segment_parts(), empty.epsilon(), empty.len());
+        assert!(back.is_empty());
+        assert_eq!(back.predict(0.5), 0);
     }
 
     #[test]

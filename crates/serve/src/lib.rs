@@ -19,6 +19,12 @@
 //!   shard boundaries are equi-mass quantile cuts read off per-axis
 //!   empirical CDF models (`elsi_ml::PwlModel`), keeping shard occupancy
 //!   balanced under skew (`DESIGN.md` §13).
+//! * [`persist`] — durable serving directories (`DESIGN.md` §14): one
+//!   manifest + per-shard snapshot/WAL files, written generationally so a
+//!   crash at any byte leaves a recoverable directory.
+//!   [`sharded::ShardedIndex::save`] rotates journals; `open` restores the
+//!   router *without refitting* and recovers every shard in parallel from
+//!   its snapshot plus journaled tail.
 //! * [`sharded`] — [`sharded::ShardedIndex`] owns the per-shard update
 //!   processors, builds them in parallel on the rayon pool with per-shard
 //!   deterministic seeds (the same seeding discipline as the method
@@ -49,9 +55,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod persist;
 pub mod router;
 pub mod sharded;
 
+pub use persist::{
+    decode_router_state, encode_router_state, read_manifest, zm_codec, Manifest, PersistRouter,
+    RouterState, MANIFEST_FORMAT, MANIFEST_NAME, SEC_ROUTER,
+};
 pub use router::{shard_occupancy, GridRouter, LearnedRouter, Router};
 pub use sharded::{
     canonical_knn_cmp, canonical_point_key, ShardContext, ShardStats, ShardedConfig, ShardedIndex,

@@ -109,6 +109,42 @@ impl LearnedRouter {
         Self::fit(&sample, rows, cols)
     }
 
+    /// Reassembles a router from previously fitted cuts — the recovery
+    /// path of the persistence layer (`DESIGN.md` §14), where the cuts
+    /// come back from a serving-directory snapshot instead of a fit.
+    ///
+    /// Returns `None` unless the cuts satisfy every invariant the fit
+    /// guarantees: `x_cuts` has `cols + 1` strictly increasing values
+    /// anchored at `0.0` and `1.0`, and `y_cuts` has one such `rows + 1`
+    /// cut set per column. A decoded cut set that fails this check is
+    /// corrupt — accepting it would break the closed-cell ownership
+    /// contract ([`Router`]) that the cross-shard merge proofs rely on.
+    pub fn from_cuts(
+        rows: usize,
+        cols: usize,
+        x_cuts: Vec<f64>,
+        y_cuts: Vec<Vec<f64>>,
+    ) -> Option<Self> {
+        let anchored = |cuts: &[f64], parts: usize| {
+            cuts.len() == parts + 1
+                && cuts.first() == Some(&0.0)
+                && cuts.last() == Some(&1.0)
+                && cuts.iter().zip(cuts.iter().skip(1)).all(|(a, b)| a < b)
+        };
+        if rows == 0 || cols == 0 || !anchored(&x_cuts, cols) {
+            return None;
+        }
+        if y_cuts.len() != cols || !y_cuts.iter().all(|cuts| anchored(cuts, rows)) {
+            return None;
+        }
+        Some(Self {
+            rows,
+            cols,
+            x_cuts,
+            y_cuts,
+        })
+    }
+
     /// Rows of the partition.
     pub fn rows(&self) -> usize {
         self.rows
@@ -417,6 +453,36 @@ mod tests {
             }
         }
         assert!(r.shards_for_window(&Rect::empty()).is_empty());
+    }
+
+    #[test]
+    fn from_cuts_accepts_fitted_cuts_and_rejects_broken_ones() {
+        let r = LearnedRouter::fit(&skewed_points(5_000), 3, 2);
+        let rebuilt = LearnedRouter::from_cuts(
+            r.rows(),
+            r.cols(),
+            r.x_cuts().to_vec(),
+            (0..r.cols())
+                .map(|c| r.y_cuts(c).unwrap().to_vec())
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, r);
+
+        let uc = uniform_cuts;
+        // Zero-sized partitions.
+        assert!(LearnedRouter::from_cuts(0, 2, uc(2), vec![uc(0); 2]).is_none());
+        // Wrong x cut count for the column count.
+        assert!(LearnedRouter::from_cuts(2, 2, uc(3), vec![uc(2); 2]).is_none());
+        // Cuts not anchored at 0.0 / 1.0.
+        assert!(LearnedRouter::from_cuts(2, 2, vec![0.1, 0.5, 1.0], vec![uc(2); 2]).is_none());
+        assert!(LearnedRouter::from_cuts(2, 2, vec![0.0, 0.5, 0.9], vec![uc(2); 2]).is_none());
+        // Not strictly increasing (and NaN, which orders as nothing).
+        assert!(LearnedRouter::from_cuts(2, 2, vec![0.0, 0.0, 1.0], vec![uc(2); 2]).is_none());
+        assert!(LearnedRouter::from_cuts(2, 2, vec![0.0, f64::NAN, 1.0], vec![uc(2); 2]).is_none());
+        // One y cut set per column, each sized rows + 1.
+        assert!(LearnedRouter::from_cuts(2, 2, uc(2), vec![uc(2); 1]).is_none());
+        assert!(LearnedRouter::from_cuts(2, 2, uc(2), vec![uc(2), uc(3)]).is_none());
     }
 
     #[test]

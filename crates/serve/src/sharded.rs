@@ -134,8 +134,14 @@ impl Ord for HeapDist {
 /// mutable state. Coordinates are expected in the unit square, the
 /// workspace-wide data space convention.
 pub struct ShardedIndex<I: SpatialIndex + Send + Sync, R: Router = GridRouter> {
-    router: R,
-    shards: Vec<UpdateProcessor<DeltaOverlay<I>>>,
+    pub(crate) router: R,
+    pub(crate) shards: Vec<UpdateProcessor<DeltaOverlay<I>>>,
+    /// Per-shard check frequency, echoed into the serving-directory
+    /// manifest so `open` restores processors with the same cadence.
+    pub(crate) f_u: usize,
+    /// Root seed, echoed into the manifest so rebuild closures recreated
+    /// by `open` derive the same per-shard seeds as the original build.
+    pub(crate) seed: u64,
 }
 
 impl<I: SpatialIndex + Send + Sync> ShardedIndex<I, GridRouter> {
@@ -202,7 +208,7 @@ impl ShardedIndex<ZmIndex, LearnedRouter> {
 /// The shared ZM-F shard builder of [`ShardedIndex::zm`] /
 /// [`ShardedIndex::zm_learned`]: every shard builds through one ELSI
 /// build processor.
-fn zm_shard_builder(
+pub(crate) fn zm_shard_builder(
     elsi: &Elsi,
 ) -> impl Fn(&ShardContext, Vec<Point>) -> ZmIndex + Send + Sync + 'static {
     let builder = Arc::new(elsi.builder());
@@ -213,7 +219,7 @@ fn zm_shard_builder(
 
 /// The threshold rebuild policy of the update experiments, applied
 /// uniformly to every shard.
-fn zm_policy(_shard: usize) -> RebuildPolicy {
+pub(crate) fn zm_policy(_shard: usize) -> RebuildPolicy {
     RebuildPolicy::Threshold {
         max_drift: 0.15,
         max_ratio: 10.0,
@@ -269,7 +275,12 @@ impl<I: SpatialIndex + Send + Sync, R: Router> ShardedIndex<I, R> {
                 UpdateProcessor::new(pts, rebuild, pol, f_u)
             })
             .collect();
-        Self { router, shards }
+        Self {
+            router,
+            shards,
+            f_u,
+            seed: root_seed,
+        }
     }
 
     /// The router in front of the shards.

@@ -63,6 +63,17 @@ impl Block {
         Self { xs, ys, ids, mbr }
     }
 
+    /// Rebuilds a block from its raw structure-of-arrays parts — the
+    /// persistence decode path, which must not recompute the MBR (the
+    /// stored one is part of the durable state). Returns `None` when the
+    /// arrays disagree in length; codecs turn that into their own error.
+    pub fn from_raw_parts(xs: Vec<f64>, ys: Vec<f64>, ids: Vec<u64>, mbr: Rect) -> Option<Self> {
+        if xs.len() != ys.len() || xs.len() != ids.len() {
+            return None;
+        }
+        Some(Self { xs, ys, ids, mbr })
+    }
+
     /// The x coordinates, one per stored point.
     #[inline]
     pub fn xs(&self) -> &[f64] {
@@ -322,6 +333,71 @@ impl BlockStore {
             s.mbrs.push(Rect::mbr_of(chunk));
         }
         s
+    }
+
+    /// Rebuilds a store from its raw parts — the persistence decode path.
+    /// Validates the structural invariants (parallel arrays of one length,
+    /// a monotone offset table spanning them exactly, one MBR per block, a
+    /// positive capacity) and returns `None` when any is violated; codecs
+    /// turn that into their own error type.
+    pub fn from_raw_parts(
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        ids: Vec<u64>,
+        offsets: Vec<usize>,
+        mbrs: Vec<Rect>,
+        capacity: usize,
+    ) -> Option<Self> {
+        let n = ids.len();
+        let well_formed = capacity > 0
+            && xs.len() == n
+            && ys.len() == n
+            && offsets.len() == mbrs.len() + 1
+            && offsets.first() == Some(&0)
+            && offsets.last() == Some(&n)
+            && offsets.windows(2).all(|w| w[0] <= w[1]);
+        if !well_formed {
+            return None;
+        }
+        Some(Self {
+            xs,
+            ys,
+            ids,
+            offsets,
+            mbrs,
+            capacity,
+        })
+    }
+
+    /// The shared x-coordinate column (all blocks, in block order).
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The shared y-coordinate column (all blocks, in block order).
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The shared id column (all blocks, in block order).
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The offset table: `num_blocks() + 1` monotone positions into the
+    /// point columns; block `b` spans `offsets()[b] .. offsets()[b + 1]`.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The maintained MBR of each block.
+    #[inline]
+    pub fn mbrs(&self) -> &[Rect] {
+        &self.mbrs
     }
 
     /// Block capacity.
@@ -719,5 +795,64 @@ mod tests {
         let s = BlockStore::bulk_load(&pts(120), 50);
         let got: Vec<Point> = s.iter_points().collect();
         assert_eq!(got, pts(120));
+    }
+
+    #[test]
+    fn block_raw_parts_round_trip() {
+        let b = Block::from_points(pts(7));
+        let rebuilt =
+            Block::from_raw_parts(b.xs().to_vec(), b.ys().to_vec(), b.ids().to_vec(), b.mbr())
+                .unwrap();
+        assert_eq!(rebuilt.to_points(), b.to_points());
+        assert_eq!(rebuilt.mbr(), b.mbr());
+        assert!(Block::from_raw_parts(vec![0.1], vec![], vec![1], Rect::unit()).is_none());
+    }
+
+    #[test]
+    fn store_raw_parts_round_trip_and_validation() {
+        let s = BlockStore::bulk_load(&pts(130), 50);
+        let rebuilt = BlockStore::from_raw_parts(
+            s.xs().to_vec(),
+            s.ys().to_vec(),
+            s.ids().to_vec(),
+            s.offsets().to_vec(),
+            s.mbrs().to_vec(),
+            s.capacity(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.num_blocks(), s.num_blocks());
+        let got: Vec<Point> = rebuilt.iter_points().collect();
+        assert_eq!(got, pts(130));
+        for b in 0..s.num_blocks() {
+            assert_eq!(rebuilt.view(b).mbr, s.view(b).mbr);
+        }
+
+        let bad_offsets = BlockStore::from_raw_parts(
+            s.xs().to_vec(),
+            s.ys().to_vec(),
+            s.ids().to_vec(),
+            vec![0, 60, 50, 130], // non-monotone
+            s.mbrs().to_vec(),
+            50,
+        );
+        assert!(bad_offsets.is_none());
+        let bad_span = BlockStore::from_raw_parts(
+            s.xs().to_vec(),
+            s.ys().to_vec(),
+            s.ids().to_vec(),
+            vec![0, 50, 100, 129], // does not span the columns
+            s.mbrs().to_vec(),
+            50,
+        );
+        assert!(bad_span.is_none());
+        let zero_capacity = BlockStore::from_raw_parts(
+            s.xs().to_vec(),
+            s.ys().to_vec(),
+            s.ids().to_vec(),
+            s.offsets().to_vec(),
+            s.mbrs().to_vec(),
+            0,
+        );
+        assert!(zero_capacity.is_none());
     }
 }

@@ -1,0 +1,135 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! The same checksum `gzip`/`zlib`/Ethernet use, table-driven with
+//! compile-time tables. Every snapshot section and every WAL record
+//! carries one, so any single damaged byte is detected with probability
+//! `1 − 2⁻³²` and recovery can refuse it instead of decoding garbage.
+//!
+//! The kernel is slice-by-8: eight derived tables let one loop iteration
+//! fold eight input bytes with independent lookups instead of a serial
+//! byte-at-a-time chain. Snapshot restore reads and checksums every
+//! section of every shard on the recovery path, so this is the
+//! subsystem's hottest loop — slicing moves it from ~0.25 GB/s to
+//! well over 1 GB/s, which is the difference between CRC-bound and
+//! I/O-bound recovery.
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+/// Streaming CRC-32 state, for checksumming data produced in pieces.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        let word = |c: &[u8]| u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = word(&chunk[0..4]) ^ crc;
+            let hi = word(&chunk[4..8]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            let idx = ((crc ^ b as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLES[0][idx];
+        }
+        self.state = crc;
+    }
+
+    /// Finishes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_ieee_reference_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_byte_damage() {
+        let mut data: Vec<u8> = (0..100u8).collect();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x40;
+            assert_ne!(crc32(&data), clean, "flip at {i} undetected");
+            data[i] ^= 0x40;
+        }
+    }
+}

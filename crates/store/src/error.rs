@@ -1,0 +1,139 @@
+//! The persistence subsystem's error vocabulary.
+//!
+//! Every failure mode recovery can hit has its own variant, because the
+//! corruption-matrix tests pin *which* variant each kind of damage must
+//! produce: a flipped payload byte must surface as a checksum rejection,
+//! never as a silently-applied record or a panic.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong while saving or recovering durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open, read, write, rename, sync).
+    Io {
+        /// The operation that failed (e.g. `"open"`, `"rename"`).
+        op: &'static str,
+        /// The file the operation targeted.
+        path: PathBuf,
+        /// The OS error, rendered (kept as a string so the error stays
+        /// `Clone + PartialEq` for test pinning).
+        message: String,
+    },
+    /// The file does not start with the expected magic bytes — it is not
+    /// a file of the expected kind (or the header was destroyed).
+    BadMagic {
+        /// The file in question.
+        path: PathBuf,
+        /// What the first bytes actually were.
+        found: [u8; 8],
+    },
+    /// The file's format version is newer (or older) than this build
+    /// understands.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// A reader ran out of bytes mid-structure: the file (or a section
+    /// payload) is shorter than its own framing claims.
+    Truncated {
+        /// Which structure was being decoded.
+        section: String,
+        /// Byte offset at which input ran out.
+        offset: usize,
+    },
+    /// A snapshot section's CRC32 did not match its payload.
+    Checksum {
+        /// Which section failed verification.
+        section: String,
+    },
+    /// A *complete* WAL record failed its CRC32 — the payload was damaged
+    /// in place. Distinct from a torn tail: a torn final record is
+    /// recoverable (prefix recovery), a checksum mismatch is not.
+    WalChecksum {
+        /// Zero-based index of the damaged record.
+        record: usize,
+    },
+    /// Decoded data violated a structural invariant (mismatched column
+    /// lengths, unsorted cuts, out-of-range index, …).
+    Corrupt {
+        /// Which structure was being decoded.
+        section: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The operation is not supported by the codec in use (e.g. decoding
+    /// an encoded-index payload with [`crate::codec::NoCodec`], or an
+    /// unknown router/index kind tag).
+    Unsupported {
+        /// What was requested.
+        what: String,
+    },
+    /// The serving-directory manifest was missing a field or had the
+    /// wrong shape.
+    Manifest {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an [`std::io::Error`] with the operation and path context.
+    pub fn io(op: &'static str, path: &Path, err: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Shorthand for a [`StoreError::Corrupt`] with owned strings.
+    pub fn corrupt(section: &str, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            section: section.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "i/o error during {op} on {}: {message}", path.display())
+            }
+            StoreError::BadMagic { path, found } => {
+                write!(
+                    f,
+                    "{} is not an ELSI store file (magic {found:02x?})",
+                    path.display()
+                )
+            }
+            StoreError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads {expected})"
+                )
+            }
+            StoreError::Truncated { section, offset } => {
+                write!(f, "truncated {section}: input ended at byte {offset}")
+            }
+            StoreError::Checksum { section } => {
+                write!(f, "checksum mismatch in {section}")
+            }
+            StoreError::WalChecksum { record } => {
+                write!(f, "WAL record {record} failed its checksum")
+            }
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
+            StoreError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            StoreError::Manifest { detail } => write!(f, "bad manifest: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,81 @@
+//! Fault injection for crash-consistency tests.
+//!
+//! [`FailingWriter`] wraps any [`Write`] and cuts it off after a chosen
+//! number of bytes — every byte before the cut is delivered, everything
+//! after fails with an injected I/O error. Pointing a snapshot save at
+//! one simulates a crash at an arbitrary byte offset: the proptests sweep
+//! the cut across the whole image and assert recovery either returns a
+//! clean [`crate::StoreError`] or reproduces the survivor bit-for-bit.
+
+use std::io::{self, Write};
+
+/// A writer that accepts exactly `fail_at` bytes, then fails forever.
+#[derive(Debug)]
+pub struct FailingWriter<W: Write> {
+    inner: W,
+    fail_at: u64,
+    written: u64,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Wraps `inner`, allowing `fail_at` bytes through before failing.
+    pub fn new(inner: W, fail_at: u64) -> Self {
+        Self {
+            inner,
+            fail_at,
+            written: 0,
+        }
+    }
+
+    /// Bytes successfully delivered so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer (holding whatever arrived before the cut).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let budget = self.fail_at.saturating_sub(self.written);
+        if budget == 0 {
+            return Err(io::Error::other("injected fault: write budget exhausted"));
+        }
+        let take = (buf.len() as u64).min(budget) as usize;
+        let n = self.inner.write(&buf[..take])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_exactly_the_budget_then_fails() {
+        let mut w = FailingWriter::new(Vec::new(), 10);
+        assert!(w.write_all(&[1u8; 7]).is_ok());
+        // The next write_all delivers 3 bytes, then errors.
+        assert!(w.write_all(&[2u8; 7]).is_err());
+        assert_eq!(w.written(), 10);
+        let sink = w.into_inner();
+        assert_eq!(sink.len(), 10);
+        assert_eq!(&sink[..7], &[1u8; 7]);
+        assert_eq!(&sink[7..], &[2u8; 3]);
+    }
+
+    #[test]
+    fn zero_budget_fails_immediately() {
+        let mut w = FailingWriter::new(Vec::new(), 0);
+        assert!(w.write_all(b"x").is_err());
+        assert!(w.into_inner().is_empty());
+    }
+}

@@ -1,0 +1,536 @@
+//! The workspace's one hand-rolled JSON implementation.
+//!
+//! The workspace is dependency-free by design (no serde), and before this
+//! module existed two crates each carried their own partial JSON code:
+//! `elsi-bench` a writer for `results/BENCH_*.json` and `analysis` a
+//! writer plus a subset parser for its ratchet baseline. Both now consume
+//! this module, as does the serving-directory manifest — one value model
+//! ([`Json`]), one escaper ([`esc`]), one parser ([`Json::parse`]).
+//!
+//! Numbers are `f64`, as in JSON itself; integers round-trip exactly up
+//! to 2⁵³, and [`Json::as_usize`] enforces integrality on read. Values
+//! that must round-trip f64 bit patterns exactly (router cuts, seeds) do
+//! not belong in JSON — the binary codec exists for them.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved (and emitted).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and at which byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Json {
+    /// Builds an object value from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value from an integer (exact up to 2⁵³).
+    pub fn int(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer. Rejects fractional values and
+    /// anything outside the exactly-representable range.
+    pub fn as_usize(&self) -> Option<usize> {
+        let v = self.as_f64()?;
+        if v.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&v) {
+            Some(v as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's key/value pairs, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serialises compactly (no whitespace).
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serialises with two-space indentation and one key per line — the
+    /// shape committed artifacts (manifests, baselines) diff well in.
+    pub fn write_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_num(out: &mut String, v: f64) {
+        if !v.is_finite() {
+            out.push_str("null"); // JSON has no NaN/inf
+        } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            // Shortest representation that round-trips through f64.
+            out.push_str(&format!("{v}"));
+        }
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => Self::write_num(out, *v),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&esc(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&esc(k));
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.write_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push('"');
+                    out.push_str(&esc(k));
+                    out.push_str("\": ");
+                    v.write_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+            other => other.write_into(out),
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursion guard: deeper than any document the workspace writes.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("document nests too deeply"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let v = self.value()?;
+                    pairs.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `}` in object")),
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Obj(pairs))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Workspace documents never write surrogate
+                            // pairs; lone surrogates are rejected.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_round_trip() {
+        let doc = Json::obj(vec![
+            ("format", Json::int(1)),
+            ("name", Json::str("shard \"7\"\n")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "values",
+                Json::Arr(vec![Json::Num(1.5), Json::Num(-0.25), Json::int(12)]),
+            ),
+            ("nested", Json::obj(vec![("k", Json::str("v"))])),
+        ]);
+        for text in [doc.write(), doc.write_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn integers_are_written_without_a_fraction() {
+        assert_eq!(Json::int(42).write(), "42");
+        assert_eq!(Json::Num(2.5).write(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).write(), "null");
+    }
+
+    #[test]
+    fn as_usize_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(3.0).as_usize(), Some(3));
+        assert_eq!(Json::Num(3.5).as_usize(), None);
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+        assert_eq!(Json::str("3").as_usize(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"\\q\"",
+            "{} extra",
+            "\"unterminated",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = Json::parse("\"a\\n\\t\\\\\\\"\\u00e9é\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\\\"éé"));
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let doc = "[".repeat(100_000);
+        assert!(Json::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = Json::parse("{\"gen\": 7, \"files\": [\"a\", \"b\"]}").unwrap();
+        assert_eq!(v.get("gen").and_then(Json::as_usize), Some(7));
+        let files = v.get("files").and_then(Json::as_arr).unwrap();
+        assert_eq!(files[1].as_str(), Some("b"));
+        assert_eq!(v.get("missing"), None);
+    }
+}
